@@ -1,0 +1,63 @@
+// Shared helpers for the benchmark harnesses (T1-T3, F4-F8, M9).
+// Every bench binary runs with no arguments and prints paper-style rows.
+#ifndef GREPAIR_BENCH_BENCH_COMMON_H_
+#define GREPAIR_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "eval/experiment.h"
+#include "util/table_writer.h"
+
+namespace grepair {
+namespace bench {
+
+inline DatasetBundle MustKgBundle(const KgOptions& gopt,
+                                  const InjectOptions& iopt) {
+  auto b = MakeKgBundle(gopt, iopt);
+  if (!b.ok()) {
+    std::fprintf(stderr, "KG bundle failed: %s\n",
+                 b.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(b).value();
+}
+
+inline DatasetBundle MustSocialBundle(const SocialOptions& gopt,
+                                      const InjectOptions& iopt) {
+  auto b = MakeSocialBundle(gopt, iopt);
+  if (!b.ok()) {
+    std::fprintf(stderr, "social bundle failed: %s\n",
+                 b.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(b).value();
+}
+
+inline DatasetBundle MustCitationBundle(const CitationOptions& gopt,
+                                        const InjectOptions& iopt) {
+  auto b = MakeCitationBundle(gopt, iopt);
+  if (!b.ok()) {
+    std::fprintf(stderr, "citation bundle failed: %s\n",
+                 b.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(b).value();
+}
+
+inline MethodOutcome MustRun(const DatasetBundle& bundle,
+                             const std::string& method,
+                             const RepairOptions& opts = {}) {
+  auto out = RunMethod(bundle, method, opts);
+  if (!out.ok()) {
+    std::fprintf(stderr, "method %s failed: %s\n", method.c_str(),
+                 out.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(out).value();
+}
+
+}  // namespace bench
+}  // namespace grepair
+
+#endif  // GREPAIR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,40 @@
+// F4 — F1 vs error rate (1%..10%) on the knowledge graph, one series per
+// method. Expected shape: greedy/batch stay flat and high (the confidence
+// semantics keep precision up as conflicts multiply); naive decays with
+// rate (more arbitrary choices); cfd stays low and flat (covers only the
+// relational subset regardless of rate); detect_only is 0 everywhere.
+#include "bench_common.h"
+
+using namespace grepair;
+using namespace grepair::bench;
+
+int main() {
+  TableWriter t("F4: F1 vs error rate (KG)",
+                {"rate_pct", "detect_only", "cfd", "naive", "greedy",
+                 "batch", "errors"});
+
+  const double kRates[] = {0.01, 0.02, 0.04, 0.06, 0.08, 0.10};
+  for (double rate : kRates) {
+    KgOptions gopt;
+    gopt.num_persons = 2000;
+    gopt.num_cities = 200;
+    gopt.num_countries = 20;
+    gopt.num_orgs = 150;
+    InjectOptions iopt;
+    iopt.rate = rate;
+    DatasetBundle bundle = MustKgBundle(gopt, iopt);
+
+    std::vector<std::string> row = {TableWriter::Num(rate * 100, 0)};
+    for (const std::string& method : StandardMethods()) {
+      MethodOutcome out = MustRun(bundle, method);
+      row.push_back(TableWriter::Num(out.quality.f1, 3));
+    }
+    row.push_back(TableWriter::Int(int64_t(bundle.truth.errors.size())));
+    t.AddRow(row);
+  }
+
+  t.Print();
+  std::puts("\nCSV:");
+  std::fputs(t.ToCsv().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// F5 — Runtime vs graph size: repair wall-clock on knowledge graphs from
+// ~1.2k to ~19k nodes (5% errors). "greedy_full" is the same engine with
+// incremental re-detection disabled (full re-detection after every fix) —
+// the configuration every non-incremental system is stuck with. Expected
+// shape: the incremental engines (greedy/batch) grow near-linearly;
+// greedy_full grows super-linearly (fixes x full-scan) and the gap widens
+// by an order of magnitude across the sweep; it is skipped at the largest
+// size where it would dominate the whole suite's runtime.
+#include "bench_common.h"
+
+using namespace grepair;
+using namespace grepair::bench;
+
+int main() {
+  TableWriter t("F5: repair runtime vs graph size (KG, 5% errors)",
+                {"persons", "|V|", "|E|", "naive_ms", "greedy_ms",
+                 "batch_ms", "greedy_full_ms", "speedup_full/incr"});
+
+  const size_t kPersons[] = {1000, 2000, 4000, 8000, 16000};
+  const size_t kFullRedetectCap = 8000;  // keep the suite fast
+  for (size_t persons : kPersons) {
+    KgOptions gopt;
+    gopt.num_persons = persons;
+    gopt.num_cities = persons / 10;
+    gopt.num_countries = std::max<size_t>(10, persons / 200);
+    gopt.num_orgs = persons / 15;
+    InjectOptions iopt;
+    iopt.rate = 0.05;
+    DatasetBundle bundle = MustKgBundle(gopt, iopt);
+
+    MethodOutcome naive = MustRun(bundle, "naive");
+    MethodOutcome greedy = MustRun(bundle, "greedy");
+    MethodOutcome batch = MustRun(bundle, "batch");
+
+    std::string full_ms = "-";
+    std::string speedup = "-";
+    if (persons <= kFullRedetectCap) {
+      RepairOptions full_opt;
+      full_opt.incremental = false;
+      MethodOutcome full = MustRun(bundle, "greedy", full_opt);
+      full_ms = TableWriter::Num(full.repair.total_ms, 1);
+      speedup = TableWriter::Num(
+          full.repair.total_ms / std::max(0.01, greedy.repair.total_ms), 1);
+    }
+
+    t.AddRow({TableWriter::Int(int64_t(persons)),
+              TableWriter::Int(int64_t(bundle.graph.NumNodes())),
+              TableWriter::Int(int64_t(bundle.graph.NumEdges())),
+              TableWriter::Num(naive.repair.total_ms, 1),
+              TableWriter::Num(greedy.repair.total_ms, 1),
+              TableWriter::Num(batch.repair.total_ms, 1), full_ms, speedup});
+  }
+
+  t.Print();
+  std::puts("\nCSV:");
+  std::fputs(t.ToCsv().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// F6 — Runtime vs number of rules: repair time on a fixed KG workload as
+// the rule set grows from 2 to all 10 KG rules (prefixes of the shipped
+// set). Expected shape: roughly linear in the rule count for detection-
+// bound runs; violations found grows stepwise as classes of errors become
+// detectable.
+#include "bench_common.h"
+
+using namespace grepair;
+using namespace grepair::bench;
+
+int main() {
+  KgOptions gopt;
+  gopt.num_persons = 3000;
+  gopt.num_cities = 300;
+  gopt.num_countries = 30;
+  gopt.num_orgs = 200;
+  InjectOptions iopt;
+  iopt.rate = 0.05;
+  DatasetBundle bundle = MustKgBundle(gopt, iopt);
+
+  TableWriter t("F6: repair runtime vs rule count (KG, 5% errors)",
+                {"rules", "violations", "fixes", "greedy_ms", "batch_ms"});
+
+  for (size_t k = 2; k <= bundle.rules.size(); k += 2) {
+    DatasetBundle sub;
+    sub.name = bundle.name;
+    sub.vocab = bundle.vocab;
+    sub.graph = bundle.graph.Clone();
+    sub.rules = bundle.rules.Prefix(k);
+    sub.truth = bundle.truth;
+    sub.clean_nodes = bundle.clean_nodes;
+    sub.clean_edges = bundle.clean_edges;
+
+    MethodOutcome greedy = MustRun(sub, "greedy");
+    MethodOutcome batch = MustRun(sub, "batch");
+    t.AddRow({TableWriter::Int(int64_t(k)),
+              TableWriter::Int(int64_t(greedy.repair.initial_violations)),
+              TableWriter::Int(int64_t(greedy.repair.applied.size())),
+              TableWriter::Num(greedy.repair.total_ms, 1),
+              TableWriter::Num(batch.repair.total_ms, 1)});
+  }
+
+  t.Print();
+  std::puts("\nCSV:");
+  std::fputs(t.ToCsv().c_str(), stdout);
+  return 0;
+}

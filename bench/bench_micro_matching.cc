@@ -1,0 +1,168 @@
+// M9 — Matching micro-benchmarks (google-benchmark): full detection cost by
+// graph size and pattern, and incremental delta re-matching vs full
+// re-detection after a single edit — the per-edit cost the repair loop pays.
+#include <benchmark/benchmark.h>
+
+#include "eval/experiment.h"
+#include "grr/standard_rules.h"
+#include "match/incremental.h"
+#include "repair/engine.h"
+
+namespace grepair {
+namespace {
+
+struct Workload {
+  VocabularyPtr vocab;
+  KgSchema schema;
+  Graph graph;
+  RuleSet rules;
+
+  explicit Workload(size_t persons)
+      : vocab(MakeVocabulary()),
+        schema(KgSchema::Create(vocab.get())),
+        graph(vocab) {
+    KgOptions opt;
+    opt.num_persons = persons;
+    opt.num_cities = persons / 10;
+    opt.num_countries = std::max<size_t>(5, persons / 200);
+    opt.num_orgs = persons / 15;
+    graph = GenerateKg(vocab, schema, opt);
+    rules = KgRules(vocab).value();
+  }
+};
+
+void BM_FullDetection(benchmark::State& state) {
+  Workload w(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    ViolationStore store;
+    benchmark::DoNotOptimize(DetectAll(w.graph, w.rules, &store));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullDetection)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
+void BM_SingleRuleMatch(benchmark::State& state) {
+  Workload w(static_cast<size_t>(state.range(0)));
+  RuleId dup = w.rules.Find("dup_person").value();
+  const Pattern& p = w.rules[dup].pattern();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Matcher(w.graph, p).Count());
+  }
+}
+BENCHMARK(BM_SingleRuleMatch)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+// The repair loop's inner step: apply one edit, re-detect incrementally vs
+// from scratch.
+void BM_DeltaAfterEdit(benchmark::State& state) {
+  Workload w(static_cast<size_t>(state.range(0)));
+  auto persons = w.graph.NodesWithLabel(w.schema.person);
+  NodeId a = *persons.begin();
+  for (auto _ : state) {
+    state.PauseTiming();
+    size_t mark = w.graph.JournalSize();
+    NodeId b = w.graph.AddNode(w.schema.person);
+    auto e = w.graph.AddEdge(a, b, w.schema.knows);
+    (void)e;
+    std::vector<EditEntry> delta(w.graph.Journal().begin() + mark,
+                                 w.graph.Journal().end());
+    state.ResumeTiming();
+    size_t found = 0;
+    for (RuleId r = 0; r < w.rules.size(); ++r) {
+      DeltaMatcher dm(w.graph, w.rules[r].pattern());
+      dm.FindDelta(delta, [&](const Match&) {
+        ++found;
+        return true;
+      });
+    }
+    benchmark::DoNotOptimize(found);
+    state.PauseTiming();
+    (void)w.graph.UndoTo(mark);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_DeltaAfterEdit)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FullAfterEdit(benchmark::State& state) {
+  Workload w(static_cast<size_t>(state.range(0)));
+  auto persons = w.graph.NodesWithLabel(w.schema.person);
+  NodeId a = *persons.begin();
+  for (auto _ : state) {
+    state.PauseTiming();
+    size_t mark = w.graph.JournalSize();
+    NodeId b = w.graph.AddNode(w.schema.person);
+    auto e = w.graph.AddEdge(a, b, w.schema.knows);
+    (void)e;
+    state.ResumeTiming();
+    ViolationStore store;
+    benchmark::DoNotOptimize(DetectAll(w.graph, w.rules, &store));
+    state.PauseTiming();
+    (void)w.graph.UndoTo(mark);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_FullAfterEdit)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Candidate-pruning ablations: the same detection pass with the adjacency
+// pivot / attribute join disabled (fall back to label scans).
+void BM_MatchAblation(benchmark::State& state) {
+  Workload w(2000);
+  bool use_adj = state.range(0) != 0;
+  bool use_join = state.range(1) != 0;
+  RuleId dup = w.rules.Find("dup_person").value();
+  RuleId cap = w.rules.Find("one_capital_per_country").value();
+  for (auto _ : state) {
+    MatchOptions opts;
+    opts.use_adjacency_pivot = use_adj;
+    opts.use_attr_join = use_join;
+    size_t n = 0;
+    for (RuleId r : {dup, cap}) {
+      Matcher(w.graph, w.rules[r].pattern()).FindAll(opts, [&](const Match&) {
+        ++n;
+        return true;
+      });
+    }
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_MatchAblation)
+    ->Args({1, 1})   // full system
+    ->Args({0, 1})   // no adjacency pivot
+    ->Args({1, 0})   // no attribute join
+    ->Args({0, 0})   // label scans only
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GraphMutation(benchmark::State& state) {
+  auto vocab = MakeVocabulary();
+  Graph g(vocab);
+  SymbolId l = vocab->Label("N"), e = vocab->Label("e");
+  NodeId a = g.AddNode(l), b = g.AddNode(l);
+  for (auto _ : state) {
+    EdgeId id = g.AddEdge(a, b, e).value();
+    (void)g.RemoveEdge(id);
+    benchmark::DoNotOptimize(id);
+  }
+}
+BENCHMARK(BM_GraphMutation);
+
+void BM_UndoJournal(benchmark::State& state) {
+  auto vocab = MakeVocabulary();
+  Graph g(vocab);
+  SymbolId l = vocab->Label("N"), e = vocab->Label("e");
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 100; ++i) nodes.push_back(g.AddNode(l));
+  for (auto _ : state) {
+    size_t mark = g.JournalSize();
+    for (int i = 0; i + 1 < 100; ++i) g.AddEdge(nodes[i], nodes[i + 1], e);
+    (void)g.UndoTo(mark);
+  }
+}
+BENCHMARK(BM_UndoJournal)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace grepair
+
+BENCHMARK_MAIN();

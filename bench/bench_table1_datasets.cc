@@ -1,0 +1,45 @@
+// T1 — Dataset statistics table: the three shipped workloads at default
+// evaluation scale, with clean sizes, rule counts, and the number of
+// injected errors per semantic class at the default 5% error rate.
+#include "bench_common.h"
+
+using namespace grepair;
+using namespace grepair::bench;
+
+namespace {
+
+void Row(TableWriter* t, const DatasetBundle& b) {
+  size_t inc = b.truth.CountClass(ErrorClass::kIncomplete);
+  size_t con = b.truth.CountClass(ErrorClass::kConflict);
+  size_t red = b.truth.CountClass(ErrorClass::kRedundant);
+  t->AddRow({b.name, TableWriter::Int(int64_t(b.clean_nodes)),
+             TableWriter::Int(int64_t(b.clean_edges)),
+             TableWriter::Int(int64_t(b.vocab->NumLabels() - 1)),
+             TableWriter::Int(int64_t(b.rules.size())),
+             TableWriter::Int(int64_t(inc)), TableWriter::Int(int64_t(con)),
+             TableWriter::Int(int64_t(red)),
+             TableWriter::Int(int64_t(b.truth.errors.size()))});
+}
+
+}  // namespace
+
+int main() {
+  InjectOptions iopt;
+  iopt.rate = 0.05;
+
+  TableWriter t("T1: datasets (5% injected error rate)",
+                {"dataset", "|V|", "|E|", "labels", "rules", "incomplete",
+                 "conflict", "redundant", "errors"});
+
+  KgOptions kg;  // defaults: 5000 persons
+  Row(&t, MustKgBundle(kg, iopt));
+  SocialOptions social;  // defaults: 10000 users
+  Row(&t, MustSocialBundle(social, iopt));
+  CitationOptions cite;  // defaults: 4000 papers
+  Row(&t, MustCitationBundle(cite, iopt));
+
+  t.Print();
+  std::puts("\nCSV:");
+  std::fputs(t.ToCsv().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// T2 — Repair quality: precision / recall / F1 (plus remaining violations
+// and repair cost) for every method on every dataset at 5% error rate.
+// Expected shape: greedy/batch dominate; naive loses precision on conflicts
+// (no confidence semantics); cfd only covers the relational subset;
+// detect_only is the floor with recall 0.
+#include "bench_common.h"
+
+using namespace grepair;
+using namespace grepair::bench;
+
+namespace {
+
+void RunDataset(TableWriter* t, const DatasetBundle& bundle) {
+  for (const std::string& method : StandardMethods()) {
+    MethodOutcome out = MustRun(bundle, method);
+    t->AddRow({bundle.name, method,
+               TableWriter::Num(out.quality.precision, 3),
+               TableWriter::Num(out.quality.recall, 3),
+               TableWriter::Num(out.quality.f1, 3),
+               TableWriter::Int(int64_t(out.repair.remaining_violations)),
+               TableWriter::Num(out.repair.repair_cost, 1),
+               TableWriter::Num(out.repair.total_ms, 1)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  InjectOptions iopt;
+  iopt.rate = 0.05;
+
+  TableWriter t("T2: repair quality per method x dataset (5% errors)",
+                {"dataset", "method", "precision", "recall", "F1",
+                 "remaining", "cost", "time_ms"});
+
+  KgOptions kg;
+  kg.num_persons = 3000;
+  kg.num_cities = 300;
+  kg.num_countries = 30;
+  kg.num_orgs = 200;
+  RunDataset(&t, MustKgBundle(kg, iopt));
+
+  SocialOptions social;
+  social.num_persons = 5000;
+  RunDataset(&t, MustSocialBundle(social, iopt));
+
+  CitationOptions cite;
+  cite.num_papers = 3000;
+  cite.num_authors = 1000;
+  RunDataset(&t, MustCitationBundle(cite, iopt));
+
+  t.Print();
+  std::puts("\nCSV:");
+  std::fputs(t.ToCsv().c_str(), stdout);
+  return 0;
+}

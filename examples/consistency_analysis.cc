@@ -1,0 +1,60 @@
+// Rule-set consistency analysis: before trusting a rule set in production,
+// run the static checker (sufficient conditions) and the Monte-Carlo
+// simulator (witness search). This example vets the shipped KG rules and
+// shows both adversarial sets being rejected — one for a creation cycle,
+// one for an add/delete contradiction.
+//
+//   $ ./build/examples/consistency_analysis
+#include <cstdio>
+
+#include "consistency/checker.h"
+#include "consistency/simulator.h"
+#include "grr/standard_rules.h"
+
+using namespace grepair;
+
+namespace {
+
+void Analyze(const char* name, Result<RuleSet> (*maker)(VocabularyPtr)) {
+  auto vocab = MakeVocabulary();
+  auto rules = maker(vocab);
+  if (!rules.ok()) {
+    std::fprintf(stderr, "%s: parse error %s\n", name,
+                 rules.status().ToString().c_str());
+    return;
+  }
+  std::printf("=== %s (%zu rules) ===\n", name, rules.value().size());
+
+  ConsistencyReport rep = CheckConsistency(rules.value(), *vocab);
+  std::printf("static analysis (%0.2f ms): %s\n", rep.analysis_ms,
+              rep.statically_consistent ? "CONSISTENT" : "REJECTED");
+  std::printf("  trigger edges: %zu, contradictions: %zu\n",
+              rep.num_trigger_edges, rep.num_contradictions);
+  for (const std::string& issue : rep.issues)
+    std::printf("  issue: %s\n", issue.c_str());
+
+  SimOptions sopt;
+  sopt.trials = 10;
+  SimulationReport sim = SimulateRuleSet(rules.value(), vocab, sopt);
+  std::printf("simulation (%zu trials, %.1f ms): %zu non-terminating, "
+              "%zu divergent\n",
+              sim.trials, sim.elapsed_ms, sim.nonterminating, sim.divergent);
+  if (sim.witness_found)
+    std::printf("  witness: %s\n", sim.witness.c_str());
+  std::puts("");
+}
+
+}  // namespace
+
+int main() {
+  Analyze("kg rules", KgRules);
+  Analyze("social rules", SocialRules);
+  Analyze("citation rules", CitationRules);
+  Analyze("adversarial: creation cycle", AdversarialCyclicRules);
+  Analyze("adversarial: contradiction", ContradictoryRules);
+
+  std::puts("Takeaway: run both analyses before deploying a rule set; the");
+  std::puts("static check is conservative (sufficient, not necessary) and");
+  std::puts("the simulator provides concrete counterexamples when it fails.");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Knowledge-graph cleaning end to end: generate a consistent KG, corrupt it
+// with all three error classes, repair with the full 10-rule set, and score
+// the repair against the injected ground truth — the paper's headline
+// scenario.
+//
+//   $ ./build/examples/kg_cleaning
+#include <cstdio>
+
+#include "eval/experiment.h"
+#include "util/table_writer.h"
+
+using namespace grepair;
+
+int main() {
+  KgOptions gopt;
+  gopt.num_persons = 2000;
+  gopt.num_cities = 200;
+  gopt.num_countries = 20;
+  gopt.num_orgs = 150;
+  InjectOptions iopt;
+  iopt.rate = 0.06;
+
+  auto bundle = MakeKgBundle(gopt, iopt);
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "%s\n", bundle.status().ToString().c_str());
+    return 1;
+  }
+  const DatasetBundle& b = bundle.value();
+
+  std::printf("clean graph: %zu nodes, %zu edges\n", b.clean_nodes,
+              b.clean_edges);
+  std::printf("injected %zu errors (%zu incomplete, %zu conflict, "
+              "%zu redundant)\n",
+              b.truth.errors.size(),
+              b.truth.CountClass(ErrorClass::kIncomplete),
+              b.truth.CountClass(ErrorClass::kConflict),
+              b.truth.CountClass(ErrorClass::kRedundant));
+  std::printf("rules: %zu\n\n", b.rules.size());
+
+  TableWriter t("repair methods on the corrupted KG",
+                {"method", "precision", "recall", "F1", "remaining",
+                 "fixes", "time_ms"});
+  for (const std::string& method : StandardMethods()) {
+    auto out = RunMethod(b, method);
+    if (!out.ok()) {
+      std::fprintf(stderr, "%s: %s\n", method.c_str(),
+                   out.status().ToString().c_str());
+      return 1;
+    }
+    t.AddRow({method, TableWriter::Num(out.value().quality.precision, 3),
+              TableWriter::Num(out.value().quality.recall, 3),
+              TableWriter::Num(out.value().quality.f1, 3),
+              TableWriter::Int(int64_t(out.value().repair.remaining_violations)),
+              TableWriter::Int(int64_t(out.value().repair.applied.size())),
+              TableWriter::Num(out.value().repair.total_ms, 1)});
+  }
+  t.Print();
+
+  std::puts("\nReading the table: greedy/batch use the GRR semantics");
+  std::puts("(confidence-weighted deletions, merges for duplicates) and");
+  std::puts("repair everything; naive repairs everything but guesses on");
+  std::puts("conflicts; the relational baseline (cfd) cannot express");
+  std::puts("structural additions or merges at all.");
+  return 0;
+}

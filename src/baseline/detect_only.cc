@@ -1,0 +1,19 @@
+#include "baseline/detect_only.h"
+
+#include "util/timer.h"
+
+namespace grepair {
+
+RepairResult DetectOnlyBaseline(const Graph& g, const RuleSet& rules) {
+  Timer t;
+  RepairResult res;
+  ViolationStore store;
+  res.initial_violations =
+      DetectAll(g, rules, &store, &res.matcher_expansions);
+  res.remaining_violations = res.initial_violations;
+  res.detect_ms = t.ElapsedMs();
+  res.total_ms = res.detect_ms;
+  return res;
+}
+
+}  // namespace grepair

@@ -1,0 +1,16 @@
+// Detect-only baseline: reports violations, repairs nothing. The floor that
+// every repairing method is compared against (recall is 0 by construction).
+#ifndef GREPAIR_BASELINE_DETECT_ONLY_H_
+#define GREPAIR_BASELINE_DETECT_ONLY_H_
+
+#include "grr/rule.h"
+#include "repair/engine.h"
+
+namespace grepair {
+
+/// Runs detection and returns a RepairResult with zero applied fixes.
+RepairResult DetectOnlyBaseline(const Graph& g, const RuleSet& rules);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_BASELINE_DETECT_ONLY_H_

@@ -1,0 +1,15 @@
+#include "baseline/random_repair.h"
+
+namespace grepair {
+
+Result<RepairResult> RandomOrderRepair(Graph* g, const RuleSet& rules,
+                                       uint64_t seed) {
+  RepairOptions opt;
+  opt.strategy = RepairStrategy::kNaive;
+  opt.seed = seed;
+  opt.confidence_attr.clear();  // no semantic signal
+  RepairEngine engine(opt);
+  return engine.Run(g, rules);
+}
+
+}  // namespace grepair

@@ -1,0 +1,21 @@
+// Random-order repair baseline: applies whatever valid fix it sees next,
+// with no cost model, no confidence weighting and full re-detection between
+// rounds. This is the paper's "rule application without semantics" strawman
+// (implemented on top of the engine's naive strategy).
+#ifndef GREPAIR_BASELINE_RANDOM_REPAIR_H_
+#define GREPAIR_BASELINE_RANDOM_REPAIR_H_
+
+#include "grr/rule.h"
+#include "repair/engine.h"
+
+namespace grepair {
+
+/// Repairs `g` in place in seeded-random order. Thin wrapper over the
+/// engine's kNaive strategy so the baseline and the engine share mechanics
+/// and differ only in policy.
+Result<RepairResult> RandomOrderRepair(Graph* g, const RuleSet& rules,
+                                       uint64_t seed);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_BASELINE_RANDOM_REPAIR_H_

@@ -1,0 +1,139 @@
+#include "baseline/triple_cfd.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace grepair {
+namespace {
+
+double Confidence(const Graph& g, EdgeId e, SymbolId conf_attr) {
+  if (conf_attr == 0) return 1.0;
+  SymbolId v = g.EdgeAttr(e, conf_attr);
+  if (v == 0) return 1.0;
+  double num;
+  if (!ParseDouble(g.vocab()->ValueName(v), &num)) return 1.0;
+  return num;
+}
+
+}  // namespace
+
+Result<RepairResult> TripleCfdRepair(Graph* g, const TripleCfdOptions& opt) {
+  Timer total;
+  RepairResult res;
+  size_t start_mark = g->JournalSize();
+  Vocabulary* vocab = g->vocab().get();
+  SymbolId conf = opt.confidence_attr.empty()
+                      ? 0
+                      : vocab->Attr(opt.confidence_attr);
+
+  auto record_del_edge = [&](EdgeId e) {
+    EdgeView v = g->Edge(e);
+    AppliedFix f;
+    f.rule = kBaselineRuleId;
+    f.kind = ActionKind::kDelEdge;
+    f.node_a = v.src;
+    f.node_b = v.dst;
+    f.label = v.label;
+    f.journal_begin = g->JournalSize();
+    Status st = g->RemoveEdge(e);
+    f.journal_end = g->JournalSize();
+    res.applied.push_back(f);
+    return st;
+  };
+
+  // FDs over the triple view: group edges per (group node, label); keep the
+  // highest-confidence tuple, delete the rest.
+  auto enforce_fd = [&](const std::string& label_name, bool per_source)
+      -> Status {
+    SymbolId label;
+    if (!vocab->LookupLabel(label_name, &label)) return Status::Ok();
+    for (NodeId n : g->Nodes()) {
+      const std::vector<EdgeId>& edges =
+          per_source ? g->OutEdges(n) : g->InEdges(n);
+      std::vector<EdgeId> group;
+      for (EdgeId e : edges)
+        if (g->EdgeLabel(e) == label) group.push_back(e);
+      if (group.size() <= 1) continue;
+      ++res.initial_violations;
+      // Keep max confidence (ties: lowest id, i.e. the oldest tuple).
+      EdgeId keep = group[0];
+      double best = Confidence(*g, keep, conf);
+      for (EdgeId e : group) {
+        double c = Confidence(*g, e, conf);
+        if (c > best || (c == best && e < keep)) {
+          best = c;
+          keep = e;
+        }
+      }
+      for (EdgeId e : group) {
+        if (e == keep) continue;
+        GREPAIR_RETURN_IF_ERROR(record_del_edge(e));
+      }
+    }
+    return Status::Ok();
+  };
+
+  for (const auto& l : opt.functional_edges)
+    GREPAIR_RETURN_IF_ERROR(enforce_fd(l, /*per_source=*/true));
+  for (const auto& l : opt.inverse_functional_edges)
+    GREPAIR_RETURN_IF_ERROR(enforce_fd(l, /*per_source=*/false));
+
+  // Key-based dedup: delete the newer duplicate ROW (the relational move;
+  // a graph-aware tool would merge instead).
+  for (const auto& [label_name, attr_name] : opt.dedup_keys) {
+    SymbolId label;
+    if (!vocab->LookupLabel(label_name, &label)) continue;
+    SymbolId attr = vocab->Attr(attr_name);
+    std::map<SymbolId, std::vector<NodeId>> by_key;
+    for (NodeId n : g->NodesWithLabel(label)) {
+      SymbolId v = g->NodeAttr(n, attr);
+      if (v != 0) by_key[v].push_back(n);
+    }
+    for (auto& [key, nodes] : by_key) {
+      if (nodes.size() <= 1) continue;
+      ++res.initial_violations;
+      std::sort(nodes.begin(), nodes.end());
+      for (size_t i = 1; i < nodes.size(); ++i) {
+        AppliedFix f;
+        f.rule = kBaselineRuleId;
+        f.kind = ActionKind::kDelNode;
+        f.node_a = nodes[i];
+        f.journal_begin = g->JournalSize();
+        GREPAIR_RETURN_IF_ERROR(g->RemoveNode(nodes[i]));
+        f.journal_end = g->JournalSize();
+        res.applied.push_back(f);
+      }
+    }
+  }
+
+  res.rounds = 1;
+  res.repair_cost = g->CostSince(start_mark, CostModel{});
+  res.total_ms = total.ElapsedMs();
+  return res;
+}
+
+TripleCfdOptions KgCfdConfig() {
+  TripleCfdOptions opt;
+  opt.functional_edges = {"born_in"};
+  opt.inverse_functional_edges = {"capital_of"};
+  opt.dedup_keys = {{"Person", "name"}};
+  return opt;
+}
+
+TripleCfdOptions SocialCfdConfig() {
+  TripleCfdOptions opt;
+  opt.dedup_keys = {{"Person", "name"}};
+  return opt;
+}
+
+TripleCfdOptions CitationCfdConfig() {
+  TripleCfdOptions opt;
+  opt.functional_edges = {"published_in"};
+  opt.dedup_keys = {{"Paper", "title"}};
+  return opt;
+}
+
+}  // namespace grepair

@@ -1,0 +1,312 @@
+#include "cli/cli.h"
+
+#include <cstdio>
+#include <map>
+
+#include "consistency/checker.h"
+#include "consistency/simulator.h"
+#include "graph/error_injector.h"
+#include "graph/graph_io.h"
+#include "grr/rule_parser.h"
+#include "grr/standard_rules.h"
+#include "mining/rule_miner.h"
+#include "repair/engine.h"
+#include "util/strings.h"
+
+namespace grepair {
+namespace {
+
+constexpr char kUsage[] = R"(usage:
+  grepair gen <kg|social|citation> --out g.tsv [--scale N] [--rate R]
+          [--seed S] [--rules-out r.grr]
+  grepair stats  <graph.tsv>
+  grepair check  <rules.grr>
+  grepair detect <graph.tsv> <rules.grr>
+  grepair repair <graph.tsv> <rules.grr> [--strategy greedy|naive|batch|exact]
+          [--out repaired.tsv]
+  grepair mine   <graph.tsv> [--min-support X]
+)";
+
+// Simple flag parsing: positional args + --key value pairs.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  static Result<Args> Parse(const std::vector<std::string>& raw) {
+    Args out;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (StartsWith(raw[i], "--")) {
+        if (i + 1 >= raw.size())
+          return Status::InvalidArgument("flag " + raw[i] + " needs a value");
+        out.flags[raw[i].substr(2)] = raw[i + 1];
+        ++i;
+      } else {
+        out.positional.push_back(raw[i]);
+      }
+    }
+    return out;
+  }
+
+  std::string Flag(const std::string& key, const std::string& dflt) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? dflt : it->second;
+  }
+};
+
+Status WriteFile(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return Status::InvalidArgument("cannot open for write: " + path);
+  std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  return Status::Ok();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return Status::NotFound("cannot open: " + path);
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+  return data;
+}
+
+Status CmdGen(const Args& args, std::string* out) {
+  if (args.positional.size() < 2)
+    return Status::InvalidArgument("gen needs a dataset name");
+  const std::string& which = args.positional[1];
+  std::string out_path = args.Flag("out", "");
+  if (out_path.empty())
+    return Status::InvalidArgument("gen needs --out <path>");
+  uint64_t scale = 2000, seed = 42;
+  double rate = 0.0;
+  if (!ParseUint64(args.Flag("scale", "2000"), &scale))
+    return Status::InvalidArgument("bad --scale");
+  if (!ParseUint64(args.Flag("seed", "42"), &seed))
+    return Status::InvalidArgument("bad --seed");
+  if (!ParseDouble(args.Flag("rate", "0"), &rate))
+    return Status::InvalidArgument("bad --rate");
+
+  auto vocab = MakeVocabulary();
+  Graph g(vocab);
+  const char* rules_dsl = nullptr;
+  if (which == "kg") {
+    KgSchema schema = KgSchema::Create(vocab.get());
+    KgOptions o;
+    o.num_persons = scale;
+    o.num_cities = std::max<size_t>(10, scale / 10);
+    o.num_countries = std::max<size_t>(5, scale / 200);
+    o.num_orgs = std::max<size_t>(5, scale / 15);
+    o.seed = seed;
+    g = GenerateKg(vocab, schema, o);
+    if (rate > 0) {
+      InjectOptions io;
+      io.rate = rate;
+      io.seed = seed + 1;
+      auto rep = InjectKgErrors(&g, schema, io);
+      if (!rep.ok()) return rep.status();
+      *out += StrFormat("injected %zu errors\n", rep.value().errors.size());
+    }
+    rules_dsl = kKgRulesDsl;
+  } else if (which == "social") {
+    SocialSchema schema = SocialSchema::Create(vocab.get());
+    SocialOptions o;
+    o.num_persons = scale;
+    o.seed = seed;
+    g = GenerateSocial(vocab, schema, o);
+    if (rate > 0) {
+      InjectOptions io;
+      io.rate = rate;
+      io.seed = seed + 1;
+      auto rep = InjectSocialErrors(&g, schema, io);
+      if (!rep.ok()) return rep.status();
+      *out += StrFormat("injected %zu errors\n", rep.value().errors.size());
+    }
+    rules_dsl = kSocialRulesDsl;
+  } else if (which == "citation") {
+    CitationSchema schema = CitationSchema::Create(vocab.get());
+    CitationOptions o;
+    o.num_papers = scale;
+    o.num_authors = std::max<size_t>(10, scale / 3);
+    o.seed = seed;
+    g = GenerateCitation(vocab, schema, o);
+    if (rate > 0) {
+      InjectOptions io;
+      io.rate = rate;
+      io.seed = seed + 1;
+      auto rep = InjectCitationErrors(&g, schema, io);
+      if (!rep.ok()) return rep.status();
+      *out += StrFormat("injected %zu errors\n", rep.value().errors.size());
+    }
+    rules_dsl = kCitationRulesDsl;
+  } else {
+    return Status::InvalidArgument("unknown dataset: " + which);
+  }
+
+  GREPAIR_RETURN_IF_ERROR(SaveGraph(g, out_path));
+  *out += StrFormat("wrote %s: %zu nodes, %zu edges\n", out_path.c_str(),
+                    g.NumNodes(), g.NumEdges());
+  std::string rules_path = args.Flag("rules-out", "");
+  if (!rules_path.empty()) {
+    GREPAIR_RETURN_IF_ERROR(WriteFile(rules_path, rules_dsl));
+    *out += "wrote " + rules_path + "\n";
+  }
+  return Status::Ok();
+}
+
+Status CmdStats(const Args& args, std::string* out) {
+  if (args.positional.size() < 2)
+    return Status::InvalidArgument("stats needs a graph path");
+  auto vocab = MakeVocabulary();
+  GREPAIR_ASSIGN_OR_RETURN(Graph g, LoadGraph(args.positional[1], vocab));
+  *out += StrFormat("nodes: %zu\nedges: %zu\n", g.NumNodes(), g.NumEdges());
+  // Label histograms.
+  std::map<std::string, size_t> node_hist, edge_hist;
+  for (NodeId n : g.Nodes()) node_hist[vocab->LabelName(g.NodeLabel(n))]++;
+  for (EdgeId e : g.Edges()) edge_hist[vocab->LabelName(g.EdgeLabel(e))]++;
+  *out += "node labels:\n";
+  for (const auto& [l, c] : node_hist)
+    *out += StrFormat("  %-16s %zu\n", l.c_str(), c);
+  *out += "edge labels:\n";
+  for (const auto& [l, c] : edge_hist)
+    *out += StrFormat("  %-16s %zu\n", l.c_str(), c);
+  return Status::Ok();
+}
+
+Status CmdCheck(const Args& args, std::string* out) {
+  if (args.positional.size() < 2)
+    return Status::InvalidArgument("check needs a rules path");
+  auto vocab = MakeVocabulary();
+  GREPAIR_ASSIGN_OR_RETURN(std::string text, ReadFile(args.positional[1]));
+  GREPAIR_ASSIGN_OR_RETURN(RuleSet rules, ParseRules(text, vocab));
+  *out += StrFormat("parsed %zu rules\n", rules.size());
+  ConsistencyReport rep = CheckConsistency(rules, *vocab);
+  *out += StrFormat("static analysis: %s (%zu trigger edges, "
+                    "%zu contradictions)\n",
+                    rep.statically_consistent ? "CONSISTENT" : "REJECTED",
+                    rep.num_trigger_edges, rep.num_contradictions);
+  for (const auto& issue : rep.issues) *out += "  issue: " + issue + "\n";
+  SimOptions sopt;
+  SimulationReport sim = SimulateRuleSet(rules, vocab, sopt);
+  *out += StrFormat("simulation: %zu trials, %zu non-terminating, "
+                    "%zu divergent\n",
+                    sim.trials, sim.nonterminating, sim.divergent);
+  if (sim.witness_found) *out += "  witness: " + sim.witness + "\n";
+  return rep.statically_consistent && sim.nonterminating == 0
+             ? Status::Ok()
+             : Status::Inconsistent("rule set rejected");
+}
+
+Status CmdDetect(const Args& args, std::string* out) {
+  if (args.positional.size() < 3)
+    return Status::InvalidArgument("detect needs <graph> <rules>");
+  auto vocab = MakeVocabulary();
+  GREPAIR_ASSIGN_OR_RETURN(Graph g, LoadGraph(args.positional[1], vocab));
+  GREPAIR_ASSIGN_OR_RETURN(std::string text, ReadFile(args.positional[2]));
+  GREPAIR_ASSIGN_OR_RETURN(RuleSet rules, ParseRules(text, vocab));
+  ViolationStore store;
+  DetectAll(g, rules, &store);
+  std::map<std::string, size_t> per_rule;
+  for (const Violation& v : store.Snapshot()) per_rule[rules[v.rule].name()]++;
+  *out += StrFormat("%zu violations\n", store.Size());
+  for (const auto& [name, c] : per_rule)
+    *out += StrFormat("  %-32s %zu\n", name.c_str(), c);
+  return Status::Ok();
+}
+
+Status CmdRepair(const Args& args, std::string* out) {
+  if (args.positional.size() < 3)
+    return Status::InvalidArgument("repair needs <graph> <rules>");
+  auto vocab = MakeVocabulary();
+  GREPAIR_ASSIGN_OR_RETURN(Graph g, LoadGraph(args.positional[1], vocab));
+  GREPAIR_ASSIGN_OR_RETURN(std::string text, ReadFile(args.positional[2]));
+  GREPAIR_ASSIGN_OR_RETURN(RuleSet rules, ParseRules(text, vocab));
+
+  RepairOptions opt;
+  std::string strategy = args.Flag("strategy", "greedy");
+  if (strategy == "greedy") {
+    opt.strategy = RepairStrategy::kGreedy;
+  } else if (strategy == "naive") {
+    opt.strategy = RepairStrategy::kNaive;
+  } else if (strategy == "batch") {
+    opt.strategy = RepairStrategy::kBatch;
+  } else if (strategy == "exact") {
+    opt.strategy = RepairStrategy::kExact;
+  } else {
+    return Status::InvalidArgument("unknown strategy: " + strategy);
+  }
+
+  RepairEngine engine(opt);
+  GREPAIR_ASSIGN_OR_RETURN(RepairResult res, engine.Run(&g, rules));
+  *out += StrFormat(
+      "violations: %zu -> %zu\nfixes applied: %zu (cost %.1f) in %.1f ms\n",
+      res.initial_violations, res.remaining_violations, res.applied.size(),
+      res.repair_cost, res.total_ms);
+  if (res.budget_exhausted) *out += "WARNING: fix budget exhausted\n";
+
+  std::string out_path = args.Flag("out", "");
+  if (!out_path.empty()) {
+    GREPAIR_RETURN_IF_ERROR(SaveGraph(g, out_path));
+    *out += "wrote " + out_path + "\n";
+  }
+  return Status::Ok();
+}
+
+Status CmdMine(const Args& args, std::string* out) {
+  if (args.positional.size() < 2)
+    return Status::InvalidArgument("mine needs a graph path");
+  auto vocab = MakeVocabulary();
+  GREPAIR_ASSIGN_OR_RETURN(Graph g, LoadGraph(args.positional[1], vocab));
+  MiningOptions opt;
+  double support = 0.9;
+  if (!ParseDouble(args.Flag("min-support", "0.9"), &support))
+    return Status::InvalidArgument("bad --min-support");
+  opt.min_support = support;
+  auto mined = MineRules(g, opt);
+  *out += StrFormat("mined %zu rules\n", mined.size());
+  for (const MinedRule& m : mined)
+    *out += StrFormat("  %-20s %-36s support=%.3f evidence=%zu\n",
+                      m.kind.c_str(), m.rule.name().c_str(), m.support,
+                      m.evidence);
+  return Status::Ok();
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::string* out) {
+  if (args.empty()) {
+    *out = kUsage;
+    return 2;
+  }
+  auto parsed = Args::Parse(args);
+  if (!parsed.ok()) {
+    *out = parsed.status().ToString() + "\n" + kUsage;
+    return 2;
+  }
+  const std::string& cmd = args[0];
+  Status st;
+  if (cmd == "gen") {
+    st = CmdGen(parsed.value(), out);
+  } else if (cmd == "stats") {
+    st = CmdStats(parsed.value(), out);
+  } else if (cmd == "check") {
+    st = CmdCheck(parsed.value(), out);
+  } else if (cmd == "detect") {
+    st = CmdDetect(parsed.value(), out);
+  } else if (cmd == "repair") {
+    st = CmdRepair(parsed.value(), out);
+  } else if (cmd == "mine") {
+    st = CmdMine(parsed.value(), out);
+  } else {
+    *out = "unknown command: " + cmd + "\n" + kUsage;
+    return 2;
+  }
+  if (!st.ok()) {
+    *out += st.ToString() + "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace grepair

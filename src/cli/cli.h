@@ -1,0 +1,25 @@
+// The grepair command-line tool, as a testable library function.
+//
+//   grepair gen <kg|social|citation> --out g.tsv [--scale N] [--rate R]
+//           [--seed S] [--rules-out r.grr]
+//   grepair stats  <graph.tsv>
+//   grepair check  <rules.grr>
+//   grepair detect <graph.tsv> <rules.grr>
+//   grepair repair <graph.tsv> <rules.grr> [--strategy greedy|naive|batch|
+//           exact] [--out repaired.tsv]
+//   grepair mine   <graph.tsv> [--min-support X]
+#ifndef GREPAIR_CLI_CLI_H_
+#define GREPAIR_CLI_CLI_H_
+
+#include <string>
+#include <vector>
+
+namespace grepair {
+
+/// Runs one CLI invocation; `args` excludes the program name. Output goes
+/// to `out` (stdout text). Returns the process exit code (0 = success).
+int RunCli(const std::vector<std::string>& args, std::string* out);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_CLI_CLI_H_

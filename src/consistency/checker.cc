@@ -1,0 +1,34 @@
+#include "consistency/checker.h"
+
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace grepair {
+
+ConsistencyReport CheckConsistency(const RuleSet& rules,
+                                   const Vocabulary& vocab) {
+  Timer t;
+  ConsistencyReport rep;
+  TriggerGraph tg = TriggerGraph::Build(rules, vocab);
+  rep.num_trigger_edges = tg.triggers().size();
+  rep.num_contradictions = tg.contradictions().size();
+  rep.creation_cycle = tg.HasCreationCycle();
+  rep.relabel_cycle = tg.HasRelabelCycle();
+
+  if (rep.creation_cycle) {
+    std::string names = "creation cycle among ADD_NODE rules:";
+    for (RuleId r : tg.CreationCycle()) names += " " + rules[r].name();
+    rep.issues.push_back(names);
+  }
+  if (rep.relabel_cycle)
+    rep.issues.push_back("relabeling rules form a label cycle");
+  for (const auto& c : tg.contradictions())
+    rep.issues.push_back(StrFormat("contradiction: %s", c.reason.c_str()));
+
+  rep.statically_consistent = !rep.creation_cycle && !rep.relabel_cycle &&
+                              rep.num_contradictions == 0;
+  rep.analysis_ms = t.ElapsedMs();
+  return rep;
+}
+
+}  // namespace grepair

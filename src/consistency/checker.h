@@ -1,0 +1,36 @@
+// Rule-set consistency checking. Exact consistency (every graph reaches a
+// violation-free fixpoint, regardless of application order) is intractable,
+// so the checker layers (a) a conservative static analysis — sufficient
+// conditions for termination — over (b) a Monte-Carlo simulator that hunts
+// for concrete non-termination / divergence witnesses (see simulator.h).
+#ifndef GREPAIR_CONSISTENCY_CHECKER_H_
+#define GREPAIR_CONSISTENCY_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "consistency/trigger_graph.h"
+#include "grr/rule.h"
+
+namespace grepair {
+
+/// Static analysis verdict for one rule set.
+struct ConsistencyReport {
+  /// True when the sufficient conditions hold: no creation cycle among
+  /// ADD_NODE rules, no relabel cycle, no add/delete contradiction pair.
+  bool statically_consistent = false;
+  bool creation_cycle = false;
+  bool relabel_cycle = false;
+  size_t num_trigger_edges = 0;
+  size_t num_contradictions = 0;
+  std::vector<std::string> issues;  ///< human-readable findings
+  double analysis_ms = 0.0;
+};
+
+/// Runs the static analysis.
+ConsistencyReport CheckConsistency(const RuleSet& rules,
+                                   const Vocabulary& vocab);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_CONSISTENCY_CHECKER_H_

@@ -1,0 +1,160 @@
+#include "consistency/simulator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "repair/engine.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace grepair {
+namespace {
+
+// Labels/attributes/values mentioned anywhere in the rule set.
+struct RuleAlphabet {
+  std::vector<SymbolId> node_labels;
+  std::vector<SymbolId> edge_labels;
+  std::vector<std::pair<SymbolId, std::vector<SymbolId>>> attrs;  // attr->values
+};
+
+RuleAlphabet CollectAlphabet(const RuleSet& rules, Vocabulary* vocab) {
+  std::set<SymbolId> nl, el;
+  std::set<SymbolId> attr_ids;
+  std::set<SymbolId> value_ids;
+  for (const auto& r : rules.rules()) {
+    const Pattern& p = r.pattern();
+    for (const auto& n : p.nodes())
+      if (n.label) nl.insert(n.label);
+    for (const auto& e : p.edges())
+      if (e.label) el.insert(e.label);
+    for (const auto& nac : p.nacs())
+      if (nac.label) el.insert(nac.label);
+    for (const auto& pred : p.predicates()) {
+      if (pred.lhs.var != kNoVar) attr_ids.insert(pred.lhs.attr);
+      if (pred.rhs.var != kNoVar) attr_ids.insert(pred.rhs.attr);
+      if (pred.lhs.var == kNoVar && pred.lhs.constant)
+        value_ids.insert(pred.lhs.constant);
+      if (pred.rhs.var == kNoVar && pred.rhs.constant)
+        value_ids.insert(pred.rhs.constant);
+    }
+    const RepairAction& a = r.action();
+    if (a.label) {
+      // could be node or edge label depending on kind; harmless to add both
+      if (a.kind == ActionKind::kUpdNode)
+        nl.insert(a.label);
+      else
+        el.insert(a.label);
+    }
+    if (a.node_label) nl.insert(a.node_label);
+    if (a.attr) {
+      attr_ids.insert(a.attr);
+      if (a.value) value_ids.insert(a.value);
+    }
+  }
+  RuleAlphabet out;
+  out.node_labels.assign(nl.begin(), nl.end());
+  out.edge_labels.assign(el.begin(), el.end());
+  // A couple of synthetic values so equality predicates can both hit & miss.
+  std::vector<SymbolId> values(value_ids.begin(), value_ids.end());
+  values.push_back(vocab->Value("simv1"));
+  values.push_back(vocab->Value("simv2"));
+  values.push_back(vocab->Value("simv3"));
+  for (SymbolId a : attr_ids) out.attrs.push_back({a, values});
+  if (out.node_labels.empty()) out.node_labels.push_back(vocab->Label("N"));
+  if (out.edge_labels.empty()) out.edge_labels.push_back(vocab->Label("e"));
+  return out;
+}
+
+Graph RandomGraph(VocabularyPtr vocab, const RuleAlphabet& alpha,
+                  const SimOptions& opt, uint64_t seed) {
+  Graph g(vocab);
+  Rng rng(seed);
+  std::vector<NodeId> nodes;
+  for (size_t i = 0; i < opt.nodes_per_trial; ++i) {
+    SymbolId l = alpha.node_labels[rng.PickIndex(alpha.node_labels)];
+    NodeId n = g.AddNode(l);
+    for (const auto& [attr, values] : alpha.attrs) {
+      if (rng.NextBernoulli(0.7))
+        g.SetNodeAttr(n, attr, values[rng.PickIndex(values)]);
+    }
+    nodes.push_back(n);
+  }
+  for (size_t i = 0; i < opt.edges_per_trial; ++i) {
+    NodeId a = nodes[rng.PickIndex(nodes)];
+    NodeId b = nodes[rng.PickIndex(nodes)];
+    SymbolId l = alpha.edge_labels[rng.PickIndex(alpha.edge_labels)];
+    if (!g.HasEdge(a, b, l)) {
+      auto r = g.AddEdge(a, b, l);
+      (void)r;
+    }
+  }
+  g.ResetJournal();
+  return g;
+}
+
+}  // namespace
+
+SimulationReport SimulateRuleSet(const RuleSet& rules, VocabularyPtr vocab,
+                                 const SimOptions& opt) {
+  Timer t;
+  SimulationReport rep;
+  RuleAlphabet alpha = CollectAlphabet(rules, vocab.get());
+
+  for (size_t trial = 0; trial < opt.trials; ++trial) {
+    rep.trials++;
+    Graph base = RandomGraph(vocab, alpha, opt, opt.seed + trial * 7919);
+
+    struct RunOutcome {
+      bool ok = false;
+      bool nonterm = false;
+      uint64_t fingerprint = 0;
+    };
+    auto run = [&](uint64_t order_seed) -> RunOutcome {
+      Graph work = base.Clone();
+      RepairOptions ro;
+      ro.strategy = RepairStrategy::kNaive;  // order-sensitive on purpose
+      ro.seed = order_seed;
+      ro.max_fixes = opt.max_fixes;
+      ro.max_rounds = opt.max_fixes;
+      ro.detect_oscillation = true;
+      RepairEngine engine(ro);
+      auto rr = engine.Run(&work, rules);
+      RunOutcome out;
+      if (!rr.ok()) return out;
+      out.ok = true;
+      out.nonterm =
+          rr.value().budget_exhausted || rr.value().oscillation_detected;
+      out.fingerprint = work.Fingerprint();
+      return out;
+    };
+
+    RunOutcome r1 = run(1);
+    RunOutcome r2 = run(42);
+    if (!r1.ok || !r2.ok) continue;
+
+    if (r1.nonterm || r2.nonterm) {
+      rep.nonterminating++;
+      if (!rep.witness_found) {
+        rep.witness_found = true;
+        rep.witness = StrFormat(
+            "trial %zu: repair did not terminate within %zu fixes",
+            trial, opt.max_fixes);
+      }
+      continue;
+    }
+    if (r1.fingerprint != r2.fingerprint) {
+      rep.divergent++;
+      if (!rep.witness_found) {
+        rep.witness_found = true;
+        rep.witness = StrFormat(
+            "trial %zu: two application orders produced different graphs",
+            trial);
+      }
+    }
+  }
+  rep.elapsed_ms = t.ElapsedMs();
+  return rep;
+}
+
+}  // namespace grepair

@@ -1,0 +1,348 @@
+#include "consistency/trigger_graph.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace grepair {
+namespace {
+
+// Whether an edge effect concerns self-loops, non-loops, or possibly both.
+enum class LoopKind : uint8_t { kLoop, kNonLoop, kAny };
+
+bool LoopCompatible(LoopKind a, LoopKind b) {
+  if (a == LoopKind::kAny || b == LoopKind::kAny) return true;
+  return a == b;
+}
+
+struct EdgeEffect {
+  SymbolId label;  // 0 = any
+  LoopKind loop;
+};
+
+// What an action can create / delete, at the label level. Label 0 stands
+// for "any label" (wildcards and merges are conservatively 'any').
+struct Effects {
+  std::vector<SymbolId> creates_node_labels;
+  std::vector<EdgeEffect> creates_edges;
+  std::vector<SymbolId> deletes_node_labels;
+  std::vector<EdgeEffect> deletes_edges;
+};
+
+// An injective pattern edge between DISTINCT vars can only bind non-loop
+// edges; a same-var pattern edge only self-loops.
+LoopKind PatternEdgeLoopKind(const PatternEdge& e) {
+  return e.src == e.dst ? LoopKind::kLoop : LoopKind::kNonLoop;
+}
+
+Effects ActionEffects(const Rule& r) {
+  Effects fx;
+  const RepairAction& a = r.action();
+  const Pattern& p = r.pattern();
+  switch (a.kind) {
+    case ActionKind::kAddEdge:
+      fx.creates_edges.push_back(
+          {a.label, a.var == a.var2 ? LoopKind::kLoop : LoopKind::kNonLoop});
+      break;
+    case ActionKind::kAddNode:
+      fx.creates_node_labels.push_back(a.node_label);
+      // The fresh node is distinct from the anchor: never a self-loop.
+      fx.creates_edges.push_back({a.label, LoopKind::kNonLoop});
+      break;
+    case ActionKind::kDelEdge:
+      fx.deletes_edges.push_back({p.edges()[a.edge_idx].label,
+                                  PatternEdgeLoopKind(p.edges()[a.edge_idx])});
+      break;
+    case ActionKind::kDelNode: {
+      fx.deletes_node_labels.push_back(p.nodes()[a.var].label);
+      // Node removal cascades incident edges — unless the pattern proves
+      // the node is isolated (junk-node cleanup rules).
+      bool isolated = false;
+      for (const auto& nac : p.nacs())
+        if (nac.kind == NacKind::kNoIncident && nac.src_var == a.var)
+          isolated = true;
+      if (!isolated) fx.deletes_edges.push_back({0, LoopKind::kAny});
+      break;
+    }
+    case ActionKind::kUpdNode:
+      if (a.label != 0) {
+        fx.creates_node_labels.push_back(a.label);
+        fx.deletes_node_labels.push_back(p.nodes()[a.var].label);
+      }
+      // Attribute updates can enable/disable predicates of other rules;
+      // modeled as creating the node label (conservative re-match trigger).
+      if (a.attr != 0) fx.creates_node_labels.push_back(p.nodes()[a.var].label);
+      break;
+    case ActionKind::kUpdEdge:
+      fx.creates_edges.push_back({a.label,
+                                  PatternEdgeLoopKind(p.edges()[a.edge_idx])});
+      fx.deletes_edges.push_back({p.edges()[a.edge_idx].label,
+                                  PatternEdgeLoopKind(p.edges()[a.edge_idx])});
+      break;
+    case ActionKind::kMerge:
+      // Merging re-homes edges: conservatively it can create an edge of any
+      // label, and deletes one node of the merged label.
+      fx.creates_edges.push_back({0, LoopKind::kAny});
+      fx.deletes_node_labels.push_back(p.nodes()[a.var].label);
+      break;
+  }
+  return fx;
+}
+
+bool LabelOverlap(SymbolId a, SymbolId b) {
+  return a == 0 || b == 0 || a == b;
+}
+
+// Does the rule's positive pattern mention this node/edge label?
+bool PatternUsesNodeLabel(const Pattern& p, SymbolId label) {
+  for (const auto& n : p.nodes())
+    if (LabelOverlap(n.label, label)) return true;
+  return false;
+}
+
+bool PatternUsesEdgeLabel(const Pattern& p, SymbolId label) {
+  for (const auto& e : p.edges())
+    if (LabelOverlap(e.label, label)) return true;
+  return false;
+}
+
+// Can applying `deleter` enable `nac` (a NAC of an ADD rule) by deleting an
+// edge shaped like `created` (the edge the ADD rule creates)? Refinements
+// that keep the analysis conservative but kill the common false positives:
+//  - the deleted pattern edge must overlap the created edge in label and
+//    loop-shape (a self-loop deleter never removes a non-loop addition);
+//  - if the deleter's own pattern GUARANTEES a surviving sibling edge that
+//    keeps the NAC false (e.g. "two capitals, delete one" always leaves a
+//    capital), the deletion cannot enable the NAC;
+//  - MERGE strictly decreases the node count, so an (add, merge) pair
+//    cannot oscillate forever and is not reported.
+bool DeletionCanEnableNac(const Rule& deleter, const Nac& nac,
+                          const EdgeEffect& created) {
+  const RepairAction& a = deleter.action();
+  const Pattern& p = deleter.pattern();
+  switch (a.kind) {
+    case ActionKind::kDelEdge:
+    case ActionKind::kUpdEdge: {
+      const PatternEdge& d = p.edges()[a.edge_idx];
+      if (!LabelOverlap(d.label, created.label)) return false;
+      if (!LoopCompatible(PatternEdgeLoopKind(d), created.loop)) return false;
+      // Sibling survival: another pattern edge whose image is guaranteed to
+      // keep the NAC blocked after the deletion.
+      for (size_t k = 0; k < p.edges().size(); ++k) {
+        if (k == a.edge_idx) continue;
+        const PatternEdge& e = p.edges()[k];
+        // The sibling only guarantees blockage if its label is concrete and
+        // the NAC forbids that label (or any label).
+        if (e.label == 0) continue;
+        if (nac.label != 0 && e.label != nac.label) continue;
+        bool same_src = e.src == d.src, same_dst = e.dst == d.dst;
+        switch (nac.kind) {
+          case NacKind::kNoInEdge:
+            if (same_dst) return false;
+            break;
+          case NacKind::kNoOutEdge:
+            if (same_src) return false;
+            break;
+          case NacKind::kNoEdge:
+            if (same_src && same_dst) return false;
+            break;
+          case NacKind::kNoIncident:
+            if (same_src || same_dst || e.src == d.dst || e.dst == d.src)
+              return false;
+            break;
+        }
+      }
+      return true;
+    }
+    case ActionKind::kDelNode: {
+      // Cascaded incident-edge deletion: conservative, unless the pattern
+      // proves the node isolated.
+      for (const auto& n : p.nacs())
+        if (n.kind == NacKind::kNoIncident && n.src_var == a.var)
+          return false;
+      return true;
+    }
+    case ActionKind::kMerge:
+    case ActionKind::kAddEdge:
+    case ActionKind::kAddNode:
+    case ActionKind::kUpdNode:
+      return false;
+  }
+  return false;
+}
+
+// Does the rule have a NAC that a deletion with this label could enable?
+bool NacBlockableByEdgeLabel(const Pattern& p, SymbolId label) {
+  for (const auto& nac : p.nacs()) {
+    switch (nac.kind) {
+      case NacKind::kNoEdge:
+      case NacKind::kNoOutEdge:
+      case NacKind::kNoInEdge:
+        if (LabelOverlap(nac.label, label)) return true;
+        break;
+      case NacKind::kNoIncident:
+        return true;  // any edge deletion can empty a neighborhood
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+TriggerGraph TriggerGraph::Build(const RuleSet& rules,
+                                 const Vocabulary& vocab) {
+  (void)vocab;
+  TriggerGraph tg;
+  tg.n_ = rules.size();
+  tg.is_creator_.assign(rules.size(), false);
+
+  std::vector<Effects> fx;
+  fx.reserve(rules.size());
+  for (const auto& r : rules.rules()) fx.push_back(ActionEffects(r));
+
+  for (RuleId i = 0; i < rules.size(); ++i) {
+    const Rule& ri = rules[i];
+    tg.is_creator_[i] = ri.action().kind == ActionKind::kAddNode;
+    if (ri.action().kind == ActionKind::kUpdNode && ri.action().label != 0)
+      tg.node_relabels_.push_back(
+          {ri.pattern().nodes()[ri.action().var].label, ri.action().label});
+    if (ri.action().kind == ActionKind::kUpdEdge)
+      tg.edge_relabels_.push_back(
+          {ri.pattern().edges()[ri.action().edge_idx].label,
+           ri.action().label});
+
+    for (RuleId j = 0; j < rules.size(); ++j) {
+      const Rule& rj = rules[j];
+      // i triggers j: i creates something j's positive pattern uses, or i
+      // deletes something a NAC of j forbids.
+      bool trig = false;
+      std::string reason;
+      for (SymbolId l : fx[i].creates_node_labels) {
+        if (PatternUsesNodeLabel(rj.pattern(), l)) {
+          trig = true;
+          reason = "creates node label used by pattern";
+          break;
+        }
+      }
+      if (!trig) {
+        for (const EdgeEffect& ef : fx[i].creates_edges) {
+          if (PatternUsesEdgeLabel(rj.pattern(), ef.label)) {
+            trig = true;
+            reason = "creates edge label used by pattern";
+            break;
+          }
+        }
+      }
+      if (!trig) {
+        for (const EdgeEffect& ef : fx[i].deletes_edges) {
+          if (NacBlockableByEdgeLabel(rj.pattern(), ef.label)) {
+            trig = true;
+            reason = "deletes edge label that can enable a NAC";
+            break;
+          }
+        }
+      }
+      if (trig) tg.triggers_.push_back({i, j, reason});
+
+      // Contradiction: i adds an edge that j can delete in a way that
+      // re-enables one of i's NACs — the oscillation signature.
+      bool contradiction = false;
+      for (const EdgeEffect& ci : fx[i].creates_edges) {
+        for (const Nac& nac : ri.pattern().nacs()) {
+          if (nac.kind == NacKind::kNoIncident) {
+            // blockable by any edge; fall through to the deleter check
+          } else if (nac.label != 0 && ci.label != 0 &&
+                     nac.label != ci.label) {
+            continue;  // deleting i's edge can't touch this NAC
+          }
+          if (DeletionCanEnableNac(rj, nac, ci)) {
+            contradiction = true;
+            break;
+          }
+        }
+        if (contradiction) break;
+      }
+      if (contradiction) {
+        tg.contradictions_.push_back(
+            {i, j,
+             StrFormat("rule %s adds an edge that rule %s deletes",
+                       ri.name().c_str(), rj.name().c_str())});
+      }
+    }
+  }
+  return tg;
+}
+
+std::vector<RuleId> TriggerGraph::CreationCycle() const {
+  // Restrict the trigger graph to creator (ADD_NODE) rules and find a cycle
+  // with a colored DFS.
+  std::vector<std::vector<RuleId>> adj(n_);
+  for (const auto& t : triggers_)
+    if (is_creator_[t.from] && is_creator_[t.to])
+      adj[t.from].push_back(t.to);
+
+  std::vector<int> color(n_, 0);  // 0=white 1=gray 2=black
+  std::vector<RuleId> stack;
+  std::vector<RuleId> cycle;
+
+  std::function<bool(RuleId)> dfs = [&](RuleId u) -> bool {
+    color[u] = 1;
+    stack.push_back(u);
+    for (RuleId v : adj[u]) {
+      if (color[v] == 1) {
+        // found a cycle: extract it from the stack
+        auto it = std::find(stack.begin(), stack.end(), v);
+        cycle.assign(it, stack.end());
+        return true;
+      }
+      if (color[v] == 0 && dfs(v)) return true;
+    }
+    color[u] = 2;
+    stack.pop_back();
+    return false;
+  };
+  for (RuleId r = 0; r < n_; ++r)
+    if (is_creator_[r] && color[r] == 0 && dfs(r)) return cycle;
+  return {};
+}
+
+bool TriggerGraph::HasCreationCycle() const { return !CreationCycle().empty(); }
+
+bool TriggerGraph::HasRelabelCycle() const {
+  // Node-relabel label graph: an edge old->new per UPD_NODE LABEL rule
+  // (old==0 means wildcard source: conservatively cyclic if any other
+  // relabel exists targeting anything).
+  auto has_cycle = [](const std::vector<std::pair<SymbolId, SymbolId>>& rel) {
+    std::map<SymbolId, std::set<SymbolId>> adj;
+    std::set<SymbolId> labels;
+    for (const auto& [from, to] : rel) {
+      adj[from].insert(to);
+      labels.insert(from);
+      labels.insert(to);
+    }
+    // wildcard source: treat as edge from EVERY label.
+    if (adj.count(0)) {
+      for (SymbolId l : labels)
+        if (l != 0)
+          for (SymbolId t : adj[0]) adj[l].insert(t);
+    }
+    std::map<SymbolId, int> color;
+    std::function<bool(SymbolId)> dfs = [&](SymbolId u) -> bool {
+      color[u] = 1;
+      for (SymbolId v : adj[u]) {
+        if (color[v] == 1) return true;
+        if (color[v] == 0 && dfs(v)) return true;
+      }
+      color[u] = 2;
+      return false;
+    };
+    for (SymbolId l : labels)
+      if (color[l] == 0 && dfs(l)) return true;
+    return false;
+  };
+  return has_cycle(node_relabels_) || has_cycle(edge_relabels_);
+}
+
+}  // namespace grepair

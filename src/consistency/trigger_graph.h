@@ -1,0 +1,65 @@
+// Static rule-interaction analysis at the label level: which rule's action
+// can create matches of (trigger) another rule, and which pairs directly
+// contradict (one inserts what the other deletes). Deciding exact rule-set
+// consistency is intractable (it embeds satisfiability of pattern overlap),
+// so this is a conservative approximation: it never misses a real trigger /
+// contradiction, but may report spurious ones.
+#ifndef GREPAIR_CONSISTENCY_TRIGGER_GRAPH_H_
+#define GREPAIR_CONSISTENCY_TRIGGER_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "grr/rule.h"
+
+namespace grepair {
+
+/// A directed trigger edge: applying `from` can enable a new match of `to`.
+struct TriggerEdge {
+  RuleId from;
+  RuleId to;
+  std::string reason;
+};
+
+/// A contradiction: `adder` can create exactly what `deleter` removes (the
+/// deletion then re-enables the adder's NAC — an oscillation candidate).
+struct ContradictionPair {
+  RuleId adder;
+  RuleId deleter;
+  std::string reason;
+};
+
+/// The analysis result over one rule set.
+class TriggerGraph {
+ public:
+  /// Builds the conservative label-level analysis.
+  static TriggerGraph Build(const RuleSet& rules, const Vocabulary& vocab);
+
+  const std::vector<TriggerEdge>& triggers() const { return triggers_; }
+  const std::vector<ContradictionPair>& contradictions() const {
+    return contradictions_;
+  }
+
+  /// True when the growth-capable rules (ADD_NODE) lie on a trigger cycle:
+  /// the repair process can create nodes that re-trigger creation forever.
+  bool HasCreationCycle() const;
+  /// The rule ids on some creation cycle (empty when none).
+  std::vector<RuleId> CreationCycle() const;
+
+  /// True when node-relabeling rules form a label cycle (A->B, B->A).
+  bool HasRelabelCycle() const;
+
+  size_t num_rules() const { return n_; }
+
+ private:
+  size_t n_ = 0;
+  std::vector<TriggerEdge> triggers_;
+  std::vector<ContradictionPair> contradictions_;
+  std::vector<std::pair<SymbolId, SymbolId>> node_relabels_;
+  std::vector<std::pair<SymbolId, SymbolId>> edge_relabels_;
+  std::vector<bool> is_creator_;  // per rule: ADD_NODE action
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_CONSISTENCY_TRIGGER_GRAPH_H_

@@ -1,0 +1,57 @@
+// Experiment orchestration shared by the benchmarks and examples: build a
+// dataset bundle (clean graph -> inject errors -> rules -> ground truth),
+// run a named method on a fresh clone, evaluate quality.
+#ifndef GREPAIR_EVAL_EXPERIMENT_H_
+#define GREPAIR_EVAL_EXPERIMENT_H_
+
+#include <string>
+
+#include "graph/error_injector.h"
+#include "grr/rule.h"
+#include "eval/metrics.h"
+#include "repair/engine.h"
+
+namespace grepair {
+
+/// A ready-to-repair workload: the corrupted graph, its rules, and the
+/// injected ground truth.
+struct DatasetBundle {
+  std::string name;
+  VocabularyPtr vocab;
+  Graph graph;          ///< corrupted; journal reset at the corrupted state
+  RuleSet rules;
+  InjectReport truth;
+  size_t clean_nodes = 0;  ///< pre-injection statistics, for tables
+  size_t clean_edges = 0;
+
+  DatasetBundle() : vocab(MakeVocabulary()), graph(vocab) {}
+};
+
+/// Bundle builders for the three shipped domains.
+Result<DatasetBundle> MakeKgBundle(const KgOptions& gopt,
+                                   const InjectOptions& iopt);
+Result<DatasetBundle> MakeSocialBundle(const SocialOptions& gopt,
+                                       const InjectOptions& iopt);
+Result<DatasetBundle> MakeCitationBundle(const CitationOptions& gopt,
+                                         const InjectOptions& iopt);
+
+/// The outcome of running one method on one bundle.
+struct MethodOutcome {
+  std::string method;
+  RepairResult repair;
+  QualityMetrics quality;
+};
+
+/// Known method names: "detect_only", "naive", "greedy", "batch", "exact",
+/// "cfd". The method runs on a CLONE of bundle.graph; the bundle can be
+/// reused across methods.
+Result<MethodOutcome> RunMethod(const DatasetBundle& bundle,
+                                const std::string& method,
+                                const RepairOptions& base_options = {});
+
+/// All standard method names, in presentation order.
+const std::vector<std::string>& StandardMethods();
+
+}  // namespace grepair
+
+#endif  // GREPAIR_EVAL_EXPERIMENT_H_

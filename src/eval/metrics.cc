@@ -1,0 +1,96 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace grepair {
+namespace {
+
+// Does this applied fix realize this expected fact?
+bool FixRealizesFact(const Graph& repaired, const AppliedFix& f,
+                     const ExpectedFact& fact) {
+  switch (fact.kind) {
+    case FactKind::kEdgeAdded:
+      // Realized by adding the edge, or by relabeling an edge into it.
+      return (f.kind == ActionKind::kAddEdge ||
+              f.kind == ActionKind::kUpdEdge) &&
+             f.node_a == fact.a && f.node_b == fact.b &&
+             f.label == fact.label;
+    case FactKind::kEdgeRemoved:
+      return f.kind == ActionKind::kDelEdge && f.node_a == fact.a &&
+             f.node_b == fact.b && f.label == fact.label;
+    case FactKind::kNodesMerged: {
+      if (f.kind != ActionKind::kMerge) return false;
+      NodeId lo = std::min(fact.a, fact.b), hi = std::max(fact.a, fact.b);
+      return f.node_a == lo && f.node_b == hi;
+    }
+    case FactKind::kNodeRelabeled:
+      return f.kind == ActionKind::kUpdNode && f.node_a == fact.a &&
+             f.label == fact.label;
+    case FactKind::kAttrSet:
+      return f.kind == ActionKind::kUpdNode && f.node_a == fact.a &&
+             f.attr == fact.attr && f.value == fact.value;
+    case FactKind::kNodeAddedWithEdge:
+      return f.kind == ActionKind::kAddNode && f.node_a == fact.a &&
+             f.label == fact.edge_label && f.new_node != kInvalidNode &&
+             f.new_node < repaired.NodeIdBound() &&
+             repaired.NodeLabel(f.new_node) == fact.label;
+    case FactKind::kNodeDeleted:
+      return f.kind == ActionKind::kDelNode && f.node_a == fact.a;
+  }
+  return false;
+}
+
+bool FixIsConsequential(const AppliedFix& f, NodeId bound) {
+  auto created = [bound](NodeId n) {
+    return n != kInvalidNode && n >= bound;
+  };
+  return created(f.node_a) || created(f.node_b);
+}
+
+}  // namespace
+
+QualityMetrics EvaluateRepair(const Graph& repaired,
+                              const std::vector<AppliedFix>& applied,
+                              const InjectReport& truth,
+                              NodeId repair_node_bound) {
+  QualityMetrics m;
+  m.expected_facts = truth.errors.size();
+
+  std::vector<bool> fix_correct(applied.size(), false);
+  std::vector<bool> fix_consequential(applied.size(), false);
+  for (size_t i = 0; i < applied.size(); ++i)
+    fix_consequential[i] = FixIsConsequential(applied[i], repair_node_bound);
+
+  for (const InjectedError& err : truth.errors) {
+    bool matched = false;
+    for (size_t i = 0; i < applied.size(); ++i) {
+      if (FixRealizesFact(repaired, applied[i], err.fact)) {
+        matched = true;
+        fix_correct[i] = true;
+      }
+    }
+    if (matched) ++m.matched_facts;
+  }
+
+  for (size_t i = 0; i < applied.size(); ++i) {
+    if (fix_consequential[i] && !fix_correct[i]) {
+      ++m.consequential_fixes;
+      continue;
+    }
+    ++m.countable_fixes;
+    if (fix_correct[i]) ++m.correct_fixes;
+  }
+
+  m.precision = m.countable_fixes
+                    ? double(m.correct_fixes) / double(m.countable_fixes)
+                    : (m.expected_facts == 0 ? 1.0 : 0.0);
+  m.recall = m.expected_facts
+                 ? double(m.matched_facts) / double(m.expected_facts)
+                 : 1.0;
+  m.f1 = (m.precision + m.recall) > 0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+}  // namespace grepair

@@ -1,0 +1,44 @@
+// Repair-quality metrics: compare the fixes a method applied against the
+// injected ground truth, at the fix level (precision / recall / F1), plus
+// violation elimination and repair distance.
+#ifndef GREPAIR_EVAL_METRICS_H_
+#define GREPAIR_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "graph/error_injector.h"
+#include "repair/fix.h"
+
+namespace grepair {
+
+struct QualityMetrics {
+  size_t expected_facts = 0;    ///< injected errors
+  size_t matched_facts = 0;     ///< errors whose expected repair happened
+  size_t countable_fixes = 0;   ///< applied fixes attributable to the input
+  size_t correct_fixes = 0;     ///< countable fixes matching some fact
+  size_t consequential_fixes = 0;  ///< fixes on repair-created elements
+  double precision = 0.0;       ///< correct / countable
+  double recall = 0.0;          ///< matched / expected
+  double f1 = 0.0;
+};
+
+/// Evaluates `applied` against `truth`.
+///
+/// - A fact is MATCHED when some applied fix realizes it (see the per-kind
+///   matching rules in the implementation).
+/// - A fix is CORRECT when it realizes at least one fact.
+/// - Fixes that touch nodes created during repair (id >= `repair_node_bound`,
+///   the corrupted graph's node-id bound) are *consequential* — cascading
+///   repairs on elements the engine itself created — and are excluded from
+///   the precision denominator.
+///
+/// `repaired` is the post-repair graph (used for existence checks of
+/// ADD_NODE facts).
+QualityMetrics EvaluateRepair(const Graph& repaired,
+                              const std::vector<AppliedFix>& applied,
+                              const InjectReport& truth,
+                              NodeId repair_node_bound);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_EVAL_METRICS_H_

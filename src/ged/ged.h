@@ -1,0 +1,37 @@
+// Graph edit distance: the paper's repair-quality measure ("the best repair
+// is the one closest to the input graph"). Exact A* search for small graphs
+// plus a cheap admissible lower bound; the repair engine's journal cost is
+// validated against these in tests and in the repair-distance benchmark.
+#ifndef GREPAIR_GED_GED_H_
+#define GREPAIR_GED_GED_H_
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace grepair {
+
+struct GedOptions {
+  CostModel costs;
+  /// A* open-list expansion budget; exceeded searches report best-effort
+  /// upper bound with `optimal == false`.
+  size_t max_expansions = 2'000'000;
+};
+
+struct GedResult {
+  double distance = 0.0;
+  bool optimal = true;
+  size_t expansions = 0;
+};
+
+/// Exact (A*) edit distance between the alive contents of g1 and g2.
+/// Intended for small graphs (<= ~12 nodes); larger inputs will exhaust the
+/// budget and return an upper bound. Both graphs must share a vocabulary.
+GedResult ExactGed(const Graph& g1, const Graph& g2, const GedOptions& opt);
+
+/// Admissible lower bound: label-multiset difference on nodes plus edge
+/// count/label mismatch. Never exceeds the true distance.
+double GedLowerBound(const Graph& g1, const Graph& g2, const CostModel& costs);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_GED_GED_H_

@@ -1,0 +1,59 @@
+#include "graph/edit_log.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace grepair {
+
+double CostModel::EntryCost(const EditEntry& e) const {
+  switch (e.kind) {
+    case EditKind::kAddNode: return node_insert;
+    case EditKind::kRemoveNode: return node_delete;
+    case EditKind::kAddEdge: return edge_insert;
+    case EditKind::kRemoveEdge: return edge_delete;
+    case EditKind::kSetNodeLabel: return relabel;
+    case EditKind::kSetEdgeLabel: return relabel;
+    case EditKind::kSetNodeAttr: return attr_update;
+    case EditKind::kSetEdgeAttr: return attr_update;
+  }
+  return 0.0;
+}
+
+double JournalCost(const std::vector<EditEntry>& log, size_t from, size_t to,
+                   const CostModel& model) {
+  assert(from <= to && to <= log.size());
+  double total = 0.0;
+  for (size_t i = from; i < to; ++i) total += model.EntryCost(log[i]);
+  return total;
+}
+
+std::string EditEntryToString(const EditEntry& e) {
+  switch (e.kind) {
+    case EditKind::kAddNode:
+      return StrFormat("AddNode(n%u,l%u)", e.node, e.label);
+    case EditKind::kRemoveNode:
+      return StrFormat("RemoveNode(n%u,l%u)", e.node, e.label);
+    case EditKind::kAddEdge:
+      return StrFormat("AddEdge(e%u: n%u-[l%u]->n%u)", e.edge, e.src, e.label,
+                       e.dst);
+    case EditKind::kRemoveEdge:
+      return StrFormat("RemoveEdge(e%u: n%u-[l%u]->n%u)", e.edge, e.src,
+                       e.label, e.dst);
+    case EditKind::kSetNodeLabel:
+      return StrFormat("SetNodeLabel(n%u,l%u->l%u)", e.node, e.old_sym,
+                       e.new_sym);
+    case EditKind::kSetEdgeLabel:
+      return StrFormat("SetEdgeLabel(e%u,l%u->l%u)", e.edge, e.old_sym,
+                       e.new_sym);
+    case EditKind::kSetNodeAttr:
+      return StrFormat("SetNodeAttr(n%u,a%u:v%u->v%u)", e.node, e.attr,
+                       e.old_sym, e.new_sym);
+    case EditKind::kSetEdgeAttr:
+      return StrFormat("SetEdgeAttr(e%u,a%u:v%u->v%u)", e.edge, e.attr,
+                       e.old_sym, e.new_sym);
+  }
+  return "?";
+}
+
+}  // namespace grepair

@@ -1,0 +1,77 @@
+// The edit journal: every primitive graph mutation is recorded so that (a) a
+// repair's cost (graph edit distance from the input) can be accounted
+// exactly, (b) any suffix of mutations can be undone, and (c) the incremental
+// matcher can be fed the delta.
+#ifndef GREPAIR_GRAPH_EDIT_LOG_H_
+#define GREPAIR_GRAPH_EDIT_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/dictionary.h"
+
+namespace grepair {
+
+using NodeId = uint32_t;
+using EdgeId = uint32_t;
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+inline constexpr EdgeId kInvalidEdge = UINT32_MAX;
+
+/// Primitive mutation kinds. MERGE is journaled as the sequence of
+/// primitives it decomposes into (edge moves + node removal).
+enum class EditKind : uint8_t {
+  kAddNode,
+  kRemoveNode,
+  kAddEdge,
+  kRemoveEdge,
+  kSetNodeLabel,
+  kSetEdgeLabel,
+  kSetNodeAttr,
+  kSetEdgeAttr,
+};
+
+/// One journal record. Field use depends on `kind`:
+///  kAddNode/kRemoveNode: node, label (node's label), attrs snapshot on remove
+///  kAddEdge/kRemoveEdge: edge, src, dst, label, attrs snapshot on remove
+///  kSetNodeLabel/kSetEdgeLabel: node/edge, old_sym -> new_sym
+///  kSetNodeAttr/kSetEdgeAttr: node/edge, attr, old_sym -> new_sym (0=absent)
+struct EditEntry {
+  EditKind kind;
+  NodeId node = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  SymbolId label = 0;
+  SymbolId attr = 0;
+  SymbolId old_sym = 0;
+  SymbolId new_sym = 0;
+  /// Attribute snapshot captured when removing an element, for exact undo.
+  std::vector<std::pair<SymbolId, SymbolId>> attr_snapshot;
+};
+
+/// Unit costs of the standard graph-edit operations; repair distance is the
+/// weighted sum of journal entries. Defaults are the uniform GED costs used
+/// throughout the evaluation.
+struct CostModel {
+  double node_insert = 1.0;
+  double node_delete = 1.0;
+  double edge_insert = 1.0;
+  double edge_delete = 1.0;
+  double relabel = 1.0;      ///< node or edge label substitution
+  double attr_update = 1.0;  ///< attribute set/clear
+
+  /// Cost of one journal entry under this model.
+  double EntryCost(const EditEntry& e) const;
+};
+
+/// Computes the total cost of entries [from, to) of a journal.
+double JournalCost(const std::vector<EditEntry>& log, size_t from, size_t to,
+                   const CostModel& model);
+
+/// Debug rendering of a journal entry.
+std::string EditEntryToString(const EditEntry& e);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_GRAPH_EDIT_LOG_H_

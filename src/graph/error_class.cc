@@ -1,0 +1,14 @@
+#include "graph/error_class.h"
+
+namespace grepair {
+
+std::string_view ErrorClassName(ErrorClass c) {
+  switch (c) {
+    case ErrorClass::kIncomplete: return "incomplete";
+    case ErrorClass::kConflict: return "conflict";
+    case ErrorClass::kRedundant: return "redundant";
+  }
+  return "?";
+}
+
+}  // namespace grepair

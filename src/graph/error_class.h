@@ -1,0 +1,21 @@
+// The paper's three semantic classes of graph errors. Shared by the rule
+// model (every GRR is tagged with the class it repairs) and the error
+// injectors (every injected error is tagged with the class it introduces).
+#ifndef GREPAIR_GRAPH_ERROR_CLASS_H_
+#define GREPAIR_GRAPH_ERROR_CLASS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace grepair {
+
+/// Incomplete information (something required is missing), conflicting
+/// information (co-existing facts contradict), redundant information (one
+/// real-world entity/fact represented more than once).
+enum class ErrorClass : uint8_t { kIncomplete, kConflict, kRedundant };
+
+std::string_view ErrorClassName(ErrorClass c);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_GRAPH_ERROR_CLASS_H_

@@ -1,0 +1,445 @@
+#include "graph/error_injector.h"
+
+#include <cassert>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace grepair {
+namespace {
+
+ExpectedFact EdgeAddedFact(NodeId a, SymbolId label, NodeId b) {
+  ExpectedFact f;
+  f.kind = FactKind::kEdgeAdded;
+  f.a = a;
+  f.b = b;
+  f.label = label;
+  return f;
+}
+
+ExpectedFact EdgeRemovedFact(NodeId a, SymbolId label, NodeId b) {
+  ExpectedFact f;
+  f.kind = FactKind::kEdgeRemoved;
+  f.a = a;
+  f.b = b;
+  f.label = label;
+  return f;
+}
+
+ExpectedFact MergedFact(NodeId a, NodeId b) {
+  ExpectedFact f;
+  f.kind = FactKind::kNodesMerged;
+  f.a = a;
+  f.b = b;
+  return f;
+}
+
+ExpectedFact RelabeledFact(NodeId a, SymbolId label) {
+  ExpectedFact f;
+  f.kind = FactKind::kNodeRelabeled;
+  f.a = a;
+  f.label = label;
+  return f;
+}
+
+ExpectedFact AttrSetFact(NodeId a, SymbolId attr, SymbolId value) {
+  ExpectedFact f;
+  f.kind = FactKind::kAttrSet;
+  f.a = a;
+  f.attr = attr;
+  f.value = value;
+  return f;
+}
+
+ExpectedFact NodeAddedFact(NodeId anchor, SymbolId node_label,
+                           SymbolId edge_label, bool new_node_is_src) {
+  ExpectedFact f;
+  f.kind = FactKind::kNodeAddedWithEdge;
+  f.a = anchor;
+  f.label = node_label;
+  f.edge_label = edge_label;
+  f.new_node_is_src = new_node_is_src;
+  return f;
+}
+
+ExpectedFact NodeDeletedFact(NodeId a) {
+  ExpectedFact f;
+  f.kind = FactKind::kNodeDeleted;
+  f.a = a;
+  return f;
+}
+
+// Duplicates `orig` (label + attrs) and copies its adjacency; symmetric
+// relations listed in `symmetric` are copied in both directions so the
+// duplicate does not immediately violate symmetry rules.
+Result<NodeId> CloneNodeWithEdges(Graph* g, NodeId orig, SymbolId conf_attr,
+                                  SymbolId conf_value,
+                                  const std::vector<SymbolId>& symmetric,
+                                  Rng* rng, double edge_keep_prob) {
+  NodeId dup = g->AddNode(g->NodeLabel(orig));
+  for (const auto& [a, v] : g->NodeAttrs(orig).entries())
+    GREPAIR_RETURN_IF_ERROR(g->SetNodeAttr(dup, a, v));
+  auto is_symmetric = [&](SymbolId l) {
+    for (SymbolId sl : symmetric)
+      if (sl == l) return true;
+    return false;
+  };
+  std::vector<EdgeId> out = g->OutEdges(orig);
+  for (EdgeId e : out) {
+    if (!rng->NextBernoulli(edge_keep_prob)) continue;
+    EdgeView v = g->Edge(e);
+    if (v.dst == orig) continue;  // skip self loops
+    auto r = g->AddEdge(dup, v.dst, v.label);
+    if (!r.ok()) return r.status();
+    GREPAIR_RETURN_IF_ERROR(g->SetEdgeAttr(r.value(), conf_attr, conf_value));
+    if (is_symmetric(v.label) && g->HasEdge(v.dst, orig, v.label) &&
+        !g->HasEdge(v.dst, dup, v.label)) {
+      auto r2 = g->AddEdge(v.dst, dup, v.label);
+      if (!r2.ok()) return r2.status();
+      GREPAIR_RETURN_IF_ERROR(
+          g->SetEdgeAttr(r2.value(), conf_attr, conf_value));
+    }
+  }
+  return dup;
+}
+
+}  // namespace
+
+size_t InjectReport::CountClass(ErrorClass c) const {
+  size_t n = 0;
+  for (const auto& e : errors)
+    if (e.cls == c) ++n;
+  return n;
+}
+
+Result<InjectReport> InjectKgErrors(Graph* g, const KgSchema& s,
+                                    const InjectOptions& opt) {
+  InjectReport report;
+  Rng rng(opt.seed);
+  Vocabulary* vocab = g->vocab().get();
+
+  // Snapshot eligible sites BEFORE mutating (injections must not cascade
+  // into each other's site lists).
+  struct SpousePair {
+    NodeId a, b;
+  };
+  std::vector<SpousePair> spouse_pairs;
+  std::vector<SpousePair> knows_pairs;
+  std::vector<NodeId> capitals;           // city with capital_of
+  std::vector<NodeId> countries;
+  std::vector<NodeId> persons;
+  std::vector<NodeId> persons_with_work;  // eligible for relabel conflict
+  for (NodeId n : g->Nodes()) {
+    SymbolId l = g->NodeLabel(n);
+    if (l == s.person) {
+      persons.push_back(n);
+      bool works = false;
+      for (EdgeId e : g->OutEdges(n))
+        if (g->EdgeLabel(e) == s.works_for) works = true;
+      if (works) persons_with_work.push_back(n);
+      for (EdgeId e : g->OutEdges(n)) {
+        EdgeView v = g->Edge(e);
+        if (v.label == s.spouse && n < v.dst)
+          spouse_pairs.push_back({n, v.dst});
+        if (v.label == s.knows && n < v.dst) knows_pairs.push_back({n, v.dst});
+      }
+    } else if (l == s.city) {
+      for (EdgeId e : g->OutEdges(n))
+        if (g->EdgeLabel(e) == s.capital_of) capitals.push_back(n);
+    } else if (l == s.country) {
+      countries.push_back(n);
+    }
+  }
+  std::vector<NodeId> cities(g->NodesWithLabel(s.city).begin(),
+                             g->NodesWithLabel(s.city).end());
+
+  // ---- Incomplete information -----------------------------------------
+  if (opt.incomplete) {
+    // (a) drop one direction of a spouse pair.
+    for (const auto& p : spouse_pairs) {
+      if (!rng.NextBernoulli(opt.rate)) continue;
+      EdgeId e = g->FindEdge(p.b, p.a, s.spouse);
+      if (e == kInvalidEdge) continue;
+      GREPAIR_RETURN_IF_ERROR(g->RemoveEdge(e));
+      report.errors.push_back({ErrorClass::kIncomplete, "spouse_symmetric",
+                               EdgeAddedFact(p.b, s.spouse, p.a)});
+    }
+    // (b) drop one direction of a knows pair.
+    for (const auto& p : knows_pairs) {
+      if (!rng.NextBernoulli(opt.rate)) continue;
+      EdgeId e = g->FindEdge(p.b, p.a, s.knows);
+      if (e == kInvalidEdge) continue;
+      GREPAIR_RETURN_IF_ERROR(g->RemoveEdge(e));
+      report.errors.push_back({ErrorClass::kIncomplete, "knows_symmetric",
+                               EdgeAddedFact(p.b, s.knows, p.a)});
+    }
+    // (c) drop located_in of a capital (capital_of implies located_in).
+    for (NodeId cap : capitals) {
+      if (!rng.NextBernoulli(opt.rate)) continue;
+      EdgeId loc = kInvalidEdge, capof = kInvalidEdge;
+      for (EdgeId e : g->OutEdges(cap)) {
+        if (g->EdgeLabel(e) == s.located_in) loc = e;
+        if (g->EdgeLabel(e) == s.capital_of) capof = e;
+      }
+      if (loc == kInvalidEdge || capof == kInvalidEdge) continue;
+      NodeId country = g->Edge(capof).dst;
+      if (g->Edge(loc).dst != country) continue;
+      GREPAIR_RETURN_IF_ERROR(g->RemoveEdge(loc));
+      report.errors.push_back({ErrorClass::kIncomplete,
+                               "capital_implies_located",
+                               EdgeAddedFact(cap, s.located_in, country)});
+    }
+    // (d) remove an entire capital city: the country then has no capital,
+    // which only ADD_NODE can repair. Use a reduced rate — node removals
+    // are heavier errors.
+    for (NodeId cap : capitals) {
+      if (!rng.NextBernoulli(opt.rate * 0.3)) continue;
+      if (!g->NodeAlive(cap)) continue;
+      EdgeId capof = kInvalidEdge;
+      for (EdgeId e : g->OutEdges(cap))
+        if (g->EdgeLabel(e) == s.capital_of) capof = e;
+      if (capof == kInvalidEdge) continue;
+      NodeId country = g->Edge(capof).dst;
+      GREPAIR_RETURN_IF_ERROR(g->RemoveNode(cap));
+      report.errors.push_back(
+          {ErrorClass::kIncomplete, "country_needs_capital",
+           NodeAddedFact(country, s.city, s.capital_of,
+                         /*new_node_is_src=*/true)});
+    }
+  }
+
+  // ---- Conflicting information ----------------------------------------
+  if (opt.conflict) {
+    // (a) second capital for a country (functional violation). The wrong
+    // edge carries low confidence — the semantic signal a good repair uses.
+    for (NodeId country : countries) {
+      if (!rng.NextBernoulli(opt.rate)) continue;
+      if (!g->NodeAlive(country)) continue;
+      // skip countries whose capital was removed above
+      bool has_capital = false;
+      for (EdgeId e : g->InEdges(country))
+        if (g->EdgeLabel(e) == s.capital_of) has_capital = true;
+      if (!has_capital || cities.empty()) continue;
+      NodeId impostor = cities[rng.PickIndex(cities)];
+      if (!g->NodeAlive(impostor) || g->HasEdge(impostor, country, s.capital_of))
+        continue;
+      auto r = g->AddEdge(impostor, country, s.capital_of);
+      if (!r.ok()) return r.status();
+      GREPAIR_RETURN_IF_ERROR(g->SetEdgeAttr(r.value(), s.conf, s.conf_low));
+      report.errors.push_back(
+          {ErrorClass::kConflict, "one_capital_per_country",
+           EdgeRemovedFact(impostor, s.capital_of, country)});
+    }
+    // (b) second born_in for a person.
+    for (NodeId p : persons) {
+      if (!rng.NextBernoulli(opt.rate)) continue;
+      if (!g->NodeAlive(p) || cities.empty()) continue;
+      NodeId wrong = cities[rng.PickIndex(cities)];
+      if (!g->NodeAlive(wrong) || g->HasEdge(p, wrong, s.born_in)) continue;
+      bool has_born = false;
+      for (EdgeId e : g->OutEdges(p))
+        if (g->EdgeLabel(e) == s.born_in) has_born = true;
+      if (!has_born) continue;
+      auto r = g->AddEdge(p, wrong, s.born_in);
+      if (!r.ok()) return r.status();
+      GREPAIR_RETURN_IF_ERROR(g->SetEdgeAttr(r.value(), s.conf, s.conf_low));
+      report.errors.push_back({ErrorClass::kConflict, "one_birthplace",
+                               EdgeRemovedFact(p, s.born_in, wrong)});
+    }
+    // (c) mislabel a working person as City (type conflict).
+    for (NodeId p : persons_with_work) {
+      if (!rng.NextBernoulli(opt.rate * 0.5)) continue;
+      if (!g->NodeAlive(p) || g->NodeLabel(p) != s.person) continue;
+      GREPAIR_RETURN_IF_ERROR(g->SetNodeLabel(p, s.city));
+      report.errors.push_back({ErrorClass::kConflict, "worker_is_person",
+                               RelabeledFact(p, s.person)});
+    }
+    // (d) clear is_capital on a capital city (attribute conflict).
+    for (NodeId cap : capitals) {
+      if (!rng.NextBernoulli(opt.rate)) continue;
+      if (!g->NodeAlive(cap)) continue;
+      if (g->NodeAttr(cap, s.is_capital) != s.yes) continue;
+      GREPAIR_RETURN_IF_ERROR(g->SetNodeAttr(cap, s.is_capital, 0));
+      report.errors.push_back({ErrorClass::kConflict, "capital_flag",
+                               AttrSetFact(cap, s.is_capital, s.yes)});
+    }
+  }
+
+  // ---- Redundant information ------------------------------------------
+  if (opt.redundant) {
+    // (a) duplicate persons (same name + birth_year → same entity).
+    for (NodeId p : persons) {
+      if (!rng.NextBernoulli(opt.rate * 0.5)) continue;
+      if (!g->NodeAlive(p) || g->NodeLabel(p) != s.person) continue;
+      auto dup = CloneNodeWithEdges(g, p, s.conf, s.conf_low,
+                                    {s.knows, s.spouse}, &rng, 0.5);
+      if (!dup.ok()) return dup.status();
+      report.errors.push_back({ErrorClass::kRedundant, "dup_person",
+                               MergedFact(p, dup.value())});
+    }
+    // (b) junk organizations: isolated, unnamed nodes.
+    size_t junk = static_cast<size_t>(opt.rate * double(persons.size()) * 0.2);
+    for (size_t i = 0; i < junk; ++i) {
+      NodeId j = g->AddNode(s.org);
+      (void)vocab;
+      report.errors.push_back(
+          {ErrorClass::kRedundant, "junk_org", NodeDeletedFact(j)});
+    }
+  }
+
+  g->ResetJournal();
+  return report;
+}
+
+Result<InjectReport> InjectSocialErrors(Graph* g, const SocialSchema& s,
+                                        const InjectOptions& opt) {
+  InjectReport report;
+  Rng rng(opt.seed);
+
+  struct Pair {
+    NodeId a, b;
+  };
+  std::vector<Pair> knows_pairs;
+  std::vector<NodeId> persons;
+  for (NodeId n : g->Nodes()) {
+    if (g->NodeLabel(n) != s.person) continue;
+    persons.push_back(n);
+    for (EdgeId e : g->OutEdges(n)) {
+      EdgeView v = g->Edge(e);
+      if (v.label == s.knows && n < v.dst) knows_pairs.push_back({n, v.dst});
+    }
+  }
+
+  if (opt.incomplete) {
+    for (const auto& p : knows_pairs) {
+      if (!rng.NextBernoulli(opt.rate)) continue;
+      EdgeId e = g->FindEdge(p.b, p.a, s.knows);
+      if (e == kInvalidEdge) continue;
+      GREPAIR_RETURN_IF_ERROR(g->RemoveEdge(e));
+      report.errors.push_back({ErrorClass::kIncomplete, "knows_symmetric",
+                               EdgeAddedFact(p.b, s.knows, p.a)});
+    }
+  }
+  if (opt.conflict) {
+    // Self-friendship loops.
+    for (NodeId p : persons) {
+      if (!rng.NextBernoulli(opt.rate * 0.5)) continue;
+      if (g->HasEdge(p, p, s.knows)) continue;
+      auto r = g->AddEdge(p, p, s.knows);
+      if (!r.ok()) return r.status();
+      GREPAIR_RETURN_IF_ERROR(g->SetEdgeAttr(r.value(), s.conf, s.conf_low));
+      report.errors.push_back({ErrorClass::kConflict, "no_self_knows",
+                               EdgeRemovedFact(p, s.knows, p)});
+    }
+  }
+  if (opt.redundant) {
+    for (NodeId p : persons) {
+      if (!rng.NextBernoulli(opt.rate * 0.3)) continue;
+      if (!g->NodeAlive(p)) continue;
+      auto dup =
+          CloneNodeWithEdges(g, p, s.conf, s.conf_low, {s.knows}, &rng, 0.5);
+      if (!dup.ok()) return dup.status();
+      report.errors.push_back({ErrorClass::kRedundant, "dup_user",
+                               MergedFact(p, dup.value())});
+    }
+    size_t junk = static_cast<size_t>(opt.rate * double(persons.size()) * 0.1);
+    for (size_t i = 0; i < junk; ++i) {
+      NodeId j = g->AddNode(s.person);
+      report.errors.push_back(
+          {ErrorClass::kRedundant, "orphan_user", NodeDeletedFact(j)});
+    }
+  }
+
+  g->ResetJournal();
+  return report;
+}
+
+Result<InjectReport> InjectCitationErrors(Graph* g, const CitationSchema& s,
+                                          const InjectOptions& opt) {
+  InjectReport report;
+  Rng rng(opt.seed);
+  Vocabulary* vocab = g->vocab().get();
+
+  std::vector<NodeId> papers;
+  for (NodeId n : g->Nodes())
+    if (g->NodeLabel(n) == s.paper) papers.push_back(n);
+
+  auto year_of = [&](NodeId p) -> int {
+    SymbolId v = g->NodeAttr(p, s.year);
+    if (v == 0) return -1;
+    double out = 0;
+    if (!ParseDouble(vocab->ValueName(v), &out)) return -1;
+    return static_cast<int>(out);
+  };
+
+  if (opt.conflict) {
+    // (a) time-travel citation: older paper cites newer.
+    for (NodeId p : papers) {
+      if (!rng.NextBernoulli(opt.rate)) continue;
+      NodeId q = papers[rng.PickIndex(papers)];
+      if (p == q) continue;
+      if (year_of(p) >= year_of(q)) continue;  // need p older than q
+      if (g->HasEdge(p, q, s.cites)) continue;
+      auto r = g->AddEdge(p, q, s.cites);
+      if (!r.ok()) return r.status();
+      GREPAIR_RETURN_IF_ERROR(g->SetEdgeAttr(r.value(), s.conf, s.conf_low));
+      report.errors.push_back({ErrorClass::kConflict, "no_future_citation",
+                               EdgeRemovedFact(p, s.cites, q)});
+    }
+    // (b) mislabeled authored_by edge (labeled cites, pointing at an
+    // Author): repaired by UPD_EDGE_LABEL.
+    for (NodeId p : papers) {
+      if (!rng.NextBernoulli(opt.rate * 0.5)) continue;
+      EdgeId victim = kInvalidEdge;
+      for (EdgeId e : g->OutEdges(p))
+        if (g->EdgeLabel(e) == s.authored_by) victim = e;
+      if (victim == kInvalidEdge) continue;
+      // Only mislabel when the paper keeps >= 1 other author; otherwise the
+      // authorless-paper rule would also fire and the expected repair would
+      // be ambiguous.
+      size_t n_auth = 0;
+      for (EdgeId e : g->OutEdges(p))
+        if (g->EdgeLabel(e) == s.authored_by) ++n_auth;
+      if (n_auth < 2) continue;
+      GREPAIR_RETURN_IF_ERROR(g->SetEdgeLabel(victim, s.cites));
+      ExpectedFact f;
+      f.kind = FactKind::kEdgeRemoved;  // placeholder, replaced below
+      // Expected repair: that edge relabeled back to authored_by. We encode
+      // it as an EdgeAdded fact for (p)-[authored_by]->(author): relabeling
+      // produces exactly that adjacency.
+      f = EdgeAddedFact(p, s.authored_by, g->Edge(victim).dst);
+      report.errors.push_back(
+          {ErrorClass::kConflict, "cites_to_author_is_authorship", f});
+    }
+  }
+  if (opt.incomplete) {
+    // Authorless papers: remove ALL authored_by edges of a paper.
+    for (NodeId p : papers) {
+      if (!rng.NextBernoulli(opt.rate * 0.5)) continue;
+      std::vector<EdgeId> auths;
+      for (EdgeId e : g->OutEdges(p))
+        if (g->EdgeLabel(e) == s.authored_by) auths.push_back(e);
+      if (auths.empty()) continue;
+      for (EdgeId e : auths) GREPAIR_RETURN_IF_ERROR(g->RemoveEdge(e));
+      report.errors.push_back(
+          {ErrorClass::kIncomplete, "paper_needs_author",
+           NodeAddedFact(p, s.author, s.authored_by,
+                         /*new_node_is_src=*/false)});
+    }
+  }
+  if (opt.redundant) {
+    for (NodeId p : papers) {
+      if (!rng.NextBernoulli(opt.rate * 0.3)) continue;
+      if (!g->NodeAlive(p)) continue;
+      auto dup = CloneNodeWithEdges(g, p, s.conf, s.conf_low, {}, &rng, 0.6);
+      if (!dup.ok()) return dup.status();
+      report.errors.push_back(
+          {ErrorClass::kRedundant, "dup_paper", MergedFact(p, dup.value())});
+    }
+  }
+
+  g->ResetJournal();
+  return report;
+}
+
+}  // namespace grepair

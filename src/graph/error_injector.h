@@ -1,0 +1,83 @@
+// Error injection with exact ground truth. Each injector corrupts a clean
+// graph with the paper's three error classes — incomplete, conflicting and
+// redundant information — and records, per error, the repair fact a correct
+// engine is expected to produce. The evaluation compares applied fixes
+// against these facts (see eval/metrics.h).
+#ifndef GREPAIR_GRAPH_ERROR_INJECTOR_H_
+#define GREPAIR_GRAPH_ERROR_INJECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/error_class.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace grepair {
+
+/// The repair a correct engine is expected to produce for one injected error.
+enum class FactKind : uint8_t {
+  kEdgeAdded,          ///< edge (a)-[label]->(b) must exist afterwards
+  kEdgeRemoved,        ///< edge (a)-[label]->(b) must be gone afterwards
+  kNodesMerged,        ///< nodes a and b merged (either survivor)
+  kNodeRelabeled,      ///< node a relabeled to `label`
+  kAttrSet,            ///< node a's attr set to value
+  kNodeAddedWithEdge,  ///< a NEW node with `label`, linked to anchor a by an
+                       ///< edge labeled `edge_label` (new node is the source
+                       ///< when `new_node_is_src`)
+  kNodeDeleted,        ///< node a removed
+};
+
+struct ExpectedFact {
+  FactKind kind;
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  SymbolId label = 0;       ///< node label or edge label per kind
+  SymbolId edge_label = 0;  ///< only kNodeAddedWithEdge
+  SymbolId attr = 0;        ///< only kAttrSet
+  SymbolId value = 0;       ///< only kAttrSet
+  bool new_node_is_src = true;
+};
+
+/// One injected error: its class, the rule expected to catch it, and the
+/// expected repair fact.
+struct InjectedError {
+  ErrorClass cls;
+  std::string rule_hint;
+  ExpectedFact fact;
+};
+
+/// Which classes to inject and how aggressively. `rate` is the probability
+/// that any one eligible site is corrupted.
+struct InjectOptions {
+  double rate = 0.05;
+  bool incomplete = true;
+  bool conflict = true;
+  bool redundant = true;
+  uint64_t seed = 1234;
+};
+
+struct InjectReport {
+  std::vector<InjectedError> errors;
+  size_t CountClass(ErrorClass c) const;
+};
+
+/// Corrupts a knowledge graph in place. The graph's journal is reset after
+/// injection so repair cost is measured from the corrupted state.
+Result<InjectReport> InjectKgErrors(Graph* g, const KgSchema& s,
+                                    const InjectOptions& opt);
+
+/// Corrupts a social graph in place (asymmetric knows, self-friendship,
+/// duplicate users, orphan users).
+Result<InjectReport> InjectSocialErrors(Graph* g, const SocialSchema& s,
+                                        const InjectOptions& opt);
+
+/// Corrupts a citation graph in place (time-travel citations, mislabeled
+/// authored_by edges, authorless papers, duplicate papers).
+Result<InjectReport> InjectCitationErrors(Graph* g, const CitationSchema& s,
+                                          const InjectOptions& opt);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_GRAPH_ERROR_INJECTOR_H_

@@ -1,0 +1,256 @@
+#include "graph/generators.h"
+
+#include <cassert>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace grepair {
+namespace {
+
+// Adds e and stamps the default high confidence.
+EdgeId AddConfEdge(Graph* g, NodeId src, NodeId dst, SymbolId label,
+                   SymbolId conf_attr, SymbolId conf_value) {
+  auto r = g->AddEdge(src, dst, label);
+  assert(r.ok());
+  Status st = g->SetEdgeAttr(r.value(), conf_attr, conf_value);
+  assert(st.ok());
+  (void)st;
+  return r.value();
+}
+
+}  // namespace
+
+KgSchema KgSchema::Create(Vocabulary* vocab) {
+  KgSchema s;
+  s.person = vocab->Label("Person");
+  s.city = vocab->Label("City");
+  s.country = vocab->Label("Country");
+  s.org = vocab->Label("Org");
+  s.born_in = vocab->Label("born_in");
+  s.lives_in = vocab->Label("lives_in");
+  s.located_in = vocab->Label("located_in");
+  s.capital_of = vocab->Label("capital_of");
+  s.works_for = vocab->Label("works_for");
+  s.hq_in = vocab->Label("hq_in");
+  s.knows = vocab->Label("knows");
+  s.spouse = vocab->Label("spouse");
+  s.name = vocab->Attr("name");
+  s.birth_year = vocab->Attr("birth_year");
+  s.conf = vocab->Attr("conf");
+  s.is_capital = vocab->Attr("is_capital");
+  s.yes = vocab->Value("yes");
+  s.conf_high = vocab->Value("90");
+  s.conf_low = vocab->Value("30");
+  return s;
+}
+
+Graph GenerateKg(VocabularyPtr vocab, const KgSchema& s, const KgOptions& opt) {
+  Graph g(vocab);
+  Rng rng(opt.seed);
+
+  // Countries.
+  std::vector<NodeId> countries;
+  countries.reserve(opt.num_countries);
+  for (size_t i = 0; i < opt.num_countries; ++i) {
+    NodeId c = g.AddNode(s.country);
+    g.SetNodeAttr(c, s.name, vocab->Value(StrFormat("country%zu", i)));
+    countries.push_back(c);
+  }
+
+  // Cities: the first `num_countries` cities are capitals (one per country).
+  std::vector<NodeId> cities;
+  cities.reserve(opt.num_cities);
+  size_t n_cities = std::max(opt.num_cities, opt.num_countries);
+  for (size_t i = 0; i < n_cities; ++i) {
+    NodeId c = g.AddNode(s.city);
+    g.SetNodeAttr(c, s.name, vocab->Value(StrFormat("city%zu", i)));
+    NodeId country = countries[i < opt.num_countries
+                                   ? i
+                                   : rng.NextBounded(opt.num_countries)];
+    AddConfEdge(&g, c, country, s.located_in, s.conf, s.conf_high);
+    if (i < opt.num_countries) {
+      AddConfEdge(&g, c, country, s.capital_of, s.conf, s.conf_high);
+      g.SetNodeAttr(c, s.is_capital, s.yes);
+    }
+    cities.push_back(c);
+  }
+
+  // Organizations.
+  std::vector<NodeId> orgs;
+  orgs.reserve(opt.num_orgs);
+  for (size_t i = 0; i < opt.num_orgs; ++i) {
+    NodeId o = g.AddNode(s.org);
+    g.SetNodeAttr(o, s.name, vocab->Value(StrFormat("org%zu", i)));
+    NodeId city = cities[rng.NextZipf(cities.size(), opt.zipf_skew)];
+    AddConfEdge(&g, o, city, s.hq_in, s.conf, s.conf_high);
+    orgs.push_back(o);
+  }
+
+  // Persons.
+  std::vector<NodeId> persons;
+  persons.reserve(opt.num_persons);
+  for (size_t i = 0; i < opt.num_persons; ++i) {
+    NodeId p = g.AddNode(s.person);
+    g.SetNodeAttr(p, s.name, vocab->Value(StrFormat("person%zu", i)));
+    g.SetNodeAttr(p, s.birth_year,
+                  vocab->Value(StrFormat("%d", int(1940 + rng.NextBounded(70)))));
+    NodeId born = cities[rng.NextZipf(cities.size(), opt.zipf_skew)];
+    AddConfEdge(&g, p, born, s.born_in, s.conf, s.conf_high);
+    if (rng.NextBernoulli(0.8)) {
+      NodeId lives = cities[rng.NextZipf(cities.size(), opt.zipf_skew)];
+      AddConfEdge(&g, p, lives, s.lives_in, s.conf, s.conf_high);
+    }
+    if (!orgs.empty() && rng.NextBernoulli(0.6)) {
+      NodeId o = orgs[rng.NextZipf(orgs.size(), opt.zipf_skew)];
+      AddConfEdge(&g, p, o, s.works_for, s.conf, s.conf_high);
+    }
+    persons.push_back(p);
+  }
+
+  // Symmetric knows edges.
+  size_t pairs = static_cast<size_t>(opt.avg_knows * opt.num_persons / 2.0);
+  for (size_t i = 0; i < pairs && persons.size() >= 2; ++i) {
+    NodeId a = persons[rng.PickIndex(persons)];
+    NodeId b = persons[rng.PickIndex(persons)];
+    if (a == b || g.HasEdge(a, b, s.knows)) continue;
+    AddConfEdge(&g, a, b, s.knows, s.conf, s.conf_high);
+    AddConfEdge(&g, b, a, s.knows, s.conf, s.conf_high);
+  }
+
+  // Symmetric spouse pairs (each person at most one spouse).
+  std::vector<NodeId> unpaired = persons;
+  rng.Shuffle(&unpaired);
+  size_t spouse_pairs =
+      static_cast<size_t>(opt.spouse_frac * opt.num_persons / 2.0);
+  for (size_t i = 0; i + 1 < unpaired.size() && i / 2 < spouse_pairs; i += 2) {
+    AddConfEdge(&g, unpaired[i], unpaired[i + 1], s.spouse, s.conf,
+                s.conf_high);
+    AddConfEdge(&g, unpaired[i + 1], unpaired[i], s.spouse, s.conf,
+                s.conf_high);
+  }
+
+  g.ResetJournal();
+  return g;
+}
+
+SocialSchema SocialSchema::Create(Vocabulary* vocab) {
+  SocialSchema s;
+  s.person = vocab->Label("Person");
+  s.knows = vocab->Label("knows");
+  s.name = vocab->Attr("name");
+  s.conf = vocab->Attr("conf");
+  s.conf_high = vocab->Value("90");
+  s.conf_low = vocab->Value("30");
+  return s;
+}
+
+Graph GenerateSocial(VocabularyPtr vocab, const SocialSchema& s,
+                     const SocialOptions& opt) {
+  Graph g(vocab);
+  Rng rng(opt.seed);
+
+  std::vector<NodeId> persons;
+  persons.reserve(opt.num_persons);
+  // Endpoint pool for preferential attachment: nodes appear once per
+  // incident knows pair, so popular nodes attract more edges.
+  std::vector<NodeId> pool;
+
+  for (size_t i = 0; i < opt.num_persons; ++i) {
+    NodeId p = g.AddNode(s.person);
+    g.SetNodeAttr(p, s.name, vocab->Value(StrFormat("user%zu", i)));
+    size_t attach = std::min(opt.attach_edges, persons.size());
+    for (size_t k = 0; k < attach; ++k) {
+      NodeId q = pool.empty() ? persons[rng.PickIndex(persons)]
+                              : pool[rng.PickIndex(pool)];
+      if (q == p || g.HasEdge(p, q, s.knows)) continue;
+      AddConfEdge(&g, p, q, s.knows, s.conf, s.conf_high);
+      AddConfEdge(&g, q, p, s.knows, s.conf, s.conf_high);
+      pool.push_back(p);
+      pool.push_back(q);
+    }
+    persons.push_back(p);
+  }
+
+  g.ResetJournal();
+  return g;
+}
+
+CitationSchema CitationSchema::Create(Vocabulary* vocab) {
+  CitationSchema s;
+  s.paper = vocab->Label("Paper");
+  s.author = vocab->Label("Author");
+  s.venue = vocab->Label("Venue");
+  s.cites = vocab->Label("cites");
+  s.authored_by = vocab->Label("authored_by");
+  s.published_in = vocab->Label("published_in");
+  s.title = vocab->Attr("title");
+  s.year = vocab->Attr("year");
+  s.conf = vocab->Attr("conf");
+  s.conf_high = vocab->Value("90");
+  s.conf_low = vocab->Value("30");
+  return s;
+}
+
+Graph GenerateCitation(VocabularyPtr vocab, const CitationSchema& s,
+                       const CitationOptions& opt) {
+  Graph g(vocab);
+  Rng rng(opt.seed);
+
+  std::vector<NodeId> venues;
+  for (size_t i = 0; i < opt.num_venues; ++i) {
+    NodeId v = g.AddNode(s.venue);
+    g.SetNodeAttr(v, s.title, vocab->Value(StrFormat("venue%zu", i)));
+    venues.push_back(v);
+  }
+  std::vector<NodeId> authors;
+  for (size_t i = 0; i < opt.num_authors; ++i) {
+    NodeId a = g.AddNode(s.author);
+    g.SetNodeAttr(a, s.title, vocab->Value(StrFormat("author%zu", i)));
+    authors.push_back(a);
+  }
+
+  // Papers are created in year order so citations to earlier indexes are
+  // automatically citations to <= years.
+  std::vector<NodeId> papers;
+  std::vector<int> years;
+  for (size_t i = 0; i < opt.num_papers; ++i) {
+    NodeId p = g.AddNode(s.paper);
+    int year = 1980 + static_cast<int>((45 * i) / std::max<size_t>(1, opt.num_papers));
+    g.SetNodeAttr(p, s.title, vocab->Value(StrFormat("paper%zu", i)));
+    g.SetNodeAttr(p, s.year, vocab->Value(StrFormat("%d", year)));
+    // Venue.
+    if (!venues.empty()) {
+      NodeId v = venues[rng.NextZipf(venues.size(), 0.9)];
+      AddConfEdge(&g, p, v, s.published_in, s.conf, s.conf_high);
+    }
+    // Authors (>= 1).
+    size_t n_auth = 1 + rng.NextBounded(
+                            static_cast<uint64_t>(2 * opt.avg_authors - 1));
+    for (size_t k = 0; k < n_auth && !authors.empty(); ++k) {
+      NodeId a = authors[rng.NextZipf(authors.size(), 0.7)];
+      if (!g.HasEdge(p, a, s.authored_by))
+        AddConfEdge(&g, p, a, s.authored_by, s.conf, s.conf_high);
+    }
+    // Citations to strictly earlier papers (newer year cites older year).
+    if (!papers.empty()) {
+      size_t n_cites = rng.NextBounded(
+          static_cast<uint64_t>(2 * opt.avg_cites + 1));
+      for (size_t k = 0; k < n_cites; ++k) {
+        size_t j = rng.NextZipf(papers.size(), 0.5);
+        // Only cite papers from strictly earlier years to keep the clean
+        // graph free of year conflicts.
+        if (years[j] >= year) continue;
+        if (!g.HasEdge(p, papers[j], s.cites))
+          AddConfEdge(&g, p, papers[j], s.cites, s.conf, s.conf_high);
+      }
+    }
+    papers.push_back(p);
+    years.push_back(year);
+  }
+
+  g.ResetJournal();
+  return g;
+}
+
+}  // namespace grepair

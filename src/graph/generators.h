@@ -1,0 +1,96 @@
+// Schema-driven synthetic dataset generators. These stand in for the real
+// graphs the paper evaluated on (public knowledge graphs / social networks):
+// the repair algorithms only observe labels, degrees and match counts, and
+// the generators reproduce those distributions while giving the evaluation
+// exact ground truth (see DESIGN.md "Substitutions").
+#ifndef GREPAIR_GRAPH_GENERATORS_H_
+#define GREPAIR_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace grepair {
+
+/// Interned symbol handles for the knowledge-graph domain. Construct once
+/// per vocabulary; rules built against the same vocabulary see the same ids.
+struct KgSchema {
+  // node labels
+  SymbolId person, city, country, org;
+  // edge labels
+  SymbolId born_in, lives_in, located_in, capital_of, works_for, hq_in,
+      knows, spouse;
+  // attribute names
+  SymbolId name, birth_year, conf, is_capital;
+  // common values
+  SymbolId yes, conf_high, conf_low;
+
+  static KgSchema Create(Vocabulary* vocab);
+};
+
+/// Knowledge-graph generator parameters (defaults give ~8.3k nodes).
+struct KgOptions {
+  size_t num_persons = 5000;
+  size_t num_cities = 400;
+  size_t num_countries = 40;
+  size_t num_orgs = 300;
+  double avg_knows = 3.0;    ///< mean symmetric knows pairs per person
+  double spouse_frac = 0.3;  ///< fraction of persons with a spouse
+  double zipf_skew = 0.8;    ///< skew of city/org popularity
+  uint64_t seed = 42;
+};
+
+/// Generates a consistent knowledge graph: every country has exactly one
+/// capital (capital_of + located_in + is_capital="yes"), persons have exactly
+/// one born_in, knows/spouse are symmetric, every edge carries conf="90".
+/// The returned graph has an empty journal.
+Graph GenerateKg(VocabularyPtr vocab, const KgSchema& s, const KgOptions& opt);
+
+/// Social-network domain symbols.
+struct SocialSchema {
+  SymbolId person;       // node label
+  SymbolId knows;        // edge label
+  SymbolId name, conf;   // attributes
+  SymbolId conf_high, conf_low;
+
+  static SocialSchema Create(Vocabulary* vocab);
+};
+
+struct SocialOptions {
+  size_t num_persons = 10000;
+  size_t attach_edges = 3;  ///< preferential-attachment edges per new node
+  uint64_t seed = 7;
+};
+
+/// Barabási–Albert-style friendship graph; knows is generated symmetric.
+Graph GenerateSocial(VocabularyPtr vocab, const SocialSchema& s,
+                     const SocialOptions& opt);
+
+/// Citation-network domain symbols.
+struct CitationSchema {
+  SymbolId paper, author, venue;                   // node labels
+  SymbolId cites, authored_by, published_in;       // edge labels
+  SymbolId title, year, conf;                      // attributes
+  SymbolId conf_high, conf_low;
+
+  static CitationSchema Create(Vocabulary* vocab);
+};
+
+struct CitationOptions {
+  size_t num_papers = 4000;
+  size_t num_authors = 1500;
+  size_t num_venues = 50;
+  double avg_cites = 4.0;    ///< mean citations per paper (only to older)
+  double avg_authors = 2.0;  ///< mean authors per paper
+  uint64_t seed = 13;
+};
+
+/// Layered citation DAG: cites edges only point from newer to older papers,
+/// every paper has >= 1 author and exactly one venue.
+Graph GenerateCitation(VocabularyPtr vocab, const CitationSchema& s,
+                       const CitationOptions& opt);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_GRAPH_GENERATORS_H_

@@ -1,0 +1,222 @@
+// The property-graph store: a directed, labeled multigraph with symbolic
+// attributes on nodes and edges, adjacency and label indexes, and a full
+// mutation journal with undo. This is the substrate every other module
+// (matcher, repair engine, baselines, benchmarks) runs on.
+//
+// Identity semantics: ids are never reused. Removing an element tombstones
+// it; undoing the removal revives the same id. This keeps ground-truth
+// bookkeeping and incremental match maintenance simple and exact.
+#ifndef GREPAIR_GRAPH_GRAPH_H_
+#define GREPAIR_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/edit_log.h"
+#include "graph/vocabulary.h"
+#include "util/status.h"
+
+namespace grepair {
+
+/// Sorted small-vector attribute map (symbol -> symbol). Value id 0 means
+/// "absent"; setting an attribute to 0 erases it.
+class AttrMap {
+ public:
+  /// Returns the value id, or 0 when absent.
+  SymbolId Get(SymbolId attr) const;
+  /// Sets (value != 0) or erases (value == 0); returns the previous value.
+  SymbolId Set(SymbolId attr, SymbolId value);
+  /// All present (attr, value) pairs, sorted by attr id.
+  const std::vector<std::pair<SymbolId, SymbolId>>& entries() const {
+    return entries_;
+  }
+  bool empty() const { return entries_.empty(); }
+  bool operator==(const AttrMap& other) const = default;
+
+ private:
+  std::vector<std::pair<SymbolId, SymbolId>> entries_;
+};
+
+/// Immutable view of one edge.
+struct EdgeView {
+  EdgeId id;
+  NodeId src;
+  NodeId dst;
+  SymbolId label;
+};
+
+/// Directed labeled multigraph with journaled mutations.
+class Graph {
+ public:
+  /// Creates an empty graph over the given shared vocabulary.
+  explicit Graph(VocabularyPtr vocab);
+
+  /// Deep copy (shares the vocabulary, copies all elements and the journal
+  /// boundary: the copy starts with an EMPTY journal so that repairs on the
+  /// copy are costed relative to the copied state).
+  Graph Clone() const;
+
+  const VocabularyPtr& vocab() const { return vocab_; }
+
+  // --- Mutations (all journaled) --------------------------------------
+
+  /// Adds a node with the given label; returns its id.
+  NodeId AddNode(SymbolId label);
+  /// Adds an edge; endpoints must be alive. Parallel edges are allowed.
+  Result<EdgeId> AddEdge(NodeId src, NodeId dst, SymbolId label);
+  /// Removes one edge.
+  Status RemoveEdge(EdgeId e);
+  /// Removes a node and (first) all incident edges, each journaled.
+  Status RemoveNode(NodeId n);
+  /// Relabels a node/edge. No-op (and no journal entry) if unchanged.
+  Status SetNodeLabel(NodeId n, SymbolId label);
+  Status SetEdgeLabel(EdgeId e, SymbolId label);
+  /// Sets or erases (value==0) an attribute. No-op journal-wise if unchanged.
+  Status SetNodeAttr(NodeId n, SymbolId attr, SymbolId value);
+  Status SetEdgeAttr(EdgeId e, SymbolId attr, SymbolId value);
+
+  /// Merges `gone` into `keep`: every edge incident to `gone` is re-created
+  /// with the endpoint replaced by `keep` (skipping exact duplicates of
+  /// existing `keep` edges and would-be self-loops that arise only from the
+  /// merge), attributes of `gone` fill gaps in `keep`, then `gone` is
+  /// removed. Journaled entirely via primitives, so undo works.
+  Status MergeNodes(NodeId keep, NodeId gone);
+
+  // --- Inspection ------------------------------------------------------
+
+  bool NodeAlive(NodeId n) const {
+    return n < nodes_.size() && nodes_[n].alive;
+  }
+  bool EdgeAlive(EdgeId e) const {
+    return e < edges_.size() && edges_[e].alive;
+  }
+  /// Number of alive nodes / edges.
+  size_t NumNodes() const { return num_alive_nodes_; }
+  size_t NumEdges() const { return num_alive_edges_; }
+  /// Id-space upper bounds (alive or dead ids are all < these).
+  size_t NodeIdBound() const { return nodes_.size(); }
+  size_t EdgeIdBound() const { return edges_.size(); }
+
+  SymbolId NodeLabel(NodeId n) const { return nodes_[n].label; }
+  SymbolId EdgeLabel(EdgeId e) const { return edges_[e].label; }
+  EdgeView Edge(EdgeId e) const {
+    return {e, edges_[e].src, edges_[e].dst, edges_[e].label};
+  }
+  SymbolId NodeAttr(NodeId n, SymbolId attr) const {
+    return nodes_[n].attrs.Get(attr);
+  }
+  SymbolId EdgeAttr(EdgeId e, SymbolId attr) const {
+    return edges_[e].attrs.Get(attr);
+  }
+  const AttrMap& NodeAttrs(NodeId n) const { return nodes_[n].attrs; }
+  const AttrMap& EdgeAttrs(EdgeId e) const { return edges_[e].attrs; }
+
+  /// Outgoing / incoming alive edge ids of an alive node.
+  const std::vector<EdgeId>& OutEdges(NodeId n) const {
+    return nodes_[n].out;
+  }
+  const std::vector<EdgeId>& InEdges(NodeId n) const { return nodes_[n].in; }
+  size_t OutDegree(NodeId n) const { return nodes_[n].out.size(); }
+  size_t InDegree(NodeId n) const { return nodes_[n].in.size(); }
+  size_t Degree(NodeId n) const { return OutDegree(n) + InDegree(n); }
+
+  /// First alive edge src-[label]->dst, or kInvalidEdge. label==0 matches
+  /// any label.
+  EdgeId FindEdge(NodeId src, NodeId dst, SymbolId label) const;
+  bool HasEdge(NodeId src, NodeId dst, SymbolId label) const {
+    return FindEdge(src, dst, label) != kInvalidEdge;
+  }
+
+  /// All alive node ids (ascending).
+  std::vector<NodeId> Nodes() const;
+  /// All alive edge ids (ascending).
+  std::vector<EdgeId> Edges() const;
+  /// Alive nodes carrying `label` (unordered). label==0 → all alive nodes.
+  const std::unordered_set<NodeId>& NodesWithLabel(SymbolId label) const;
+  /// Alive nodes whose attribute `attr` currently equals `value` (value!=0).
+  /// Backed by an eagerly maintained index; used for attribute joins in
+  /// duplicate-detection patterns.
+  const std::unordered_set<NodeId>& NodesWithAttr(SymbolId attr,
+                                                  SymbolId value) const;
+  /// Count of alive nodes carrying `label`.
+  size_t CountNodesWithLabel(SymbolId label) const;
+  /// Count of alive edges carrying `label`.
+  size_t CountEdgesWithLabel(SymbolId label) const;
+
+  // --- Journal ---------------------------------------------------------
+
+  /// Journal length; use as a mark for UndoTo/CostSince.
+  size_t JournalSize() const { return log_.size(); }
+  const std::vector<EditEntry>& Journal() const { return log_; }
+  /// Reverts all mutations after `mark` (most recent first). `mark` must not
+  /// exceed the current journal size.
+  Status UndoTo(size_t mark);
+  /// Weighted cost of journal entries since `mark`.
+  double CostSince(size_t mark, const CostModel& model) const {
+    return JournalCost(log_, mark, log_.size(), model);
+  }
+  /// Drops journal history (keeps the graph): future costs are relative to
+  /// the current state. Used after error injection so repair cost doesn't
+  /// include the injected corruption.
+  void ResetJournal() { log_.clear(); }
+
+  // --- Whole-graph utilities -------------------------------------------
+
+  /// Order-independent content hash: equal graphs (same alive ids, labels,
+  /// attrs, edges) hash equal. Used by tests and the oscillation guard.
+  uint64_t Fingerprint() const;
+
+  /// Structural equality on alive content (ids must match; this is identity
+  /// equality, which is what undo/clone tests need).
+  bool ContentEquals(const Graph& other) const;
+
+  /// Human-readable one-line summary.
+  std::string DebugSummary() const;
+
+ private:
+  struct NodeRec {
+    SymbolId label = 0;
+    bool alive = false;
+    AttrMap attrs;
+    std::vector<EdgeId> out;
+    std::vector<EdgeId> in;
+  };
+  struct EdgeRec {
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    SymbolId label = 0;
+    bool alive = false;
+    AttrMap attrs;
+  };
+
+  // Raw (non-journaling) helpers shared by mutations and undo.
+  void LinkEdge(EdgeId e);
+  void UnlinkEdge(EdgeId e);
+  void IndexNode(NodeId n);
+  void UnindexNode(NodeId n);
+  void IndexNodeAttr(NodeId n, SymbolId attr, SymbolId value);
+  void UnindexNodeAttr(NodeId n, SymbolId attr, SymbolId value);
+  Status UndoEntry(const EditEntry& e);
+
+  static uint64_t AttrKey(SymbolId attr, SymbolId value) {
+    return (static_cast<uint64_t>(attr) << 32) | value;
+  }
+
+  VocabularyPtr vocab_;
+  std::vector<NodeRec> nodes_;
+  std::vector<EdgeRec> edges_;
+  std::vector<EditEntry> log_;
+  size_t num_alive_nodes_ = 0;
+  size_t num_alive_edges_ = 0;
+  // label -> alive nodes with that label; key 0 holds ALL alive nodes.
+  mutable std::unordered_map<SymbolId, std::unordered_set<NodeId>> label_index_;
+  // (attr<<32|value) -> alive nodes with that attribute value.
+  mutable std::unordered_map<uint64_t, std::unordered_set<NodeId>> attr_index_;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_GRAPH_GRAPH_H_

@@ -1,0 +1,171 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <map>
+
+#include "util/strings.h"
+
+namespace grepair {
+namespace {
+
+std::string AttrsToString(const Graph& g, const AttrMap& attrs) {
+  std::vector<std::string> parts;
+  for (const auto& [a, v] : attrs.entries())
+    parts.push_back(g.vocab()->AttrName(a) + "=" + g.vocab()->ValueName(v));
+  return Join(parts, ";");
+}
+
+Status ParseAttrs(const std::string& field, Vocabulary* vocab,
+                  std::vector<std::pair<SymbolId, SymbolId>>* out) {
+  if (field.empty()) return Status::Ok();
+  for (const auto& part : Split(field, ';')) {
+    if (part.empty()) continue;
+    auto kv = Split(part, '=');
+    if (kv.size() != 2)
+      return Status::ParseError("bad attr syntax: " + part);
+    out->emplace_back(vocab->Attr(kv[0]), vocab->Value(kv[1]));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string SerializeGraph(const Graph& g) {
+  std::string out;
+  out += "# GRepair graph: |V|=" + std::to_string(g.NumNodes()) +
+         " |E|=" + std::to_string(g.NumEdges()) + "\n";
+  for (NodeId n : g.Nodes()) {
+    out += StrFormat("N\t%u\t%s", n, g.vocab()->LabelName(g.NodeLabel(n)).c_str());
+    std::string attrs = AttrsToString(g, g.NodeAttrs(n));
+    if (!attrs.empty()) out += "\t" + attrs;
+    out += "\n";
+  }
+  for (EdgeId e : g.Edges()) {
+    EdgeView v = g.Edge(e);
+    out += StrFormat("E\t%u\t%u\t%u\t%s", e, v.src, v.dst,
+                     g.vocab()->LabelName(v.label).c_str());
+    std::string attrs = AttrsToString(g, g.EdgeAttrs(e));
+    if (!attrs.empty()) out += "\t" + attrs;
+    out += "\n";
+  }
+  return out;
+}
+
+Result<Graph> ParseGraph(const std::string& text, VocabularyPtr vocab) {
+  // Two passes: collect records, then materialize in id order. Because the
+  // Graph assigns dense ids itself, we remap file ids -> graph ids.
+  struct NodeLine {
+    uint64_t id;
+    std::string label;
+    std::vector<std::pair<SymbolId, SymbolId>> attrs;
+  };
+  struct EdgeLine {
+    uint64_t src, dst;
+    std::string label;
+    std::vector<std::pair<SymbolId, SymbolId>> attrs;
+  };
+  std::vector<NodeLine> node_lines;
+  std::vector<EdgeLine> edge_lines;
+
+  size_t line_no = 0;
+  for (const auto& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    auto fields = Split(line, '\t');
+    auto err = [&](const std::string& what) {
+      return Status::ParseError(
+          StrFormat("line %zu: %s", line_no, what.c_str()));
+    };
+    if (fields[0] == "N") {
+      if (fields.size() < 3 || fields.size() > 4) return err("bad N record");
+      NodeLine nl;
+      if (!ParseUint64(fields[1], &nl.id)) return err("bad node id");
+      nl.label = fields[2];
+      if (fields.size() == 4)
+        GREPAIR_RETURN_IF_ERROR(ParseAttrs(fields[3], vocab.get(), &nl.attrs));
+      node_lines.push_back(std::move(nl));
+    } else if (fields[0] == "E") {
+      if (fields.size() < 5 || fields.size() > 6) return err("bad E record");
+      EdgeLine el;
+      uint64_t ignored_id;
+      if (!ParseUint64(fields[1], &ignored_id)) return err("bad edge id");
+      if (!ParseUint64(fields[2], &el.src)) return err("bad edge src");
+      if (!ParseUint64(fields[3], &el.dst)) return err("bad edge dst");
+      el.label = fields[4];
+      if (fields.size() == 6)
+        GREPAIR_RETURN_IF_ERROR(ParseAttrs(fields[5], vocab.get(), &el.attrs));
+      edge_lines.push_back(std::move(el));
+    } else {
+      return err("unknown record type '" + fields[0] + "'");
+    }
+  }
+
+  Graph g(vocab);
+  std::map<uint64_t, NodeId> remap;
+  for (const auto& nl : node_lines) {
+    if (remap.count(nl.id))
+      return Status::ParseError(
+          StrFormat("duplicate node id %llu", (unsigned long long)nl.id));
+    NodeId n = g.AddNode(vocab->Label(nl.label));
+    for (const auto& [a, v] : nl.attrs)
+      GREPAIR_RETURN_IF_ERROR(g.SetNodeAttr(n, a, v));
+    remap[nl.id] = n;
+  }
+  for (const auto& el : edge_lines) {
+    auto si = remap.find(el.src);
+    auto di = remap.find(el.dst);
+    if (si == remap.end() || di == remap.end())
+      return Status::ParseError("edge references unknown node");
+    auto r = g.AddEdge(si->second, di->second, vocab->Label(el.label));
+    if (!r.ok()) return r.status();
+    for (const auto& [a, v] : el.attrs)
+      GREPAIR_RETURN_IF_ERROR(g.SetEdgeAttr(r.value(), a, v));
+  }
+  g.ResetJournal();
+  return g;
+}
+
+Status SaveGraph(const Graph& g, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return Status::InvalidArgument("cannot open for write: " + path);
+  std::string data = SerializeGraph(g);
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (written != data.size())
+    return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+std::string ToDot(const Graph& g) {
+  std::string out = "digraph G {\n  rankdir=LR;\n  node [shape=box];\n";
+  // Use the "name" attribute as display text when present.
+  SymbolId name_attr = g.vocab()->Attr("name");
+  for (NodeId n : g.Nodes()) {
+    std::string label = g.vocab()->LabelName(g.NodeLabel(n));
+    std::string display = StrFormat("n%u:%s", n, label.c_str());
+    SymbolId v = g.NodeAttr(n, name_attr);
+    if (v != 0) display += "\\n" + g.vocab()->ValueName(v);
+    out += StrFormat("  n%u [label=\"%s\"];\n", n, display.c_str());
+  }
+  for (EdgeId e : g.Edges()) {
+    EdgeView v = g.Edge(e);
+    out += StrFormat("  n%u -> n%u [label=\"%s\"];\n", v.src, v.dst,
+                     g.vocab()->LabelName(v.label).c_str());
+  }
+  out += "}\n";
+  return out;
+}
+
+Result<Graph> LoadGraph(const std::string& path, VocabularyPtr vocab) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return Status::NotFound("cannot open for read: " + path);
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+  return ParseGraph(data, std::move(vocab));
+}
+
+}  // namespace grepair

@@ -1,0 +1,32 @@
+// Plain-text graph serialization. The format is line-oriented TSV:
+//   # comment
+//   N <id> <label> [attr=value;attr=value...]
+//   E <id> <src> <dst> <label> [attr=value;...]
+// Ids must be dense-ish but gaps are tolerated (gaps become tombstones).
+#ifndef GREPAIR_GRAPH_GRAPH_IO_H_
+#define GREPAIR_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace grepair {
+
+/// Serializes the alive content of `g` to the text format above.
+std::string SerializeGraph(const Graph& g);
+
+/// Parses a graph from the text format, interning into `vocab`.
+Result<Graph> ParseGraph(const std::string& text, VocabularyPtr vocab);
+
+/// Writes/reads the format to/from a file path.
+Status SaveGraph(const Graph& g, const std::string& path);
+Result<Graph> LoadGraph(const std::string& path, VocabularyPtr vocab);
+
+/// Renders the alive content as Graphviz DOT (node labels + names, edge
+/// labels), for visual inspection of small graphs and repair diffs.
+std::string ToDot(const Graph& g);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,51 @@
+// Shared symbol space for graphs and rules. A Graph and the RuleSet applied
+// to it must use the same Vocabulary so label/attribute ids agree.
+#ifndef GREPAIR_GRAPH_VOCABULARY_H_
+#define GREPAIR_GRAPH_VOCABULARY_H_
+
+#include <memory>
+#include <string_view>
+
+#include "util/dictionary.h"
+
+namespace grepair {
+
+/// Three interned namespaces: element labels (node types and edge relation
+/// names share one space), attribute names, and attribute values. All values
+/// are symbolic strings — numeric comparisons are done on the string form by
+/// the predicate evaluator where a rule requests it.
+class Vocabulary {
+ public:
+  /// Interns an element label (e.g. "Person", "knows").
+  SymbolId Label(std::string_view s) { return labels_.Intern(s); }
+  /// Interns an attribute name (e.g. "name", "conf").
+  SymbolId Attr(std::string_view s) { return attrs_.Intern(s); }
+  /// Interns an attribute value (e.g. "Alice", "1970").
+  SymbolId Value(std::string_view s) { return values_.Intern(s); }
+
+  const std::string& LabelName(SymbolId id) const { return labels_.Name(id); }
+  const std::string& AttrName(SymbolId id) const { return attrs_.Name(id); }
+  const std::string& ValueName(SymbolId id) const { return values_.Name(id); }
+
+  bool LookupLabel(std::string_view s, SymbolId* id) const {
+    return labels_.Lookup(s, id);
+  }
+
+  size_t NumLabels() const { return labels_.size(); }
+  size_t NumAttrs() const { return attrs_.size(); }
+  size_t NumValues() const { return values_.size(); }
+
+ private:
+  Dictionary labels_;
+  Dictionary attrs_;
+  Dictionary values_;
+};
+
+using VocabularyPtr = std::shared_ptr<Vocabulary>;
+
+/// Creates a fresh shared vocabulary.
+inline VocabularyPtr MakeVocabulary() { return std::make_shared<Vocabulary>(); }
+
+}  // namespace grepair
+
+#endif  // GREPAIR_GRAPH_VOCABULARY_H_

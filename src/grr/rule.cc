@@ -1,0 +1,50 @@
+#include "grr/rule.h"
+
+#include "util/strings.h"
+
+namespace grepair {
+
+std::string_view ActionKindName(ActionKind k) {
+  switch (k) {
+    case ActionKind::kAddNode: return "ADD_NODE";
+    case ActionKind::kAddEdge: return "ADD_EDGE";
+    case ActionKind::kDelNode: return "DEL_NODE";
+    case ActionKind::kDelEdge: return "DEL_EDGE";
+    case ActionKind::kUpdNode: return "UPD_NODE";
+    case ActionKind::kUpdEdge: return "UPD_EDGE";
+    case ActionKind::kMerge: return "MERGE";
+  }
+  return "?";
+}
+
+std::string Rule::ToString(const Vocabulary& vocab) const {
+  std::string out = StrFormat("RULE %s CLASS %s\n  %s\n  ACTION %s",
+                              name_.c_str(),
+                              std::string(ErrorClassName(cls_)).c_str(),
+                              pattern_.ToString(vocab).c_str(),
+                              std::string(ActionKindName(action_.kind)).c_str());
+  return out;
+}
+
+Status RuleSet::Add(Rule rule) {
+  for (const auto& r : rules_)
+    if (r.name() == rule.name())
+      return Status::AlreadyExists("duplicate rule name: " + rule.name());
+  rules_.push_back(std::move(rule));
+  return Status::Ok();
+}
+
+Result<RuleId> RuleSet::Find(std::string_view name) const {
+  for (RuleId i = 0; i < rules_.size(); ++i)
+    if (rules_[i].name() == name) return i;
+  return Status::NotFound("no rule named " + std::string(name));
+}
+
+RuleSet RuleSet::Prefix(size_t n) const {
+  RuleSet out;
+  for (size_t i = 0; i < std::min(n, rules_.size()); ++i)
+    out.rules_.push_back(rules_[i]);
+  return out;
+}
+
+}  // namespace grepair

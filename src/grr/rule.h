@@ -1,0 +1,115 @@
+// Graph-Repairing Rules (GRRs): the paper's primary formalism. A rule is a
+// pattern (MATCH/WHERE) plus one of seven repair operations (ACTION), tagged
+// with the semantic error class it addresses.
+#ifndef GREPAIR_GRR_RULE_H_
+#define GREPAIR_GRR_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/error_class.h"
+#include "match/pattern.h"
+#include "util/status.h"
+
+namespace grepair {
+
+/// The seven repair operations of a GRR.
+///   1 kAddNode  — create a missing node, linked to a matched anchor
+///   2 kAddEdge  — create a missing edge between matched nodes
+///   3 kDelNode  — delete an erroneous node (with its incident edges)
+///   4 kDelEdge  — delete an erroneous edge
+///   5 kUpdNode  — update a node: relabel and/or set an attribute
+///   6 kUpdEdge  — relabel an edge
+///   7 kMerge    — merge two matched nodes denoting the same entity
+enum class ActionKind : uint8_t {
+  kAddNode,
+  kAddEdge,
+  kDelNode,
+  kDelEdge,
+  kUpdNode,
+  kUpdEdge,
+  kMerge,
+};
+
+std::string_view ActionKindName(ActionKind k);
+
+/// The parameters of an action, interpreted against a match of the rule's
+/// pattern. Field use per kind:
+///   kAddEdge:  (var)-[label]->(var2)
+///   kAddNode:  new node labeled `node_label`, connected to matched anchor
+///              `var` by an edge labeled `label`; `new_node_is_src` gives
+///              the direction (new->anchor when true)
+///   kDelEdge:  pattern edge `edge_idx`
+///   kDelNode:  node var `var`
+///   kUpdNode:  node var `var`; relabel to `label` (label!=0) and/or set
+///              attribute `attr` = `value` (attr!=0)
+///   kUpdEdge:  pattern edge `edge_idx`, relabel to `label`
+///   kMerge:    vars `var` and `var2`; the engine keeps the lower node id
+///              (deterministic survivor policy)
+struct RepairAction {
+  ActionKind kind;
+  VarId var = kNoVar;
+  VarId var2 = kNoVar;
+  size_t edge_idx = SIZE_MAX;
+  SymbolId label = 0;
+  SymbolId node_label = 0;
+  SymbolId attr = 0;
+  SymbolId value = 0;
+  bool new_node_is_src = true;
+};
+
+using RuleId = uint32_t;
+
+/// One graph-repairing rule.
+class Rule {
+ public:
+  Rule(std::string name, ErrorClass cls, Pattern pattern, RepairAction action)
+      : name_(std::move(name)),
+        cls_(cls),
+        pattern_(std::move(pattern)),
+        action_(action) {}
+
+  const std::string& name() const { return name_; }
+  ErrorClass error_class() const { return cls_; }
+  const Pattern& pattern() const { return pattern_; }
+  const RepairAction& action() const { return action_; }
+
+  /// Rules with higher priority are preferred when fixes tie on cost.
+  double priority() const { return priority_; }
+  void set_priority(double p) { priority_ = p; }
+
+  /// Human-readable rendering.
+  std::string ToString(const Vocabulary& vocab) const;
+
+ private:
+  std::string name_;
+  ErrorClass cls_;
+  Pattern pattern_;
+  RepairAction action_;
+  double priority_ = 1.0;
+};
+
+/// An ordered collection of uniquely named rules.
+class RuleSet {
+ public:
+  /// Adds a rule; fails on duplicate name.
+  Status Add(Rule rule);
+
+  size_t size() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+  const Rule& operator[](RuleId id) const { return rules_[id]; }
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  /// Finds a rule id by name.
+  Result<RuleId> Find(std::string_view name) const;
+
+  /// Keeps only the first `n` rules (used by the rule-count sweep bench).
+  RuleSet Prefix(size_t n) const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_GRR_RULE_H_

@@ -1,0 +1,211 @@
+#include "grr/rule_builder.h"
+
+#include <cassert>
+
+namespace grepair {
+
+RuleBuilder::RuleBuilder(Vocabulary* vocab, std::string name, ErrorClass cls)
+    : vocab_(vocab), name_(std::move(name)), cls_(cls) {}
+
+VarId RuleBuilder::Node(std::string var_name, std::string_view label) {
+  SymbolId l = label.empty() ? 0 : vocab_->Label(label);
+  return pattern_.AddNode(l, std::move(var_name));
+}
+
+size_t RuleBuilder::Edge(VarId src, VarId dst, std::string_view label) {
+  SymbolId l = label.empty() ? 0 : vocab_->Label(label);
+  auto r = pattern_.AddEdge(src, dst, l);
+  assert(r.ok());
+  return r.value();
+}
+
+RuleBuilder& RuleBuilder::NoEdge(VarId src, VarId dst,
+                                 std::string_view label) {
+  Nac n;
+  n.kind = NacKind::kNoEdge;
+  n.src_var = src;
+  n.dst_var = dst;
+  n.label = label.empty() ? 0 : vocab_->Label(label);
+  pattern_.AddNac(n);
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::NoOutEdge(VarId src, std::string_view label) {
+  Nac n;
+  n.kind = NacKind::kNoOutEdge;
+  n.src_var = src;
+  n.label = label.empty() ? 0 : vocab_->Label(label);
+  pattern_.AddNac(n);
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::NoInEdge(VarId dst, std::string_view label) {
+  Nac n;
+  n.kind = NacKind::kNoInEdge;
+  n.dst_var = dst;
+  n.label = label.empty() ? 0 : vocab_->Label(label);
+  pattern_.AddNac(n);
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::Isolated(VarId v) {
+  Nac n;
+  n.kind = NacKind::kNoIncident;
+  n.src_var = v;
+  pattern_.AddNac(n);
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::AttrCmp(VarId lhs, std::string_view lattr, CmpOp op,
+                                  VarId rhs, std::string_view rattr) {
+  AttrPredicate p;
+  p.lhs = AttrOperand::VarAttr(lhs, vocab_->Attr(lattr));
+  p.op = op;
+  p.rhs = AttrOperand::VarAttr(rhs, vocab_->Attr(rattr));
+  pattern_.AddPredicate(p);
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::AttrCmpConst(VarId lhs, std::string_view lattr,
+                                       CmpOp op, std::string_view constant) {
+  AttrPredicate p;
+  p.lhs = AttrOperand::VarAttr(lhs, vocab_->Attr(lattr));
+  p.op = op;
+  p.rhs = AttrOperand::Const(vocab_->Value(constant));
+  pattern_.AddPredicate(p);
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::EdgeAttrCmp(size_t lhs_edge, std::string_view lattr,
+                                      CmpOp op, size_t rhs_edge,
+                                      std::string_view rattr) {
+  AttrPredicate p;
+  p.lhs = AttrOperand::EdgeAttr(lhs_edge, vocab_->Attr(lattr));
+  p.op = op;
+  p.rhs = AttrOperand::EdgeAttr(rhs_edge, vocab_->Attr(rattr));
+  pattern_.AddPredicate(p);
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::EdgeAttrCmpConst(size_t lhs_edge,
+                                           std::string_view lattr, CmpOp op,
+                                           std::string_view constant) {
+  AttrPredicate p;
+  p.lhs = AttrOperand::EdgeAttr(lhs_edge, vocab_->Attr(lattr));
+  p.op = op;
+  p.rhs = AttrOperand::Const(vocab_->Value(constant));
+  pattern_.AddPredicate(p);
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::AttrAbsent(VarId v, std::string_view attr) {
+  AttrPredicate p;
+  p.lhs = AttrOperand::VarAttr(v, vocab_->Attr(attr));
+  p.op = CmpOp::kAbsent;
+  p.rhs = AttrOperand::Const(0);
+  pattern_.AddPredicate(p);
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::AttrPresent(VarId v, std::string_view attr) {
+  AttrPredicate p;
+  p.lhs = AttrOperand::VarAttr(v, vocab_->Attr(attr));
+  p.op = CmpOp::kPresent;
+  p.rhs = AttrOperand::Const(0);
+  pattern_.AddPredicate(p);
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::ActionAddEdge(VarId src, VarId dst,
+                                        std::string_view label) {
+  action_ = RepairAction{};
+  action_.kind = ActionKind::kAddEdge;
+  action_.var = src;
+  action_.var2 = dst;
+  action_.label = vocab_->Label(label);
+  has_action_ = true;
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::ActionAddNode(std::string_view node_label,
+                                        std::string_view edge_label,
+                                        VarId anchor, bool new_node_is_src) {
+  action_ = RepairAction{};
+  action_.kind = ActionKind::kAddNode;
+  action_.node_label = vocab_->Label(node_label);
+  action_.label = vocab_->Label(edge_label);
+  action_.var = anchor;
+  action_.new_node_is_src = new_node_is_src;
+  has_action_ = true;
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::ActionDelEdge(size_t edge_idx) {
+  action_ = RepairAction{};
+  action_.kind = ActionKind::kDelEdge;
+  action_.edge_idx = edge_idx;
+  has_action_ = true;
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::ActionDelNode(VarId v) {
+  action_ = RepairAction{};
+  action_.kind = ActionKind::kDelNode;
+  action_.var = v;
+  has_action_ = true;
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::ActionRelabelNode(VarId v,
+                                            std::string_view new_label) {
+  action_ = RepairAction{};
+  action_.kind = ActionKind::kUpdNode;
+  action_.var = v;
+  action_.label = vocab_->Label(new_label);
+  has_action_ = true;
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::ActionSetAttr(VarId v, std::string_view attr,
+                                        std::string_view value) {
+  action_ = RepairAction{};
+  action_.kind = ActionKind::kUpdNode;
+  action_.var = v;
+  action_.attr = vocab_->Attr(attr);
+  action_.value = vocab_->Value(value);
+  has_action_ = true;
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::ActionRelabelEdge(size_t edge_idx,
+                                            std::string_view new_label) {
+  action_ = RepairAction{};
+  action_.kind = ActionKind::kUpdEdge;
+  action_.edge_idx = edge_idx;
+  action_.label = vocab_->Label(new_label);
+  has_action_ = true;
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::ActionMerge(VarId a, VarId b) {
+  action_ = RepairAction{};
+  action_.kind = ActionKind::kMerge;
+  action_.var = a;
+  action_.var2 = b;
+  has_action_ = true;
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::Priority(double p) {
+  priority_ = p;
+  return *this;
+}
+
+Rule RuleBuilder::Build() && {
+  assert(has_action_ && "rule has no action");
+  Rule r(std::move(name_), cls_, std::move(pattern_), action_);
+  r.set_priority(priority_);
+  return r;
+}
+
+}  // namespace grepair

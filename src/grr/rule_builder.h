@@ -1,0 +1,76 @@
+// Fluent programmatic construction of GRRs (the alternative to the DSL).
+#ifndef GREPAIR_GRR_RULE_BUILDER_H_
+#define GREPAIR_GRR_RULE_BUILDER_H_
+
+#include <string>
+
+#include "grr/rule.h"
+
+namespace grepair {
+
+/// Builds a Rule step by step, interning all strings into the vocabulary at
+/// call time. Example:
+///
+///   RuleBuilder b(vocab.get(), "spouse_symmetric", ErrorClass::kIncomplete);
+///   VarId x = b.Node("x", "Person"), y = b.Node("y", "Person");
+///   b.Edge(x, y, "spouse");
+///   b.NoEdge(y, x, "spouse");
+///   b.ActionAddEdge(y, x, "spouse");
+///   Rule r = std::move(b).Build();
+class RuleBuilder {
+ public:
+  RuleBuilder(Vocabulary* vocab, std::string name, ErrorClass cls);
+
+  /// Pattern construction. Empty label string = wildcard.
+  VarId Node(std::string var_name, std::string_view label = "");
+  size_t Edge(VarId src, VarId dst, std::string_view label = "");
+
+  /// WHERE clauses.
+  RuleBuilder& NoEdge(VarId src, VarId dst, std::string_view label = "");
+  RuleBuilder& NoOutEdge(VarId src, std::string_view label = "");
+  RuleBuilder& NoInEdge(VarId dst, std::string_view label = "");
+  RuleBuilder& Isolated(VarId v);
+  RuleBuilder& AttrCmp(VarId lhs, std::string_view lattr, CmpOp op, VarId rhs,
+                       std::string_view rattr);
+  RuleBuilder& AttrCmpConst(VarId lhs, std::string_view lattr, CmpOp op,
+                            std::string_view constant);
+  /// Edge-attribute comparisons: edge indexes are the values returned by
+  /// Edge().
+  RuleBuilder& EdgeAttrCmp(size_t lhs_edge, std::string_view lattr, CmpOp op,
+                           size_t rhs_edge, std::string_view rattr);
+  RuleBuilder& EdgeAttrCmpConst(size_t lhs_edge, std::string_view lattr,
+                                CmpOp op, std::string_view constant);
+  RuleBuilder& AttrAbsent(VarId v, std::string_view attr);
+  RuleBuilder& AttrPresent(VarId v, std::string_view attr);
+
+  /// ACTION (exactly one must be set).
+  RuleBuilder& ActionAddEdge(VarId src, VarId dst, std::string_view label);
+  RuleBuilder& ActionAddNode(std::string_view node_label,
+                             std::string_view edge_label, VarId anchor,
+                             bool new_node_is_src);
+  RuleBuilder& ActionDelEdge(size_t edge_idx);
+  RuleBuilder& ActionDelNode(VarId v);
+  RuleBuilder& ActionRelabelNode(VarId v, std::string_view new_label);
+  RuleBuilder& ActionSetAttr(VarId v, std::string_view attr,
+                             std::string_view value);
+  RuleBuilder& ActionRelabelEdge(size_t edge_idx, std::string_view new_label);
+  RuleBuilder& ActionMerge(VarId a, VarId b);
+
+  RuleBuilder& Priority(double p);
+
+  /// Finalizes; the builder must not be reused afterwards.
+  Rule Build() &&;
+
+ private:
+  Vocabulary* vocab_;
+  std::string name_;
+  ErrorClass cls_;
+  Pattern pattern_;
+  RepairAction action_;
+  bool has_action_ = false;
+  double priority_ = 1.0;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_GRR_RULE_BUILDER_H_

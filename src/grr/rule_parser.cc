@@ -1,0 +1,615 @@
+#include "grr/rule_parser.h"
+
+#include <cctype>
+#include <map>
+
+#include "grr/rule_validator.h"
+#include "util/strings.h"
+
+namespace grepair {
+namespace {
+
+// ----------------------------------------------------------------- Lexer
+
+enum class Tok : uint8_t {
+  kIdent,
+  kNumber,
+  kString,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kColon,
+  kDot,
+  kStar,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kDash,
+  kArrow,  // ->
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  size_t line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  Status Tokenize(std::vector<Token>* out) {
+    size_t i = 0, line = 1;
+    auto push = [&](Tok k, std::string t) {
+      out->push_back({k, std::move(t), line});
+    };
+    while (i < src_.size()) {
+      char c = src_[i];
+      if (c == '\n') {
+        ++line;
+        ++i;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '#') {
+        while (i < src_.size() && src_[i] != '\n') ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[i])) ||
+                src_[i] == '_'))
+          ++i;
+        push(Tok::kIdent, src_.substr(start, i - start));
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t start = i;
+        while (i < src_.size() &&
+               (std::isdigit(static_cast<unsigned char>(src_[i])) ||
+                src_[i] == '.'))
+          ++i;
+        push(Tok::kNumber, src_.substr(start, i - start));
+        continue;
+      }
+      if (c == '"') {
+        size_t start = ++i;
+        while (i < src_.size() && src_[i] != '"') ++i;
+        if (i >= src_.size())
+          return Status::ParseError(
+              StrFormat("line %zu: unterminated string", line));
+        push(Tok::kString, src_.substr(start, i - start));
+        ++i;
+        continue;
+      }
+      switch (c) {
+        case '(': push(Tok::kLParen, "("); ++i; break;
+        case ')': push(Tok::kRParen, ")"); ++i; break;
+        case '[': push(Tok::kLBracket, "["); ++i; break;
+        case ']': push(Tok::kRBracket, "]"); ++i; break;
+        case ',': push(Tok::kComma, ","); ++i; break;
+        case ':': push(Tok::kColon, ":"); ++i; break;
+        case '.': push(Tok::kDot, "."); ++i; break;
+        case '*': push(Tok::kStar, "*"); ++i; break;
+        case '=': push(Tok::kEq, "="); ++i; break;
+        case '!':
+          if (i + 1 < src_.size() && src_[i + 1] == '=') {
+            push(Tok::kNe, "!=");
+            i += 2;
+          } else {
+            return Status::ParseError(
+                StrFormat("line %zu: stray '!'", line));
+          }
+          break;
+        case '<':
+          if (i + 1 < src_.size() && src_[i + 1] == '=') {
+            push(Tok::kLe, "<=");
+            i += 2;
+          } else {
+            push(Tok::kLt, "<");
+            ++i;
+          }
+          break;
+        case '>':
+          if (i + 1 < src_.size() && src_[i + 1] == '=') {
+            push(Tok::kGe, ">=");
+            i += 2;
+          } else {
+            push(Tok::kGt, ">");
+            ++i;
+          }
+          break;
+        case '-':
+          if (i + 1 < src_.size() && src_[i + 1] == '>') {
+            push(Tok::kArrow, "->");
+            i += 2;
+          } else {
+            push(Tok::kDash, "-");
+            ++i;
+          }
+          break;
+        default:
+          return Status::ParseError(
+              StrFormat("line %zu: unexpected character '%c'", line, c));
+      }
+    }
+    push(Tok::kEnd, "");
+    return Status::Ok();
+  }
+
+ private:
+  const std::string& src_;
+};
+
+// ---------------------------------------------------------------- Parser
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, VocabularyPtr vocab)
+      : toks_(std::move(tokens)), vocab_(std::move(vocab)) {}
+
+  Result<RuleSet> ParseFile() {
+    RuleSet set;
+    while (!At(Tok::kEnd)) {
+      auto r = ParseOneRule();
+      if (!r.ok()) return r.status();
+      GREPAIR_RETURN_IF_ERROR(set.Add(std::move(r).value()));
+    }
+    return set;
+  }
+
+  Result<Rule> ParseSingle() {
+    auto r = ParseOneRule();
+    if (!r.ok()) return r.status();
+    if (!At(Tok::kEnd)) return Err("trailing content after rule");
+    return r;
+  }
+
+ private:
+  const Token& Cur() const { return toks_[pos_]; }
+  bool At(Tok k) const { return Cur().kind == k; }
+  bool AtKeyword(std::string_view kw) const {
+    return Cur().kind == Tok::kIdent && Cur().text == kw;
+  }
+  void Advance() {
+    if (pos_ + 1 < toks_.size()) ++pos_;
+  }
+  Status Err(const std::string& what) const {
+    return Status::ParseError(StrFormat("line %zu: %s (near '%s')",
+                                        Cur().line, what.c_str(),
+                                        Cur().text.c_str()));
+  }
+  Status Expect(Tok k, const char* what) {
+    if (!At(k)) return Err(std::string("expected ") + what);
+    Advance();
+    return Status::Ok();
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!AtKeyword(kw)) return Err("expected keyword " + std::string(kw));
+    Advance();
+    return Status::Ok();
+  }
+  Result<std::string> ExpectIdent(const char* what) {
+    if (!At(Tok::kIdent)) return Err(std::string("expected ") + what);
+    std::string s = Cur().text;
+    Advance();
+    return s;
+  }
+
+  // State while parsing one rule.
+  Pattern pattern_;
+  std::map<std::string, VarId> vars_;
+  std::map<std::string, size_t> edge_vars_;
+  size_t anon_edge_count_ = 0;
+
+  Result<VarId> LookupVar(const std::string& name) {
+    auto it = vars_.find(name);
+    if (it == vars_.end())
+      return Status::ParseError(
+          StrFormat("line %zu: unknown variable '%s'", Cur().line,
+                    name.c_str()));
+    return it->second;
+  }
+
+  // Parses "(name[:Label])" declaring the var when new. `allow_star`:
+  // returns kNoVar for "(*)".
+  Result<VarId> ParseNodeRef(bool allow_star, bool allow_decl = true) {
+    GREPAIR_RETURN_IF_ERROR(Expect(Tok::kLParen, "'('"));
+    if (allow_star && At(Tok::kStar)) {
+      Advance();
+      GREPAIR_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+      return kNoVar;
+    }
+    GREPAIR_ASSIGN_OR_RETURN(std::string name, ExpectIdent("variable name"));
+    SymbolId label = 0;
+    bool has_label = false;
+    if (At(Tok::kColon)) {
+      Advance();
+      if (At(Tok::kStar)) {
+        Advance();
+      } else {
+        GREPAIR_ASSIGN_OR_RETURN(std::string l, ExpectIdent("label"));
+        label = vocab_->Label(l);
+        has_label = true;
+      }
+    }
+    GREPAIR_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+    auto it = vars_.find(name);
+    if (it != vars_.end()) {
+      if (has_label && pattern_.nodes()[it->second].label != label)
+        return Status::ParseError(
+            StrFormat("line %zu: conflicting label for var '%s'", Cur().line,
+                      name.c_str()));
+      return it->second;
+    }
+    if (!allow_decl)
+      return Status::ParseError(StrFormat(
+          "line %zu: unknown variable '%s'", Cur().line, name.c_str()));
+    VarId v = pattern_.AddNode(label, name);
+    vars_[name] = v;
+    return v;
+  }
+
+  // Parses "-[name:label]->", "-[label]->", "-[*]->", "-[name:*]->".
+  // Outputs the edge var name ("" if anonymous) and label (0 wildcard).
+  Status ParseEdgeSpec(std::string* name, SymbolId* label) {
+    *name = "";
+    *label = 0;
+    GREPAIR_RETURN_IF_ERROR(Expect(Tok::kDash, "'-'"));
+    GREPAIR_RETURN_IF_ERROR(Expect(Tok::kLBracket, "'['"));
+    if (At(Tok::kStar)) {
+      Advance();
+    } else {
+      GREPAIR_ASSIGN_OR_RETURN(std::string first,
+                               ExpectIdent("edge label or name"));
+      if (At(Tok::kColon)) {
+        Advance();
+        *name = first;
+        if (At(Tok::kStar)) {
+          Advance();
+        } else {
+          GREPAIR_ASSIGN_OR_RETURN(std::string l, ExpectIdent("edge label"));
+          *label = vocab_->Label(l);
+        }
+      } else {
+        *label = vocab_->Label(first);
+      }
+    }
+    GREPAIR_RETURN_IF_ERROR(Expect(Tok::kRBracket, "']'"));
+    GREPAIR_RETURN_IF_ERROR(Expect(Tok::kArrow, "'->'"));
+    return Status::Ok();
+  }
+
+  // One MATCH item: "(x:L)" or "(x)-[e:l]->(y)".
+  Status ParseMatchItem() {
+    auto src = ParseNodeRef(/*allow_star=*/false);
+    if (!src.ok()) return src.status();
+    if (!At(Tok::kDash)) return Status::Ok();  // bare node decl
+    std::string ename;
+    SymbolId elabel;
+    GREPAIR_RETURN_IF_ERROR(ParseEdgeSpec(&ename, &elabel));
+    auto dst = ParseNodeRef(/*allow_star=*/false);
+    if (!dst.ok()) return dst.status();
+    auto e = pattern_.AddEdge(src.value(), dst.value(), elabel);
+    if (!e.ok()) return e.status();
+    if (ename.empty()) ename = StrFormat("_e%zu", anon_edge_count_++);
+    if (edge_vars_.count(ename))
+      return Err("duplicate edge variable '" + ename + "'");
+    edge_vars_[ename] = e.value();
+    return Status::Ok();
+  }
+
+  // Attribute operand: "x.attr" (node var or edge var) | string | number.
+  Result<AttrOperand> ParseOperand() {
+    if (At(Tok::kString) || At(Tok::kNumber)) {
+      AttrOperand o = AttrOperand::Const(vocab_->Value(Cur().text));
+      Advance();
+      return o;
+    }
+    GREPAIR_ASSIGN_OR_RETURN(std::string var, ExpectIdent("operand"));
+    GREPAIR_RETURN_IF_ERROR(Expect(Tok::kDot, "'.'"));
+    GREPAIR_ASSIGN_OR_RETURN(std::string attr, ExpectIdent("attribute"));
+    auto nit = vars_.find(var);
+    if (nit != vars_.end())
+      return AttrOperand::VarAttr(nit->second, vocab_->Attr(attr));
+    auto eit = edge_vars_.find(var);
+    if (eit != edge_vars_.end())
+      return AttrOperand::EdgeAttr(eit->second, vocab_->Attr(attr));
+    return Status::ParseError(StrFormat("line %zu: unknown variable '%s'",
+                                        Cur().line, var.c_str()));
+  }
+
+  // One WHERE item.
+  Status ParseWhereItem() {
+    if (AtKeyword("NOT")) {
+      Advance();
+      GREPAIR_RETURN_IF_ERROR(ExpectKeyword("EDGE"));
+      auto src = ParseNodeRef(/*allow_star=*/true, /*allow_decl=*/false);
+      if (!src.ok()) return src.status();
+      std::string ename;
+      SymbolId elabel;
+      GREPAIR_RETURN_IF_ERROR(ParseEdgeSpec(&ename, &elabel));
+      auto dst = ParseNodeRef(/*allow_star=*/true, /*allow_decl=*/false);
+      if (!dst.ok()) return dst.status();
+      Nac n;
+      n.label = elabel;
+      if (src.value() == kNoVar && dst.value() == kNoVar)
+        return Err("NOT EDGE with both endpoints '*'");
+      if (src.value() == kNoVar) {
+        n.kind = NacKind::kNoInEdge;
+        n.dst_var = dst.value();
+      } else if (dst.value() == kNoVar) {
+        n.kind = NacKind::kNoOutEdge;
+        n.src_var = src.value();
+      } else {
+        n.kind = NacKind::kNoEdge;
+        n.src_var = src.value();
+        n.dst_var = dst.value();
+      }
+      pattern_.AddNac(n);
+      return Status::Ok();
+    }
+    if (AtKeyword("ISOLATED")) {
+      Advance();
+      GREPAIR_ASSIGN_OR_RETURN(std::string var, ExpectIdent("variable"));
+      GREPAIR_ASSIGN_OR_RETURN(VarId v, LookupVar(var));
+      Nac n;
+      n.kind = NacKind::kNoIncident;
+      n.src_var = v;
+      pattern_.AddNac(n);
+      return Status::Ok();
+    }
+    if (AtKeyword("ABSENT") || AtKeyword("PRESENT")) {
+      bool absent = AtKeyword("ABSENT");
+      Advance();
+      GREPAIR_ASSIGN_OR_RETURN(std::string var, ExpectIdent("variable"));
+      GREPAIR_RETURN_IF_ERROR(Expect(Tok::kDot, "'.'"));
+      GREPAIR_ASSIGN_OR_RETURN(std::string attr, ExpectIdent("attribute"));
+      GREPAIR_ASSIGN_OR_RETURN(VarId v, LookupVar(var));
+      AttrPredicate p;
+      p.lhs = AttrOperand::VarAttr(v, vocab_->Attr(attr));
+      p.op = absent ? CmpOp::kAbsent : CmpOp::kPresent;
+      p.rhs = AttrOperand::Const(0);
+      pattern_.AddPredicate(p);
+      return Status::Ok();
+    }
+    // Comparison.
+    auto lhs = ParseOperand();
+    if (!lhs.ok()) return lhs.status();
+    CmpOp op;
+    switch (Cur().kind) {
+      case Tok::kEq: op = CmpOp::kEq; break;
+      case Tok::kNe: op = CmpOp::kNe; break;
+      case Tok::kLt: op = CmpOp::kLt; break;
+      case Tok::kLe: op = CmpOp::kLe; break;
+      case Tok::kGt: op = CmpOp::kGt; break;
+      case Tok::kGe: op = CmpOp::kGe; break;
+      default: return Err("expected comparison operator");
+    }
+    Advance();
+    auto rhs = ParseOperand();
+    if (!rhs.ok()) return rhs.status();
+    AttrPredicate p;
+    p.lhs = lhs.value();
+    p.op = op;
+    p.rhs = rhs.value();
+    pattern_.AddPredicate(p);
+    return Status::Ok();
+  }
+
+  Result<RepairAction> ParseAction() {
+    RepairAction a;
+    if (AtKeyword("ADD_EDGE")) {
+      Advance();
+      auto src = ParseNodeRef(false, /*allow_decl=*/false);
+      if (!src.ok()) return src.status();
+      std::string ename;
+      SymbolId elabel;
+      GREPAIR_RETURN_IF_ERROR(ParseEdgeSpec(&ename, &elabel));
+      auto dst = ParseNodeRef(false, /*allow_decl=*/false);
+      if (!dst.ok()) return dst.status();
+      if (elabel == 0) return Err("ADD_EDGE requires a concrete label");
+      a.kind = ActionKind::kAddEdge;
+      a.var = src.value();
+      a.var2 = dst.value();
+      a.label = elabel;
+      return a;
+    }
+    if (AtKeyword("ADD_NODE")) {
+      Advance();
+      // One endpoint is an existing var, the other is a NEW node written
+      // as (name:Label) where `name` is not a pattern var.
+      // Parse both endpoints textually.
+      struct EndPoint {
+        std::string name;
+        SymbolId label = 0;
+        bool has_label = false;
+      };
+      auto parse_ep = [&]() -> Result<EndPoint> {
+        EndPoint ep;
+        GREPAIR_RETURN_IF_ERROR(Expect(Tok::kLParen, "'('"));
+        GREPAIR_ASSIGN_OR_RETURN(ep.name, ExpectIdent("name"));
+        if (At(Tok::kColon)) {
+          Advance();
+          GREPAIR_ASSIGN_OR_RETURN(std::string l, ExpectIdent("label"));
+          ep.label = vocab_->Label(l);
+          ep.has_label = true;
+        }
+        GREPAIR_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+        return ep;
+      };
+      auto lhs = parse_ep();
+      if (!lhs.ok()) return lhs.status();
+      std::string ename;
+      SymbolId elabel;
+      GREPAIR_RETURN_IF_ERROR(ParseEdgeSpec(&ename, &elabel));
+      auto rhs = parse_ep();
+      if (!rhs.ok()) return rhs.status();
+      if (elabel == 0) return Err("ADD_NODE requires a concrete edge label");
+      bool lhs_is_var = vars_.count(lhs.value().name) > 0;
+      bool rhs_is_var = vars_.count(rhs.value().name) > 0;
+      if (lhs_is_var == rhs_is_var)
+        return Err("ADD_NODE needs exactly one existing variable endpoint");
+      const EndPoint& nu = lhs_is_var ? rhs.value() : lhs.value();
+      const EndPoint& anchor = lhs_is_var ? lhs.value() : rhs.value();
+      if (!nu.has_label) return Err("ADD_NODE new node needs a label");
+      a.kind = ActionKind::kAddNode;
+      a.node_label = nu.label;
+      a.label = elabel;
+      a.var = vars_.at(anchor.name);
+      a.new_node_is_src = !lhs_is_var;  // new node on the left => source
+      return a;
+    }
+    if (AtKeyword("DEL_EDGE")) {
+      Advance();
+      GREPAIR_ASSIGN_OR_RETURN(std::string e, ExpectIdent("edge variable"));
+      auto it = edge_vars_.find(e);
+      if (it == edge_vars_.end()) return Err("unknown edge variable " + e);
+      a.kind = ActionKind::kDelEdge;
+      a.edge_idx = it->second;
+      return a;
+    }
+    if (AtKeyword("DEL_NODE")) {
+      Advance();
+      GREPAIR_ASSIGN_OR_RETURN(std::string v, ExpectIdent("variable"));
+      GREPAIR_ASSIGN_OR_RETURN(a.var, LookupVar(v));
+      a.kind = ActionKind::kDelNode;
+      return a;
+    }
+    if (AtKeyword("UPD_NODE")) {
+      Advance();
+      GREPAIR_ASSIGN_OR_RETURN(std::string v, ExpectIdent("variable"));
+      GREPAIR_ASSIGN_OR_RETURN(a.var, LookupVar(v));
+      a.kind = ActionKind::kUpdNode;
+      if (AtKeyword("LABEL")) {
+        Advance();
+        GREPAIR_ASSIGN_OR_RETURN(std::string l, ExpectIdent("label"));
+        a.label = vocab_->Label(l);
+      } else if (AtKeyword("SET")) {
+        Advance();
+        GREPAIR_ASSIGN_OR_RETURN(std::string attr, ExpectIdent("attribute"));
+        GREPAIR_RETURN_IF_ERROR(Expect(Tok::kEq, "'='"));
+        if (!At(Tok::kString) && !At(Tok::kNumber))
+          return Err("expected value literal");
+        a.attr = vocab_->Attr(attr);
+        a.value = vocab_->Value(Cur().text);
+        Advance();
+      } else {
+        return Err("UPD_NODE expects LABEL or SET");
+      }
+      return a;
+    }
+    if (AtKeyword("UPD_EDGE")) {
+      Advance();
+      GREPAIR_ASSIGN_OR_RETURN(std::string e, ExpectIdent("edge variable"));
+      auto it = edge_vars_.find(e);
+      if (it == edge_vars_.end()) return Err("unknown edge variable " + e);
+      GREPAIR_RETURN_IF_ERROR(ExpectKeyword("LABEL"));
+      GREPAIR_ASSIGN_OR_RETURN(std::string l, ExpectIdent("label"));
+      a.kind = ActionKind::kUpdEdge;
+      a.edge_idx = it->second;
+      a.label = vocab_->Label(l);
+      return a;
+    }
+    if (AtKeyword("MERGE")) {
+      Advance();
+      GREPAIR_RETURN_IF_ERROR(Expect(Tok::kLParen, "'('"));
+      GREPAIR_ASSIGN_OR_RETURN(std::string v1, ExpectIdent("variable"));
+      GREPAIR_RETURN_IF_ERROR(Expect(Tok::kComma, "','"));
+      GREPAIR_ASSIGN_OR_RETURN(std::string v2, ExpectIdent("variable"));
+      GREPAIR_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+      GREPAIR_ASSIGN_OR_RETURN(a.var, LookupVar(v1));
+      GREPAIR_ASSIGN_OR_RETURN(a.var2, LookupVar(v2));
+      a.kind = ActionKind::kMerge;
+      return a;
+    }
+    return Err("unknown action");
+  }
+
+  Result<Rule> ParseOneRule() {
+    pattern_ = Pattern();
+    vars_.clear();
+    edge_vars_.clear();
+    anon_edge_count_ = 0;
+
+    GREPAIR_RETURN_IF_ERROR(ExpectKeyword("RULE"));
+    GREPAIR_ASSIGN_OR_RETURN(std::string name, ExpectIdent("rule name"));
+    GREPAIR_RETURN_IF_ERROR(ExpectKeyword("CLASS"));
+    GREPAIR_ASSIGN_OR_RETURN(std::string cls_name, ExpectIdent("class"));
+    ErrorClass cls;
+    if (cls_name == "incomplete") {
+      cls = ErrorClass::kIncomplete;
+    } else if (cls_name == "conflict") {
+      cls = ErrorClass::kConflict;
+    } else if (cls_name == "redundant") {
+      cls = ErrorClass::kRedundant;
+    } else {
+      return Err("unknown class '" + cls_name +
+                 "' (want incomplete|conflict|redundant)");
+    }
+
+    GREPAIR_RETURN_IF_ERROR(ExpectKeyword("MATCH"));
+    GREPAIR_RETURN_IF_ERROR(ParseMatchItem());
+    while (At(Tok::kComma)) {
+      Advance();
+      GREPAIR_RETURN_IF_ERROR(ParseMatchItem());
+    }
+
+    if (AtKeyword("WHERE")) {
+      Advance();
+      GREPAIR_RETURN_IF_ERROR(ParseWhereItem());
+      while (AtKeyword("AND")) {
+        Advance();
+        GREPAIR_RETURN_IF_ERROR(ParseWhereItem());
+      }
+    }
+
+    GREPAIR_RETURN_IF_ERROR(ExpectKeyword("ACTION"));
+    auto action = ParseAction();
+    if (!action.ok()) return action.status();
+
+    double priority = 1.0;
+    if (AtKeyword("PRIORITY")) {
+      Advance();
+      if (!At(Tok::kNumber)) return Err("expected priority number");
+      if (!ParseDouble(Cur().text, &priority))
+        return Err("bad priority number");
+      Advance();
+    }
+
+    Rule rule(std::move(name), cls, std::move(pattern_), action.value());
+    rule.set_priority(priority);
+    GREPAIR_RETURN_IF_ERROR(ValidateRule(rule, *vocab_));
+    return rule;
+  }
+
+  std::vector<Token> toks_;
+  VocabularyPtr vocab_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RuleSet> ParseRules(const std::string& text, VocabularyPtr vocab) {
+  std::vector<Token> toks;
+  GREPAIR_RETURN_IF_ERROR(Lexer(text).Tokenize(&toks));
+  return Parser(std::move(toks), std::move(vocab)).ParseFile();
+}
+
+Result<Rule> ParseRule(const std::string& text, VocabularyPtr vocab) {
+  std::vector<Token> toks;
+  GREPAIR_RETURN_IF_ERROR(Lexer(text).Tokenize(&toks));
+  return Parser(std::move(toks), std::move(vocab)).ParseSingle();
+}
+
+}  // namespace grepair

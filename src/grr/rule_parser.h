@@ -1,0 +1,41 @@
+// Text DSL for graph-repairing rules.
+//
+//   # every country has exactly one capital; prefer dropping the
+//   # low-confidence claim
+//   RULE one_capital_per_country CLASS conflict
+//   MATCH (x:City)-[e1:capital_of]->(y:Country),
+//         (z:City)-[e2:capital_of]->(y)
+//   ACTION DEL_EDGE e2
+//
+//   RULE spouse_symmetric CLASS incomplete
+//   MATCH (x:Person)-[spouse]->(y:Person)
+//   WHERE NOT EDGE (y)-[spouse]->(x)
+//   ACTION ADD_EDGE (y)-[spouse]->(x)
+//
+//   RULE dup_person CLASS redundant
+//   MATCH (x:Person), (y:Person)
+//   WHERE x.name = y.name AND x.birth_year = y.birth_year
+//   ACTION MERGE (x, y)
+//
+// See README.md for the full grammar.
+#ifndef GREPAIR_GRR_RULE_PARSER_H_
+#define GREPAIR_GRR_RULE_PARSER_H_
+
+#include <string>
+
+#include "grr/rule.h"
+#include "util/status.h"
+
+namespace grepair {
+
+/// Parses a whole rule file (any number of RULE blocks) into a RuleSet,
+/// interning labels/attributes/values into `vocab`. Every parsed rule is
+/// validated (see rule_validator.h) before being admitted.
+Result<RuleSet> ParseRules(const std::string& text, VocabularyPtr vocab);
+
+/// Parses exactly one rule.
+Result<Rule> ParseRule(const std::string& text, VocabularyPtr vocab);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_GRR_RULE_PARSER_H_

@@ -1,0 +1,155 @@
+#include "grr/rule_validator.h"
+
+#include "util/strings.h"
+
+namespace grepair {
+namespace {
+
+Status Bad(const Rule& r, const std::string& what) {
+  return Status::InvalidArgument("rule '" + r.name() + "': " + what);
+}
+
+// Checks that an incomplete (ADD) rule's action falsifies its own WHERE
+// clause, i.e. the rule cannot re-fire on the same match after repairing.
+Status CheckSelfDisabling(const Rule& r) {
+  const RepairAction& a = r.action();
+  const Pattern& p = r.pattern();
+  if (a.kind == ActionKind::kAddEdge) {
+    // Need a NAC that forbids exactly the edge the action adds.
+    for (const auto& nac : p.nacs()) {
+      if (nac.kind == NacKind::kNoEdge && nac.src_var == a.var &&
+          nac.dst_var == a.var2 && (nac.label == a.label || nac.label == 0))
+        return Status::Ok();
+      // A blanket out/in-edge prohibition also disables the rule.
+      if (nac.kind == NacKind::kNoOutEdge && nac.src_var == a.var &&
+          (nac.label == a.label || nac.label == 0))
+        return Status::Ok();
+      if (nac.kind == NacKind::kNoInEdge && nac.dst_var == a.var2 &&
+          (nac.label == a.label || nac.label == 0))
+        return Status::Ok();
+    }
+    return Bad(r,
+               "ADD_EDGE rule is not self-disabling: WHERE must contain "
+               "NOT EDGE for the edge the action adds");
+  }
+  if (a.kind == ActionKind::kAddNode) {
+    // Need a NAC forbidding an edge with the action's label at the anchor,
+    // in the direction the action creates.
+    for (const auto& nac : p.nacs()) {
+      if (a.new_node_is_src) {
+        // action creates (new)-[l]->(anchor): anchor gains an in-edge
+        if (nac.kind == NacKind::kNoInEdge && nac.dst_var == a.var &&
+            (nac.label == a.label || nac.label == 0))
+          return Status::Ok();
+      } else {
+        if (nac.kind == NacKind::kNoOutEdge && nac.src_var == a.var &&
+            (nac.label == a.label || nac.label == 0))
+          return Status::Ok();
+      }
+    }
+    return Bad(r,
+               "ADD_NODE rule is not self-disabling: WHERE must contain "
+               "NOT EDGE (*)-[l]->(anchor) (or the mirrored form)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidateRule(const Rule& r, const Vocabulary& vocab) {
+  (void)vocab;
+  GREPAIR_RETURN_IF_ERROR(r.pattern().Validate());
+  const RepairAction& a = r.action();
+  const Pattern& p = r.pattern();
+  size_t nv = p.NumNodes(), ne = p.NumEdges();
+
+  auto check_var = [&](VarId v, const char* what) -> Status {
+    if (v == kNoVar || v >= nv)
+      return Bad(r, StrFormat("%s var out of range", what));
+    return Status::Ok();
+  };
+
+  switch (a.kind) {
+    case ActionKind::kAddEdge:
+      GREPAIR_RETURN_IF_ERROR(check_var(a.var, "ADD_EDGE src"));
+      GREPAIR_RETURN_IF_ERROR(check_var(a.var2, "ADD_EDGE dst"));
+      if (a.label == 0) return Bad(r, "ADD_EDGE needs a label");
+      break;
+    case ActionKind::kAddNode:
+      GREPAIR_RETURN_IF_ERROR(check_var(a.var, "ADD_NODE anchor"));
+      if (a.node_label == 0) return Bad(r, "ADD_NODE needs a node label");
+      if (a.label == 0) return Bad(r, "ADD_NODE needs an edge label");
+      break;
+    case ActionKind::kDelEdge:
+      if (a.edge_idx >= ne) return Bad(r, "DEL_EDGE edge out of range");
+      break;
+    case ActionKind::kDelNode:
+      GREPAIR_RETURN_IF_ERROR(check_var(a.var, "DEL_NODE"));
+      break;
+    case ActionKind::kUpdNode:
+      GREPAIR_RETURN_IF_ERROR(check_var(a.var, "UPD_NODE"));
+      if (a.label == 0 && a.attr == 0)
+        return Bad(r, "UPD_NODE needs LABEL or SET");
+      if (a.label != 0 && a.label == p.nodes()[a.var].label)
+        return Bad(r, "UPD_NODE relabels to the pattern's own label "
+                      "(would re-fire forever)");
+      break;
+    case ActionKind::kUpdEdge:
+      if (a.edge_idx >= ne) return Bad(r, "UPD_EDGE edge out of range");
+      if (a.label == 0) return Bad(r, "UPD_EDGE needs a label");
+      if (a.label == p.edges()[a.edge_idx].label)
+        return Bad(r, "UPD_EDGE relabels to the pattern's own label");
+      break;
+    case ActionKind::kMerge:
+      GREPAIR_RETURN_IF_ERROR(check_var(a.var, "MERGE first"));
+      GREPAIR_RETURN_IF_ERROR(check_var(a.var2, "MERGE second"));
+      if (a.var == a.var2) return Bad(r, "MERGE of a var with itself");
+      break;
+  }
+
+  // Class/action agreement.
+  switch (r.error_class()) {
+    case ErrorClass::kIncomplete:
+      if (a.kind != ActionKind::kAddEdge && a.kind != ActionKind::kAddNode)
+        return Bad(r, "incomplete rules must ADD (edge or node)");
+      GREPAIR_RETURN_IF_ERROR(CheckSelfDisabling(r));
+      break;
+    case ErrorClass::kConflict:
+      if (a.kind != ActionKind::kDelEdge && a.kind != ActionKind::kDelNode &&
+          a.kind != ActionKind::kUpdNode && a.kind != ActionKind::kUpdEdge)
+        return Bad(r, "conflict rules must DELETE or UPDATE");
+      break;
+    case ErrorClass::kRedundant:
+      if (a.kind != ActionKind::kMerge && a.kind != ActionKind::kDelNode)
+        return Bad(r, "redundant rules must MERGE or DEL_NODE");
+      break;
+  }
+
+  // UPD_NODE SET attr=value must be guarded: the pattern must contain a
+  // predicate on that attribute, otherwise the rule re-fires forever.
+  if (a.kind == ActionKind::kUpdNode && a.attr != 0) {
+    bool guarded = false;
+    for (const auto& pred : p.predicates()) {
+      if ((!pred.lhs.is_edge && pred.lhs.var == a.var &&
+           pred.lhs.attr == a.attr) ||
+          (!pred.rhs.is_edge && pred.rhs.var == a.var &&
+           pred.rhs.attr == a.attr)) {
+        guarded = true;
+        break;
+      }
+    }
+    if (!guarded)
+      return Bad(r, "UPD_NODE SET needs a WHERE predicate over the same "
+                    "attribute (self-disabling guard)");
+  }
+
+  return Status::Ok();
+}
+
+Status ValidateRuleSet(const RuleSet& rules, const Vocabulary& vocab) {
+  for (const auto& r : rules.rules())
+    GREPAIR_RETURN_IF_ERROR(ValidateRule(r, vocab));
+  return Status::Ok();
+}
+
+}  // namespace grepair

@@ -1,0 +1,21 @@
+// Static validation of a GRR: structural sanity, class/action agreement,
+// and the self-disabling property of incompleteness rules (an ADD rule whose
+// action does not falsify its own guard would re-fire forever).
+#ifndef GREPAIR_GRR_RULE_VALIDATOR_H_
+#define GREPAIR_GRR_RULE_VALIDATOR_H_
+
+#include "grr/rule.h"
+#include "util/status.h"
+
+namespace grepair {
+
+/// Validates one rule. Returns InvalidArgument with a description of the
+/// first problem found, or OK.
+Status ValidateRule(const Rule& rule, const Vocabulary& vocab);
+
+/// Validates every rule of a set.
+Status ValidateRuleSet(const RuleSet& rules, const Vocabulary& vocab);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_GRR_RULE_VALIDATOR_H_

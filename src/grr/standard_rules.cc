@@ -1,0 +1,152 @@
+#include "grr/standard_rules.h"
+
+#include "grr/rule_parser.h"
+
+namespace grepair {
+
+const char kKgRulesDsl[] = R"RULES(
+# --- incompleteness ----------------------------------------------------
+RULE spouse_symmetric CLASS incomplete
+MATCH (x:Person)-[spouse]->(y:Person)
+WHERE NOT EDGE (y)-[spouse]->(x)
+ACTION ADD_EDGE (y)-[spouse]->(x)
+
+RULE knows_symmetric CLASS incomplete
+MATCH (x:Person)-[knows]->(y:Person)
+WHERE NOT EDGE (y)-[knows]->(x)
+ACTION ADD_EDGE (y)-[knows]->(x)
+
+RULE capital_implies_located CLASS incomplete
+MATCH (x:City)-[capital_of]->(y:Country)
+WHERE NOT EDGE (x)-[located_in]->(y)
+ACTION ADD_EDGE (x)-[located_in]->(y)
+
+RULE country_needs_capital CLASS incomplete
+MATCH (y:Country)
+WHERE NOT EDGE (*)-[capital_of]->(y)
+ACTION ADD_NODE (c:City)-[capital_of]->(y)
+
+# --- conflicts ----------------------------------------------------------
+RULE one_capital_per_country CLASS conflict
+MATCH (x:City)-[e1:capital_of]->(y:Country), (z:City)-[e2:capital_of]->(y)
+ACTION DEL_EDGE e2
+
+RULE one_birthplace CLASS conflict
+MATCH (p:Person)-[e1:born_in]->(c1:City), (p)-[e2:born_in]->(c2:City)
+ACTION DEL_EDGE e2
+
+RULE worker_is_person CLASS conflict
+MATCH (x:City)-[works_for]->(o:Org)
+ACTION UPD_NODE x LABEL Person
+
+RULE capital_flag CLASS conflict
+MATCH (x:City)-[capital_of]->(y:Country)
+WHERE x.is_capital != "yes"
+ACTION UPD_NODE x SET is_capital = "yes"
+
+# --- redundancy ---------------------------------------------------------
+RULE dup_person CLASS redundant
+MATCH (x:Person), (y:Person)
+WHERE x.name = y.name AND x.birth_year = y.birth_year
+ACTION MERGE (x, y)
+
+RULE junk_org CLASS redundant
+MATCH (x:Org)
+WHERE ISOLATED x AND ABSENT x.name
+ACTION DEL_NODE x
+)RULES";
+
+const char kSocialRulesDsl[] = R"RULES(
+RULE knows_symmetric CLASS incomplete
+MATCH (x:Person)-[knows]->(y:Person)
+WHERE NOT EDGE (y)-[knows]->(x)
+ACTION ADD_EDGE (y)-[knows]->(x)
+
+RULE no_self_knows CLASS conflict
+MATCH (x:Person)-[e:knows]->(x)
+ACTION DEL_EDGE e
+
+RULE dup_user CLASS redundant
+MATCH (x:Person), (y:Person)
+WHERE x.name = y.name
+ACTION MERGE (x, y)
+
+RULE orphan_user CLASS redundant
+MATCH (x:Person)
+WHERE ISOLATED x AND ABSENT x.name
+ACTION DEL_NODE x
+)RULES";
+
+const char kCitationRulesDsl[] = R"RULES(
+RULE no_future_citation CLASS conflict
+MATCH (p:Paper)-[e:cites]->(q:Paper)
+WHERE p.year < q.year
+ACTION DEL_EDGE e
+
+RULE cites_to_author_is_authorship CLASS conflict
+MATCH (p:Paper)-[e:cites]->(a:Author)
+ACTION UPD_EDGE e LABEL authored_by
+
+RULE paper_needs_author CLASS incomplete
+MATCH (p:Paper)
+WHERE NOT EDGE (p)-[authored_by]->(*)
+ACTION ADD_NODE (p)-[authored_by]->(a:Author)
+
+RULE dup_paper CLASS redundant
+MATCH (x:Paper), (y:Paper)
+WHERE x.title = y.title AND x.year = y.year
+ACTION MERGE (x, y)
+)RULES";
+
+const char kAdversarialCyclicDsl[] = R"RULES(
+# Creation cycle: repairing an A spawns a B, which spawns a C, which spawns
+# a fresh A — the repair process grows the graph forever.
+RULE a_needs_b CLASS incomplete
+MATCH (x:A)
+WHERE NOT EDGE (x)-[req]->(*)
+ACTION ADD_NODE (x)-[req]->(n:B)
+
+RULE b_needs_c CLASS incomplete
+MATCH (x:B)
+WHERE NOT EDGE (x)-[req]->(*)
+ACTION ADD_NODE (x)-[req]->(n:C)
+
+RULE c_needs_a CLASS incomplete
+MATCH (x:C)
+WHERE NOT EDGE (x)-[req]->(*)
+ACTION ADD_NODE (x)-[req]->(n:A)
+)RULES";
+
+const char kContradictoryDsl[] = R"RULES(
+# One rule inserts exactly the edge the other deletes: the pair oscillates.
+RULE add_back_link CLASS incomplete
+MATCH (x:Person)-[follows]->(y:Person)
+WHERE NOT EDGE (y)-[follows]->(x)
+ACTION ADD_EDGE (y)-[follows]->(x)
+
+RULE no_mutual_follow CLASS conflict
+MATCH (x:Person)-[e1:follows]->(y:Person), (y)-[e2:follows]->(x)
+ACTION DEL_EDGE e2
+)RULES";
+
+Result<RuleSet> KgRules(VocabularyPtr vocab) {
+  return ParseRules(kKgRulesDsl, std::move(vocab));
+}
+
+Result<RuleSet> SocialRules(VocabularyPtr vocab) {
+  return ParseRules(kSocialRulesDsl, std::move(vocab));
+}
+
+Result<RuleSet> CitationRules(VocabularyPtr vocab) {
+  return ParseRules(kCitationRulesDsl, std::move(vocab));
+}
+
+Result<RuleSet> AdversarialCyclicRules(VocabularyPtr vocab) {
+  return ParseRules(kAdversarialCyclicDsl, std::move(vocab));
+}
+
+Result<RuleSet> ContradictoryRules(VocabularyPtr vocab) {
+  return ParseRules(kContradictoryDsl, std::move(vocab));
+}
+
+}  // namespace grepair

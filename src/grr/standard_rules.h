@@ -1,0 +1,41 @@
+// The shipped GRR libraries for the three example domains, plus adversarial
+// rule sets used by the consistency-analysis experiments. All of these are
+// written in the DSL and parsed at construction, so the parser sits on the
+// production path.
+#ifndef GREPAIR_GRR_STANDARD_RULES_H_
+#define GREPAIR_GRR_STANDARD_RULES_H_
+
+#include "grr/rule.h"
+#include "util/status.h"
+
+namespace grepair {
+
+/// Knowledge-graph rules (10): symmetric relations, capital functionality,
+/// type conflicts, attribute flags, duplicates, junk nodes. Mirrors the
+/// errors InjectKgErrors produces.
+Result<RuleSet> KgRules(VocabularyPtr vocab);
+
+/// Social-network rules (4).
+Result<RuleSet> SocialRules(VocabularyPtr vocab);
+
+/// Citation-network rules (4).
+Result<RuleSet> CitationRules(VocabularyPtr vocab);
+
+/// A rule set whose ADD rules form a creation cycle A->B->C->A: repairing
+/// never terminates. The consistency checker must reject it.
+Result<RuleSet> AdversarialCyclicRules(VocabularyPtr vocab);
+
+/// A pair of rules where one inserts exactly what the other deletes: the
+/// repaired graph oscillates. The consistency checker must reject it.
+Result<RuleSet> ContradictoryRules(VocabularyPtr vocab);
+
+/// The DSL sources (exposed for documentation, examples and parser tests).
+extern const char kKgRulesDsl[];
+extern const char kSocialRulesDsl[];
+extern const char kCitationRulesDsl[];
+extern const char kAdversarialCyclicDsl[];
+extern const char kContradictoryDsl[];
+
+}  // namespace grepair
+
+#endif  // GREPAIR_GRR_STANDARD_RULES_H_

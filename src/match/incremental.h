@@ -1,0 +1,50 @@
+// Incremental match maintenance: after the repair engine applies an edit,
+// only the neighborhood the edit touched can host NEW matches (violations).
+// DeltaMatcher re-searches anchored at the touched elements instead of
+// re-running global detection — the core efficiency technique of the
+// "efficient repairing methods" half of the paper.
+//
+// Soundness argument (tested property): a match that exists after a delta
+// but not before must use an added element, a relabeled/re-attributed
+// element, or have had a NAC blocked by a removed element. Every such match
+// therefore contains (a) a touched element among its images, or (b) for the
+// NAC case, is discoverable by re-searching around the removed element's
+// endpoints. Over-reporting (finding pre-existing matches again) is
+// harmless: the violation store deduplicates.
+#ifndef GREPAIR_MATCH_INCREMENTAL_H_
+#define GREPAIR_MATCH_INCREMENTAL_H_
+
+#include <vector>
+
+#include "graph/edit_log.h"
+#include "graph/graph.h"
+#include "match/matcher.h"
+
+namespace grepair {
+
+/// Incremental (delta-anchored) pattern search over one graph.
+class DeltaMatcher {
+ public:
+  DeltaMatcher(const Graph& graph, const Pattern& pattern);
+
+  /// Enumerates every match that can be NEW after applying `delta`
+  /// (journal entries). May also report surviving old matches; never misses
+  /// a new one. Matches are deduplicated within one call.
+  MatchStats FindDelta(const std::vector<EditEntry>& delta,
+                       const MatchCallback& cb) const;
+
+  /// The anchors a delta induces — exposed for tests and diagnostics.
+  struct Anchors {
+    std::vector<NodeId> nodes;  ///< touched, alive nodes
+    std::vector<EdgeId> edges;  ///< added/relabeled, alive edges
+  };
+  Anchors ComputeAnchors(const std::vector<EditEntry>& delta) const;
+
+ private:
+  const Graph& g_;
+  const Pattern& p_;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_MATCH_INCREMENTAL_H_

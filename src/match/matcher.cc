@@ -1,0 +1,424 @@
+#include "match/matcher.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "match/predicate.h"
+
+namespace grepair {
+
+bool Match::ContainsNode(NodeId n) const {
+  return std::find(nodes.begin(), nodes.end(), n) != nodes.end();
+}
+
+bool Match::ContainsEdge(EdgeId e) const {
+  return std::find(edges.begin(), edges.end(), e) != edges.end();
+}
+
+Matcher::Matcher(const Graph& graph, const Pattern& pattern)
+    : g_(graph), p_(pattern) {}
+
+struct Matcher::SearchState {
+  const MatchOptions* opts;
+  const MatchCallback* cb;
+  MatchStats stats;
+  bool stop = false;
+
+  std::vector<NodeId> binding;        // var -> node (kInvalidNode = unbound)
+  std::vector<bool> used_nodes_big;   // unused; kept for potential bitmap
+  std::unordered_set<NodeId> used;    // injectivity over nodes
+  size_t bound_count = 0;
+
+  std::vector<EdgeId> edge_binding;   // pattern edge -> concrete edge
+  std::unordered_set<EdgeId> used_edges;
+};
+
+// Checks label, injectivity, adjacency to all bound neighbors, and every
+// predicate that becomes fully bound with this assignment.
+bool Matcher::CheckNewBinding(SearchState* st, VarId var, NodeId node) const {
+  if (!g_.NodeAlive(node)) return false;
+  const PatternNode& pn = p_.nodes()[var];
+  if (pn.label != 0 && g_.NodeLabel(node) != pn.label) return false;
+  if (st->used.count(node)) return false;
+
+  // Adjacency: every pattern edge between var and an already-bound var must
+  // have at least one concrete counterpart.
+  for (const auto& pe : p_.edges()) {
+    if (pe.src == var && st->binding[pe.dst] != kInvalidNode) {
+      if (!g_.HasEdge(node, st->binding[pe.dst], pe.label)) return false;
+    } else if (pe.dst == var && st->binding[pe.src] != kInvalidNode) {
+      if (!g_.HasEdge(st->binding[pe.src], node, pe.label)) return false;
+    } else if (pe.src == var && pe.dst == var) {
+      if (!g_.HasEdge(node, node, pe.label)) return false;
+    }
+  }
+
+  // Predicates that just became decidable. (Edge-attribute predicates stay
+  // kUnknown here — they are settled during edge enumeration.)
+  st->binding[var] = node;
+  bool ok = true;
+  for (const auto& pred : p_.predicates()) {
+    bool involves = (!pred.lhs.is_edge && pred.lhs.var == var) ||
+                    (!pred.rhs.is_edge && pred.rhs.var == var);
+    if (!involves) continue;
+    if (EvalPredicate(g_, pred, st->binding) == PredVerdict::kFalse) {
+      ok = false;
+      break;
+    }
+  }
+  st->binding[var] = kInvalidNode;
+  return ok;
+}
+
+// Candidate nodes for `var`, from the most selective available source:
+// 1) adjacency to a bound var, 2) attr-index join via an EQ predicate with
+// a bound var or constant, 3) label index.
+std::vector<NodeId> Matcher::CandidatesFor(const SearchState& st,
+                                           VarId var) const {
+  std::vector<NodeId> out;
+  // 1) adjacency pivot: choose the bound-adjacent pattern edge whose bound
+  //    endpoint has the smallest relevant degree.
+  int best_edge = -1;
+  bool best_forward = false;  // true: bound is src, candidates from OutEdges
+  size_t best_deg = SIZE_MAX;
+  for (size_t i = 0; st.opts->use_adjacency_pivot && i < p_.edges().size();
+       ++i) {
+    const auto& pe = p_.edges()[i];
+    if (pe.dst == var && pe.src != var &&
+        st.binding[pe.src] != kInvalidNode) {
+      size_t deg = g_.OutDegree(st.binding[pe.src]);
+      if (deg < best_deg) {
+        best_deg = deg;
+        best_edge = static_cast<int>(i);
+        best_forward = true;
+      }
+    }
+    if (pe.src == var && pe.dst != var &&
+        st.binding[pe.dst] != kInvalidNode) {
+      size_t deg = g_.InDegree(st.binding[pe.dst]);
+      if (deg < best_deg) {
+        best_deg = deg;
+        best_edge = static_cast<int>(i);
+        best_forward = false;
+      }
+    }
+  }
+  if (best_edge >= 0) {
+    const auto& pe = p_.edges()[best_edge];
+    std::unordered_set<NodeId> seen;
+    if (best_forward) {
+      NodeId b = st.binding[pe.src];
+      for (EdgeId e : g_.OutEdges(b)) {
+        if (pe.label != 0 && g_.EdgeLabel(e) != pe.label) continue;
+        NodeId cand = g_.Edge(e).dst;
+        if (seen.insert(cand).second) out.push_back(cand);
+      }
+    } else {
+      NodeId b = st.binding[pe.dst];
+      for (EdgeId e : g_.InEdges(b)) {
+        if (pe.label != 0 && g_.EdgeLabel(e) != pe.label) continue;
+        NodeId cand = g_.Edge(e).src;
+        if (seen.insert(cand).second) out.push_back(cand);
+      }
+    }
+    return out;
+  }
+
+  // 2) attribute join: EQ predicate var.attr = bound.attr / constant.
+  for (const auto& pred : p_.predicates()) {
+    if (!st.opts->use_attr_join) break;
+    if (pred.op != CmpOp::kEq) continue;
+    if (PredicateUsesEdges(pred)) continue;
+    const AttrOperand* self = nullptr;
+    const AttrOperand* other = nullptr;
+    if (pred.lhs.var == var) {
+      self = &pred.lhs;
+      other = &pred.rhs;
+    } else if (pred.rhs.var == var) {
+      self = &pred.rhs;
+      other = &pred.lhs;
+    } else {
+      continue;
+    }
+    SymbolId value = 0;
+    if (other->var == kNoVar) {
+      value = other->constant;
+    } else if (st.binding[other->var] != kInvalidNode) {
+      value = g_.NodeAttr(st.binding[other->var], other->attr);
+    } else {
+      continue;
+    }
+    if (value == 0) continue;  // absent attr: EQ can't hold anyway
+    const auto& set = g_.NodesWithAttr(self->attr, value);
+    out.assign(set.begin(), set.end());
+    return out;
+  }
+
+  // 3) label index.
+  const auto& set = g_.NodesWithLabel(p_.nodes()[var].label);
+  out.assign(set.begin(), set.end());
+  return out;
+}
+
+// Next unbound var: prefer ones adjacent to the bound set; tie-break by the
+// graph-level frequency of the var's label (rarest first).
+VarId Matcher::PickNextVar(const SearchState& st) const {
+  VarId best = kNoVar;
+  bool best_adjacent = false;
+  bool best_attr_join = false;
+  size_t best_freq = SIZE_MAX;
+  for (VarId v = 0; v < p_.NumNodes(); ++v) {
+    if (st.binding[v] != kInvalidNode) continue;
+    bool adjacent = false;
+    for (const auto& pe : p_.edges()) {
+      if ((pe.src == v && pe.dst != v && st.binding[pe.dst] != kInvalidNode) ||
+          (pe.dst == v && pe.src != v && st.binding[pe.src] != kInvalidNode)) {
+        adjacent = true;
+        break;
+      }
+    }
+    bool attr_join = false;
+    if (!adjacent) {
+      for (const auto& pred : p_.predicates()) {
+        if (pred.op != CmpOp::kEq) continue;
+        if (PredicateUsesEdges(pred)) continue;
+        if (pred.lhs.var == v &&
+            (pred.rhs.var == kNoVar ||
+             st.binding[pred.rhs.var] != kInvalidNode)) {
+          attr_join = true;
+          break;
+        }
+        if (pred.rhs.var == v &&
+            (pred.lhs.var == kNoVar ||
+             st.binding[pred.lhs.var] != kInvalidNode)) {
+          attr_join = true;
+          break;
+        }
+      }
+    }
+    size_t freq = g_.CountNodesWithLabel(p_.nodes()[v].label);
+    if (p_.nodes()[v].label == 0) freq = g_.NumNodes();
+    // Rank: adjacency > attr-join > rarity.
+    bool better;
+    if (adjacent != best_adjacent) {
+      better = adjacent;
+    } else if (!adjacent && attr_join != best_attr_join) {
+      better = attr_join;
+    } else {
+      better = freq < best_freq;
+    }
+    if (best == kNoVar || better) {
+      best = v;
+      best_adjacent = adjacent;
+      best_attr_join = attr_join;
+      best_freq = freq;
+    }
+  }
+  return best;
+}
+
+// All node vars bound: enumerate injective concrete-edge assignments for the
+// pattern edges, then run NACs and emit.
+void Matcher::EnumerateEdges(SearchState* st, size_t edge_idx) const {
+  if (st->stop) return;
+  if (edge_idx == p_.NumEdges()) {
+    // NACs (node-var based) — checked once per node binding; doing it here
+    // (inside edge enumeration) would re-check identically, so callers
+    // arrange to call with edge_idx==0 only after NACs pass.
+    // Edge-attribute predicates become decidable only now.
+    for (const auto& pred : p_.predicates()) {
+      if (!PredicateUsesEdges(pred)) continue;
+      if (EvalPredicate(g_, pred, st->binding, &st->edge_binding) !=
+          PredVerdict::kTrue)
+        return;
+    }
+    ++st->stats.matches;
+    Match m;
+    m.nodes = st->binding;
+    m.edges = st->edge_binding;
+    if (!(*st->cb)(m) || st->stats.matches >= st->opts->max_matches)
+      st->stop = true;
+    return;
+  }
+  const auto& pe = p_.edges()[edge_idx];
+  // Honor anchors.
+  for (const auto& [idx, eid] : st->opts->edge_anchors) {
+    if (idx == edge_idx) {
+      EdgeView v = g_.Edge(eid);
+      if (g_.EdgeAlive(eid) && v.src == st->binding[pe.src] &&
+          v.dst == st->binding[pe.dst] &&
+          (pe.label == 0 || v.label == pe.label) &&
+          !st->used_edges.count(eid)) {
+        st->edge_binding[edge_idx] = eid;
+        st->used_edges.insert(eid);
+        EnumerateEdges(st, edge_idx + 1);
+        st->used_edges.erase(eid);
+        st->edge_binding[edge_idx] = kInvalidEdge;
+      }
+      return;
+    }
+  }
+  NodeId s = st->binding[pe.src], d = st->binding[pe.dst];
+  for (EdgeId e : g_.OutEdges(s)) {
+    EdgeView v = g_.Edge(e);
+    if (v.dst != d) continue;
+    if (pe.label != 0 && v.label != pe.label) continue;
+    if (st->used_edges.count(e)) continue;
+    st->edge_binding[edge_idx] = e;
+    st->used_edges.insert(e);
+    EnumerateEdges(st, edge_idx + 1);
+    st->used_edges.erase(e);
+    st->edge_binding[edge_idx] = kInvalidEdge;
+    if (st->stop) return;
+  }
+}
+
+void Matcher::Extend(SearchState* st) const {
+  if (st->stop) return;
+  if (++st->stats.expansions > st->opts->max_expansions) {
+    st->stats.exhausted = true;
+    st->stop = true;
+    return;
+  }
+  if (st->bound_count == p_.NumNodes()) {
+    // NACs first (cheap, node-level), then concrete edge enumeration.
+    for (const auto& nac : p_.nacs())
+      if (!EvalNac(g_, nac, st->binding)) return;
+    EnumerateEdges(st, 0);
+    return;
+  }
+  VarId var = PickNextVar(*st);
+  std::vector<NodeId> cands = CandidatesFor(*st, var);
+  // Deterministic order helps tests and reproducibility.
+  std::sort(cands.begin(), cands.end());
+  for (NodeId cand : cands) {
+    if (!CheckNewBinding(st, var, cand)) continue;
+    st->binding[var] = cand;
+    st->used.insert(cand);
+    ++st->bound_count;
+    Extend(st);
+    --st->bound_count;
+    st->used.erase(cand);
+    st->binding[var] = kInvalidNode;
+    if (st->stop) return;
+  }
+}
+
+MatchStats Matcher::FindAll(const MatchOptions& opts,
+                            const MatchCallback& cb) const {
+  SearchState st;
+  st.opts = &opts;
+  st.cb = &cb;
+  st.binding.assign(p_.NumNodes(), kInvalidNode);
+  st.edge_binding.assign(p_.NumEdges(), kInvalidEdge);
+
+  // Apply edge anchors (bind endpoints too).
+  for (const auto& [idx, eid] : opts.edge_anchors) {
+    if (idx >= p_.NumEdges() || !g_.EdgeAlive(eid)) return st.stats;
+    const auto& pe = p_.edges()[idx];
+    EdgeView v = g_.Edge(eid);
+    if (pe.label != 0 && v.label != pe.label) return st.stats;
+    // Bind src endpoint.
+    if (st.binding[pe.src] == kInvalidNode) {
+      if (!CheckNewBinding(&st, pe.src, v.src)) return st.stats;
+      st.binding[pe.src] = v.src;
+      st.used.insert(v.src);
+      ++st.bound_count;
+    } else if (st.binding[pe.src] != v.src) {
+      return st.stats;
+    }
+    // Bind dst endpoint (self-loop pattern edges share the var).
+    if (st.binding[pe.dst] == kInvalidNode) {
+      if (!CheckNewBinding(&st, pe.dst, v.dst)) return st.stats;
+      st.binding[pe.dst] = v.dst;
+      st.used.insert(v.dst);
+      ++st.bound_count;
+    } else if (st.binding[pe.dst] != v.dst) {
+      return st.stats;
+    }
+  }
+  // Apply node anchors.
+  for (const auto& [var, node] : opts.node_anchors) {
+    if (var >= p_.NumNodes()) return st.stats;
+    if (st.binding[var] != kInvalidNode) {
+      if (st.binding[var] != node) return st.stats;
+      continue;
+    }
+    if (!CheckNewBinding(&st, var, node)) return st.stats;
+    st.binding[var] = node;
+    st.used.insert(node);
+    ++st.bound_count;
+  }
+
+  Extend(&st);
+  return st.stats;
+}
+
+std::vector<Match> Matcher::Collect(size_t limit) const {
+  MatchOptions opts;
+  opts.max_matches = limit;
+  return CollectWith(opts);
+}
+
+std::vector<Match> Matcher::CollectWith(const MatchOptions& opts) const {
+  std::vector<Match> out;
+  FindAll(opts, [&](const Match& m) {
+    out.push_back(m);
+    return true;
+  });
+  return out;
+}
+
+bool Matcher::Exists() const {
+  MatchOptions opts;
+  opts.max_matches = 1;
+  bool found = false;
+  FindAll(opts, [&](const Match&) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+size_t Matcher::Count(size_t limit) const {
+  MatchOptions opts;
+  opts.max_matches = limit;
+  size_t n = 0;
+  FindAll(opts, [&](const Match&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+bool Matcher::Verify(const Match& m) const {
+  if (m.nodes.size() != p_.NumNodes() || m.edges.size() != p_.NumEdges())
+    return false;
+  // Injectivity + aliveness + labels.
+  std::unordered_set<NodeId> seen;
+  for (VarId v = 0; v < p_.NumNodes(); ++v) {
+    NodeId n = m.nodes[v];
+    if (!g_.NodeAlive(n)) return false;
+    const auto& pn = p_.nodes()[v];
+    if (pn.label != 0 && g_.NodeLabel(n) != pn.label) return false;
+    if (!seen.insert(n).second) return false;
+  }
+  std::unordered_set<EdgeId> eseen;
+  for (size_t i = 0; i < p_.NumEdges(); ++i) {
+    EdgeId e = m.edges[i];
+    if (!g_.EdgeAlive(e)) return false;
+    const auto& pe = p_.edges()[i];
+    EdgeView v = g_.Edge(e);
+    if (v.src != m.nodes[pe.src] || v.dst != m.nodes[pe.dst]) return false;
+    if (pe.label != 0 && v.label != pe.label) return false;
+    if (!eseen.insert(e).second) return false;
+  }
+  for (const auto& pred : p_.predicates())
+    if (EvalPredicate(g_, pred, m.nodes, &m.edges) != PredVerdict::kTrue)
+      return false;
+  for (const auto& nac : p_.nacs())
+    if (!EvalNac(g_, nac, m.nodes)) return false;
+  return true;
+}
+
+}  // namespace grepair

@@ -1,0 +1,94 @@
+// Subgraph-isomorphism search for rule patterns: VF2-style backtracking with
+// label/degree candidate pruning, attribute-index joins for disconnected
+// components, early predicate evaluation, and NAC checking. Matching is
+// injective on node variables and on edge variables.
+#ifndef GREPAIR_MATCH_MATCHER_H_
+#define GREPAIR_MATCH_MATCHER_H_
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+#include "match/pattern.h"
+
+namespace grepair {
+
+/// One embedding of a pattern: nodes[i] is the image of node variable i,
+/// edges[j] the image of pattern edge j.
+struct Match {
+  std::vector<NodeId> nodes;
+  std::vector<EdgeId> edges;
+
+  bool operator==(const Match& other) const = default;
+  /// True if any element of the match equals the given node/edge.
+  bool ContainsNode(NodeId n) const;
+  bool ContainsEdge(EdgeId e) const;
+};
+
+/// Search controls. Anchors pre-bind variables — the backbone of both
+/// "repair this violation here" checks and incremental re-matching.
+struct MatchOptions {
+  size_t max_matches = std::numeric_limits<size_t>::max();
+  /// Pre-bind node variable -> concrete node.
+  std::vector<std::pair<VarId, NodeId>> node_anchors;
+  /// Pre-bind pattern edge index -> concrete edge (also binds endpoints).
+  std::vector<std::pair<size_t, EdgeId>> edge_anchors;
+  /// Backtracking budget; exceeded searches stop early (stats.exhausted).
+  size_t max_expansions = 50'000'000;
+  /// Ablation switches (benchmarked in F7/M9): when disabled, candidates
+  /// fall back to the label index and correctness is preserved — only the
+  /// candidate sets get larger.
+  bool use_adjacency_pivot = true;  ///< derive candidates from bound neighbors
+  bool use_attr_join = true;        ///< derive candidates from the attr index
+};
+
+struct MatchStats {
+  size_t expansions = 0;
+  size_t matches = 0;
+  bool exhausted = false;  ///< true if the expansion budget was hit
+};
+
+/// Return false from the callback to stop enumeration.
+using MatchCallback = std::function<bool(const Match&)>;
+
+/// Pattern-matching engine over one graph snapshot. Stateless between calls;
+/// cheap to construct.
+class Matcher {
+ public:
+  Matcher(const Graph& graph, const Pattern& pattern);
+
+  /// Enumerates matches; stops at opts.max_matches or when cb returns false.
+  MatchStats FindAll(const MatchOptions& opts, const MatchCallback& cb) const;
+
+  /// Collects up to `limit` matches.
+  std::vector<Match> Collect(size_t limit = std::numeric_limits<size_t>::max())
+      const;
+  /// Collects with full options.
+  std::vector<Match> CollectWith(const MatchOptions& opts) const;
+
+  /// True iff at least one match exists.
+  bool Exists() const;
+
+  /// Counts matches (up to `limit`).
+  size_t Count(size_t limit = std::numeric_limits<size_t>::max()) const;
+
+  /// Re-verifies a previously found match against the current graph state:
+  /// all elements alive, labels/adjacency intact, predicates and NACs hold.
+  bool Verify(const Match& m) const;
+
+ private:
+  struct SearchState;
+  void Extend(SearchState* st) const;
+  void EnumerateEdges(SearchState* st, size_t edge_idx) const;
+  bool CheckNewBinding(SearchState* st, VarId var, NodeId node) const;
+  std::vector<NodeId> CandidatesFor(const SearchState& st, VarId var) const;
+  VarId PickNextVar(const SearchState& st) const;
+
+  const Graph& g_;
+  const Pattern& p_;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_MATCH_MATCHER_H_

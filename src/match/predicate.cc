@@ -1,0 +1,134 @@
+#include "match/predicate.h"
+
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace grepair {
+
+bool CompareValues(const Vocabulary& vocab, SymbolId lhs, CmpOp op,
+                   SymbolId rhs) {
+  // Fast path for (in)equality of interned symbols.
+  if (op == CmpOp::kEq && lhs == rhs) return true;
+  if (op == CmpOp::kNe && lhs == rhs) return false;
+
+  const std::string& ls = vocab.ValueName(lhs);
+  const std::string& rs = vocab.ValueName(rhs);
+  double ln, rn;
+  int cmp;
+  if (ParseDouble(ls, &ln) && ParseDouble(rs, &rn)) {
+    cmp = (ln < rn) ? -1 : (ln > rn ? 1 : 0);
+  } else {
+    int c = std::strcmp(ls.c_str(), rs.c_str());
+    cmp = (c < 0) ? -1 : (c > 0 ? 1 : 0);
+  }
+  switch (op) {
+    case CmpOp::kEq: return cmp == 0;
+    case CmpOp::kNe: return cmp != 0;
+    case CmpOp::kLt: return cmp < 0;
+    case CmpOp::kLe: return cmp <= 0;
+    case CmpOp::kGt: return cmp > 0;
+    case CmpOp::kGe: return cmp >= 0;
+    case CmpOp::kAbsent:
+    case CmpOp::kPresent:
+      return false;  // unary ops are resolved in EvalPredicate, not here
+  }
+  return false;
+}
+
+namespace {
+
+// Resolves an operand to a value id; returns false while unresolvable
+// because the var is unbound. `*absent` is set when the var is bound but the
+// attribute is missing.
+bool ResolveOperand(const Graph& g, const AttrOperand& o,
+                    const std::vector<NodeId>& binding,
+                    const std::vector<EdgeId>* edges, SymbolId* out,
+                    bool* absent) {
+  *absent = false;
+  if (o.var == kNoVar) {
+    *out = o.constant;
+    return true;
+  }
+  SymbolId v;
+  if (o.is_edge) {
+    if (edges == nullptr || o.var >= edges->size() ||
+        (*edges)[o.var] == kInvalidEdge)
+      return false;
+    v = g.EdgeAttr((*edges)[o.var], o.attr);
+  } else {
+    NodeId n = binding[o.var];
+    if (n == kInvalidNode) return false;
+    v = g.NodeAttr(n, o.attr);
+  }
+  if (v == 0) {
+    *absent = true;
+    *out = 0;
+    return true;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool PredicateUsesEdges(const AttrPredicate& p) {
+  return (p.lhs.var != kNoVar && p.lhs.is_edge) ||
+         (p.rhs.var != kNoVar && p.rhs.is_edge);
+}
+
+PredVerdict EvalPredicate(const Graph& g, const AttrPredicate& p,
+                          const std::vector<NodeId>& binding,
+                          const std::vector<EdgeId>* edges) {
+  SymbolId lv, rv;
+  bool labs, rabs;
+  if (p.op == CmpOp::kAbsent || p.op == CmpOp::kPresent) {
+    if (!ResolveOperand(g, p.lhs, binding, edges, &lv, &labs))
+      return PredVerdict::kUnknown;
+    bool present = !labs && lv != 0;
+    bool want_present = (p.op == CmpOp::kPresent);
+    return present == want_present ? PredVerdict::kTrue : PredVerdict::kFalse;
+  }
+  if (!ResolveOperand(g, p.lhs, binding, edges, &lv, &labs))
+    return PredVerdict::kUnknown;
+  if (!ResolveOperand(g, p.rhs, binding, edges, &rv, &rabs))
+    return PredVerdict::kUnknown;
+  if (labs || rabs) {
+    // Absent attributes never satisfy equality/order predicates; inequality
+    // holds when exactly one side is absent.
+    if (p.op == CmpOp::kNe)
+      return (labs != rabs) ? PredVerdict::kTrue : PredVerdict::kFalse;
+    return PredVerdict::kFalse;
+  }
+  return CompareValues(*g.vocab(), lv, p.op, rv) ? PredVerdict::kTrue
+                                                 : PredVerdict::kFalse;
+}
+
+bool EvalNac(const Graph& g, const Nac& nac,
+             const std::vector<NodeId>& binding) {
+  switch (nac.kind) {
+    case NacKind::kNoEdge: {
+      NodeId s = binding[nac.src_var], d = binding[nac.dst_var];
+      return !g.HasEdge(s, d, nac.label);
+    }
+    case NacKind::kNoOutEdge: {
+      NodeId s = binding[nac.src_var];
+      for (EdgeId e : g.OutEdges(s))
+        if (nac.label == 0 || g.EdgeLabel(e) == nac.label) return false;
+      return true;
+    }
+    case NacKind::kNoInEdge: {
+      NodeId d = binding[nac.dst_var];
+      for (EdgeId e : g.InEdges(d))
+        if (nac.label == 0 || g.EdgeLabel(e) == nac.label) return false;
+      return true;
+    }
+    case NacKind::kNoIncident: {
+      NodeId s = binding[nac.src_var];
+      return g.Degree(s) == 0;
+    }
+  }
+  return true;
+}
+
+}  // namespace grepair

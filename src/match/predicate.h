@@ -1,0 +1,39 @@
+// Attribute predicate evaluation over (partial) variable bindings.
+#ifndef GREPAIR_MATCH_PREDICATE_H_
+#define GREPAIR_MATCH_PREDICATE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "match/pattern.h"
+
+namespace grepair {
+
+/// Three-valued evaluation result for partial bindings.
+enum class PredVerdict : uint8_t { kTrue, kFalse, kUnknown };
+
+/// Compares two interned values: numeric when both parse as doubles,
+/// lexicographic otherwise.
+bool CompareValues(const Vocabulary& vocab, SymbolId lhs, CmpOp op,
+                   SymbolId rhs);
+
+/// Evaluates a predicate under node `binding` (kInvalidNode = unbound) and
+/// optional edge binding (`edges` may be null or contain kInvalidEdge for
+/// unbound pattern edges). Returns kUnknown while any referenced var is
+/// unbound. Absent attributes: EQ-family predicates are false; kNe is true
+/// iff exactly one side absent.
+PredVerdict EvalPredicate(const Graph& g, const AttrPredicate& p,
+                          const std::vector<NodeId>& binding,
+                          const std::vector<EdgeId>* edges = nullptr);
+
+/// True if either operand refers to a pattern edge attribute.
+bool PredicateUsesEdges(const AttrPredicate& p);
+
+/// Evaluates a NAC under a FULL binding; true = the NAC is satisfied
+/// (i.e. the forbidden thing is absent).
+bool EvalNac(const Graph& g, const Nac& nac,
+             const std::vector<NodeId>& binding);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_MATCH_PREDICATE_H_

@@ -1,0 +1,52 @@
+// GRR mining: discover candidate graph-repairing rules from data instead of
+// writing them by hand. The miner scans one graph and proposes rules whose
+// statistical support clears a threshold:
+//
+//   symmetry          l(x,y) => l(y,x)            -> incomplete ADD_EDGE
+//   forward implication  l1(x,y) => l2(x,y)       -> incomplete ADD_EDGE
+//   reverse implication  l1(x,y) => l2(y,x)       -> incomplete ADD_EDGE
+//   functional        at most one l out of x      -> conflict DEL_EDGE
+//   inverse functional at most one l into y       -> conflict DEL_EDGE
+//   uniqueness key    (label, attr) nearly unique -> redundant MERGE
+//
+// Rules are emitted pre-validated (self-disabling NACs included) and can be
+// fed straight to the repair engine. Mining from a lightly corrupted graph
+// still works: the thresholds tolerate the error rate.
+#ifndef GREPAIR_MINING_RULE_MINER_H_
+#define GREPAIR_MINING_RULE_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "grr/rule.h"
+
+namespace grepair {
+
+struct MiningOptions {
+  /// Minimum fraction of witnesses satisfying the candidate's implication.
+  double min_support = 0.9;
+  /// Minimum number of witnesses (guards against tiny-sample artifacts).
+  size_t min_evidence = 10;
+  /// Node-label homogeneity needed to type a pattern variable; below this
+  /// the variable is left unlabeled (wildcard).
+  double min_label_purity = 0.95;
+  /// For key mining: minimum distinct-value ratio to call an attr a key.
+  double min_key_uniqueness = 0.99;
+};
+
+/// One discovered rule with its supporting statistics.
+struct MinedRule {
+  Rule rule;
+  double support;      ///< fraction of witnesses satisfying the implication
+  size_t evidence;     ///< number of witnesses inspected
+  std::string kind;    ///< "symmetry" | "implication" | "functional" | ...
+};
+
+/// Mines candidate rules from `g`. Every returned rule passes ValidateRule.
+/// Deterministic: output order is fixed by label id.
+std::vector<MinedRule> MineRules(const Graph& g, const MiningOptions& opt);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_MINING_RULE_MINER_H_

@@ -1,0 +1,101 @@
+// The repair engine: detect violations of a GRR set, choose fixes under the
+// configured strategy, apply until a fixpoint (no violations) or a budget is
+// exhausted. Detection can be incremental (delta-anchored around each edit)
+// or full re-detection — the central efficiency comparison of the paper.
+#ifndef GREPAIR_REPAIR_ENGINE_H_
+#define GREPAIR_REPAIR_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "grr/rule.h"
+#include "repair/fix.h"
+#include "repair/strategy.h"
+#include "repair/violation.h"
+#include "util/status.h"
+
+namespace grepair {
+
+/// Engine configuration.
+struct RepairOptions {
+  RepairStrategy strategy = RepairStrategy::kGreedy;
+  /// Delta-anchored re-detection after edits (vs full re-detection).
+  bool incremental = true;
+  /// Hard caps; exceeded runs return partially repaired graphs with
+  /// budget_exhausted set (this is how non-terminating rule sets surface).
+  size_t max_fixes = 1'000'000;
+  size_t max_rounds = 10'000;
+  /// Edge attribute carrying evidence confidence ("" disables weighting).
+  std::string confidence_attr = "conf";
+  /// Cost model for fix selection and the reported repair cost.
+  CostModel cost_model;
+  /// Track graph fingerprints and stop when a state repeats (oscillation).
+  bool detect_oscillation = false;
+  /// Naive-strategy shuffle seed (arbitrary order is seeded for
+  /// reproducibility).
+  uint64_t seed = 1;
+  /// Exact-strategy budgets.
+  size_t exact_max_expansions = 500'000;
+  size_t exact_max_depth = 64;
+};
+
+/// Outcome of a repair run.
+struct RepairResult {
+  std::vector<AppliedFix> applied;
+  size_t rounds = 0;
+  size_t initial_violations = 0;
+  size_t remaining_violations = 0;  ///< from a final full re-detection
+  double repair_cost = 0.0;         ///< weighted journal cost of all edits
+  double detect_ms = 0.0;           ///< time in (re-)detection
+  double total_ms = 0.0;
+  size_t matcher_expansions = 0;
+  bool budget_exhausted = false;
+  bool oscillation_detected = false;
+};
+
+/// Runs detection only: fills `store` with every violation of `rules` in
+/// `g`. Returns the number of live violations.
+size_t DetectAll(const Graph& g, const RuleSet& rules, ViolationStore* store,
+                 size_t* expansions = nullptr);
+
+/// Counts violations without keeping them.
+size_t CountViolations(const Graph& g, const RuleSet& rules);
+
+/// The engine. Stateless across runs; all state lives in the Graph and the
+/// run-local stores.
+class RepairEngine {
+ public:
+  explicit RepairEngine(RepairOptions options = {});
+
+  /// Repairs `g` in place against `rules`. The journal after the call holds
+  /// every edit (cost-accounted in the result).
+  Result<RepairResult> Run(Graph* g, const RuleSet& rules) const;
+
+  /// Dynamic repair: assumes `g` was consistent at journal mark
+  /// `since_mark` and repairs ONLY the violations introduced by the edits
+  /// journaled after it (plus any repair cascades). Detection cost is
+  /// proportional to the delta, not |G| — the API a live system uses to
+  /// keep a graph clean under a stream of updates. Greedy/incremental by
+  /// construction (the strategy option is ignored).
+  Result<RepairResult> RunDelta(Graph* g, const RuleSet& rules,
+                                size_t since_mark) const;
+
+  const RepairOptions& options() const { return options_; }
+
+ private:
+  Result<RepairResult> RunGreedy(Graph* g, const RuleSet& rules,
+                                 const std::vector<EditEntry>* seed_delta =
+                                     nullptr) const;
+  Result<RepairResult> RunNaive(Graph* g, const RuleSet& rules) const;
+  Result<RepairResult> RunBatch(Graph* g, const RuleSet& rules) const;
+  Result<RepairResult> RunExact(Graph* g, const RuleSet& rules) const;
+
+  SymbolId ConfAttr(const Graph& g) const;
+
+  RepairOptions options_;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_REPAIR_ENGINE_H_

@@ -1,0 +1,184 @@
+#include "repair/explain.h"
+
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace grepair {
+namespace {
+
+// "Person(n17 \"alice\")" — label, id, and name attribute when present.
+// Works for tombstoned nodes too (their label/attrs survive removal).
+std::string NodeRef(const Graph& g, NodeId n) {
+  if (n == kInvalidNode) return "?";
+  if (n >= g.NodeIdBound()) return StrFormat("n%u", n);
+  std::string out = g.vocab()->LabelName(g.NodeLabel(n));
+  out += StrFormat("(n%u", n);
+  SymbolId name = g.NodeAttr(n, g.vocab()->Attr("name"));
+  if (name != 0) out += " \"" + g.vocab()->ValueName(name) + "\"";
+  out += ")";
+  return out;
+}
+
+std::string RuleName(const RuleSet& rules, RuleId id) {
+  if (id < rules.size()) return rules[id].name();
+  return StrFormat("baseline#%u", id);
+}
+
+std::string ClassName(const RuleSet& rules, RuleId id) {
+  if (id < rules.size())
+    return std::string(ErrorClassName(rules[id].error_class()));
+  return "baseline";
+}
+
+}  // namespace
+
+std::string ExplainFix(const Graph& g, const RuleSet& rules,
+                       const AppliedFix& fix) {
+  std::string head = StrFormat("[%s] %s: ",
+                               ClassName(rules, fix.rule).c_str(),
+                               RuleName(rules, fix.rule).c_str());
+  const std::string label =
+      fix.label ? g.vocab()->LabelName(fix.label) : std::string("?");
+  switch (fix.kind) {
+    case ActionKind::kAddEdge:
+      return head + StrFormat("added %s edge %s -> %s", label.c_str(),
+                              NodeRef(g, fix.node_a).c_str(),
+                              NodeRef(g, fix.node_b).c_str());
+    case ActionKind::kAddNode:
+      return head + StrFormat("created %s linked to %s via %s",
+                              NodeRef(g, fix.new_node).c_str(),
+                              NodeRef(g, fix.node_a).c_str(), label.c_str());
+    case ActionKind::kDelEdge:
+      return head + StrFormat("deleted %s edge %s -> %s", label.c_str(),
+                              NodeRef(g, fix.node_a).c_str(),
+                              NodeRef(g, fix.node_b).c_str());
+    case ActionKind::kDelNode:
+      return head + "deleted " + NodeRef(g, fix.node_a);
+    case ActionKind::kUpdNode:
+      if (fix.attr != 0)
+        return head + StrFormat("set %s.%s = \"%s\"",
+                                NodeRef(g, fix.node_a).c_str(),
+                                g.vocab()->AttrName(fix.attr).c_str(),
+                                g.vocab()->ValueName(fix.value).c_str());
+      return head + StrFormat("relabeled %s to %s",
+                              NodeRef(g, fix.node_a).c_str(), label.c_str());
+    case ActionKind::kUpdEdge:
+      return head + StrFormat("relabeled edge %s -> %s to %s",
+                              NodeRef(g, fix.node_a).c_str(),
+                              NodeRef(g, fix.node_b).c_str(), label.c_str());
+    case ActionKind::kMerge:
+      return head + StrFormat("merged %s into %s",
+                              NodeRef(g, fix.node_b).c_str(),
+                              NodeRef(g, fix.node_a).c_str());
+  }
+  return head + "?";
+}
+
+std::string ExplainRepair(const Graph& g, const RuleSet& rules,
+                          const RepairResult& result, size_t max_fixes) {
+  std::string out = StrFormat(
+      "repair: %zu violations -> %zu, %zu fixes, cost %.1f, %.1f ms "
+      "(%.1f ms detecting)\n",
+      result.initial_violations, result.remaining_violations,
+      result.applied.size(), result.repair_cost, result.total_ms,
+      result.detect_ms);
+  if (result.budget_exhausted) out += "  WARNING: fix budget exhausted\n";
+  if (result.oscillation_detected) out += "  WARNING: oscillation detected\n";
+
+  std::map<std::string, size_t> per_class;
+  std::map<std::string, size_t> per_rule;
+  for (const AppliedFix& f : result.applied) {
+    per_class[ClassName(rules, f.rule)]++;
+    per_rule[RuleName(rules, f.rule)]++;
+  }
+  out += "by class:\n";
+  for (const auto& [cls, n] : per_class)
+    out += StrFormat("  %-12s %zu\n", cls.c_str(), n);
+  out += "by rule:\n";
+  for (const auto& [rule, n] : per_rule)
+    out += StrFormat("  %-32s %zu\n", rule.c_str(), n);
+
+  out += "fixes:\n";
+  for (size_t i = 0; i < result.applied.size() && i < max_fixes; ++i)
+    out += "  " + ExplainFix(g, rules, result.applied[i]) + "\n";
+  if (result.applied.size() > max_fixes)
+    out += StrFormat("  ... and %zu more\n",
+                     result.applied.size() - max_fixes);
+  return out;
+}
+
+std::string RepairDiffDot(const Graph& repaired, const RepairResult& result) {
+  // Classify elements from the journal slice the repair produced.
+  std::set<NodeId> added_nodes, touched_nodes, removed_nodes;
+  std::set<EdgeId> added_edges, touched_edges;
+  struct Ghost {
+    NodeId src, dst;
+    SymbolId label;
+  };
+  std::vector<Ghost> removed_edges;
+
+  size_t begin = result.applied.empty() ? repaired.JournalSize()
+                                        : result.applied.front().journal_begin;
+  size_t end = result.applied.empty() ? repaired.JournalSize()
+                                      : result.applied.back().journal_end;
+  for (size_t i = begin; i < end && i < repaired.Journal().size(); ++i) {
+    const EditEntry& e = repaired.Journal()[i];
+    switch (e.kind) {
+      case EditKind::kAddNode: added_nodes.insert(e.node); break;
+      case EditKind::kRemoveNode: removed_nodes.insert(e.node); break;
+      case EditKind::kAddEdge: added_edges.insert(e.edge); break;
+      case EditKind::kRemoveEdge:
+        removed_edges.push_back({e.src, e.dst, e.label});
+        break;
+      case EditKind::kSetNodeLabel:
+      case EditKind::kSetNodeAttr:
+        touched_nodes.insert(e.node);
+        break;
+      case EditKind::kSetEdgeLabel:
+      case EditKind::kSetEdgeAttr:
+        touched_edges.insert(e.edge);
+        break;
+    }
+  }
+
+  const Vocabulary& vocab = *repaired.vocab();
+  std::string out = "digraph repair {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (NodeId n : repaired.Nodes()) {
+    std::string attrs;
+    if (added_nodes.count(n)) {
+      attrs = ", color=green, penwidth=2";
+    } else if (touched_nodes.count(n)) {
+      attrs = ", color=orange, penwidth=2";
+    }
+    out += StrFormat("  n%u [label=\"n%u:%s\"%s];\n", n, n,
+                     vocab.LabelName(repaired.NodeLabel(n)).c_str(),
+                     attrs.c_str());
+  }
+  for (NodeId n : removed_nodes) {
+    out += StrFormat(
+        "  n%u [label=\"n%u:%s\", color=red, style=dashed];\n", n, n,
+        vocab.LabelName(repaired.NodeLabel(n)).c_str());
+  }
+  for (EdgeId e : repaired.Edges()) {
+    EdgeView v = repaired.Edge(e);
+    std::string attrs;
+    if (added_edges.count(e)) {
+      attrs = ", color=green, penwidth=2";
+    } else if (touched_edges.count(e)) {
+      attrs = ", color=orange, penwidth=2";
+    }
+    out += StrFormat("  n%u -> n%u [label=\"%s\"%s];\n", v.src, v.dst,
+                     vocab.LabelName(v.label).c_str(), attrs.c_str());
+  }
+  for (const Ghost& ghost : removed_edges) {
+    out += StrFormat(
+        "  n%u -> n%u [label=\"%s\", color=red, style=dashed];\n", ghost.src,
+        ghost.dst, vocab.LabelName(ghost.label).c_str());
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace grepair

@@ -1,0 +1,34 @@
+// Repair provenance: human-readable explanations of what the engine did and
+// why, plus a Graphviz diff of the repair. Production users audit repairs
+// before trusting them; this module is that audit surface.
+#ifndef GREPAIR_REPAIR_EXPLAIN_H_
+#define GREPAIR_REPAIR_EXPLAIN_H_
+
+#include <string>
+
+#include "grr/rule.h"
+#include "repair/engine.h"
+
+namespace grepair {
+
+/// One-line explanation of a fix: rule, error class, operation, and the
+/// affected elements (with `name` attributes when present).
+/// Example: "[conflict] one_birthplace: deleted born_in edge
+///           Person(n17 "person17") -> City(n203 "city3")".
+std::string ExplainFix(const Graph& g, const RuleSet& rules,
+                       const AppliedFix& fix);
+
+/// Multi-line report: per-class and per-rule fix counts, cost, timing, and
+/// the first `max_fixes` individual explanations.
+std::string ExplainRepair(const Graph& g, const RuleSet& rules,
+                          const RepairResult& result, size_t max_fixes = 20);
+
+/// Graphviz DOT of the repaired graph with the repair diff highlighted:
+/// created elements green, relabeled/re-attributed orange, and removed
+/// elements drawn as dashed red ghosts (reconstructed from the journal
+/// range covered by `result`).
+std::string RepairDiffDot(const Graph& repaired, const RepairResult& result);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_REPAIR_EXPLAIN_H_

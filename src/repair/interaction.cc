@@ -1,0 +1,109 @@
+#include "repair/interaction.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace grepair {
+namespace {
+
+void AddNodeAndIncidence(const Graph& g, NodeId n, FixScope* scope) {
+  scope->write_nodes.push_back(n);
+  for (EdgeId e : g.OutEdges(n)) {
+    scope->write_edges.push_back(e);
+    scope->read_nodes.push_back(g.Edge(e).dst);
+  }
+  for (EdgeId e : g.InEdges(n)) {
+    scope->write_edges.push_back(e);
+    scope->read_nodes.push_back(g.Edge(e).src);
+  }
+}
+
+template <typename T>
+void SortUnique(std::vector<T>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+template <typename T>
+bool Intersects(const std::vector<T>& a, const std::vector<T>& b) {
+  // Both sorted.
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+FixScope ComputeScope(const Graph& g, const Rule& rule, const Match& match) {
+  FixScope scope;
+  scope.read_nodes = match.nodes;
+  scope.read_edges = match.edges;
+  const RepairAction& a = rule.action();
+  switch (a.kind) {
+    case ActionKind::kAddEdge:
+      scope.write_nodes.push_back(match.nodes[a.var]);
+      scope.write_nodes.push_back(match.nodes[a.var2]);
+      break;
+    case ActionKind::kAddNode:
+      scope.write_nodes.push_back(match.nodes[a.var]);
+      break;
+    case ActionKind::kDelEdge:
+      scope.write_edges.push_back(match.edges[a.edge_idx]);
+      break;
+    case ActionKind::kDelNode:
+      AddNodeAndIncidence(g, match.nodes[a.var], &scope);
+      break;
+    case ActionKind::kUpdNode:
+      scope.write_nodes.push_back(match.nodes[a.var]);
+      break;
+    case ActionKind::kUpdEdge:
+      scope.write_edges.push_back(match.edges[a.edge_idx]);
+      break;
+    case ActionKind::kMerge:
+      AddNodeAndIncidence(g, match.nodes[a.var], &scope);
+      AddNodeAndIncidence(g, match.nodes[a.var2], &scope);
+      break;
+  }
+  SortUnique(&scope.read_nodes);
+  SortUnique(&scope.read_edges);
+  SortUnique(&scope.write_nodes);
+  SortUnique(&scope.write_edges);
+  return scope;
+}
+
+bool ScopesConflict(const FixScope& a, const FixScope& b) {
+  // a.writes vs b.reads+writes
+  if (Intersects(a.write_nodes, b.write_nodes)) return true;
+  if (Intersects(a.write_nodes, b.read_nodes)) return true;
+  if (Intersects(a.write_edges, b.write_edges)) return true;
+  if (Intersects(a.write_edges, b.read_edges)) return true;
+  // b.writes vs a.reads
+  if (Intersects(b.write_nodes, a.read_nodes)) return true;
+  if (Intersects(b.write_edges, a.read_edges)) return true;
+  return false;
+}
+
+std::vector<size_t> SelectIndependent(const std::vector<FixScope>& scopes) {
+  std::vector<size_t> selected;
+  for (size_t i = 0; i < scopes.size(); ++i) {
+    bool ok = true;
+    for (size_t j : selected) {
+      if (ScopesConflict(scopes[i], scopes[j])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) selected.push_back(i);
+  }
+  return selected;
+}
+
+}  // namespace grepair

@@ -1,0 +1,39 @@
+// Fix-interaction analysis: which candidate fixes can be applied together in
+// one batch without invalidating each other. Two fixes conflict when the
+// write set of one intersects the read-or-write set of the other (scopes are
+// computed conservatively against the live graph).
+#ifndef GREPAIR_REPAIR_INTERACTION_H_
+#define GREPAIR_REPAIR_INTERACTION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "grr/rule.h"
+#include "match/matcher.h"
+
+namespace grepair {
+
+/// The element footprint of a fix.
+struct FixScope {
+  std::vector<NodeId> read_nodes;   ///< matched nodes
+  std::vector<EdgeId> read_edges;   ///< matched edges
+  std::vector<NodeId> write_nodes;  ///< nodes mutated/deleted/merged
+  std::vector<EdgeId> write_edges;  ///< edges mutated/deleted (incl. cascades)
+};
+
+/// Computes the scope of applying `rule` at `match` on the current graph.
+/// Node deletions/merges include every incident edge in the write set and
+/// the neighbor nodes in the read set (their adjacency changes).
+FixScope ComputeScope(const Graph& g, const Rule& rule, const Match& match);
+
+/// True when the two fixes cannot be batched (write/read+write overlap).
+bool ScopesConflict(const FixScope& a, const FixScope& b);
+
+/// Greedy maximum-weight-ish independent set: fixes are taken in the given
+/// (cost-sorted) order, skipping any that conflicts with one already taken.
+/// Returns indices into `scopes`.
+std::vector<size_t> SelectIndependent(const std::vector<FixScope>& scopes);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_REPAIR_INTERACTION_H_

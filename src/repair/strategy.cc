@@ -1,0 +1,15 @@
+#include "repair/strategy.h"
+
+namespace grepair {
+
+std::string_view RepairStrategyName(RepairStrategy s) {
+  switch (s) {
+    case RepairStrategy::kNaive: return "naive";
+    case RepairStrategy::kGreedy: return "greedy";
+    case RepairStrategy::kBatch: return "batch";
+    case RepairStrategy::kExact: return "exact";
+  }
+  return "?";
+}
+
+}  // namespace grepair

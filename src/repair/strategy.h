@@ -1,0 +1,26 @@
+// Repair strategies: how the engine orders and batches candidate fixes.
+#ifndef GREPAIR_REPAIR_STRATEGY_H_
+#define GREPAIR_REPAIR_STRATEGY_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace grepair {
+
+/// kNaive  — round-based, arbitrary fix order, no cost model, full
+///           re-detection between rounds (the strawman every efficient
+///           method is measured against).
+/// kGreedy — one fix at a time, always the globally cheapest (weighted-GED)
+///           candidate, incremental re-detection.
+/// kBatch  — per round: take all current violations, order their best fixes
+///           by cost, apply a maximal non-interacting subset at once, then
+///           incrementally re-detect ("efficient repairing" of the paper).
+/// kExact  — branch-and-bound over fix sequences for the minimum-cost
+///           repaired graph; exponential, only for small instances.
+enum class RepairStrategy : uint8_t { kNaive, kGreedy, kBatch, kExact };
+
+std::string_view RepairStrategyName(RepairStrategy s);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_REPAIR_STRATEGY_H_

@@ -1,0 +1,69 @@
+#include "repair/violation.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace grepair {
+
+uint64_t ViolationKey(RuleId rule, const Match& m) {
+  std::vector<NodeId> nodes = m.nodes;
+  std::vector<EdgeId> edges = m.edges;
+  std::sort(nodes.begin(), nodes.end());
+  std::sort(edges.begin(), edges.end());
+  uint64_t h = Mix64(0xF1E2D3C4B5A69788ULL + rule);
+  for (NodeId n : nodes) h = HashCombine(h, n);
+  for (EdgeId e : edges) h = HashCombine(h, 0x4000000000ULL + e);
+  return h;
+}
+
+bool ViolationStore::Add(RuleId rule, const Match& m, double cost) {
+  uint64_t key = ViolationKey(rule, m);
+  auto it = live_.find(key);
+  if (it != live_.end()) {
+    // Fold as an alternative (skip exact duplicates).
+    for (const auto& alt : it->second.alternatives)
+      if (alt == m) return false;
+    it->second.alternatives.push_back(m);
+    if (cost < it->second.best_cost) {
+      it->second.best_cost = cost;
+      heap_.push({cost, key});  // decrease-key via lazy duplicate
+    }
+    return false;
+  }
+  Violation v;
+  v.rule = rule;
+  v.alternatives.push_back(m);
+  v.best_cost = cost;
+  live_.emplace(key, std::move(v));
+  heap_.push({cost, key});
+  return true;
+}
+
+bool ViolationStore::PopBest(Violation* out) {
+  while (!heap_.empty()) {
+    HeapItem item = heap_.top();
+    heap_.pop();
+    auto it = live_.find(item.key);
+    if (it == live_.end()) continue;           // already consumed
+    if (item.cost > it->second.best_cost) continue;  // stale duplicate
+    *out = std::move(it->second);
+    live_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+void ViolationStore::Clear() {
+  live_.clear();
+  heap_ = {};
+}
+
+std::vector<Violation> ViolationStore::Snapshot() const {
+  std::vector<Violation> out;
+  out.reserve(live_.size());
+  for (const auto& [key, v] : live_) out.push_back(v);
+  return out;
+}
+
+}  // namespace grepair

@@ -1,0 +1,64 @@
+// The violation store: detected rule violations deduplicated by their
+// element footprint, with alternative repairs per violation, prioritized by
+// cheapest-fix cost (min-heap with lazy invalidation).
+#ifndef GREPAIR_REPAIR_VIOLATION_H_
+#define GREPAIR_REPAIR_VIOLATION_H_
+
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "grr/rule.h"
+#include "match/matcher.h"
+
+namespace grepair {
+
+/// One detected violation: a rule and the (one or more) matches that embody
+/// it. Matches of the same rule over the same element set — e.g. the two
+/// orderings of a functional-conflict pattern — are folded into ONE
+/// violation whose matches are alternative repairs.
+struct Violation {
+  RuleId rule;
+  std::vector<Match> alternatives;
+  double best_cost = 0.0;
+};
+
+/// Stable key of a violation: rule + sorted node ids + sorted edge ids.
+uint64_t ViolationKey(RuleId rule, const Match& m);
+
+/// Priority store. Entries are only ever invalidated lazily: the consumer
+/// pops, re-verifies against the live graph, and discards dead entries.
+class ViolationStore {
+ public:
+  /// Adds a match; folds into an existing violation with the same key.
+  /// Returns true if this created a NEW violation (not a fold/duplicate).
+  bool Add(RuleId rule, const Match& m, double cost);
+
+  /// Pops the cheapest violation. Returns false when empty. The popped
+  /// violation may be stale — the caller re-verifies.
+  bool PopBest(Violation* out);
+
+  /// Number of live (non-popped) violations currently tracked.
+  size_t Size() const { return live_.size(); }
+  bool Empty() const { return live_.empty(); }
+
+  /// Drops everything.
+  void Clear();
+
+  /// All live violations (unsorted); used by batch strategies.
+  std::vector<Violation> Snapshot() const;
+
+ private:
+  struct HeapItem {
+    double cost;
+    uint64_t key;
+    bool operator>(const HeapItem& o) const { return cost > o.cost; }
+  };
+  std::unordered_map<uint64_t, Violation> live_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>
+      heap_;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_REPAIR_VIOLATION_H_

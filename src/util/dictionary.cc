@@ -1,0 +1,33 @@
+#include "util/dictionary.h"
+
+#include <cassert>
+
+namespace grepair {
+
+Dictionary::Dictionary() {
+  names_.emplace_back("");
+  ids_.emplace("", 0);
+}
+
+SymbolId Dictionary::Intern(std::string_view s) {
+  auto it = ids_.find(std::string(s));
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(s);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+bool Dictionary::Lookup(std::string_view s, SymbolId* id) const {
+  auto it = ids_.find(std::string(s));
+  if (it == ids_.end()) return false;
+  *id = it->second;
+  return true;
+}
+
+const std::string& Dictionary::Name(SymbolId id) const {
+  assert(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace grepair

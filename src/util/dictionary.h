@@ -1,0 +1,43 @@
+// String interning: labels, attribute names and attribute values are stored
+// once and referred to by dense 32-bit ids everywhere in the engine.
+#ifndef GREPAIR_UTIL_DICTIONARY_H_
+#define GREPAIR_UTIL_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace grepair {
+
+/// Dense id for an interned string. Id 0 is always the empty string, which
+/// doubles as "unlabeled"/wildcard-free default.
+using SymbolId = uint32_t;
+
+/// Append-only bidirectional string <-> id map. Not thread-safe (the engine
+/// is single-threaded by design; see DESIGN.md).
+class Dictionary {
+ public:
+  Dictionary();
+
+  /// Interns `s`, returning its stable id (existing id if already present).
+  SymbolId Intern(std::string_view s);
+
+  /// Looks up without interning; returns false if absent.
+  bool Lookup(std::string_view s, SymbolId* id) const;
+
+  /// The string for an id; id must be valid.
+  const std::string& Name(SymbolId id) const;
+
+  /// Number of interned symbols (>= 1: the empty string).
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> ids_;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_UTIL_DICTIONARY_H_

@@ -1,0 +1,35 @@
+// Hash utilities: combination and 64-bit mixing for graph fingerprints.
+#ifndef GREPAIR_UTIL_HASH_H_
+#define GREPAIR_UTIL_HASH_H_
+
+#include <cstdint>
+#include <utility>
+
+namespace grepair {
+
+/// Strong 64-bit mix (SplitMix64 finalizer).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Order-dependent combine (boost-style, widened to 64 bits).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (Mix64(v) + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hash for pairs of integers (used as map keys for edge endpoints).
+struct PairHash {
+  size_t operator()(const std::pair<uint32_t, uint32_t>& p) const {
+    return static_cast<size_t>(
+        Mix64((static_cast<uint64_t>(p.first) << 32) | p.second));
+  }
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_UTIL_HASH_H_

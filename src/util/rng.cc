@@ -1,0 +1,93 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace grepair {
+namespace {
+
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& w : state_) w = SplitMix64(&s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Lemire-style rejection to avoid modulo bias.
+  if (bound == 0) return 0;
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  if (n <= 1) return 0;
+  if (s <= 0.0) return NextBounded(n);
+  // Inverse-CDF over precomputed-free harmonic approximation: rejection with
+  // the classic (Devroye) method is overkill for our sizes; simple linear CDF
+  // walk is fine because callers use modest n for label pools, and for large
+  // n we use the approximate inversion below.
+  if (n <= 1024) {
+    double h = 0.0;
+    for (uint64_t k = 1; k <= n; ++k) h += 1.0 / std::pow(double(k), s);
+    double u = NextDouble() * h;
+    double acc = 0.0;
+    for (uint64_t k = 1; k <= n; ++k) {
+      acc += 1.0 / std::pow(double(k), s);
+      if (u <= acc) return k - 1;
+    }
+    return n - 1;
+  }
+  // Approximate inversion for large n (good enough for workload skew).
+  double u = NextDouble();
+  double exp = 1.0 - s;
+  double val;
+  if (std::fabs(exp) < 1e-9) {
+    val = std::exp(u * std::log(double(n)));
+  } else {
+    val = std::pow(u * (std::pow(double(n), exp) - 1.0) + 1.0, 1.0 / exp);
+  }
+  uint64_t k = static_cast<uint64_t>(val);
+  if (k >= n) k = n - 1;
+  return k;
+}
+
+}  // namespace grepair

@@ -1,0 +1,141 @@
+// Status / Result<T>: exception-free error handling used across all public
+// GRepair APIs, in the style of Arrow/RocksDB.
+#ifndef GREPAIR_UTIL_STATUS_H_
+#define GREPAIR_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace grepair {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kNotFound,          ///< referenced entity does not exist
+  kAlreadyExists,     ///< uniqueness violated (duplicate id, duplicate rule)
+  kFailedPrecondition,///< operation illegal in current state
+  kOutOfRange,        ///< index/limit exceeded
+  kParseError,        ///< DSL / file syntax error
+  kInconsistent,      ///< rule set fails consistency analysis
+  kResourceExhausted, ///< configured budget (iterations, expansions) exceeded
+  kInternal,          ///< invariant broken inside the library (a bug)
+};
+
+/// Human-readable name of a status code (stable, for logs and tests).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Outcome of an operation that can fail. Cheap to move; Ok() carries no
+/// allocation. Follows the RocksDB convention: functions return Status and
+/// write outputs through pointers, or return Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Inconsistent(std::string msg) {
+    return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or a failure Status. Accessing the value of a failed Result is a
+/// programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) { // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result(Status) requires a failure status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when failed.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::Ok();
+};
+
+/// Propagates a failure Status out of the enclosing function.
+#define GREPAIR_RETURN_IF_ERROR(expr)          \
+  do {                                         \
+    ::grepair::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates failure.
+#define GREPAIR_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto GREPAIR_CONCAT_(_res_, __LINE__) = (expr);            \
+  if (!GREPAIR_CONCAT_(_res_, __LINE__).ok())                \
+    return GREPAIR_CONCAT_(_res_, __LINE__).status();        \
+  lhs = std::move(GREPAIR_CONCAT_(_res_, __LINE__)).value()
+
+#define GREPAIR_CONCAT_(a, b) GREPAIR_CONCAT_IMPL_(a, b)
+#define GREPAIR_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace grepair
+
+#endif  // GREPAIR_UTIL_STATUS_H_

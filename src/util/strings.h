@@ -1,0 +1,42 @@
+// Small string helpers shared by the DSL parser, graph I/O and table writers.
+#ifndef GREPAIR_UTIL_STRINGS_H_
+#define GREPAIR_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace grepair {
+
+/// Splits on `sep`, keeping empty fields (TSV semantics).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on runs of whitespace, dropping empty tokens.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Uppercases ASCII in place and returns the result (for DSL keywords).
+std::string ToUpperAscii(std::string_view s);
+
+/// Parses a non-negative integer; returns false on any non-digit content.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+/// Parses a double via strtod; returns false on trailing junk.
+bool ParseDouble(std::string_view s, double* out);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace grepair
+
+#endif  // GREPAIR_UTIL_STRINGS_H_

@@ -1,0 +1,66 @@
+#include "util/table_writer.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace grepair {
+
+TableWriter::TableWriter(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void TableWriter::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::Num(double v, int precision) {
+  return StrFormat("%.*f", precision, v);
+}
+
+std::string TableWriter::Int(int64_t v) {
+  return StrFormat("%lld", static_cast<long long>(v));
+}
+
+std::string TableWriter::ToAscii() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c];
+      line.append(widths[c] - row[c].size() + 1, ' ');
+      line += "|";
+    }
+    return line + "\n";
+  };
+
+  std::string sep = "+";
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    sep.append(widths[c] + 2, '-');
+    sep += "+";
+  }
+  sep += "\n";
+
+  std::string out;
+  if (!title_.empty()) out += "== " + title_ + " ==\n";
+  out += sep + render_row(columns_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string TableWriter::ToCsv() const {
+  std::string out = Join(columns_, ",") + "\n";
+  for (const auto& row : rows_) out += Join(row, ",") + "\n";
+  return out;
+}
+
+void TableWriter::Print() const { std::fputs(ToAscii().c_str(), stdout); }
+
+}  // namespace grepair

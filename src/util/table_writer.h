@@ -1,0 +1,41 @@
+// Console table / CSV emission for the benchmark harnesses. Benchmarks print
+// paper-style rows with this, so every bench binary's output is uniform.
+#ifndef GREPAIR_UTIL_TABLE_WRITER_H_
+#define GREPAIR_UTIL_TABLE_WRITER_H_
+
+#include <string>
+#include <vector>
+
+namespace grepair {
+
+/// Collects rows and renders them as an aligned ASCII table and/or CSV.
+class TableWriter {
+ public:
+  /// `title` is printed above the table; `columns` are the header cells.
+  TableWriter(std::string title, std::vector<std::string> columns);
+
+  /// Appends one row; the cell count must equal the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(int64_t v);
+
+  /// Renders the aligned ASCII table.
+  std::string ToAscii() const;
+
+  /// Renders RFC-4180-ish CSV (no quoting needed for our cells).
+  std::string ToCsv() const;
+
+  /// Prints the ASCII table to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_UTIL_TABLE_WRITER_H_

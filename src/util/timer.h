@@ -1,0 +1,33 @@
+// Wall-clock timing for experiment harnesses.
+#ifndef GREPAIR_UTIL_TIMER_H_
+#define GREPAIR_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace grepair {
+
+/// Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSec() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_UTIL_TIMER_H_

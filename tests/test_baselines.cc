@@ -1,0 +1,140 @@
+// Baseline behavior tests: detect-only floor, random-order repair, and the
+// relational CFD baseline's strengths (functional conflicts) and structural
+// blind spots (incompleteness, merge-vs-delete).
+#include <gtest/gtest.h>
+
+#include "baseline/detect_only.h"
+#include "baseline/random_repair.h"
+#include "baseline/triple_cfd.h"
+#include "eval/experiment.h"
+
+namespace grepair {
+namespace {
+
+DatasetBundle SmallKg(uint64_t seed = 3, double rate = 0.08) {
+  KgOptions gopt;
+  gopt.num_persons = 150;
+  gopt.num_cities = 25;
+  gopt.num_countries = 6;
+  gopt.num_orgs = 15;
+  gopt.seed = seed;
+  InjectOptions iopt;
+  iopt.rate = rate;
+  iopt.seed = seed + 1;
+  auto b = MakeKgBundle(gopt, iopt);
+  EXPECT_TRUE(b.ok());
+  return std::move(b).value();
+}
+
+TEST(DetectOnlyTest, CountsButDoesNotRepair) {
+  DatasetBundle bundle = SmallKg();
+  Graph work = bundle.graph.Clone();
+  uint64_t fp = work.Fingerprint();
+  RepairResult res = DetectOnlyBaseline(work, bundle.rules);
+  EXPECT_GT(res.initial_violations, 0u);
+  EXPECT_EQ(res.remaining_violations, res.initial_violations);
+  EXPECT_TRUE(res.applied.empty());
+  EXPECT_EQ(work.Fingerprint(), fp);
+}
+
+TEST(DetectOnlyTest, ZeroRecallByConstruction) {
+  DatasetBundle bundle = SmallKg();
+  auto out = RunMethod(bundle, "detect_only");
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out.value().quality.recall, 0.0);
+}
+
+TEST(RandomRepairTest, ReachesFixpointOnConsistentRules) {
+  DatasetBundle bundle = SmallKg();
+  Graph work = bundle.graph.Clone();
+  auto res = RandomOrderRepair(&work, bundle.rules, 77);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().remaining_violations, 0u);
+}
+
+TEST(RandomRepairTest, SeedChangesOutcomeOnConflicts) {
+  // With two equally valid deletions per conflict, different seeds should
+  // (almost surely, across several conflicts) produce different graphs.
+  DatasetBundle bundle = SmallKg(9, 0.12);
+  Graph w1 = bundle.graph.Clone();
+  Graph w2 = bundle.graph.Clone();
+  ASSERT_TRUE(RandomOrderRepair(&w1, bundle.rules, 1).ok());
+  ASSERT_TRUE(RandomOrderRepair(&w2, bundle.rules, 999).ok());
+  // Not a hard guarantee per seed; this fixture has >= 5 conflicts so a
+  // collision of all coin flips is vanishingly unlikely.
+  EXPECT_NE(w1.Fingerprint(), w2.Fingerprint());
+}
+
+TEST(TripleCfdTest, ResolvesFunctionalConflicts) {
+  auto vocab = MakeVocabulary();
+  Graph g(vocab);
+  SymbolId person = vocab->Label("Person"), city = vocab->Label("City");
+  SymbolId born = vocab->Label("born_in");
+  SymbolId conf = vocab->Attr("conf");
+  NodeId p = g.AddNode(person);
+  NodeId c1 = g.AddNode(city), c2 = g.AddNode(city);
+  EdgeId real = g.AddEdge(p, c1, born).value();
+  EdgeId fake = g.AddEdge(p, c2, born).value();
+  g.SetEdgeAttr(real, conf, vocab->Value("90"));
+  g.SetEdgeAttr(fake, conf, vocab->Value("30"));
+  g.ResetJournal();
+
+  TripleCfdOptions opt;
+  opt.functional_edges = {"born_in"};
+  auto res = TripleCfdRepair(&g, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(g.EdgeAlive(real));
+  EXPECT_FALSE(g.EdgeAlive(fake));
+  EXPECT_EQ(res.value().applied.size(), 1u);
+}
+
+TEST(TripleCfdTest, CannotRepairIncompleteness) {
+  // Missing symmetric edge: the relational baseline has no rule language
+  // for structural additions; graph must remain unchanged.
+  auto vocab = MakeVocabulary();
+  Graph g(vocab);
+  SymbolId person = vocab->Label("Person"), knows = vocab->Label("knows");
+  NodeId a = g.AddNode(person), b = g.AddNode(person);
+  g.AddEdge(a, b, knows);  // missing reverse
+  g.ResetJournal();
+  uint64_t fp = g.Fingerprint();
+
+  auto res = TripleCfdRepair(&g, SocialCfdConfig());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(g.Fingerprint(), fp);
+}
+
+TEST(TripleCfdTest, DedupDeletesInsteadOfMerging) {
+  auto vocab = MakeVocabulary();
+  Graph g(vocab);
+  SymbolId person = vocab->Label("Person"), knows = vocab->Label("knows");
+  SymbolId name = vocab->Attr("name");
+  NodeId orig = g.AddNode(person);
+  NodeId dup = g.AddNode(person);
+  NodeId friend1 = g.AddNode(person);
+  g.SetNodeAttr(orig, name, vocab->Value("alice"));
+  g.SetNodeAttr(dup, name, vocab->Value("alice"));
+  g.SetNodeAttr(friend1, name, vocab->Value("frida"));
+  g.AddEdge(dup, friend1, knows);  // knowledge only the duplicate carries
+  g.ResetJournal();
+
+  auto res = TripleCfdRepair(&g, SocialCfdConfig());
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(g.NodeAlive(dup));
+  // The relational delete LOSES the duplicate's edge — the structural
+  // damage a graph-aware MERGE avoids.
+  EXPECT_FALSE(g.HasEdge(orig, friend1, knows));
+}
+
+TEST(TripleCfdTest, LowerRecallThanGreedyOnMixedErrors) {
+  DatasetBundle bundle = SmallKg(5, 0.08);
+  auto cfd = RunMethod(bundle, "cfd");
+  auto greedy = RunMethod(bundle, "greedy");
+  ASSERT_TRUE(cfd.ok() && greedy.ok());
+  EXPECT_LT(cfd.value().quality.recall, greedy.value().quality.recall);
+  EXPECT_GT(cfd.value().repair.remaining_violations, 0u);
+  EXPECT_EQ(greedy.value().repair.remaining_violations, 0u);
+}
+
+}  // namespace
+}  // namespace grepair

@@ -1,0 +1,131 @@
+// Consistency analysis tests: static checker verdicts on the shipped and
+// adversarial rule sets, trigger-graph structure, and Monte-Carlo witnesses.
+#include <gtest/gtest.h>
+
+#include "consistency/checker.h"
+#include "consistency/simulator.h"
+#include "grr/standard_rules.h"
+
+namespace grepair {
+namespace {
+
+TEST(TriggerGraphTest, CascadePairHasTriggerEdge) {
+  auto vocab = MakeVocabulary();
+  auto rules = KgRules(vocab);
+  ASSERT_TRUE(rules.ok());
+  TriggerGraph tg = TriggerGraph::Build(rules.value(), *vocab);
+  // country_needs_capital creates a capital_of edge that
+  // capital_implies_located's pattern uses.
+  RuleId creator = rules.value().Find("country_needs_capital").value();
+  RuleId consumer = rules.value().Find("capital_implies_located").value();
+  bool found = false;
+  for (const auto& t : tg.triggers())
+    if (t.from == creator && t.to == consumer) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(TriggerGraphTest, CyclicAdversarialSetHasCreationCycle) {
+  auto vocab = MakeVocabulary();
+  auto rules = AdversarialCyclicRules(vocab);
+  ASSERT_TRUE(rules.ok());
+  TriggerGraph tg = TriggerGraph::Build(rules.value(), *vocab);
+  EXPECT_TRUE(tg.HasCreationCycle());
+  EXPECT_EQ(tg.CreationCycle().size(), 3u);
+}
+
+TEST(TriggerGraphTest, KgSetHasNoCreationCycle) {
+  auto vocab = MakeVocabulary();
+  auto rules = KgRules(vocab);
+  ASSERT_TRUE(rules.ok());
+  TriggerGraph tg = TriggerGraph::Build(rules.value(), *vocab);
+  EXPECT_FALSE(tg.HasCreationCycle());
+  EXPECT_FALSE(tg.HasRelabelCycle());
+}
+
+TEST(TriggerGraphTest, ContradictoryPairDetected) {
+  auto vocab = MakeVocabulary();
+  auto rules = ContradictoryRules(vocab);
+  ASSERT_TRUE(rules.ok());
+  TriggerGraph tg = TriggerGraph::Build(rules.value(), *vocab);
+  EXPECT_FALSE(tg.contradictions().empty());
+}
+
+TEST(CheckerTest, ShippedSetsAreStaticallyConsistent) {
+  auto vocab = MakeVocabulary();
+  for (auto maker : {KgRules, SocialRules, CitationRules}) {
+    auto rules = maker(vocab);
+    ASSERT_TRUE(rules.ok());
+    ConsistencyReport rep = CheckConsistency(rules.value(), *vocab);
+    EXPECT_TRUE(rep.statically_consistent)
+        << "issues: " << (rep.issues.empty() ? "" : rep.issues[0]);
+  }
+}
+
+TEST(CheckerTest, AdversarialSetsRejected) {
+  auto vocab = MakeVocabulary();
+  {
+    auto rules = AdversarialCyclicRules(vocab);
+    ASSERT_TRUE(rules.ok());
+    ConsistencyReport rep = CheckConsistency(rules.value(), *vocab);
+    EXPECT_FALSE(rep.statically_consistent);
+    EXPECT_TRUE(rep.creation_cycle);
+  }
+  {
+    auto rules = ContradictoryRules(vocab);
+    ASSERT_TRUE(rules.ok());
+    ConsistencyReport rep = CheckConsistency(rules.value(), *vocab);
+    EXPECT_FALSE(rep.statically_consistent);
+    EXPECT_GT(rep.num_contradictions, 0u);
+  }
+}
+
+TEST(CheckerTest, EmptySetConsistent) {
+  auto vocab = MakeVocabulary();
+  RuleSet empty;
+  ConsistencyReport rep = CheckConsistency(empty, *vocab);
+  EXPECT_TRUE(rep.statically_consistent);
+  EXPECT_EQ(rep.num_trigger_edges, 0u);
+}
+
+TEST(SimulatorTest, FindsNonTerminationWitnessForCyclicSet) {
+  auto vocab = MakeVocabulary();
+  auto rules = AdversarialCyclicRules(vocab);
+  ASSERT_TRUE(rules.ok());
+  SimOptions opt;
+  opt.trials = 5;
+  opt.nodes_per_trial = 6;
+  opt.edges_per_trial = 4;
+  opt.max_fixes = 60;
+  SimulationReport rep = SimulateRuleSet(rules.value(), vocab, opt);
+  EXPECT_TRUE(rep.witness_found);
+  EXPECT_GT(rep.nonterminating, 0u);
+}
+
+TEST(SimulatorTest, FindsOscillationWitnessForContradictorySet) {
+  auto vocab = MakeVocabulary();
+  auto rules = ContradictoryRules(vocab);
+  ASSERT_TRUE(rules.ok());
+  SimOptions opt;
+  opt.trials = 8;
+  opt.nodes_per_trial = 6;
+  opt.edges_per_trial = 8;
+  opt.max_fixes = 100;
+  SimulationReport rep = SimulateRuleSet(rules.value(), vocab, opt);
+  EXPECT_TRUE(rep.witness_found);
+}
+
+TEST(SimulatorTest, KgRulesTerminateInSimulation) {
+  auto vocab = MakeVocabulary();
+  auto rules = KgRules(vocab);
+  ASSERT_TRUE(rules.ok());
+  SimOptions opt;
+  opt.trials = 6;
+  opt.nodes_per_trial = 10;
+  opt.edges_per_trial = 14;
+  opt.max_fixes = 400;
+  SimulationReport rep = SimulateRuleSet(rules.value(), vocab, opt);
+  EXPECT_EQ(rep.nonterminating, 0u);
+}
+
+}  // namespace
+}  // namespace grepair

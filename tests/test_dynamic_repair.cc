@@ -1,0 +1,159 @@
+// Dynamic (delta) repair tests: RunDelta fixes exactly the violations a
+// post-repair edit stream introduced, at delta-proportional cost, and ends
+// in the same clean state a full re-repair reaches.
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "repair/engine.h"
+#include "util/rng.h"
+
+namespace grepair {
+namespace {
+
+DatasetBundle CleanRepairedKg(uint64_t seed = 11) {
+  KgOptions gopt;
+  gopt.num_persons = 400;
+  gopt.num_cities = 50;
+  gopt.num_countries = 10;
+  gopt.num_orgs = 30;
+  gopt.seed = seed;
+  InjectOptions iopt;
+  iopt.rate = 0.04;
+  iopt.seed = seed + 5;
+  auto b = MakeKgBundle(gopt, iopt);
+  EXPECT_TRUE(b.ok());
+  DatasetBundle bundle = std::move(b).value();
+  RepairEngine engine;
+  auto res = engine.Run(&bundle.graph, bundle.rules);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.value().remaining_violations, 0u);
+  return bundle;
+}
+
+TEST(DynamicRepairTest, NoEditsNothingToDo) {
+  DatasetBundle bundle = CleanRepairedKg();
+  size_t mark = bundle.graph.JournalSize();
+  RepairEngine engine;
+  auto res = engine.RunDelta(&bundle.graph, bundle.rules, mark);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().initial_violations, 0u);
+  EXPECT_TRUE(res.value().applied.empty());
+}
+
+TEST(DynamicRepairTest, RepairsStreamedCorruption) {
+  DatasetBundle bundle = CleanRepairedKg();
+  Graph& g = bundle.graph;
+  auto vocab = bundle.vocab;
+  SymbolId knows = vocab->Label("knows");
+  SymbolId person = vocab->Label("Person");
+
+  // Stream: break a knows symmetry and add a self-contained new pair.
+  size_t mark = g.JournalSize();
+  std::vector<NodeId> persons(g.NodesWithLabel(person).begin(),
+                              g.NodesWithLabel(person).end());
+  ASSERT_GE(persons.size(), 2u);
+  NodeId a = persons[0], b = persons[1];
+  if (!g.HasEdge(a, b, knows)) {
+    g.AddEdge(a, b, knows);  // one-directional: violates symmetry
+  } else {
+    EdgeId back = g.FindEdge(b, a, knows);
+    ASSERT_NE(back, kInvalidEdge);
+    g.RemoveEdge(back);
+  }
+
+  RepairEngine engine;
+  auto res = engine.RunDelta(&g, bundle.rules, mark);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_GE(res.value().initial_violations, 1u);
+  EXPECT_GE(res.value().applied.size(), 1u);
+  EXPECT_EQ(CountViolations(g, bundle.rules), 0u);
+}
+
+TEST(DynamicRepairTest, MarkBeyondJournalRejected) {
+  DatasetBundle bundle = CleanRepairedKg();
+  RepairEngine engine;
+  auto res = engine.RunDelta(&bundle.graph, bundle.rules,
+                             bundle.graph.JournalSize() + 10);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kOutOfRange);
+}
+
+class DynamicEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DynamicEquivalence, DeltaRepairEndsClean) {
+  // Property: after a random edit stream on a clean graph, RunDelta leaves
+  // zero violations (verified by a full recount).
+  DatasetBundle bundle = CleanRepairedKg(GetParam());
+  Graph& g = bundle.graph;
+  Rng rng(GetParam() * 31 + 7);
+  auto vocab = bundle.vocab;
+  SymbolId person = vocab->Label("Person");
+  SymbolId city = vocab->Label("City");
+  SymbolId knows = vocab->Label("knows");
+  SymbolId born = vocab->Label("born_in");
+
+  std::vector<NodeId> persons(g.NodesWithLabel(person).begin(),
+                              g.NodesWithLabel(person).end());
+  std::vector<NodeId> cities(g.NodesWithLabel(city).begin(),
+                             g.NodesWithLabel(city).end());
+  ASSERT_FALSE(persons.empty());
+  ASSERT_FALSE(cities.empty());
+
+  size_t mark = g.JournalSize();
+  for (int k = 0; k < 6; ++k) {
+    NodeId p = persons[rng.PickIndex(persons)];
+    if (!g.NodeAlive(p)) continue;
+    switch (rng.NextBounded(3)) {
+      case 0: {  // asymmetric knows
+        NodeId q = persons[rng.PickIndex(persons)];
+        if (g.NodeAlive(q) && p != q && !g.HasEdge(p, q, knows))
+          g.AddEdge(p, q, knows);
+        break;
+      }
+      case 1: {  // extra birthplace (conflict)
+        NodeId c = cities[rng.PickIndex(cities)];
+        if (g.NodeAlive(c) && !g.HasEdge(p, c, born)) g.AddEdge(p, c, born);
+        break;
+      }
+      default: {  // junk org
+        g.AddNode(vocab->Label("Org"));
+        break;
+      }
+    }
+  }
+
+  RepairEngine engine;
+  auto res = engine.RunDelta(&g, bundle.rules, mark);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(CountViolations(g, bundle.rules), 0u) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicEquivalence,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(DynamicRepairTest, DeltaCostIndependentOfGraphSize) {
+  // The delta path must not do full-graph detection work: expansions for a
+  // single-edit delta stay far below a full detection's.
+  DatasetBundle bundle = CleanRepairedKg();
+  Graph& g = bundle.graph;
+  auto vocab = bundle.vocab;
+  SymbolId person = vocab->Label("Person");
+  SymbolId knows = vocab->Label("knows");
+  std::vector<NodeId> persons(g.NodesWithLabel(person).begin(),
+                              g.NodesWithLabel(person).end());
+
+  ViolationStore store;
+  size_t full_expansions = 0;
+  DetectAll(g, bundle.rules, &store, &full_expansions);
+
+  size_t mark = g.JournalSize();
+  NodeId a = persons[3], b = persons[4];
+  if (!g.HasEdge(a, b, knows)) g.AddEdge(a, b, knows);
+  RepairEngine engine;
+  auto res = engine.RunDelta(&g, bundle.rules, mark);
+  ASSERT_TRUE(res.ok());
+  EXPECT_LT(res.value().matcher_expansions, full_expansions / 5);
+}
+
+}  // namespace
+}  // namespace grepair

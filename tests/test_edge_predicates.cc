@@ -1,0 +1,203 @@
+// Edge-attribute predicates: WHERE clauses over edge attributes (e.g.
+// `e2.conf < e1.conf`), across the builder, the DSL, the matcher (full and
+// incremental) and the engine.
+#include <gtest/gtest.h>
+
+#include "grr/rule_builder.h"
+#include "grr/rule_parser.h"
+#include "match/incremental.h"
+#include "match/matcher.h"
+#include "repair/engine.h"
+
+namespace grepair {
+namespace {
+
+class EdgePredTest : public ::testing::Test {
+ protected:
+  EdgePredTest() : vocab_(MakeVocabulary()), g_(vocab_) {
+    city_ = vocab_->Label("City");
+    country_ = vocab_->Label("Country");
+    cap_ = vocab_->Label("capital_of");
+    conf_ = vocab_->Attr("conf");
+  }
+
+  EdgeId AddCap(NodeId src, NodeId dst, const char* conf) {
+    EdgeId e = g_.AddEdge(src, dst, cap_).value();
+    g_.SetEdgeAttr(e, conf_, vocab_->Value(conf));
+    return e;
+  }
+
+  VocabularyPtr vocab_;
+  Graph g_;
+  SymbolId city_, country_, cap_, conf_;
+};
+
+TEST_F(EdgePredTest, MatcherComparesEdgeAttrs) {
+  NodeId c1 = g_.AddNode(city_), c2 = g_.AddNode(city_);
+  NodeId y = g_.AddNode(country_);
+  EdgeId hi = AddCap(c1, y, "90");
+  EdgeId lo = AddCap(c2, y, "30");
+
+  // (x)-[e1]->(y), (z)-[e2]->(y) WHERE e2.conf < e1.conf : exactly one
+  // ordering satisfies the comparison, pinning e2 to the low-conf edge.
+  Pattern p;
+  VarId x = p.AddNode(city_), yv = p.AddNode(country_), z = p.AddNode(city_);
+  p.AddEdge(x, yv, cap_);
+  p.AddEdge(z, yv, cap_);
+  AttrPredicate pred;
+  pred.lhs = AttrOperand::EdgeAttr(1, conf_);
+  pred.op = CmpOp::kLt;
+  pred.rhs = AttrOperand::EdgeAttr(0, conf_);
+  p.AddPredicate(pred);
+
+  auto matches = Matcher(g_, p).Collect();
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].edges[0], hi);
+  EXPECT_EQ(matches[0].edges[1], lo);
+}
+
+TEST_F(EdgePredTest, EdgeAttrVsConstant) {
+  NodeId c1 = g_.AddNode(city_), y = g_.AddNode(country_);
+  AddCap(c1, y, "30");
+  NodeId c2 = g_.AddNode(city_), y2 = g_.AddNode(country_);
+  AddCap(c2, y2, "90");
+
+  Pattern p;
+  VarId x = p.AddNode(city_), yv = p.AddNode(country_);
+  p.AddEdge(x, yv, cap_);
+  AttrPredicate pred;
+  pred.lhs = AttrOperand::EdgeAttr(0, conf_);
+  pred.op = CmpOp::kLt;
+  pred.rhs = AttrOperand::Const(vocab_->Value("50"));
+  p.AddPredicate(pred);
+
+  auto matches = Matcher(g_, p).Collect();
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].nodes[0], c1);
+}
+
+TEST_F(EdgePredTest, AbsentEdgeAttrFailsComparison) {
+  NodeId c1 = g_.AddNode(city_), y = g_.AddNode(country_);
+  g_.AddEdge(c1, y, cap_);  // no conf attribute
+  Pattern p;
+  VarId x = p.AddNode(city_), yv = p.AddNode(country_);
+  p.AddEdge(x, yv, cap_);
+  AttrPredicate pred;
+  pred.lhs = AttrOperand::EdgeAttr(0, conf_);
+  pred.op = CmpOp::kLt;
+  pred.rhs = AttrOperand::Const(vocab_->Value("50"));
+  p.AddPredicate(pred);
+  EXPECT_EQ(Matcher(g_, p).Count(), 0u);
+}
+
+TEST_F(EdgePredTest, VerifyChecksEdgePredicates) {
+  NodeId c1 = g_.AddNode(city_), c2 = g_.AddNode(city_);
+  NodeId y = g_.AddNode(country_);
+  AddCap(c1, y, "90");
+  EdgeId lo = AddCap(c2, y, "30");
+
+  Pattern p;
+  VarId x = p.AddNode(city_), yv = p.AddNode(country_), z = p.AddNode(city_);
+  p.AddEdge(x, yv, cap_);
+  p.AddEdge(z, yv, cap_);
+  AttrPredicate pred;
+  pred.lhs = AttrOperand::EdgeAttr(1, conf_);
+  pred.op = CmpOp::kLt;
+  pred.rhs = AttrOperand::EdgeAttr(0, conf_);
+  p.AddPredicate(pred);
+
+  auto matches = Matcher(g_, p).Collect();
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_TRUE(Matcher(g_, p).Verify(matches[0]));
+  // Raising the low confidence invalidates the match.
+  g_.SetEdgeAttr(lo, conf_, vocab_->Value("95"));
+  EXPECT_FALSE(Matcher(g_, p).Verify(matches[0]));
+}
+
+TEST_F(EdgePredTest, DslParsesEdgeOperands) {
+  auto rule = ParseRule(R"(
+    RULE drop_low_conf_capital CLASS conflict
+    MATCH (x:City)-[e1:capital_of]->(y:Country), (z:City)-[e2:capital_of]->(y)
+    WHERE e2.conf < e1.conf
+    ACTION DEL_EDGE e2
+  )",
+                        vocab_);
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  const auto& preds = rule.value().pattern().predicates();
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_TRUE(preds[0].lhs.is_edge);
+  EXPECT_TRUE(preds[0].rhs.is_edge);
+  EXPECT_EQ(preds[0].lhs.var, 1u);
+  EXPECT_EQ(preds[0].rhs.var, 0u);
+}
+
+TEST_F(EdgePredTest, EngineUsesEdgePredicateRule) {
+  // With the e2.conf < e1.conf guard, even the NAIVE strategy (which has no
+  // confidence cost model) is forced to delete the low-confidence claim:
+  // the semantics moved from the engine into the rule.
+  auto rules = ParseRules(R"(
+    RULE drop_low_conf_capital CLASS conflict
+    MATCH (x:City)-[e1:capital_of]->(y:Country), (z:City)-[e2:capital_of]->(y)
+    WHERE e2.conf < e1.conf
+    ACTION DEL_EDGE e2
+  )",
+                          vocab_);
+  ASSERT_TRUE(rules.ok());
+  NodeId c1 = g_.AddNode(city_), c2 = g_.AddNode(city_);
+  NodeId y = g_.AddNode(country_);
+  EdgeId hi = AddCap(c1, y, "90");
+  EdgeId lo = AddCap(c2, y, "30");
+  g_.ResetJournal();
+
+  RepairOptions opt;
+  opt.strategy = RepairStrategy::kNaive;
+  RepairEngine engine(opt);
+  auto res = engine.Run(&g_, rules.value());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().remaining_violations, 0u);
+  EXPECT_TRUE(g_.EdgeAlive(hi));
+  EXPECT_FALSE(g_.EdgeAlive(lo));
+}
+
+TEST_F(EdgePredTest, IncrementalDetectsEdgeAttrChange) {
+  NodeId c1 = g_.AddNode(city_), c2 = g_.AddNode(city_);
+  NodeId y = g_.AddNode(country_);
+  AddCap(c1, y, "90");
+  EdgeId e2 = AddCap(c2, y, "90");  // equal: strict < holds in no ordering
+
+  Pattern p;
+  VarId x = p.AddNode(city_), yv = p.AddNode(country_), z = p.AddNode(city_);
+  p.AddEdge(x, yv, cap_);
+  p.AddEdge(z, yv, cap_);
+  AttrPredicate pred;
+  pred.lhs = AttrOperand::EdgeAttr(1, conf_);
+  pred.op = CmpOp::kLt;
+  pred.rhs = AttrOperand::EdgeAttr(0, conf_);
+  p.AddPredicate(pred);
+  EXPECT_EQ(Matcher(g_, p).Count(), 0u);
+
+  size_t mark = g_.JournalSize();
+  g_.SetEdgeAttr(e2, conf_, vocab_->Value("10"));  // now a violation
+  std::vector<EditEntry> delta(g_.Journal().begin() + mark,
+                               g_.Journal().end());
+  size_t found = 0;
+  DeltaMatcher(g_, p).FindDelta(delta, [&](const Match&) {
+    ++found;
+    return true;
+  });
+  EXPECT_EQ(found, 1u);
+}
+
+TEST_F(EdgePredTest, ValidatorRangeChecksEdgeOperands) {
+  Pattern p;
+  p.AddNode(city_);
+  AttrPredicate pred;
+  pred.lhs = AttrOperand::EdgeAttr(5, conf_);  // no edge 5
+  pred.op = CmpOp::kEq;
+  pred.rhs = AttrOperand::Const(vocab_->Value("1"));
+  p.AddPredicate(pred);
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+}  // namespace
+}  // namespace grepair

@@ -1,0 +1,185 @@
+// RepairOptions knob tests: budgets, custom cost models, confidence toggle,
+// oscillation detection across strategies, exact-search budgets.
+#include <gtest/gtest.h>
+
+#include "grr/rule_parser.h"
+#include "repair/engine.h"
+
+namespace grepair {
+namespace {
+
+constexpr char kSymRule[] = R"(
+  RULE sym CLASS incomplete
+  MATCH (x:P)-[knows]->(y:P)
+  WHERE NOT EDGE (y)-[knows]->(x)
+  ACTION ADD_EDGE (y)-[knows]->(x)
+)";
+
+class EngineOptionsTest : public ::testing::Test {
+ protected:
+  EngineOptionsTest() : vocab_(MakeVocabulary()), g_(vocab_) {
+    p_ = vocab_->Label("P");
+    knows_ = vocab_->Label("knows");
+  }
+
+  RuleSet Rules(const std::string& dsl) {
+    auto r = ParseRules(dsl, vocab_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(r).value() : RuleSet{};
+  }
+
+  // Chain of n one-directional knows edges: n violations.
+  void BuildChain(size_t n) {
+    std::vector<NodeId> nodes;
+    for (size_t i = 0; i <= n; ++i) nodes.push_back(g_.AddNode(p_));
+    for (size_t i = 0; i < n; ++i) g_.AddEdge(nodes[i], nodes[i + 1], knows_);
+    g_.ResetJournal();
+  }
+
+  VocabularyPtr vocab_;
+  Graph g_;
+  SymbolId p_, knows_;
+};
+
+TEST_F(EngineOptionsTest, MaxFixesExactBoundaryIsNotExhausted) {
+  BuildChain(5);
+  RepairOptions opt;
+  opt.max_fixes = 5;  // exactly enough
+  RepairEngine engine(opt);
+  auto res = engine.Run(&g_, Rules(kSymRule));
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res.value().budget_exhausted);
+  EXPECT_EQ(res.value().remaining_violations, 0u);
+}
+
+TEST_F(EngineOptionsTest, MaxFixesOneShortIsExhausted) {
+  BuildChain(5);
+  RepairOptions opt;
+  opt.max_fixes = 4;
+  RepairEngine engine(opt);
+  auto res = engine.Run(&g_, Rules(kSymRule));
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.value().budget_exhausted);
+  EXPECT_EQ(res.value().remaining_violations, 1u);
+  EXPECT_EQ(res.value().applied.size(), 4u);
+}
+
+TEST_F(EngineOptionsTest, NaiveMaxRoundsCaps) {
+  BuildChain(6);
+  RepairOptions opt;
+  opt.strategy = RepairStrategy::kNaive;
+  opt.max_rounds = 1;  // symmetric adds all land in round one, so this
+                       // suffices here — but flags exhausted if capped
+  RepairEngine engine(opt);
+  auto res = engine.Run(&g_, Rules(kSymRule));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().remaining_violations, 0u);
+}
+
+TEST_F(EngineOptionsTest, CustomCostModelScalesReportedCost) {
+  BuildChain(3);
+  RepairOptions opt;
+  opt.cost_model.edge_insert = 5.0;
+  RepairEngine engine(opt);
+  auto res = engine.Run(&g_, Rules(kSymRule));
+  ASSERT_TRUE(res.ok());
+  EXPECT_DOUBLE_EQ(res.value().repair_cost, 15.0);  // 3 adds x 5.0
+}
+
+TEST_F(EngineOptionsTest, EmptyConfidenceAttrDisablesWeighting) {
+  // Two-capital conflict with conf attributes, but weighting disabled: the
+  // greedy engine no longer has a reason to prefer either deletion; it
+  // must still terminate cleanly.
+  RuleSet rules = Rules(R"(
+    RULE one_cap CLASS conflict
+    MATCH (x:City)-[e1:capital_of]->(y:Country), (z:City)-[e2:capital_of]->(y)
+    ACTION DEL_EDGE e2
+  )");
+  SymbolId city = vocab_->Label("City"), country = vocab_->Label("Country");
+  SymbolId cap = vocab_->Label("capital_of");
+  SymbolId conf = vocab_->Attr("conf");
+  NodeId c1 = g_.AddNode(city), c2 = g_.AddNode(city);
+  NodeId y = g_.AddNode(country);
+  EdgeId e1 = g_.AddEdge(c1, y, cap).value();
+  EdgeId e2 = g_.AddEdge(c2, y, cap).value();
+  g_.SetEdgeAttr(e1, conf, vocab_->Value("90"));
+  g_.SetEdgeAttr(e2, conf, vocab_->Value("30"));
+  g_.ResetJournal();
+
+  RepairOptions opt;
+  opt.confidence_attr.clear();
+  RepairEngine engine(opt);
+  auto res = engine.Run(&g_, rules);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().remaining_violations, 0u);
+  EXPECT_EQ(res.value().applied.size(), 1u);
+  // Exactly one of the two edges survives.
+  EXPECT_NE(g_.EdgeAlive(e1), g_.EdgeAlive(e2));
+}
+
+TEST_F(EngineOptionsTest, OscillationDetectionWorksForBatchToo) {
+  RuleSet rules = Rules(R"(
+    RULE add_back CLASS incomplete
+    MATCH (x:P)-[follows]->(y:P)
+    WHERE NOT EDGE (y)-[follows]->(x)
+    ACTION ADD_EDGE (y)-[follows]->(x)
+
+    RULE no_mutual CLASS conflict
+    MATCH (x:P)-[e1:follows]->(y:P), (y)-[e2:follows]->(x)
+    ACTION DEL_EDGE e2
+  )");
+  NodeId a = g_.AddNode(p_), b = g_.AddNode(p_);
+  g_.AddEdge(a, b, vocab_->Label("follows"));
+  g_.ResetJournal();
+
+  RepairOptions opt;
+  opt.strategy = RepairStrategy::kBatch;
+  opt.detect_oscillation = true;
+  opt.max_fixes = 500;
+  opt.max_rounds = 500;
+  RepairEngine engine(opt);
+  auto res = engine.Run(&g_, rules);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.value().oscillation_detected ||
+              res.value().budget_exhausted);
+}
+
+TEST_F(EngineOptionsTest, ExactTinyBudgetFallsBackGracefully) {
+  BuildChain(4);
+  uint64_t fp = g_.Fingerprint();
+  RepairOptions opt;
+  opt.strategy = RepairStrategy::kExact;
+  opt.exact_max_expansions = 1;  // cannot even finish one probe
+  RepairEngine engine(opt);
+  auto res = engine.Run(&g_, Rules(kSymRule));
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.value().budget_exhausted);
+  // No full repair found: the graph must be left untouched.
+  EXPECT_EQ(g_.Fingerprint(), fp);
+  EXPECT_GT(res.value().remaining_violations, 0u);
+}
+
+TEST_F(EngineOptionsTest, ExactDepthLimitRespected) {
+  BuildChain(6);  // needs 6 fixes
+  RepairOptions opt;
+  opt.strategy = RepairStrategy::kExact;
+  opt.exact_max_depth = 3;  // cannot reach a fixpoint
+  RepairEngine engine(opt);
+  auto res = engine.Run(&g_, Rules(kSymRule));
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(res.value().remaining_violations, 0u);
+}
+
+TEST_F(EngineOptionsTest, DetectMsIsTracked) {
+  BuildChain(10);
+  RepairEngine engine;
+  auto res = engine.Run(&g_, Rules(kSymRule));
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(res.value().total_ms, 0.0);
+  EXPECT_GE(res.value().detect_ms, 0.0);
+  EXPECT_LE(res.value().detect_ms, res.value().total_ms + 0.5);
+  EXPECT_GT(res.value().matcher_expansions, 0u);
+}
+
+}  // namespace
+}  // namespace grepair

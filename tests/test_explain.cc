@@ -1,0 +1,141 @@
+// Repair-provenance tests: fix explanations, the repair report, and the
+// DOT diff rendering.
+#include <gtest/gtest.h>
+
+#include "grr/rule_parser.h"
+#include "repair/engine.h"
+#include "repair/explain.h"
+
+namespace grepair {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  ExplainTest() : vocab_(MakeVocabulary()), g_(vocab_) {
+    auto rules = ParseRules(R"(
+      RULE knows_symmetric CLASS incomplete
+      MATCH (x:Person)-[knows]->(y:Person)
+      WHERE NOT EDGE (y)-[knows]->(x)
+      ACTION ADD_EDGE (y)-[knows]->(x)
+
+      RULE no_self_knows CLASS conflict
+      MATCH (x:Person)-[e:knows]->(x)
+      ACTION DEL_EDGE e
+
+      RULE dup_person CLASS redundant
+      MATCH (x:Person), (y:Person)
+      WHERE x.name = y.name
+      ACTION MERGE (x, y)
+    )",
+                            vocab_);
+    EXPECT_TRUE(rules.ok());
+    rules_ = std::move(rules).value();
+  }
+
+  VocabularyPtr vocab_;
+  Graph g_;
+  RuleSet rules_;
+};
+
+TEST_F(ExplainTest, FixExplanationsNameEverything) {
+  SymbolId person = vocab_->Label("Person");
+  SymbolId knows = vocab_->Label("knows");
+  SymbolId name = vocab_->Attr("name");
+  NodeId a = g_.AddNode(person), b = g_.AddNode(person), c = g_.AddNode(person);
+  g_.SetNodeAttr(a, name, vocab_->Value("alice"));
+  g_.SetNodeAttr(b, name, vocab_->Value("bob"));
+  g_.SetNodeAttr(c, name, vocab_->Value("alice"));  // duplicate of a
+  g_.AddEdge(a, b, knows);
+  g_.AddEdge(b, b, knows);  // self-loop
+  g_.ResetJournal();
+
+  RepairEngine engine;
+  auto res = engine.Run(&g_, rules_);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().remaining_violations, 0u);
+
+  bool saw_add = false, saw_del = false, saw_merge = false;
+  for (const AppliedFix& f : res.value().applied) {
+    std::string s = ExplainFix(g_, rules_, f);
+    if (f.kind == ActionKind::kAddEdge) {
+      saw_add = true;
+      EXPECT_NE(s.find("[incomplete] knows_symmetric"), std::string::npos) << s;
+      EXPECT_NE(s.find("added knows edge"), std::string::npos) << s;
+    }
+    if (f.kind == ActionKind::kDelEdge) {
+      saw_del = true;
+      EXPECT_NE(s.find("[conflict] no_self_knows"), std::string::npos) << s;
+      EXPECT_NE(s.find("\"bob\""), std::string::npos) << s;
+    }
+    if (f.kind == ActionKind::kMerge) {
+      saw_merge = true;
+      EXPECT_NE(s.find("merged"), std::string::npos) << s;
+      EXPECT_NE(s.find("\"alice\""), std::string::npos) << s;
+    }
+  }
+  EXPECT_TRUE(saw_add);
+  EXPECT_TRUE(saw_del);
+  EXPECT_TRUE(saw_merge);
+}
+
+TEST_F(ExplainTest, RepairReportAggregates) {
+  SymbolId person = vocab_->Label("Person");
+  SymbolId knows = vocab_->Label("knows");
+  NodeId a = g_.AddNode(person), b = g_.AddNode(person);
+  g_.AddEdge(a, b, knows);
+  g_.ResetJournal();
+
+  RepairEngine engine;
+  auto res = engine.Run(&g_, rules_);
+  ASSERT_TRUE(res.ok());
+  std::string report = ExplainRepair(g_, rules_, res.value());
+  EXPECT_NE(report.find("by class:"), std::string::npos);
+  EXPECT_NE(report.find("incomplete"), std::string::npos);
+  EXPECT_NE(report.find("knows_symmetric"), std::string::npos);
+  EXPECT_NE(report.find("1 fixes"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ReportTruncatesLongFixLists) {
+  SymbolId person = vocab_->Label("Person");
+  SymbolId knows = vocab_->Label("knows");
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 30; ++i) nodes.push_back(g_.AddNode(person));
+  for (int i = 0; i + 1 < 30; i += 2) g_.AddEdge(nodes[i], nodes[i + 1], knows);
+  g_.ResetJournal();
+  RepairEngine engine;
+  auto res = engine.Run(&g_, rules_);
+  ASSERT_TRUE(res.ok());
+  ASSERT_GT(res.value().applied.size(), 5u);
+  std::string report = ExplainRepair(g_, rules_, res.value(), /*max_fixes=*/5);
+  EXPECT_NE(report.find("... and"), std::string::npos);
+}
+
+TEST_F(ExplainTest, DiffDotMarksAddedAndRemoved) {
+  SymbolId person = vocab_->Label("Person");
+  SymbolId knows = vocab_->Label("knows");
+  NodeId a = g_.AddNode(person), b = g_.AddNode(person);
+  g_.AddEdge(a, b, knows);   // will trigger symmetric add (green)
+  g_.AddEdge(a, a, knows);   // self loop: will be deleted (red ghost)
+  g_.ResetJournal();
+
+  RepairEngine engine;
+  auto res = engine.Run(&g_, rules_);
+  ASSERT_TRUE(res.ok());
+  std::string dot = RepairDiffDot(g_, res.value());
+  EXPECT_NE(dot.find("color=green"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("color=red, style=dashed"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("digraph repair"), std::string::npos);
+}
+
+TEST_F(ExplainTest, BaselineFixesExplainedWithoutRuleSet) {
+  AppliedFix f;
+  f.rule = 0xFFFFFFF0u;  // baseline rule id
+  f.kind = ActionKind::kDelNode;
+  f.node_a = g_.AddNode(vocab_->Label("Person"));
+  std::string s = ExplainFix(g_, rules_, f);
+  EXPECT_NE(s.find("baseline"), std::string::npos);
+  EXPECT_NE(s.find("deleted"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grepair

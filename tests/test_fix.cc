@@ -1,0 +1,240 @@
+// Fix application and cost tests, one per action kind.
+#include <gtest/gtest.h>
+
+#include "grr/rule_builder.h"
+#include "match/matcher.h"
+#include "repair/fix.h"
+
+namespace grepair {
+namespace {
+
+class FixTest : public ::testing::Test {
+ protected:
+  FixTest() : vocab_(MakeVocabulary()), g_(vocab_) {}
+
+  Match FirstMatch(const Rule& r) {
+    auto ms = Matcher(g_, r.pattern()).Collect(1);
+    EXPECT_FALSE(ms.empty());
+    return ms.empty() ? Match{} : ms[0];
+  }
+
+  VocabularyPtr vocab_;
+  Graph g_;
+  CostModel model_;
+};
+
+TEST_F(FixTest, AddEdge) {
+  NodeId x = g_.AddNode(vocab_->Label("Person"));
+  NodeId y = g_.AddNode(vocab_->Label("Person"));
+  g_.AddEdge(x, y, vocab_->Label("knows"));
+
+  RuleBuilder b(vocab_.get(), "sym", ErrorClass::kIncomplete);
+  VarId bx = b.Node("x", "Person"), by = b.Node("y", "Person");
+  b.Edge(bx, by, "knows");
+  b.NoEdge(by, bx, "knows");
+  b.ActionAddEdge(by, bx, "knows");
+  Rule r = std::move(b).Build();
+
+  Match m = FirstMatch(r);
+  EXPECT_DOUBLE_EQ(FixCost(g_, r, m, model_, 0), 1.0);
+  auto applied = ApplyFix(&g_, 0, r, m);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_TRUE(g_.HasEdge(y, x, vocab_->Label("knows")));
+  EXPECT_EQ(applied.value().kind, ActionKind::kAddEdge);
+  EXPECT_EQ(applied.value().node_a, y);
+  EXPECT_EQ(applied.value().node_b, x);
+  // Rule no longer matches (self-disabled).
+  EXPECT_EQ(Matcher(g_, r.pattern()).Count(), 0u);
+}
+
+TEST_F(FixTest, AddNode) {
+  NodeId c = g_.AddNode(vocab_->Label("Country"));
+  RuleBuilder b(vocab_.get(), "cap", ErrorClass::kIncomplete);
+  VarId by = b.Node("y", "Country");
+  b.NoInEdge(by, "capital_of");
+  b.ActionAddNode("City", "capital_of", by, /*new_node_is_src=*/true);
+  Rule r = std::move(b).Build();
+
+  Match m = FirstMatch(r);
+  EXPECT_DOUBLE_EQ(FixCost(g_, r, m, model_, 0), 2.0);  // node + edge
+  auto applied = ApplyFix(&g_, 0, r, m);
+  ASSERT_TRUE(applied.ok());
+  NodeId nu = applied.value().new_node;
+  ASSERT_NE(nu, kInvalidNode);
+  EXPECT_EQ(g_.NodeLabel(nu), vocab_->Label("City"));
+  EXPECT_TRUE(g_.HasEdge(nu, c, vocab_->Label("capital_of")));
+  EXPECT_EQ(Matcher(g_, r.pattern()).Count(), 0u);
+}
+
+TEST_F(FixTest, DelEdgeWithConfidenceWeighting) {
+  NodeId x = g_.AddNode(vocab_->Label("City"));
+  NodeId y = g_.AddNode(vocab_->Label("Country"));
+  NodeId z = g_.AddNode(vocab_->Label("City"));
+  SymbolId cap = vocab_->Label("capital_of");
+  SymbolId conf = vocab_->Attr("conf");
+  EdgeId e1 = g_.AddEdge(x, y, cap).value();
+  EdgeId e2 = g_.AddEdge(z, y, cap).value();
+  g_.SetEdgeAttr(e1, conf, vocab_->Value("90"));
+  g_.SetEdgeAttr(e2, conf, vocab_->Value("30"));
+
+  RuleBuilder b(vocab_.get(), "one_cap", ErrorClass::kConflict);
+  VarId bx = b.Node("x", "City"), by = b.Node("y", "Country"),
+        bz = b.Node("z", "City");
+  b.Edge(bx, by, "capital_of");
+  size_t pe2 = b.Edge(bz, by, "capital_of");
+  b.ActionDelEdge(pe2);
+  Rule r = std::move(b).Build();
+
+  // Two matches (orderings); deleting the conf=30 edge is cheaper.
+  auto ms = Matcher(g_, r.pattern()).Collect();
+  ASSERT_EQ(ms.size(), 2u);
+  double c_hi = -1, c_lo = -1;
+  for (const auto& m : ms) {
+    double c = FixCost(g_, r, m, model_, conf);
+    if (m.edges[pe2] == e1) c_hi = c;
+    if (m.edges[pe2] == e2) c_lo = c;
+  }
+  EXPECT_DOUBLE_EQ(c_hi, 0.9);
+  EXPECT_DOUBLE_EQ(c_lo, 0.3);
+
+  // Apply the cheap one.
+  for (const auto& m : ms) {
+    if (m.edges[pe2] == e2) {
+      auto applied = ApplyFix(&g_, 0, r, m);
+      ASSERT_TRUE(applied.ok());
+    }
+  }
+  EXPECT_FALSE(g_.EdgeAlive(e2));
+  EXPECT_TRUE(g_.EdgeAlive(e1));
+  EXPECT_EQ(Matcher(g_, r.pattern()).Count(), 0u);
+}
+
+TEST_F(FixTest, DelNodeCostIncludesIncidence) {
+  NodeId x = g_.AddNode(vocab_->Label("Org"));
+  NodeId y = g_.AddNode(vocab_->Label("Org"));
+  g_.AddEdge(x, y, vocab_->Label("l"));
+  g_.AddEdge(y, x, vocab_->Label("l"));
+
+  RuleBuilder b(vocab_.get(), "del", ErrorClass::kRedundant);
+  b.Node("x", "Org");
+  b.ActionDelNode(0);
+  Rule r = std::move(b).Build();
+
+  MatchOptions opts;
+  opts.node_anchors.push_back({0, x});
+  auto ms = Matcher(g_, r.pattern()).CollectWith(opts);
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_DOUBLE_EQ(FixCost(g_, r, ms[0], model_, 0), 3.0);  // node + 2 edges
+  auto applied = ApplyFix(&g_, 0, r, ms[0]);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_FALSE(g_.NodeAlive(x));
+  EXPECT_EQ(g_.NumEdges(), 0u);
+}
+
+TEST_F(FixTest, UpdNodeLabelAndAttr) {
+  NodeId x = g_.AddNode(vocab_->Label("City"));
+  NodeId o = g_.AddNode(vocab_->Label("Org"));
+  g_.AddEdge(x, o, vocab_->Label("works_for"));
+
+  RuleBuilder b(vocab_.get(), "fix_type", ErrorClass::kConflict);
+  VarId bx = b.Node("x", "City"), bo = b.Node("o", "Org");
+  b.Edge(bx, bo, "works_for");
+  b.ActionRelabelNode(bx, "Person");
+  Rule r = std::move(b).Build();
+
+  Match m = FirstMatch(r);
+  auto applied = ApplyFix(&g_, 0, r, m);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(g_.NodeLabel(x), vocab_->Label("Person"));
+  EXPECT_EQ(Matcher(g_, r.pattern()).Count(), 0u);
+}
+
+TEST_F(FixTest, UpdEdgeLabel) {
+  NodeId p = g_.AddNode(vocab_->Label("Paper"));
+  NodeId a = g_.AddNode(vocab_->Label("Author"));
+  EdgeId e = g_.AddEdge(p, a, vocab_->Label("cites")).value();
+
+  RuleBuilder b(vocab_.get(), "relabel", ErrorClass::kConflict);
+  VarId bp = b.Node("p", "Paper"), ba = b.Node("a", "Author");
+  size_t pe = b.Edge(bp, ba, "cites");
+  b.ActionRelabelEdge(pe, "authored_by");
+  Rule r = std::move(b).Build();
+
+  Match m = FirstMatch(r);
+  auto applied = ApplyFix(&g_, 0, r, m);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(g_.EdgeLabel(e), vocab_->Label("authored_by"));
+  EXPECT_EQ(applied.value().node_a, p);
+  EXPECT_EQ(applied.value().node_b, a);
+  EXPECT_EQ(Matcher(g_, r.pattern()).Count(), 0u);
+}
+
+TEST_F(FixTest, MergeKeepsLowerId) {
+  SymbolId person = vocab_->Label("Person");
+  SymbolId name = vocab_->Attr("name");
+  NodeId x = g_.AddNode(person);
+  NodeId y = g_.AddNode(person);
+  g_.SetNodeAttr(x, name, vocab_->Value("n"));
+  g_.SetNodeAttr(y, name, vocab_->Value("n"));
+
+  RuleBuilder b(vocab_.get(), "dup", ErrorClass::kRedundant);
+  VarId bx = b.Node("x", "Person"), by = b.Node("y", "Person");
+  b.AttrCmp(bx, "name", CmpOp::kEq, by, "name");
+  b.ActionMerge(bx, by);
+  Rule r = std::move(b).Build();
+
+  Match m = FirstMatch(r);
+  EXPECT_DOUBLE_EQ(FixCost(g_, r, m, model_, 0), 1.0);
+  auto applied = ApplyFix(&g_, 0, r, m);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied.value().node_a, x);  // lower id survives
+  EXPECT_EQ(applied.value().node_b, y);
+  EXPECT_TRUE(g_.NodeAlive(x));
+  EXPECT_FALSE(g_.NodeAlive(y));
+  EXPECT_EQ(Matcher(g_, r.pattern()).Count(), 0u);
+}
+
+TEST_F(FixTest, PriorityDividesCost) {
+  NodeId x = g_.AddNode(vocab_->Label("A"));
+  NodeId y = g_.AddNode(vocab_->Label("B"));
+  g_.AddEdge(x, y, vocab_->Label("l"));
+  RuleBuilder b(vocab_.get(), "p", ErrorClass::kConflict);
+  VarId bx = b.Node("x", "A"), by = b.Node("y", "B");
+  size_t e = b.Edge(bx, by, "l");
+  b.ActionDelEdge(e);
+  b.Priority(4.0);
+  Rule r = std::move(b).Build();
+  Match m = FirstMatch(r);
+  EXPECT_DOUBLE_EQ(FixCost(g_, r, m, model_, 0), 0.25);
+}
+
+TEST_F(FixTest, JournalRangeCoversEdits) {
+  NodeId x = g_.AddNode(vocab_->Label("Person"));
+  NodeId y = g_.AddNode(vocab_->Label("Person"));
+  SymbolId name = vocab_->Attr("name");
+  g_.SetNodeAttr(x, name, vocab_->Value("n"));
+  g_.SetNodeAttr(y, name, vocab_->Value("n"));
+  NodeId z = g_.AddNode(vocab_->Label("Person"));
+  g_.AddEdge(y, z, vocab_->Label("knows"));
+
+  RuleBuilder b(vocab_.get(), "dup", ErrorClass::kRedundant);
+  VarId bx = b.Node("x", "Person"), by = b.Node("y", "Person");
+  b.AttrCmp(bx, "name", CmpOp::kEq, by, "name");
+  b.ActionMerge(bx, by);
+  Rule r = std::move(b).Build();
+
+  MatchOptions opts;
+  opts.node_anchors.push_back({0, x});
+  opts.node_anchors.push_back({1, y});
+  auto ms = Matcher(g_, r.pattern()).CollectWith(opts);
+  ASSERT_EQ(ms.size(), 1u);
+  size_t before = g_.JournalSize();
+  auto applied = ApplyFix(&g_, 0, r, ms[0]);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied.value().journal_begin, before);
+  EXPECT_EQ(applied.value().journal_end, g_.JournalSize());
+  EXPECT_GT(applied.value().journal_end, applied.value().journal_begin);
+}
+
+}  // namespace
+}  // namespace grepair

@@ -1,0 +1,212 @@
+// Exact GED tests: hand-computed distances, metric-style properties on
+// random small graphs, lower-bound admissibility, and the journal-cost
+// relationship (invariant 6 of DESIGN.md).
+#include <gtest/gtest.h>
+
+#include "ged/ged.h"
+#include "util/rng.h"
+
+namespace grepair {
+namespace {
+
+class GedTest : public ::testing::Test {
+ protected:
+  GedTest() : vocab_(MakeVocabulary()) {
+    a_ = vocab_->Label("A");
+    b_ = vocab_->Label("B");
+    e_ = vocab_->Label("e");
+    f_ = vocab_->Label("f");
+  }
+
+  double Ged(const Graph& g1, const Graph& g2) {
+    GedOptions opt;
+    GedResult r = ExactGed(g1, g2, opt);
+    EXPECT_TRUE(r.optimal);
+    return r.distance;
+  }
+
+  VocabularyPtr vocab_;
+  SymbolId a_, b_, e_, f_;
+};
+
+TEST_F(GedTest, IdenticalGraphsZero) {
+  Graph g(vocab_);
+  NodeId x = g.AddNode(a_), y = g.AddNode(b_);
+  g.AddEdge(x, y, e_);
+  EXPECT_DOUBLE_EQ(Ged(g, g), 0.0);
+}
+
+TEST_F(GedTest, EmptyVsGraphCountsInsertions) {
+  Graph empty(vocab_);
+  Graph g(vocab_);
+  NodeId x = g.AddNode(a_), y = g.AddNode(b_);
+  g.AddEdge(x, y, e_);
+  EXPECT_DOUBLE_EQ(Ged(empty, g), 3.0);  // 2 nodes + 1 edge
+  EXPECT_DOUBLE_EQ(Ged(g, empty), 3.0);
+}
+
+TEST_F(GedTest, SingleEdgeDeletion) {
+  Graph g1(vocab_);
+  NodeId x = g1.AddNode(a_), y = g1.AddNode(a_);
+  g1.AddEdge(x, y, e_);
+  Graph g2 = g1.Clone();
+  g2.RemoveEdge(0);
+  EXPECT_DOUBLE_EQ(Ged(g1, g2), 1.0);
+}
+
+TEST_F(GedTest, RelabelCheaperThanDeleteInsert) {
+  Graph g1(vocab_);
+  NodeId x1 = g1.AddNode(a_), y1 = g1.AddNode(a_);
+  g1.AddEdge(x1, y1, e_);
+  Graph g2(vocab_);
+  NodeId x2 = g2.AddNode(a_), y2 = g2.AddNode(a_);
+  g2.AddEdge(x2, y2, f_);  // same structure, different edge label
+  EXPECT_DOUBLE_EQ(Ged(g1, g2), 1.0);  // one relabel
+}
+
+TEST_F(GedTest, NodeRelabelPlusAttr) {
+  Graph g1(vocab_);
+  NodeId x = g1.AddNode(a_);
+  g1.SetNodeAttr(x, vocab_->Attr("k"), vocab_->Value("1"));
+  Graph g2(vocab_);
+  NodeId y = g2.AddNode(b_);
+  g2.SetNodeAttr(y, vocab_->Attr("k"), vocab_->Value("2"));
+  EXPECT_DOUBLE_EQ(Ged(g1, g2), 2.0);  // label + attr value
+}
+
+TEST_F(GedTest, SelfLoopHandled) {
+  Graph g1(vocab_);
+  NodeId x = g1.AddNode(a_);
+  g1.AddEdge(x, x, e_);
+  Graph g2(vocab_);
+  g2.AddNode(a_);
+  EXPECT_DOUBLE_EQ(Ged(g1, g2), 1.0);
+}
+
+TEST_F(GedTest, SymmetricOnRandomPairs) {
+  Rng rng(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    auto make = [&](uint64_t seed) {
+      Rng r(seed);
+      Graph g(vocab_);
+      std::vector<NodeId> nodes;
+      size_t n = 2 + r.NextBounded(3);
+      for (size_t i = 0; i < n; ++i)
+        nodes.push_back(g.AddNode(r.NextBernoulli(0.5) ? a_ : b_));
+      size_t m = r.NextBounded(2 * n);
+      for (size_t i = 0; i < m; ++i)
+        g.AddEdge(nodes[r.PickIndex(nodes)], nodes[r.PickIndex(nodes)],
+                  r.NextBernoulli(0.5) ? e_ : f_);
+      return g;
+    };
+    Graph g1 = make(rng.Next());
+    Graph g2 = make(rng.Next());
+    double d12 = Ged(g1, g2);
+    double d21 = Ged(g2, g1);
+    EXPECT_NEAR(d12, d21, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST_F(GedTest, LowerBoundIsAdmissible) {
+  Rng rng(17);
+  CostModel costs;
+  for (int trial = 0; trial < 10; ++trial) {
+    auto make = [&](uint64_t seed) {
+      Rng r(seed);
+      Graph g(vocab_);
+      std::vector<NodeId> nodes;
+      size_t n = 2 + r.NextBounded(3);
+      for (size_t i = 0; i < n; ++i)
+        nodes.push_back(g.AddNode(r.NextBernoulli(0.5) ? a_ : b_));
+      for (size_t i = 0; i < n; ++i)
+        g.AddEdge(nodes[r.PickIndex(nodes)], nodes[r.PickIndex(nodes)], e_);
+      return g;
+    };
+    Graph g1 = make(rng.Next());
+    Graph g2 = make(rng.Next());
+    EXPECT_LE(GedLowerBound(g1, g2, costs), Ged(g1, g2) + 1e-9);
+  }
+}
+
+TEST_F(GedTest, TriangleInequalitySpotChecks) {
+  Rng rng(23);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto make = [&](uint64_t seed) {
+      Rng r(seed);
+      Graph g(vocab_);
+      std::vector<NodeId> nodes;
+      size_t n = 2 + r.NextBounded(2);
+      for (size_t i = 0; i < n; ++i)
+        nodes.push_back(g.AddNode(r.NextBernoulli(0.5) ? a_ : b_));
+      size_t m = r.NextBounded(n);
+      for (size_t i = 0; i < m; ++i)
+        g.AddEdge(nodes[r.PickIndex(nodes)], nodes[r.PickIndex(nodes)], e_);
+      return g;
+    };
+    Graph g1 = make(rng.Next());
+    Graph g2 = make(rng.Next());
+    Graph g3 = make(rng.Next());
+    EXPECT_LE(Ged(g1, g3), Ged(g1, g2) + Ged(g2, g3) + 1e-9);
+  }
+}
+
+TEST_F(GedTest, JournalCostUpperBoundsGed) {
+  // Apply a random edit script; the journal cost is one valid edit path,
+  // so the optimal GED can never exceed it.
+  Rng rng(31);
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph g(vocab_);
+    std::vector<NodeId> nodes;
+    for (int i = 0; i < 4; ++i)
+      nodes.push_back(g.AddNode(rng.NextBernoulli(0.5) ? a_ : b_));
+    for (int i = 0; i < 4; ++i)
+      g.AddEdge(nodes[rng.PickIndex(nodes)], nodes[rng.PickIndex(nodes)], e_);
+    Graph before = g.Clone();
+    size_t mark = g.JournalSize();
+
+    for (int k = 0; k < 3; ++k) {
+      switch (rng.NextBounded(4)) {
+        case 0:
+          g.AddEdge(nodes[rng.PickIndex(nodes)], nodes[rng.PickIndex(nodes)],
+                    f_);
+          break;
+        case 1: {
+          auto edges = g.Edges();
+          if (!edges.empty()) g.RemoveEdge(edges[rng.PickIndex(edges)]);
+          break;
+        }
+        case 2: {
+          NodeId n = nodes[rng.PickIndex(nodes)];
+          if (g.NodeAlive(n))
+            g.SetNodeLabel(n, g.NodeLabel(n) == a_ ? b_ : a_);
+          break;
+        }
+        default:
+          g.AddNode(a_);
+          break;
+      }
+    }
+    CostModel costs;
+    double journal_cost = g.CostSince(mark, costs);
+    GedOptions opt;
+    GedResult r = ExactGed(before, g, opt);
+    ASSERT_TRUE(r.optimal);
+    EXPECT_LE(r.distance, journal_cost + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST_F(GedTest, BudgetExhaustionReportsNonOptimal) {
+  Graph g1(vocab_), g2(vocab_);
+  for (int i = 0; i < 9; ++i) {
+    g1.AddNode(a_);
+    g2.AddNode(b_);
+  }
+  GedOptions opt;
+  opt.max_expansions = 10;
+  GedResult r = ExactGed(g1, g2, opt);
+  EXPECT_FALSE(r.optimal);
+  EXPECT_GT(r.distance, 0.0);
+}
+
+}  // namespace
+}  // namespace grepair

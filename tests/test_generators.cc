@@ -1,0 +1,159 @@
+// Tests for the synthetic dataset generators: schema invariants the rules
+// assume must hold on CLEAN generated graphs (zero violations).
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "grr/standard_rules.h"
+#include "repair/engine.h"
+
+namespace grepair {
+namespace {
+
+TEST(KgGeneratorTest, SizesMatchOptions) {
+  auto vocab = MakeVocabulary();
+  KgSchema s = KgSchema::Create(vocab.get());
+  KgOptions opt;
+  opt.num_persons = 200;
+  opt.num_cities = 30;
+  opt.num_countries = 5;
+  opt.num_orgs = 20;
+  Graph g = GenerateKg(vocab, s, opt);
+  EXPECT_EQ(g.CountNodesWithLabel(s.person), 200u);
+  EXPECT_EQ(g.CountNodesWithLabel(s.city), 30u);
+  EXPECT_EQ(g.CountNodesWithLabel(s.country), 5u);
+  EXPECT_EQ(g.CountNodesWithLabel(s.org), 20u);
+  EXPECT_EQ(g.JournalSize(), 0u);
+}
+
+TEST(KgGeneratorTest, EveryCountryHasExactlyOneCapital) {
+  auto vocab = MakeVocabulary();
+  KgSchema s = KgSchema::Create(vocab.get());
+  KgOptions opt;
+  opt.num_persons = 50;
+  opt.num_cities = 20;
+  opt.num_countries = 8;
+  Graph g = GenerateKg(vocab, s, opt);
+  for (NodeId c : g.NodesWithLabel(s.country)) {
+    size_t caps = 0;
+    for (EdgeId e : g.InEdges(c))
+      if (g.EdgeLabel(e) == s.capital_of) ++caps;
+    EXPECT_EQ(caps, 1u);
+  }
+}
+
+TEST(KgGeneratorTest, SymmetricRelationsAreSymmetric) {
+  auto vocab = MakeVocabulary();
+  KgSchema s = KgSchema::Create(vocab.get());
+  KgOptions opt;
+  opt.num_persons = 300;
+  Graph g = GenerateKg(vocab, s, opt);
+  for (EdgeId e : g.Edges()) {
+    EdgeView v = g.Edge(e);
+    if (v.label == s.knows || v.label == s.spouse) {
+      EXPECT_TRUE(g.HasEdge(v.dst, v.src, v.label));
+    }
+  }
+}
+
+TEST(KgGeneratorTest, CleanGraphHasZeroViolations) {
+  auto vocab = MakeVocabulary();
+  KgSchema s = KgSchema::Create(vocab.get());
+  KgOptions opt;
+  opt.num_persons = 300;
+  opt.num_cities = 40;
+  opt.num_countries = 8;
+  opt.num_orgs = 25;
+  Graph g = GenerateKg(vocab, s, opt);
+  auto rules = KgRules(vocab);
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  EXPECT_EQ(CountViolations(g, rules.value()), 0u);
+}
+
+TEST(KgGeneratorTest, DeterministicForSeed) {
+  auto vocab = MakeVocabulary();
+  KgSchema s = KgSchema::Create(vocab.get());
+  KgOptions opt;
+  opt.num_persons = 100;
+  Graph g1 = GenerateKg(vocab, s, opt);
+  Graph g2 = GenerateKg(vocab, s, opt);
+  EXPECT_EQ(g1.Fingerprint(), g2.Fingerprint());
+  opt.seed = 43;
+  Graph g3 = GenerateKg(vocab, s, opt);
+  EXPECT_NE(g1.Fingerprint(), g3.Fingerprint());
+}
+
+TEST(SocialGeneratorTest, CleanGraphHasZeroViolations) {
+  auto vocab = MakeVocabulary();
+  SocialSchema s = SocialSchema::Create(vocab.get());
+  SocialOptions opt;
+  opt.num_persons = 500;
+  Graph g = GenerateSocial(vocab, s, opt);
+  auto rules = SocialRules(vocab);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ(CountViolations(g, rules.value()), 0u);
+}
+
+TEST(SocialGeneratorTest, PowerLawishDegreeSkew) {
+  auto vocab = MakeVocabulary();
+  SocialSchema s = SocialSchema::Create(vocab.get());
+  SocialOptions opt;
+  opt.num_persons = 2000;
+  Graph g = GenerateSocial(vocab, s, opt);
+  size_t max_deg = 0, total = 0;
+  for (NodeId n : g.Nodes()) {
+    max_deg = std::max(max_deg, g.Degree(n));
+    total += g.Degree(n);
+  }
+  double avg = double(total) / double(g.NumNodes());
+  // Preferential attachment: hub degree far exceeds the average.
+  EXPECT_GT(double(max_deg), 5.0 * avg);
+}
+
+TEST(CitationGeneratorTest, CleanGraphHasZeroViolations) {
+  auto vocab = MakeVocabulary();
+  CitationSchema s = CitationSchema::Create(vocab.get());
+  CitationOptions opt;
+  opt.num_papers = 400;
+  opt.num_authors = 150;
+  Graph g = GenerateCitation(vocab, s, opt);
+  auto rules = CitationRules(vocab);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ(CountViolations(g, rules.value()), 0u);
+}
+
+TEST(CitationGeneratorTest, CitationsPointBackwardsInTime) {
+  auto vocab = MakeVocabulary();
+  CitationSchema s = CitationSchema::Create(vocab.get());
+  CitationOptions opt;
+  opt.num_papers = 300;
+  Graph g = GenerateCitation(vocab, s, opt);
+  auto year = [&](NodeId p) {
+    return std::stoi(vocab->ValueName(g.NodeAttr(p, s.year)));
+  };
+  for (EdgeId e : g.Edges()) {
+    EdgeView v = g.Edge(e);
+    if (v.label == s.cites) {
+      EXPECT_GT(year(v.src), year(v.dst));
+    }
+  }
+}
+
+TEST(CitationGeneratorTest, EveryPaperHasAuthorAndVenue) {
+  auto vocab = MakeVocabulary();
+  CitationSchema s = CitationSchema::Create(vocab.get());
+  CitationOptions opt;
+  opt.num_papers = 200;
+  Graph g = GenerateCitation(vocab, s, opt);
+  for (NodeId p : g.NodesWithLabel(s.paper)) {
+    size_t authors = 0, venues = 0;
+    for (EdgeId e : g.OutEdges(p)) {
+      if (g.EdgeLabel(e) == s.authored_by) ++authors;
+      if (g.EdgeLabel(e) == s.published_in) ++venues;
+    }
+    EXPECT_GE(authors, 1u);
+    EXPECT_EQ(venues, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace grepair

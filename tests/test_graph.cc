@@ -1,0 +1,316 @@
+// Unit tests for the property-graph store: mutations, indexes, journal/undo,
+// merge semantics, fingerprints.
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+
+namespace grepair {
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  GraphTest() : vocab_(MakeVocabulary()), g_(vocab_) {
+    person_ = vocab_->Label("Person");
+    city_ = vocab_->Label("City");
+    knows_ = vocab_->Label("knows");
+    born_ = vocab_->Label("born_in");
+    name_ = vocab_->Attr("name");
+    alice_ = vocab_->Value("alice");
+    bob_ = vocab_->Value("bob");
+  }
+
+  VocabularyPtr vocab_;
+  Graph g_;
+  SymbolId person_, city_, knows_, born_, name_, alice_, bob_;
+};
+
+TEST_F(GraphTest, StartsEmpty) {
+  EXPECT_EQ(g_.NumNodes(), 0u);
+  EXPECT_EQ(g_.NumEdges(), 0u);
+  EXPECT_EQ(g_.JournalSize(), 0u);
+}
+
+TEST_F(GraphTest, AddNodeAssignsDenseIds) {
+  NodeId a = g_.AddNode(person_);
+  NodeId b = g_.AddNode(city_);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(g_.NumNodes(), 2u);
+  EXPECT_TRUE(g_.NodeAlive(a));
+  EXPECT_EQ(g_.NodeLabel(a), person_);
+}
+
+TEST_F(GraphTest, AddEdgeLinksAdjacency) {
+  NodeId a = g_.AddNode(person_), b = g_.AddNode(person_);
+  auto e = g_.AddEdge(a, b, knows_);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(g_.NumEdges(), 1u);
+  EXPECT_EQ(g_.OutDegree(a), 1u);
+  EXPECT_EQ(g_.InDegree(b), 1u);
+  EXPECT_TRUE(g_.HasEdge(a, b, knows_));
+  EXPECT_FALSE(g_.HasEdge(b, a, knows_));
+  EXPECT_TRUE(g_.HasEdge(a, b, 0));  // wildcard label
+}
+
+TEST_F(GraphTest, AddEdgeToDeadNodeFails) {
+  NodeId a = g_.AddNode(person_);
+  NodeId b = g_.AddNode(person_);
+  ASSERT_TRUE(g_.RemoveNode(b).ok());
+  auto e = g_.AddEdge(a, b, knows_);
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(GraphTest, ParallelEdgesAllowed) {
+  NodeId a = g_.AddNode(person_), b = g_.AddNode(person_);
+  ASSERT_TRUE(g_.AddEdge(a, b, knows_).ok());
+  ASSERT_TRUE(g_.AddEdge(a, b, knows_).ok());
+  EXPECT_EQ(g_.NumEdges(), 2u);
+  EXPECT_EQ(g_.OutDegree(a), 2u);
+}
+
+TEST_F(GraphTest, RemoveEdge) {
+  NodeId a = g_.AddNode(person_), b = g_.AddNode(person_);
+  EdgeId e = g_.AddEdge(a, b, knows_).value();
+  ASSERT_TRUE(g_.RemoveEdge(e).ok());
+  EXPECT_FALSE(g_.EdgeAlive(e));
+  EXPECT_EQ(g_.NumEdges(), 0u);
+  EXPECT_EQ(g_.OutDegree(a), 0u);
+  EXPECT_FALSE(g_.HasEdge(a, b, knows_));
+  EXPECT_FALSE(g_.RemoveEdge(e).ok());  // double remove fails
+}
+
+TEST_F(GraphTest, RemoveNodeCascadesEdges) {
+  NodeId a = g_.AddNode(person_), b = g_.AddNode(person_),
+         c = g_.AddNode(person_);
+  g_.AddEdge(a, b, knows_);
+  g_.AddEdge(b, c, knows_);
+  g_.AddEdge(c, b, knows_);
+  ASSERT_TRUE(g_.RemoveNode(b).ok());
+  EXPECT_FALSE(g_.NodeAlive(b));
+  EXPECT_EQ(g_.NumEdges(), 0u);
+  EXPECT_EQ(g_.OutDegree(a), 0u);
+  EXPECT_EQ(g_.InDegree(c), 0u);
+}
+
+TEST_F(GraphTest, RemoveNodeWithSelfLoop) {
+  NodeId a = g_.AddNode(person_);
+  g_.AddEdge(a, a, knows_);
+  ASSERT_TRUE(g_.RemoveNode(a).ok());
+  EXPECT_EQ(g_.NumEdges(), 0u);
+  EXPECT_EQ(g_.NumNodes(), 0u);
+}
+
+TEST_F(GraphTest, SetNodeLabelUpdatesIndex) {
+  NodeId a = g_.AddNode(person_);
+  EXPECT_EQ(g_.CountNodesWithLabel(person_), 1u);
+  ASSERT_TRUE(g_.SetNodeLabel(a, city_).ok());
+  EXPECT_EQ(g_.CountNodesWithLabel(person_), 0u);
+  EXPECT_EQ(g_.CountNodesWithLabel(city_), 1u);
+  EXPECT_EQ(g_.NodeLabel(a), city_);
+}
+
+TEST_F(GraphTest, SetLabelNoOpDoesNotJournal) {
+  NodeId a = g_.AddNode(person_);
+  size_t before = g_.JournalSize();
+  ASSERT_TRUE(g_.SetNodeLabel(a, person_).ok());
+  EXPECT_EQ(g_.JournalSize(), before);
+}
+
+TEST_F(GraphTest, AttrsRoundTrip) {
+  NodeId a = g_.AddNode(person_);
+  ASSERT_TRUE(g_.SetNodeAttr(a, name_, alice_).ok());
+  EXPECT_EQ(g_.NodeAttr(a, name_), alice_);
+  ASSERT_TRUE(g_.SetNodeAttr(a, name_, bob_).ok());
+  EXPECT_EQ(g_.NodeAttr(a, name_), bob_);
+  ASSERT_TRUE(g_.SetNodeAttr(a, name_, 0).ok());  // erase
+  EXPECT_EQ(g_.NodeAttr(a, name_), 0u);
+}
+
+TEST_F(GraphTest, AttrIndexTracksValues) {
+  NodeId a = g_.AddNode(person_), b = g_.AddNode(person_);
+  g_.SetNodeAttr(a, name_, alice_);
+  g_.SetNodeAttr(b, name_, alice_);
+  EXPECT_EQ(g_.NodesWithAttr(name_, alice_).size(), 2u);
+  g_.SetNodeAttr(b, name_, bob_);
+  EXPECT_EQ(g_.NodesWithAttr(name_, alice_).size(), 1u);
+  EXPECT_EQ(g_.NodesWithAttr(name_, bob_).size(), 1u);
+  g_.RemoveNode(a);
+  EXPECT_TRUE(g_.NodesWithAttr(name_, alice_).empty());
+}
+
+TEST_F(GraphTest, EdgeAttrs) {
+  NodeId a = g_.AddNode(person_), b = g_.AddNode(person_);
+  EdgeId e = g_.AddEdge(a, b, knows_).value();
+  SymbolId conf = vocab_->Attr("conf");
+  SymbolId v90 = vocab_->Value("90");
+  ASSERT_TRUE(g_.SetEdgeAttr(e, conf, v90).ok());
+  EXPECT_EQ(g_.EdgeAttr(e, conf), v90);
+}
+
+TEST_F(GraphTest, FindEdgeScansSmallerSide) {
+  NodeId hub = g_.AddNode(person_);
+  std::vector<NodeId> spokes;
+  for (int i = 0; i < 50; ++i) {
+    NodeId s = g_.AddNode(person_);
+    g_.AddEdge(hub, s, knows_);
+    spokes.push_back(s);
+  }
+  EXPECT_NE(g_.FindEdge(hub, spokes[17], knows_), kInvalidEdge);
+  EXPECT_EQ(g_.FindEdge(spokes[17], hub, knows_), kInvalidEdge);
+}
+
+TEST_F(GraphTest, MergeUnionsNeighborhoods) {
+  NodeId keep = g_.AddNode(person_), gone = g_.AddNode(person_);
+  NodeId x = g_.AddNode(person_), y = g_.AddNode(person_);
+  g_.AddEdge(gone, x, knows_);
+  g_.AddEdge(y, gone, knows_);
+  ASSERT_TRUE(g_.MergeNodes(keep, gone).ok());
+  EXPECT_FALSE(g_.NodeAlive(gone));
+  EXPECT_TRUE(g_.HasEdge(keep, x, knows_));
+  EXPECT_TRUE(g_.HasEdge(y, keep, knows_));
+}
+
+TEST_F(GraphTest, MergeSkipsDuplicateEdges) {
+  NodeId keep = g_.AddNode(person_), gone = g_.AddNode(person_);
+  NodeId x = g_.AddNode(person_);
+  g_.AddEdge(keep, x, knows_);
+  g_.AddEdge(gone, x, knows_);
+  ASSERT_TRUE(g_.MergeNodes(keep, gone).ok());
+  EXPECT_EQ(g_.OutDegree(keep), 1u);
+}
+
+TEST_F(GraphTest, MergeCollapsesInterEdges) {
+  NodeId keep = g_.AddNode(person_), gone = g_.AddNode(person_);
+  g_.AddEdge(keep, gone, knows_);
+  g_.AddEdge(gone, keep, knows_);
+  ASSERT_TRUE(g_.MergeNodes(keep, gone).ok());
+  EXPECT_EQ(g_.NumEdges(), 0u);
+  EXPECT_EQ(g_.Degree(keep), 0u);
+}
+
+TEST_F(GraphTest, MergeCarriesMissingAttrs) {
+  NodeId keep = g_.AddNode(person_), gone = g_.AddNode(person_);
+  SymbolId year = vocab_->Attr("birth_year");
+  g_.SetNodeAttr(gone, name_, alice_);
+  g_.SetNodeAttr(keep, year, vocab_->Value("1980"));
+  g_.SetNodeAttr(gone, year, vocab_->Value("1999"));  // keep wins
+  ASSERT_TRUE(g_.MergeNodes(keep, gone).ok());
+  EXPECT_EQ(g_.NodeAttr(keep, name_), alice_);
+  EXPECT_EQ(g_.NodeAttr(keep, year), vocab_->Value("1980"));
+}
+
+TEST_F(GraphTest, MergeSelfFails) {
+  NodeId a = g_.AddNode(person_);
+  EXPECT_FALSE(g_.MergeNodes(a, a).ok());
+}
+
+TEST_F(GraphTest, UndoRestoresExactState) {
+  NodeId a = g_.AddNode(person_), b = g_.AddNode(person_);
+  g_.SetNodeAttr(a, name_, alice_);
+  g_.AddEdge(a, b, knows_);
+  uint64_t fp = g_.Fingerprint();
+  size_t mark = g_.JournalSize();
+
+  NodeId c = g_.AddNode(city_);
+  g_.AddEdge(a, c, born_);
+  g_.SetNodeLabel(b, city_);
+  g_.SetNodeAttr(a, name_, bob_);
+  g_.RemoveNode(b);
+  EXPECT_NE(g_.Fingerprint(), fp);
+
+  ASSERT_TRUE(g_.UndoTo(mark).ok());
+  EXPECT_EQ(g_.Fingerprint(), fp);
+  EXPECT_EQ(g_.NumNodes(), 2u);
+  EXPECT_EQ(g_.NumEdges(), 1u);
+  EXPECT_EQ(g_.NodeAttr(a, name_), alice_);
+  EXPECT_EQ(g_.NodeLabel(b), person_);
+  EXPECT_TRUE(g_.HasEdge(a, b, knows_));
+}
+
+TEST_F(GraphTest, UndoMergeRestores) {
+  NodeId keep = g_.AddNode(person_), gone = g_.AddNode(person_);
+  NodeId x = g_.AddNode(person_);
+  g_.AddEdge(gone, x, knows_);
+  g_.SetNodeAttr(gone, name_, alice_);
+  uint64_t fp = g_.Fingerprint();
+  size_t mark = g_.JournalSize();
+  ASSERT_TRUE(g_.MergeNodes(keep, gone).ok());
+  ASSERT_TRUE(g_.UndoTo(mark).ok());
+  EXPECT_EQ(g_.Fingerprint(), fp);
+  EXPECT_TRUE(g_.NodeAlive(gone));
+  EXPECT_TRUE(g_.HasEdge(gone, x, knows_));
+  EXPECT_EQ(g_.NodeAttr(gone, name_), alice_);
+}
+
+TEST_F(GraphTest, UndoRevivesSameIds) {
+  NodeId a = g_.AddNode(person_), b = g_.AddNode(person_);
+  EdgeId e = g_.AddEdge(a, b, knows_).value();
+  size_t mark = g_.JournalSize();
+  g_.RemoveEdge(e);
+  ASSERT_TRUE(g_.UndoTo(mark).ok());
+  EXPECT_TRUE(g_.EdgeAlive(e));
+  EXPECT_EQ(g_.Edge(e).src, a);
+}
+
+TEST_F(GraphTest, UndoBeyondJournalFails) {
+  EXPECT_FALSE(g_.UndoTo(5).ok());
+}
+
+TEST_F(GraphTest, JournalCostAccounting) {
+  CostModel m;
+  NodeId a = g_.AddNode(person_);
+  NodeId b = g_.AddNode(person_);
+  g_.AddEdge(a, b, knows_);
+  // 2 node inserts + 1 edge insert
+  EXPECT_DOUBLE_EQ(g_.CostSince(0, m), 3.0);
+  size_t mark = g_.JournalSize();
+  g_.RemoveNode(b);  // cascades the edge: edge_delete + node_delete
+  EXPECT_DOUBLE_EQ(g_.CostSince(mark, m), 2.0);
+}
+
+TEST_F(GraphTest, CloneSharesNothingMutable) {
+  NodeId a = g_.AddNode(person_);
+  g_.SetNodeAttr(a, name_, alice_);
+  Graph copy = g_.Clone();
+  EXPECT_TRUE(copy.ContentEquals(g_));
+  EXPECT_EQ(copy.JournalSize(), 0u);  // fresh journal
+  copy.SetNodeAttr(a, name_, bob_);
+  EXPECT_EQ(g_.NodeAttr(a, name_), alice_);
+  EXPECT_FALSE(copy.ContentEquals(g_));
+}
+
+TEST_F(GraphTest, FingerprintOrderIndependent) {
+  Graph g2(vocab_);
+  // Same content, same ids, different insertion interleavings of attrs.
+  NodeId a1 = g_.AddNode(person_);
+  g_.SetNodeAttr(a1, name_, alice_);
+  SymbolId year = vocab_->Attr("birth_year");
+  g_.SetNodeAttr(a1, year, vocab_->Value("1980"));
+
+  NodeId a2 = g2.AddNode(person_);
+  g2.SetNodeAttr(a2, year, vocab_->Value("1980"));
+  g2.SetNodeAttr(a2, name_, alice_);
+  EXPECT_EQ(g_.Fingerprint(), g2.Fingerprint());
+}
+
+TEST_F(GraphTest, FingerprintSensitiveToContent) {
+  NodeId a = g_.AddNode(person_);
+  uint64_t fp1 = g_.Fingerprint();
+  g_.SetNodeAttr(a, name_, alice_);
+  uint64_t fp2 = g_.Fingerprint();
+  EXPECT_NE(fp1, fp2);
+}
+
+TEST_F(GraphTest, NodesAndEdgesEnumerateAliveOnly) {
+  NodeId a = g_.AddNode(person_), b = g_.AddNode(person_);
+  EdgeId e = g_.AddEdge(a, b, knows_).value();
+  g_.RemoveEdge(e);
+  g_.RemoveNode(b);
+  EXPECT_EQ(g_.Nodes().size(), 1u);
+  EXPECT_TRUE(g_.Edges().empty());
+  EXPECT_EQ(g_.NodeIdBound(), 2u);  // tombstone still counted in bound
+}
+
+}  // namespace
+}  // namespace grepair

@@ -1,0 +1,116 @@
+// Round-trip and error-path tests for the text graph format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph/graph_io.h"
+
+namespace grepair {
+namespace {
+
+TEST(GraphIoTest, RoundTripPreservesContent) {
+  auto vocab = MakeVocabulary();
+  Graph g(vocab);
+  SymbolId person = vocab->Label("Person");
+  SymbolId knows = vocab->Label("knows");
+  SymbolId name = vocab->Attr("name");
+  NodeId a = g.AddNode(person);
+  NodeId b = g.AddNode(person);
+  g.SetNodeAttr(a, name, vocab->Value("alice"));
+  EdgeId e = g.AddEdge(a, b, knows).value();
+  g.SetEdgeAttr(e, vocab->Attr("conf"), vocab->Value("90"));
+
+  std::string text = SerializeGraph(g);
+  auto parsed = ParseGraph(text, vocab);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value().ContentEquals(g));
+}
+
+TEST(GraphIoTest, RoundTripAfterDeletionsCompacts) {
+  auto vocab = MakeVocabulary();
+  Graph g(vocab);
+  SymbolId l = vocab->Label("N");
+  NodeId a = g.AddNode(l);
+  NodeId b = g.AddNode(l);
+  NodeId c = g.AddNode(l);
+  g.AddEdge(a, c, vocab->Label("e"));
+  g.RemoveNode(b);
+
+  auto parsed = ParseGraph(SerializeGraph(g), vocab);
+  ASSERT_TRUE(parsed.ok());
+  // Ids compact on reload, so compare structure not ids.
+  EXPECT_EQ(parsed.value().NumNodes(), 2u);
+  EXPECT_EQ(parsed.value().NumEdges(), 1u);
+}
+
+TEST(GraphIoTest, ParseSkipsCommentsAndBlank) {
+  auto vocab = MakeVocabulary();
+  std::string text = "# hello\n\nN\t0\tPerson\n";
+  auto parsed = ParseGraph(text, vocab);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().NumNodes(), 1u);
+}
+
+TEST(GraphIoTest, ParseRejectsUnknownRecord) {
+  auto vocab = MakeVocabulary();
+  auto parsed = ParseGraph("X\t1\t2\n", vocab);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(GraphIoTest, ParseRejectsDanglingEdge) {
+  auto vocab = MakeVocabulary();
+  auto parsed = ParseGraph("N\t0\tA\nE\t0\t0\t9\te\n", vocab);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(GraphIoTest, ParseRejectsDuplicateNodeId) {
+  auto vocab = MakeVocabulary();
+  auto parsed = ParseGraph("N\t0\tA\nN\t0\tB\n", vocab);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(GraphIoTest, ParseRejectsBadAttrSyntax) {
+  auto vocab = MakeVocabulary();
+  auto parsed = ParseGraph("N\t0\tA\tname\n", vocab);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(GraphIoTest, SaveLoadFile) {
+  auto vocab = MakeVocabulary();
+  Graph g(vocab);
+  NodeId a = g.AddNode(vocab->Label("A"));
+  NodeId b = g.AddNode(vocab->Label("B"));
+  g.AddEdge(a, b, vocab->Label("e"));
+
+  std::string path = ::testing::TempDir() + "/grepair_io_test.graph";
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  auto loaded = LoadGraph(path, vocab);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().ContentEquals(g));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, DotExportContainsElements) {
+  auto vocab = MakeVocabulary();
+  Graph g(vocab);
+  NodeId a = g.AddNode(vocab->Label("Person"));
+  NodeId b = g.AddNode(vocab->Label("City"));
+  g.SetNodeAttr(a, vocab->Attr("name"), vocab->Value("alice"));
+  g.AddEdge(a, b, vocab->Label("born_in"));
+  std::string dot = ToDot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0:Person"), std::string::npos);
+  EXPECT_NE(dot.find("alice"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1 [label=\"born_in\"]"), std::string::npos);
+}
+
+TEST(GraphIoTest, LoadMissingFileFails) {
+  auto vocab = MakeVocabulary();
+  auto loaded = LoadGraph("/nonexistent/nope.graph", vocab);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace grepair

@@ -1,0 +1,155 @@
+// Tests for the error injectors: every injected error creates >= 1 rule
+// violation, ground-truth facts are well-formed, and class filters work.
+#include <gtest/gtest.h>
+
+#include "graph/error_injector.h"
+#include "grr/standard_rules.h"
+#include "repair/engine.h"
+
+namespace grepair {
+namespace {
+
+struct KgFixture {
+  VocabularyPtr vocab = MakeVocabulary();
+  KgSchema schema = KgSchema::Create(vocab.get());
+  Graph graph{vocab};
+  RuleSet rules;
+
+  explicit KgFixture(size_t persons = 400) {
+    KgOptions opt;
+    opt.num_persons = persons;
+    opt.num_cities = 40;
+    opt.num_countries = 10;
+    opt.num_orgs = 30;
+    graph = GenerateKg(vocab, schema, opt);
+    auto r = KgRules(vocab);
+    EXPECT_TRUE(r.ok());
+    rules = std::move(r).value();
+  }
+};
+
+TEST(KgInjectorTest, InjectionCreatesViolations) {
+  KgFixture f;
+  InjectOptions opt;
+  opt.rate = 0.08;
+  auto report = InjectKgErrors(&f.graph, f.schema, opt);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report.value().errors.size(), 0u);
+  EXPECT_GT(CountViolations(f.graph, f.rules), 0u);
+  EXPECT_EQ(f.graph.JournalSize(), 0u);  // journal reset post-injection
+}
+
+TEST(KgInjectorTest, AllThreeClassesInjected) {
+  KgFixture f;
+  InjectOptions opt;
+  opt.rate = 0.10;
+  auto report = InjectKgErrors(&f.graph, f.schema, opt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().CountClass(ErrorClass::kIncomplete), 0u);
+  EXPECT_GT(report.value().CountClass(ErrorClass::kConflict), 0u);
+  EXPECT_GT(report.value().CountClass(ErrorClass::kRedundant), 0u);
+}
+
+TEST(KgInjectorTest, ClassFiltersRespected) {
+  KgFixture f;
+  InjectOptions opt;
+  opt.rate = 0.1;
+  opt.conflict = false;
+  opt.redundant = false;
+  auto report = InjectKgErrors(&f.graph, f.schema, opt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().CountClass(ErrorClass::kIncomplete), 0u);
+  EXPECT_EQ(report.value().CountClass(ErrorClass::kConflict), 0u);
+  EXPECT_EQ(report.value().CountClass(ErrorClass::kRedundant), 0u);
+}
+
+TEST(KgInjectorTest, ZeroRateInjectsNothing) {
+  KgFixture f;
+  uint64_t fp = f.graph.Fingerprint();
+  InjectOptions opt;
+  opt.rate = 0.0;
+  auto report = InjectKgErrors(&f.graph, f.schema, opt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().errors.empty());
+  EXPECT_EQ(f.graph.Fingerprint(), fp);
+  EXPECT_EQ(CountViolations(f.graph, f.rules), 0u);
+}
+
+TEST(KgInjectorTest, DeterministicForSeed) {
+  KgFixture f1, f2;
+  InjectOptions opt;
+  opt.rate = 0.05;
+  auto r1 = InjectKgErrors(&f1.graph, f1.schema, opt);
+  auto r2 = InjectKgErrors(&f2.graph, f2.schema, opt);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(f1.graph.Fingerprint(), f2.graph.Fingerprint());
+  EXPECT_EQ(r1.value().errors.size(), r2.value().errors.size());
+}
+
+TEST(KgInjectorTest, HigherRateMoreErrors) {
+  KgFixture f1, f2;
+  InjectOptions lo, hi;
+  lo.rate = 0.02;
+  hi.rate = 0.15;
+  auto r1 = InjectKgErrors(&f1.graph, f1.schema, lo);
+  auto r2 = InjectKgErrors(&f2.graph, f2.schema, hi);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_GT(r2.value().errors.size(), r1.value().errors.size());
+}
+
+TEST(KgInjectorTest, DupPersonFactsReferenceAliveNodes) {
+  KgFixture f;
+  InjectOptions opt;
+  opt.rate = 0.1;
+  opt.incomplete = false;
+  opt.conflict = false;
+  auto report = InjectKgErrors(&f.graph, f.schema, opt);
+  ASSERT_TRUE(report.ok());
+  for (const auto& err : report.value().errors) {
+    if (err.fact.kind == FactKind::kNodesMerged) {
+      EXPECT_TRUE(f.graph.NodeAlive(err.fact.a));
+      EXPECT_TRUE(f.graph.NodeAlive(err.fact.b));
+      // Duplicates share name and birth_year.
+      EXPECT_EQ(f.graph.NodeAttr(err.fact.a, f.schema.name),
+                f.graph.NodeAttr(err.fact.b, f.schema.name));
+    }
+  }
+}
+
+TEST(SocialInjectorTest, InjectsAndViolates) {
+  auto vocab = MakeVocabulary();
+  SocialSchema s = SocialSchema::Create(vocab.get());
+  SocialOptions gopt;
+  gopt.num_persons = 500;
+  Graph g = GenerateSocial(vocab, s, gopt);
+  auto rules = SocialRules(vocab);
+  ASSERT_TRUE(rules.ok());
+  InjectOptions iopt;
+  iopt.rate = 0.08;
+  auto report = InjectSocialErrors(&g, s, iopt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().errors.size(), 0u);
+  EXPECT_GT(CountViolations(g, rules.value()), 0u);
+}
+
+TEST(CitationInjectorTest, InjectsAndViolates) {
+  auto vocab = MakeVocabulary();
+  CitationSchema s = CitationSchema::Create(vocab.get());
+  CitationOptions gopt;
+  gopt.num_papers = 400;
+  Graph g = GenerateCitation(vocab, s, gopt);
+  auto rules = CitationRules(vocab);
+  ASSERT_TRUE(rules.ok());
+  InjectOptions iopt;
+  iopt.rate = 0.08;
+  auto report = InjectCitationErrors(&g, s, iopt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().errors.size(), 0u);
+  EXPECT_GT(CountViolations(g, rules.value()), 0u);
+  EXPECT_GT(report.value().CountClass(ErrorClass::kIncomplete), 0u);
+  EXPECT_GT(report.value().CountClass(ErrorClass::kConflict), 0u);
+  EXPECT_GT(report.value().CountClass(ErrorClass::kRedundant), 0u);
+}
+
+}  // namespace
+}  // namespace grepair

@@ -1,0 +1,184 @@
+// End-to-end integration: full generate -> inject -> repair -> evaluate
+// pipelines on all three domains, all engine strategies, and the exact
+// strategy validated against exact GED on small instances (invariant 7).
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "ged/ged.h"
+#include "grr/rule_parser.h"
+#include "grr/standard_rules.h"
+#include "util/rng.h"
+
+namespace grepair {
+namespace {
+
+TEST(IntegrationTest, KgPipelineAllMethods) {
+  KgOptions gopt;
+  gopt.num_persons = 300;
+  gopt.num_cities = 40;
+  gopt.num_countries = 10;
+  gopt.num_orgs = 25;
+  InjectOptions iopt;
+  iopt.rate = 0.06;
+  auto bundle = MakeKgBundle(gopt, iopt);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  ASSERT_GT(bundle.value().truth.errors.size(), 10u);
+
+  for (const std::string& method : StandardMethods()) {
+    auto out = RunMethod(bundle.value(), method);
+    ASSERT_TRUE(out.ok()) << method << ": " << out.status().ToString();
+    if (method == "greedy" || method == "batch" || method == "naive") {
+      EXPECT_EQ(out.value().repair.remaining_violations, 0u) << method;
+      EXPECT_GT(out.value().quality.recall, 0.7) << method;
+    }
+  }
+}
+
+TEST(IntegrationTest, SocialPipeline) {
+  SocialOptions gopt;
+  gopt.num_persons = 600;
+  InjectOptions iopt;
+  iopt.rate = 0.06;
+  auto bundle = MakeSocialBundle(gopt, iopt);
+  ASSERT_TRUE(bundle.ok());
+  auto out = RunMethod(bundle.value(), "greedy");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().repair.remaining_violations, 0u);
+  EXPECT_GT(out.value().quality.f1, 0.8);
+}
+
+TEST(IntegrationTest, CitationPipeline) {
+  CitationOptions gopt;
+  gopt.num_papers = 400;
+  gopt.num_authors = 120;
+  InjectOptions iopt;
+  iopt.rate = 0.06;
+  auto bundle = MakeCitationBundle(gopt, iopt);
+  ASSERT_TRUE(bundle.ok());
+  auto out = RunMethod(bundle.value(), "greedy");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().repair.remaining_violations, 0u);
+  EXPECT_GT(out.value().quality.f1, 0.75);
+}
+
+TEST(IntegrationTest, BatchBeatsNaiveOnDetectionWork) {
+  KgOptions gopt;
+  gopt.num_persons = 400;
+  gopt.num_cities = 50;
+  gopt.num_countries = 10;
+  InjectOptions iopt;
+  iopt.rate = 0.08;
+  auto bundle = MakeKgBundle(gopt, iopt);
+  ASSERT_TRUE(bundle.ok());
+
+  auto batch = RunMethod(bundle.value(), "batch");
+  auto naive = RunMethod(bundle.value(), "naive");
+  ASSERT_TRUE(batch.ok() && naive.ok());
+  // The incremental batch engine does far less matcher work than the
+  // full-re-detection naive engine.
+  EXPECT_LT(batch.value().repair.matcher_expansions,
+            naive.value().repair.matcher_expansions);
+  // And far fewer rounds than it applied fixes (batching is real).
+  EXPECT_LT(batch.value().repair.rounds, batch.value().repair.applied.size());
+}
+
+TEST(IntegrationTest, ExactMatchesGedOnSmallInstance) {
+  // Small corrupted instance: the exact engine's repair cost must equal the
+  // exact graph edit distance between corrupted and repaired graphs when
+  // all fix costs are uniform (confidence weighting off).
+  auto vocab = MakeVocabulary();
+  auto rules = ParseRules(R"(
+    RULE sym CLASS incomplete
+    MATCH (x:P)-[knows]->(y:P)
+    WHERE NOT EDGE (y)-[knows]->(x)
+    ACTION ADD_EDGE (y)-[knows]->(x)
+
+    RULE no_self CLASS conflict
+    MATCH (x:P)-[e:knows]->(x)
+    ACTION DEL_EDGE e
+  )",
+                          vocab);
+  ASSERT_TRUE(rules.ok());
+  SymbolId p = vocab->Label("P"), knows = vocab->Label("knows");
+  Graph g(vocab);
+  NodeId a = g.AddNode(p), b = g.AddNode(p), c = g.AddNode(p);
+  g.AddEdge(a, b, knows);   // asymmetric -> needs 1 add
+  g.AddEdge(c, c, knows);   // self loop -> needs 1 delete
+  g.ResetJournal();
+  Graph before = g.Clone();
+
+  RepairOptions opt;
+  opt.strategy = RepairStrategy::kExact;
+  opt.confidence_attr.clear();
+  RepairEngine engine(opt);
+  auto res = engine.Run(&g, rules.value());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().remaining_violations, 0u);
+
+  GedOptions gopt;
+  GedResult ged = ExactGed(before, g, gopt);
+  ASSERT_TRUE(ged.optimal);
+  EXPECT_DOUBLE_EQ(res.value().repair_cost, 2.0);
+  EXPECT_DOUBLE_EQ(ged.distance, res.value().repair_cost);
+}
+
+TEST(IntegrationTest, HeuristicCostNeverBelowExact) {
+  // Across several tiny corrupted instances: exact <= greedy <= naive is
+  // not guaranteed pointwise for naive, but exact <= each heuristic is.
+  auto vocab = MakeVocabulary();
+  auto rules = ParseRules(R"(
+    RULE sym CLASS incomplete
+    MATCH (x:P)-[knows]->(y:P)
+    WHERE NOT EDGE (y)-[knows]->(x)
+    ACTION ADD_EDGE (y)-[knows]->(x)
+  )",
+                          vocab);
+  ASSERT_TRUE(rules.ok());
+  SymbolId p = vocab->Label("P"), knows = vocab->Label("knows");
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph base(vocab);
+    std::vector<NodeId> nodes;
+    for (int i = 0; i < 5; ++i) nodes.push_back(base.AddNode(p));
+    Rng rng(seed);
+    for (int i = 0; i < 5; ++i) {
+      NodeId x = nodes[rng.PickIndex(nodes)], y = nodes[rng.PickIndex(nodes)];
+      if (x != y && !base.HasEdge(x, y, knows)) base.AddEdge(x, y, knows);
+    }
+    base.ResetJournal();
+
+    double costs[2];
+    int i = 0;
+    for (auto strategy : {RepairStrategy::kExact, RepairStrategy::kGreedy}) {
+      Graph work = base.Clone();
+      RepairOptions opt;
+      opt.strategy = strategy;
+      RepairEngine engine(opt);
+      auto res = engine.Run(&work, rules.value());
+      ASSERT_TRUE(res.ok());
+      EXPECT_EQ(res.value().remaining_violations, 0u);
+      costs[i++] = res.value().repair_cost;
+    }
+    EXPECT_LE(costs[0], costs[1] + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(IntegrationTest, RepairedKgStaysCleanUnderReRepair) {
+  KgOptions gopt;
+  gopt.num_persons = 200;
+  InjectOptions iopt;
+  iopt.rate = 0.05;
+  auto bundle = MakeKgBundle(gopt, iopt);
+  ASSERT_TRUE(bundle.ok());
+  Graph work = bundle.value().graph.Clone();
+  RepairEngine engine;
+  ASSERT_TRUE(engine.Run(&work, bundle.value().rules).ok());
+  uint64_t fp = work.Fingerprint();
+  // Running repair again must be a no-op.
+  auto res2 = engine.Run(&work, bundle.value().rules);
+  ASSERT_TRUE(res2.ok());
+  EXPECT_TRUE(res2.value().applied.empty());
+  EXPECT_EQ(work.Fingerprint(), fp);
+}
+
+}  // namespace
+}  // namespace grepair

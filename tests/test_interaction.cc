@@ -1,0 +1,129 @@
+// Fix-interaction / scope-analysis tests for the batch strategy.
+#include <gtest/gtest.h>
+
+#include "grr/rule_builder.h"
+#include "match/matcher.h"
+#include "repair/interaction.h"
+
+namespace grepair {
+namespace {
+
+class InteractionTest : public ::testing::Test {
+ protected:
+  InteractionTest() : vocab_(MakeVocabulary()), g_(vocab_) {
+    a_ = vocab_->Label("A");
+    l_ = vocab_->Label("l");
+  }
+
+  Rule DelEdgeRule() {
+    RuleBuilder b(vocab_.get(), "del_e", ErrorClass::kConflict);
+    VarId x = b.Node("x", "A"), y = b.Node("y", "A");
+    size_t e = b.Edge(x, y, "l");
+    b.ActionDelEdge(e);
+    return std::move(b).Build();
+  }
+
+  Rule DelNodeRule() {
+    RuleBuilder b(vocab_.get(), "del_n", ErrorClass::kRedundant);
+    b.Node("x", "A");
+    b.ActionDelNode(0);
+    return std::move(b).Build();
+  }
+
+  Match MatchAt(const Rule& r, std::vector<std::pair<VarId, NodeId>> anchors) {
+    MatchOptions opts;
+    opts.node_anchors = std::move(anchors);
+    auto ms = Matcher(g_, r.pattern()).CollectWith(opts);
+    EXPECT_FALSE(ms.empty());
+    return ms.empty() ? Match{} : ms[0];
+  }
+
+  VocabularyPtr vocab_;
+  Graph g_;
+  SymbolId a_, l_;
+};
+
+TEST_F(InteractionTest, DisjointEdgeDeletionsIndependent) {
+  NodeId n1 = g_.AddNode(a_), n2 = g_.AddNode(a_);
+  NodeId n3 = g_.AddNode(a_), n4 = g_.AddNode(a_);
+  g_.AddEdge(n1, n2, l_);
+  g_.AddEdge(n3, n4, l_);
+  Rule r = DelEdgeRule();
+  FixScope s1 = ComputeScope(g_, r, MatchAt(r, {{0, n1}}));
+  FixScope s2 = ComputeScope(g_, r, MatchAt(r, {{0, n3}}));
+  EXPECT_FALSE(ScopesConflict(s1, s2));
+}
+
+TEST_F(InteractionTest, SharedEdgeConflicts) {
+  NodeId n1 = g_.AddNode(a_), n2 = g_.AddNode(a_);
+  g_.AddEdge(n1, n2, l_);
+  Rule r = DelEdgeRule();
+  Match m = MatchAt(r, {{0, n1}});
+  FixScope s1 = ComputeScope(g_, r, m);
+  FixScope s2 = ComputeScope(g_, r, m);
+  EXPECT_TRUE(ScopesConflict(s1, s2));
+}
+
+TEST_F(InteractionTest, NodeDeletionConflictsWithTouchingEdgeFix) {
+  NodeId n1 = g_.AddNode(a_), n2 = g_.AddNode(a_);
+  g_.AddEdge(n1, n2, l_);
+  Rule del_edge = DelEdgeRule();
+  Rule del_node = DelNodeRule();
+  FixScope se = ComputeScope(g_, del_edge, MatchAt(del_edge, {{0, n1}}));
+  FixScope sn = ComputeScope(g_, del_node, MatchAt(del_node, {{0, n2}}));
+  // Deleting n2 cascades the edge the other fix reads.
+  EXPECT_TRUE(ScopesConflict(se, sn));
+}
+
+TEST_F(InteractionTest, ReadReadDoesNotConflict) {
+  NodeId n1 = g_.AddNode(a_), n2 = g_.AddNode(a_), n3 = g_.AddNode(a_);
+  g_.AddEdge(n1, n2, l_);
+  g_.AddEdge(n2, n3, l_);
+  Rule r = DelEdgeRule();
+  // Fix 1 deletes edge n1->n2 (writes it, reads n1,n2).
+  // Fix 2 deletes edge n2->n3 (writes it, reads n2,n3).
+  // Shared n2 is read by both but written by neither -> independent.
+  FixScope s1 = ComputeScope(g_, r, MatchAt(r, {{0, n1}, {1, n2}}));
+  FixScope s2 = ComputeScope(g_, r, MatchAt(r, {{0, n2}, {1, n3}}));
+  EXPECT_FALSE(ScopesConflict(s1, s2));
+}
+
+TEST_F(InteractionTest, SelectIndependentGreedy) {
+  NodeId n1 = g_.AddNode(a_), n2 = g_.AddNode(a_);
+  NodeId n3 = g_.AddNode(a_), n4 = g_.AddNode(a_);
+  g_.AddEdge(n1, n2, l_);
+  g_.AddEdge(n3, n4, l_);
+  Rule r = DelEdgeRule();
+  Match m1 = MatchAt(r, {{0, n1}});
+  Match m2 = MatchAt(r, {{0, n3}});
+  std::vector<FixScope> scopes = {
+      ComputeScope(g_, r, m1),  // 0
+      ComputeScope(g_, r, m1),  // 1: duplicate of 0 -> conflicts
+      ComputeScope(g_, r, m2),  // 2: independent
+  };
+  auto chosen = SelectIndependent(scopes);
+  EXPECT_EQ(chosen, (std::vector<size_t>{0, 2}));
+}
+
+TEST_F(InteractionTest, MergeScopeCoversBothNeighborhoods) {
+  NodeId keep = g_.AddNode(a_), gone = g_.AddNode(a_), other = g_.AddNode(a_);
+  g_.AddEdge(gone, other, l_);
+  RuleBuilder b(vocab_.get(), "merge", ErrorClass::kRedundant);
+  VarId x = b.Node("x", "A"), y = b.Node("y", "A");
+  b.ActionMerge(x, y);
+  Rule r = std::move(b).Build();
+  MatchOptions opts;
+  opts.node_anchors = {{0u, keep}, {1u, gone}};
+  auto ms = Matcher(g_, r.pattern()).CollectWith(opts);
+  ASSERT_FALSE(ms.empty());
+  FixScope s = ComputeScope(g_, r, ms[0]);
+  // The edge gone->other is rewired: it must be in the write set.
+  EXPECT_NE(std::find(s.write_edges.begin(), s.write_edges.end(), 0u),
+            s.write_edges.end());
+  // `other` is in the read set (its adjacency changes).
+  EXPECT_NE(std::find(s.read_nodes.begin(), s.read_nodes.end(), other),
+            s.read_nodes.end());
+}
+
+}  // namespace
+}  // namespace grepair

@@ -1,0 +1,158 @@
+// Journal stress property tests (TEST_P): long random edit scripts with
+// undo to random marks must restore byte-identical state against reference
+// snapshots, and interleaved undo/redo-like usage (mark, edit, undo, edit
+// again) must never corrupt indexes (invariant 1 of DESIGN.md, hardened).
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace grepair {
+namespace {
+
+struct Driver {
+  explicit Driver(uint64_t seed)
+      : vocab(MakeVocabulary()), g(vocab), rng(seed) {
+    labels = {vocab->Label("A"), vocab->Label("B"), vocab->Label("C")};
+    elabels = {vocab->Label("e"), vocab->Label("f")};
+    attrs = {vocab->Attr("a1"), vocab->Attr("a2")};
+    values = {vocab->Value("v1"), vocab->Value("v2"), vocab->Value("v3")};
+    for (int i = 0; i < 8; ++i) g.AddNode(labels[rng.PickIndex(labels)]);
+  }
+
+  // One random mutation; returns false if it was a no-op this round.
+  bool Step() {
+    switch (rng.NextBounded(8)) {
+      case 0:
+        g.AddNode(labels[rng.PickIndex(labels)]);
+        return true;
+      case 1: {
+        auto nodes = g.Nodes();
+        if (nodes.size() < 2) return false;
+        NodeId a = nodes[rng.PickIndex(nodes)];
+        NodeId b = nodes[rng.PickIndex(nodes)];
+        return g.AddEdge(a, b, elabels[rng.PickIndex(elabels)]).ok();
+      }
+      case 2: {
+        auto edges = g.Edges();
+        if (edges.empty()) return false;
+        return g.RemoveEdge(edges[rng.PickIndex(edges)]).ok();
+      }
+      case 3: {
+        auto nodes = g.Nodes();
+        if (nodes.size() <= 2) return false;  // keep some nodes around
+        return g.RemoveNode(nodes[rng.PickIndex(nodes)]).ok();
+      }
+      case 4: {
+        auto nodes = g.Nodes();
+        if (nodes.empty()) return false;
+        return g.SetNodeLabel(nodes[rng.PickIndex(nodes)],
+                              labels[rng.PickIndex(labels)])
+            .ok();
+      }
+      case 5: {
+        auto nodes = g.Nodes();
+        if (nodes.empty()) return false;
+        SymbolId v = rng.NextBernoulli(0.3) ? 0 : values[rng.PickIndex(values)];
+        return g.SetNodeAttr(nodes[rng.PickIndex(nodes)],
+                             attrs[rng.PickIndex(attrs)], v)
+            .ok();
+      }
+      case 6: {
+        auto edges = g.Edges();
+        if (edges.empty()) return false;
+        return g.SetEdgeAttr(edges[rng.PickIndex(edges)],
+                             attrs[rng.PickIndex(attrs)],
+                             values[rng.PickIndex(values)])
+            .ok();
+      }
+      default: {
+        auto nodes = g.Nodes();
+        if (nodes.size() < 3) return false;
+        NodeId a = nodes[rng.PickIndex(nodes)];
+        NodeId b = nodes[rng.PickIndex(nodes)];
+        if (a == b) return false;
+        return g.MergeNodes(a, b).ok();
+      }
+    }
+  }
+
+  // Full index verification: the label/attr indexes agree with a rescan.
+  void VerifyIndexes() {
+    size_t indexed = 0;
+    for (NodeId n : g.Nodes()) {
+      ASSERT_TRUE(g.NodesWithLabel(g.NodeLabel(n)).count(n));
+      for (const auto& [a, v] : g.NodeAttrs(n).entries())
+        ASSERT_TRUE(g.NodesWithAttr(a, v).count(n));
+      ++indexed;
+    }
+    ASSERT_EQ(g.NodesWithLabel(0).size(), indexed);
+    // Adjacency round trip.
+    for (EdgeId e : g.Edges()) {
+      EdgeView v = g.Edge(e);
+      const auto& out = g.OutEdges(v.src);
+      ASSERT_NE(std::find(out.begin(), out.end(), e), out.end());
+      const auto& in = g.InEdges(v.dst);
+      ASSERT_NE(std::find(in.begin(), in.end(), e), in.end());
+    }
+  }
+
+  VocabularyPtr vocab;
+  Graph g;
+  Rng rng;
+  std::vector<SymbolId> labels, elabels, attrs, values;
+};
+
+class JournalStress : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JournalStress, UndoToRandomMarksRestoresSnapshots) {
+  Driver d(GetParam());
+  // Record snapshots at random marks along a 120-edit script.
+  std::vector<std::pair<size_t, uint64_t>> snapshots;  // mark -> fingerprint
+  for (int i = 0; i < 120; ++i) {
+    if (d.rng.NextBernoulli(0.15))
+      snapshots.push_back({d.g.JournalSize(), d.g.Fingerprint()});
+    d.Step();
+  }
+  d.VerifyIndexes();
+  // Undo back through the snapshots in reverse order.
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    ASSERT_TRUE(d.g.UndoTo(it->first).ok());
+    EXPECT_EQ(d.g.Fingerprint(), it->second) << "seed " << GetParam();
+  }
+  d.VerifyIndexes();
+}
+
+TEST_P(JournalStress, UndoRedoInterleavingKeepsIndexesSound) {
+  Driver d(GetParam() + 5000);
+  for (int round = 0; round < 10; ++round) {
+    size_t mark = d.g.JournalSize();
+    uint64_t fp = d.g.Fingerprint();
+    for (int i = 0; i < 12; ++i) d.Step();
+    if (d.rng.NextBernoulli(0.5)) {
+      ASSERT_TRUE(d.g.UndoTo(mark).ok());
+      ASSERT_EQ(d.g.Fingerprint(), fp);
+    }
+    d.VerifyIndexes();
+  }
+}
+
+TEST_P(JournalStress, CostNonNegativeAndAdditive) {
+  Driver d(GetParam() + 9000);
+  CostModel m;
+  size_t m1 = d.g.JournalSize();
+  for (int i = 0; i < 20; ++i) d.Step();
+  size_t m2 = d.g.JournalSize();
+  for (int i = 0; i < 20; ++i) d.Step();
+  double part1 = JournalCost(d.g.Journal(), m1, m2, m);
+  double part2 = JournalCost(d.g.Journal(), m2, d.g.JournalSize(), m);
+  EXPECT_GE(part1, 0.0);
+  EXPECT_GE(part2, 0.0);
+  EXPECT_DOUBLE_EQ(part1 + part2, d.g.CostSince(m1, m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JournalStress,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace grepair

@@ -1,0 +1,227 @@
+// Property tests: the optimized matcher agrees with a brute-force reference
+// enumerator on random graphs and random patterns (TEST_P sweeps), including
+// predicates and NACs. This is the load-bearing correctness test for
+// detection (invariant 3 of DESIGN.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "match/matcher.h"
+#include "match/predicate.h"
+#include "util/rng.h"
+
+namespace grepair {
+namespace {
+
+// Reference: enumerate ALL injective node bindings, then all injective edge
+// bindings, checking everything directly. Exponential but exact.
+class BruteForce {
+ public:
+  BruteForce(const Graph& g, const Pattern& p) : g_(g), p_(p) {}
+
+  std::vector<Match> FindAll() {
+    matches_.clear();
+    binding_.assign(p_.NumNodes(), kInvalidNode);
+    RecurseNodes(0);
+    return matches_;
+  }
+
+ private:
+  void RecurseNodes(VarId var) {
+    if (var == p_.NumNodes()) {
+      // Check predicates & NACs.
+      for (const auto& pred : p_.predicates())
+        if (EvalPredicate(g_, pred, binding_) != PredVerdict::kTrue) return;
+      for (const auto& nac : p_.nacs())
+        if (!EvalNac(g_, nac, binding_)) return;
+      edge_binding_.assign(p_.NumEdges(), kInvalidEdge);
+      RecurseEdges(0);
+      return;
+    }
+    for (NodeId n : g_.Nodes()) {
+      if (std::find(binding_.begin(), binding_.end(), n) != binding_.end())
+        continue;
+      const auto& pn = p_.nodes()[var];
+      if (pn.label != 0 && g_.NodeLabel(n) != pn.label) continue;
+      binding_[var] = n;
+      RecurseNodes(var + 1);
+      binding_[var] = kInvalidNode;
+    }
+  }
+
+  void RecurseEdges(size_t idx) {
+    if (idx == p_.NumEdges()) {
+      Match m;
+      m.nodes = binding_;
+      m.edges = edge_binding_;
+      matches_.push_back(m);
+      return;
+    }
+    const auto& pe = p_.edges()[idx];
+    for (EdgeId e : g_.Edges()) {
+      if (std::find(edge_binding_.begin(), edge_binding_.end(), e) !=
+          edge_binding_.end())
+        continue;
+      EdgeView v = g_.Edge(e);
+      if (v.src != binding_[pe.src] || v.dst != binding_[pe.dst]) continue;
+      if (pe.label != 0 && v.label != pe.label) continue;
+      edge_binding_[idx] = e;
+      RecurseEdges(idx + 1);
+      edge_binding_[idx] = kInvalidEdge;
+    }
+  }
+
+  const Graph& g_;
+  const Pattern& p_;
+  std::vector<NodeId> binding_;
+  std::vector<EdgeId> edge_binding_;
+  std::vector<Match> matches_;
+};
+
+// Canonical form for set comparison.
+std::set<std::pair<std::vector<NodeId>, std::vector<EdgeId>>> Canon(
+    const std::vector<Match>& ms) {
+  std::set<std::pair<std::vector<NodeId>, std::vector<EdgeId>>> out;
+  for (const auto& m : ms) out.insert({m.nodes, m.edges});
+  return out;
+}
+
+Graph RandomGraph(VocabularyPtr vocab, uint64_t seed, size_t n_nodes,
+                  size_t n_edges, size_t n_labels) {
+  Graph g(vocab);
+  Rng rng(seed);
+  std::vector<SymbolId> nl, el;
+  for (size_t i = 0; i < n_labels; ++i) {
+    nl.push_back(vocab->Label("NL" + std::to_string(i)));
+    el.push_back(vocab->Label("EL" + std::to_string(i)));
+  }
+  SymbolId attr = vocab->Attr("a");
+  std::vector<SymbolId> values = {vocab->Value("v1"), vocab->Value("v2"),
+                                  vocab->Value("v3")};
+  std::vector<NodeId> nodes;
+  for (size_t i = 0; i < n_nodes; ++i) {
+    NodeId n = g.AddNode(nl[rng.PickIndex(nl)]);
+    if (rng.NextBernoulli(0.6))
+      g.SetNodeAttr(n, attr, values[rng.PickIndex(values)]);
+    nodes.push_back(n);
+  }
+  for (size_t i = 0; i < n_edges; ++i) {
+    NodeId a = nodes[rng.PickIndex(nodes)];
+    NodeId b = nodes[rng.PickIndex(nodes)];
+    g.AddEdge(a, b, el[rng.PickIndex(el)]);
+  }
+  return g;
+}
+
+Pattern RandomPattern(Vocabulary* vocab, uint64_t seed, size_t n_labels) {
+  Rng rng(seed);
+  Pattern p;
+  std::vector<SymbolId> nl, el;
+  for (size_t i = 0; i < n_labels; ++i) {
+    SymbolId l1, l2;
+    vocab->LookupLabel("NL" + std::to_string(i), &l1);
+    vocab->LookupLabel("EL" + std::to_string(i), &l2);
+    nl.push_back(l1);
+    el.push_back(l2);
+  }
+  size_t n_vars = 1 + rng.NextBounded(3);  // 1..3 vars
+  for (size_t i = 0; i < n_vars; ++i) {
+    SymbolId label = rng.NextBernoulli(0.7) ? nl[rng.PickIndex(nl)] : 0;
+    p.AddNode(label);
+  }
+  size_t n_edges = rng.NextBounded(n_vars + 1);  // 0..n_vars pattern edges
+  for (size_t i = 0; i < n_edges; ++i) {
+    VarId a = static_cast<VarId>(rng.NextBounded(n_vars));
+    VarId b = static_cast<VarId>(rng.NextBounded(n_vars));
+    SymbolId label = rng.NextBernoulli(0.7) ? el[rng.PickIndex(el)] : 0;
+    p.AddEdge(a, b, label);
+  }
+  // Sometimes an attribute predicate between two vars.
+  if (n_vars >= 2 && rng.NextBernoulli(0.5)) {
+    SymbolId attr;
+    attr = vocab->Attr("a");
+    AttrPredicate pred;
+    pred.lhs = AttrOperand::VarAttr(0, attr);
+    pred.op = rng.NextBernoulli(0.5) ? CmpOp::kEq : CmpOp::kNe;
+    pred.rhs = AttrOperand::VarAttr(1, attr);
+    p.AddPredicate(pred);
+  }
+  // Sometimes a NAC.
+  if (rng.NextBernoulli(0.5)) {
+    Nac nac;
+    switch (rng.NextBounded(4)) {
+      case 0:
+        nac.kind = NacKind::kNoEdge;
+        nac.src_var = static_cast<VarId>(rng.NextBounded(n_vars));
+        nac.dst_var = static_cast<VarId>(rng.NextBounded(n_vars));
+        break;
+      case 1:
+        nac.kind = NacKind::kNoOutEdge;
+        nac.src_var = static_cast<VarId>(rng.NextBounded(n_vars));
+        break;
+      case 2:
+        nac.kind = NacKind::kNoInEdge;
+        nac.dst_var = static_cast<VarId>(rng.NextBounded(n_vars));
+        break;
+      default:
+        nac.kind = NacKind::kNoIncident;
+        nac.src_var = static_cast<VarId>(rng.NextBounded(n_vars));
+        break;
+    }
+    nac.label = rng.NextBernoulli(0.5) ? el[rng.PickIndex(el)] : 0;
+    if (nac.kind == NacKind::kNoIncident) nac.label = 0;
+    p.AddNac(nac);
+  }
+  return p;
+}
+
+class MatcherVsBruteForce : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatcherVsBruteForce, IdenticalMatchSets) {
+  uint64_t seed = GetParam();
+  auto vocab = MakeVocabulary();
+  Graph g = RandomGraph(vocab, seed, /*nodes=*/10, /*edges=*/18,
+                        /*labels=*/2);
+  Pattern p = RandomPattern(vocab.get(), seed * 31 + 7, 2);
+  ASSERT_TRUE(p.Validate().ok());
+
+  auto fast = Canon(Matcher(g, p).Collect());
+  auto slow = Canon(BruteForce(g, p).FindAll());
+  EXPECT_EQ(fast, slow) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, MatcherVsBruteForce,
+                         ::testing::Range<uint64_t>(0, 60));
+
+class AnchoredMatcherProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AnchoredMatcherProperty, AnchoredEqualsFilteredGlobal) {
+  uint64_t seed = GetParam();
+  auto vocab = MakeVocabulary();
+  Graph g = RandomGraph(vocab, seed + 1000, 10, 18, 2);
+  Pattern p = RandomPattern(vocab.get(), seed * 17 + 3, 2);
+  ASSERT_TRUE(p.Validate().ok());
+
+  auto all = Matcher(g, p).Collect();
+  if (g.NumNodes() == 0 || p.NumNodes() == 0) return;
+  Rng rng(seed);
+  auto nodes = g.Nodes();
+  NodeId anchor_node = nodes[rng.PickIndex(nodes)];
+  VarId anchor_var = static_cast<VarId>(rng.NextBounded(p.NumNodes()));
+
+  MatchOptions opts;
+  opts.node_anchors.push_back({anchor_var, anchor_node});
+  auto anchored = Canon(Matcher(g, p).CollectWith(opts));
+
+  std::vector<Match> expect;
+  for (const auto& m : all)
+    if (m.nodes[anchor_var] == anchor_node) expect.push_back(m);
+  EXPECT_EQ(anchored, Canon(expect)) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, AnchoredMatcherProperty,
+                         ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace grepair

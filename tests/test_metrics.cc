@@ -1,0 +1,193 @@
+// Metrics tests: fact matching per kind, precision/recall arithmetic,
+// consequential-fix exclusion.
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace grepair {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  MetricsTest() : vocab_(MakeVocabulary()), g_(vocab_) {
+    person_ = vocab_->Label("Person");
+    city_ = vocab_->Label("City");
+    knows_ = vocab_->Label("knows");
+  }
+
+  AppliedFix Fix(ActionKind kind, NodeId a, NodeId b = kInvalidNode,
+                 SymbolId label = 0) {
+    AppliedFix f;
+    f.rule = 0;
+    f.kind = kind;
+    f.node_a = a;
+    f.node_b = b;
+    f.label = label;
+    return f;
+  }
+
+  InjectedError Err(ExpectedFact fact) {
+    return {ErrorClass::kConflict, "r", fact};
+  }
+
+  VocabularyPtr vocab_;
+  Graph g_;
+  SymbolId person_, city_, knows_;
+};
+
+TEST_F(MetricsTest, PerfectRepairScoresOne) {
+  InjectReport truth;
+  ExpectedFact fact;
+  fact.kind = FactKind::kEdgeAdded;
+  fact.a = 1;
+  fact.b = 2;
+  fact.label = knows_;
+  truth.errors.push_back(Err(fact));
+
+  std::vector<AppliedFix> applied = {
+      Fix(ActionKind::kAddEdge, 1, 2, knows_)};
+  QualityMetrics m = EvaluateRepair(g_, applied, truth, 100);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST_F(MetricsTest, WrongEdgeDirectionIsNotAMatch) {
+  InjectReport truth;
+  ExpectedFact fact;
+  fact.kind = FactKind::kEdgeAdded;
+  fact.a = 1;
+  fact.b = 2;
+  fact.label = knows_;
+  truth.errors.push_back(Err(fact));
+  std::vector<AppliedFix> applied = {
+      Fix(ActionKind::kAddEdge, 2, 1, knows_)};  // reversed
+  QualityMetrics m = EvaluateRepair(g_, applied, truth, 100);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+}
+
+TEST_F(MetricsTest, RelabelRealizesEdgeAddedFact) {
+  InjectReport truth;
+  ExpectedFact fact;
+  fact.kind = FactKind::kEdgeAdded;
+  fact.a = 3;
+  fact.b = 4;
+  fact.label = knows_;
+  truth.errors.push_back(Err(fact));
+  std::vector<AppliedFix> applied = {
+      Fix(ActionKind::kUpdEdge, 3, 4, knows_)};
+  QualityMetrics m = EvaluateRepair(g_, applied, truth, 100);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST_F(MetricsTest, MergeMatchesUnordered) {
+  InjectReport truth;
+  ExpectedFact fact;
+  fact.kind = FactKind::kNodesMerged;
+  fact.a = 9;  // injector may record (orig, dup) in either order
+  fact.b = 2;
+  truth.errors.push_back(Err(fact));
+  std::vector<AppliedFix> applied = {Fix(ActionKind::kMerge, 2, 9)};
+  QualityMetrics m = EvaluateRepair(g_, applied, truth, 100);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST_F(MetricsTest, AttrSetFactMatching) {
+  InjectReport truth;
+  ExpectedFact fact;
+  fact.kind = FactKind::kAttrSet;
+  fact.a = 5;
+  fact.attr = vocab_->Attr("flag");
+  fact.value = vocab_->Value("yes");
+  truth.errors.push_back(Err(fact));
+  AppliedFix f = Fix(ActionKind::kUpdNode, 5);
+  f.attr = fact.attr;
+  f.value = fact.value;
+  QualityMetrics m = EvaluateRepair(g_, {f}, truth, 100);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST_F(MetricsTest, NodeAddedFactChecksNewNodeLabel) {
+  NodeId anchor = g_.AddNode(vocab_->Label("Country"));
+  NodeId nu = g_.AddNode(city_);
+  InjectReport truth;
+  ExpectedFact fact;
+  fact.kind = FactKind::kNodeAddedWithEdge;
+  fact.a = anchor;
+  fact.label = city_;  // new node must be a City
+  fact.edge_label = vocab_->Label("capital_of");
+  truth.errors.push_back(Err(fact));
+
+  AppliedFix f = Fix(ActionKind::kAddNode, anchor);
+  f.label = fact.edge_label;
+  f.new_node = nu;
+  QualityMetrics m = EvaluateRepair(g_, {f}, truth, /*bound=*/2);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+
+  // Wrong label on the created node: no match.
+  g_.SetNodeLabel(nu, person_);
+  QualityMetrics m2 = EvaluateRepair(g_, {f}, truth, 2);
+  EXPECT_DOUBLE_EQ(m2.recall, 0.0);
+}
+
+TEST_F(MetricsTest, FalsePositiveLowersPrecisionOnly) {
+  InjectReport truth;
+  ExpectedFact fact;
+  fact.kind = FactKind::kEdgeRemoved;
+  fact.a = 1;
+  fact.b = 2;
+  fact.label = knows_;
+  truth.errors.push_back(Err(fact));
+  std::vector<AppliedFix> applied = {
+      Fix(ActionKind::kDelEdge, 1, 2, knows_),
+      Fix(ActionKind::kDelEdge, 7, 8, knows_),  // spurious
+  };
+  QualityMetrics m = EvaluateRepair(g_, applied, truth, 100);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST_F(MetricsTest, ConsequentialFixesExcludedFromPrecision) {
+  InjectReport truth;
+  ExpectedFact fact;
+  fact.kind = FactKind::kEdgeRemoved;
+  fact.a = 1;
+  fact.b = 2;
+  fact.label = knows_;
+  truth.errors.push_back(Err(fact));
+  std::vector<AppliedFix> applied = {
+      Fix(ActionKind::kDelEdge, 1, 2, knows_),
+      // Touches node 50 >= bound 10: cascade on a repair-created node.
+      Fix(ActionKind::kAddEdge, 50, 1, knows_),
+  };
+  QualityMetrics m = EvaluateRepair(g_, applied, truth, /*bound=*/10);
+  EXPECT_EQ(m.consequential_fixes, 1u);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+}
+
+TEST_F(MetricsTest, NoErrorsNoFixesIsPerfect) {
+  InjectReport truth;
+  QualityMetrics m = EvaluateRepair(g_, {}, truth, 100);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST_F(MetricsTest, MissedFactLowersRecall) {
+  InjectReport truth;
+  ExpectedFact f1;
+  f1.kind = FactKind::kNodeDeleted;
+  f1.a = 4;
+  ExpectedFact f2;
+  f2.kind = FactKind::kNodeDeleted;
+  f2.a = 5;
+  truth.errors.push_back(Err(f1));
+  truth.errors.push_back(Err(f2));
+  std::vector<AppliedFix> applied = {Fix(ActionKind::kDelNode, 4)};
+  QualityMetrics m = EvaluateRepair(g_, applied, truth, 100);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+}
+
+}  // namespace
+}  // namespace grepair

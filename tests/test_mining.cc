@@ -1,0 +1,154 @@
+// Rule-mining tests: the miner must recover the shipped KG constraints from
+// clean data, tolerate a dirty graph, respect thresholds, and emit rules
+// the engine can run directly.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/experiment.h"
+#include "graph/generators.h"
+#include "mining/rule_miner.h"
+#include "repair/engine.h"
+
+namespace grepair {
+namespace {
+
+std::set<std::string> Kinds(const std::vector<MinedRule>& mined,
+                            const std::string& kind) {
+  std::set<std::string> names;
+  for (const auto& m : mined)
+    if (m.kind == kind) names.insert(m.rule.name());
+  return names;
+}
+
+class MiningTest : public ::testing::Test {
+ protected:
+  MiningTest() : vocab_(MakeVocabulary()), schema_(KgSchema::Create(vocab_.get())),
+                 graph_(vocab_) {
+    KgOptions opt;
+    opt.num_persons = 800;
+    opt.num_cities = 80;
+    opt.num_countries = 15;
+    opt.num_orgs = 60;
+    graph_ = GenerateKg(vocab_, schema_, opt);
+  }
+
+  VocabularyPtr vocab_;
+  KgSchema schema_;
+  Graph graph_;
+};
+
+TEST_F(MiningTest, RecoversSymmetryOfKnowsAndSpouse) {
+  auto mined = MineRules(graph_, MiningOptions{});
+  auto syms = Kinds(mined, "symmetry");
+  EXPECT_TRUE(syms.count("mined_sym_knows"));
+  EXPECT_TRUE(syms.count("mined_sym_spouse"));
+}
+
+TEST_F(MiningTest, RecoversCapitalImpliesLocated) {
+  auto mined = MineRules(graph_, MiningOptions{});
+  auto imps = Kinds(mined, "implication");
+  EXPECT_TRUE(imps.count("mined_imp_capital_of_located_in"));
+  // The converse (located_in => capital_of) must NOT be mined: most cities
+  // are not capitals.
+  EXPECT_FALSE(imps.count("mined_imp_located_in_capital_of"));
+}
+
+TEST_F(MiningTest, RecoversFunctionalRelations) {
+  auto mined = MineRules(graph_, MiningOptions{});
+  auto fns = Kinds(mined, "functional");
+  auto ifns = Kinds(mined, "inverse_functional");
+  EXPECT_TRUE(fns.count("mined_fn_born_in"));
+  EXPECT_TRUE(ifns.count("mined_ifn_capital_of"));
+  // knows is emphatically not functional.
+  EXPECT_FALSE(fns.count("mined_fn_knows"));
+}
+
+TEST_F(MiningTest, RecoversNameKey) {
+  auto mined = MineRules(graph_, MiningOptions{});
+  auto keys = Kinds(mined, "key");
+  EXPECT_TRUE(keys.count("mined_key_Person_name"));
+  // birth_year is heavily repeated: not a key.
+  EXPECT_FALSE(keys.count("mined_key_Person_birth_year"));
+}
+
+TEST_F(MiningTest, AllMinedRulesValidateAndTypeEndpoints) {
+  auto mined = MineRules(graph_, MiningOptions{});
+  ASSERT_FALSE(mined.empty());
+  for (const auto& m : mined) {
+    EXPECT_GE(m.support, 0.9) << m.rule.name();
+    EXPECT_GE(m.evidence, 10u) << m.rule.name();
+  }
+  // The symmetric knows rule should have typed Person endpoints.
+  for (const auto& m : mined) {
+    if (m.rule.name() == "mined_sym_knows") {
+      EXPECT_EQ(m.rule.pattern().nodes()[0].label, schema_.person);
+      EXPECT_EQ(m.rule.pattern().nodes()[1].label, schema_.person);
+    }
+  }
+}
+
+TEST_F(MiningTest, ThresholdsFilterWeakCandidates) {
+  MiningOptions strict;
+  strict.min_support = 0.999;
+  auto strict_mined = MineRules(graph_, strict);
+  MiningOptions loose;
+  loose.min_support = 0.5;
+  auto loose_mined = MineRules(graph_, loose);
+  EXPECT_LT(strict_mined.size(), loose_mined.size());
+}
+
+TEST_F(MiningTest, MinEvidenceSuppressesSmallSamples) {
+  // A tiny graph with 2 symmetric edges: below min_evidence, no rule.
+  Graph tiny(vocab_);
+  NodeId a = tiny.AddNode(schema_.person), b = tiny.AddNode(schema_.person);
+  tiny.AddEdge(a, b, schema_.knows);
+  tiny.AddEdge(b, a, schema_.knows);
+  auto mined = MineRules(tiny, MiningOptions{});
+  EXPECT_TRUE(mined.empty());
+}
+
+TEST_F(MiningTest, MiningToleratesDirtyGraph) {
+  InjectOptions iopt;
+  iopt.rate = 0.05;
+  auto report = InjectKgErrors(&graph_, schema_, iopt);
+  ASSERT_TRUE(report.ok());
+  auto mined = MineRules(graph_, MiningOptions{});
+  auto syms = Kinds(mined, "symmetry");
+  EXPECT_TRUE(syms.count("mined_sym_knows"));
+  EXPECT_TRUE(Kinds(mined, "implication")
+                  .count("mined_imp_capital_of_located_in"));
+}
+
+TEST_F(MiningTest, MinedRulesDriveTheEngine) {
+  // Mine on the dirty graph, then repair with ONLY mined rules: the
+  // symmetric / functional / key errors must all be fixable.
+  InjectOptions iopt;
+  iopt.rate = 0.05;
+  auto report = InjectKgErrors(&graph_, schema_, iopt);
+  ASSERT_TRUE(report.ok());
+
+  auto mined = MineRules(graph_, MiningOptions{});
+  RuleSet rules;
+  for (auto& m : mined) ASSERT_TRUE(rules.Add(std::move(m.rule)).ok());
+  ASSERT_GT(rules.size(), 3u);
+
+  size_t before = CountViolations(graph_, rules);
+  ASSERT_GT(before, 0u);
+  RepairEngine engine;
+  auto res = engine.Run(&graph_, rules);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().remaining_violations, 0u);
+  EXPECT_GE(res.value().applied.size(), before / 2);
+}
+
+TEST_F(MiningTest, DeterministicOutput) {
+  auto m1 = MineRules(graph_, MiningOptions{});
+  auto m2 = MineRules(graph_, MiningOptions{});
+  ASSERT_EQ(m1.size(), m2.size());
+  for (size_t i = 0; i < m1.size(); ++i)
+    EXPECT_EQ(m1[i].rule.name(), m2[i].rule.name());
+}
+
+}  // namespace
+}  // namespace grepair

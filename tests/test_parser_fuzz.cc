@@ -1,0 +1,100 @@
+// Parser robustness fuzzing (TEST_P sweeps): random mutations of valid DSL
+// sources and random garbage must NEVER crash the parser — every input
+// yields either a parsed rule set or a clean ParseError/InvalidArgument.
+#include <gtest/gtest.h>
+
+#include "grr/rule_parser.h"
+#include "grr/standard_rules.h"
+#include "util/rng.h"
+
+namespace grepair {
+namespace {
+
+// Any outcome is fine except a crash; failures must carry a parse-ish code.
+void MustNotCrash(const std::string& input) {
+  auto vocab = MakeVocabulary();
+  auto result = ParseRules(input, vocab);
+  if (!result.ok()) {
+    StatusCode code = result.status().code();
+    EXPECT_TRUE(code == StatusCode::kParseError ||
+                code == StatusCode::kInvalidArgument ||
+                code == StatusCode::kAlreadyExists)
+        << result.status().ToString();
+  }
+}
+
+class MutationFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MutationFuzz, MutatedDslNeverCrashes) {
+  Rng rng(GetParam());
+  const char* sources[] = {kKgRulesDsl, kSocialRulesDsl, kCitationRulesDsl};
+  std::string text = sources[rng.NextBounded(3)];
+
+  size_t n_mutations = 1 + rng.NextBounded(8);
+  for (size_t i = 0; i < n_mutations && !text.empty(); ++i) {
+    size_t pos = rng.NextBounded(text.size());
+    switch (rng.NextBounded(4)) {
+      case 0:  // delete a char
+        text.erase(pos, 1);
+        break;
+      case 1:  // flip to random printable
+        text[pos] = static_cast<char>(32 + rng.NextBounded(95));
+        break;
+      case 2:  // duplicate a slice
+        text.insert(pos, text.substr(pos, rng.NextBounded(20)));
+        break;
+      default:  // truncate
+        text.resize(pos);
+        break;
+    }
+  }
+  MustNotCrash(text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzz,
+                         ::testing::Range<uint64_t>(0, 120));
+
+class GarbageFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GarbageFuzz, RandomBytesNeverCrash) {
+  Rng rng(GetParam() * 977 + 5);
+  std::string text;
+  size_t len = rng.NextBounded(400);
+  for (size_t i = 0; i < len; ++i) {
+    // Mostly printable with some structure-ish characters to get deeper.
+    const char* pool = "()[]{}<>-*=!.,:\"RULECLASSMATCHWHEREACTION \n\tabcxyz_0123456789";
+    text += pool[rng.NextBounded(61)];
+  }
+  MustNotCrash(text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GarbageFuzz,
+                         ::testing::Range<uint64_t>(0, 80));
+
+TEST(ParserEdgeCases, EmptyAndWhitespaceInputs) {
+  auto vocab = MakeVocabulary();
+  EXPECT_TRUE(ParseRules("", vocab).ok());            // empty set is fine
+  EXPECT_TRUE(ParseRules("   \n\t  ", vocab).ok());
+  EXPECT_TRUE(ParseRules("# only a comment\n", vocab).ok());
+  EXPECT_EQ(ParseRules("", vocab).value().size(), 0u);
+}
+
+TEST(ParserEdgeCases, VeryLongIdentifier) {
+  auto vocab = MakeVocabulary();
+  std::string long_name(10000, 'a');
+  std::string text = "RULE " + long_name +
+                     " CLASS conflict\nMATCH (x:A)-[e:l]->(y:B)\n"
+                     "ACTION DEL_EDGE e\n";
+  auto r = ParseRules(text, vocab);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].name().size(), 10000u);
+}
+
+TEST(ParserEdgeCases, DeeplyNestedNoise) {
+  auto vocab = MakeVocabulary();
+  std::string text(5000, '(');
+  MustNotCrash(text);
+}
+
+}  // namespace
+}  // namespace grepair

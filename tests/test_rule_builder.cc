@@ -1,0 +1,83 @@
+// RuleBuilder tests: the programmatic construction path mirrors the DSL.
+#include <gtest/gtest.h>
+
+#include "grr/rule_builder.h"
+#include "grr/rule_parser.h"
+
+namespace grepair {
+namespace {
+
+TEST(RuleBuilderTest, BuildsEquivalentOfParsedRule) {
+  auto vocab = MakeVocabulary();
+  auto parsed = ParseRule(R"(
+    RULE sym CLASS incomplete
+    MATCH (x:Person)-[knows]->(y:Person)
+    WHERE NOT EDGE (y)-[knows]->(x)
+    ACTION ADD_EDGE (y)-[knows]->(x)
+  )",
+                          vocab);
+  ASSERT_TRUE(parsed.ok());
+
+  RuleBuilder b(vocab.get(), "sym2", ErrorClass::kIncomplete);
+  VarId x = b.Node("x", "Person"), y = b.Node("y", "Person");
+  b.Edge(x, y, "knows");
+  b.NoEdge(y, x, "knows");
+  b.ActionAddEdge(y, x, "knows");
+  Rule built = std::move(b).Build();
+
+  const Rule& ref = parsed.value();
+  EXPECT_EQ(built.pattern().NumNodes(), ref.pattern().NumNodes());
+  EXPECT_EQ(built.pattern().NumEdges(), ref.pattern().NumEdges());
+  EXPECT_EQ(built.pattern().nodes()[0].label, ref.pattern().nodes()[0].label);
+  EXPECT_EQ(built.pattern().edges()[0].label, ref.pattern().edges()[0].label);
+  EXPECT_EQ(built.action().kind, ref.action().kind);
+  EXPECT_EQ(built.action().var, ref.action().var);
+  EXPECT_EQ(built.action().var2, ref.action().var2);
+  EXPECT_EQ(built.action().label, ref.action().label);
+}
+
+TEST(RuleBuilderTest, AllPredicateForms) {
+  auto vocab = MakeVocabulary();
+  RuleBuilder b(vocab.get(), "preds", ErrorClass::kRedundant);
+  VarId x = b.Node("x", "A"), y = b.Node("y", "A");
+  b.AttrCmp(x, "name", CmpOp::kEq, y, "name");
+  b.AttrCmpConst(x, "kind", CmpOp::kNe, "junk");
+  b.AttrAbsent(x, "deleted");
+  b.AttrPresent(y, "name");
+  b.Isolated(x);
+  b.NoOutEdge(y, "l");
+  b.NoInEdge(y, "l");
+  b.ActionMerge(x, y);
+  Rule r = std::move(b).Build();
+  EXPECT_EQ(r.pattern().predicates().size(), 4u);
+  EXPECT_EQ(r.pattern().nacs().size(), 3u);
+}
+
+TEST(RuleBuilderTest, PrioritySticks) {
+  auto vocab = MakeVocabulary();
+  RuleBuilder b(vocab.get(), "p", ErrorClass::kConflict);
+  VarId x = b.Node("x", "A"), y = b.Node("y", "B");
+  size_t e = b.Edge(x, y, "l");
+  b.ActionDelEdge(e);
+  b.Priority(3.0);
+  EXPECT_DOUBLE_EQ(std::move(b).Build().priority(), 3.0);
+}
+
+TEST(RuleSetTest, AddRejectsDuplicates) {
+  auto vocab = MakeVocabulary();
+  auto make = [&](const std::string& name) {
+    RuleBuilder b(vocab.get(), name, ErrorClass::kConflict);
+    VarId x = b.Node("x", "A"), y = b.Node("y", "B");
+    size_t e = b.Edge(x, y, "l");
+    b.ActionDelEdge(e);
+    return std::move(b).Build();
+  };
+  RuleSet set;
+  EXPECT_TRUE(set.Add(make("a")).ok());
+  EXPECT_TRUE(set.Add(make("b")).ok());
+  EXPECT_FALSE(set.Add(make("a")).ok());
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace grepair

@@ -1,0 +1,121 @@
+// Validator tests: class/action agreement and self-disabling guards.
+#include <gtest/gtest.h>
+
+#include "grr/rule_builder.h"
+#include "grr/rule_validator.h"
+
+namespace grepair {
+namespace {
+
+TEST(RuleValidatorTest, IncompleteAddEdgeNeedsNac) {
+  auto vocab = MakeVocabulary();
+  RuleBuilder b(vocab.get(), "r", ErrorClass::kIncomplete);
+  VarId x = b.Node("x", "A"), y = b.Node("y", "A");
+  b.Edge(x, y, "l");
+  b.ActionAddEdge(y, x, "l");  // no NAC -> would re-fire forever
+  Rule r = std::move(b).Build();
+  Status st = ValidateRule(r, *vocab);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("self-disabling"), std::string::npos);
+}
+
+TEST(RuleValidatorTest, IncompleteAddEdgeWithNacOk) {
+  auto vocab = MakeVocabulary();
+  RuleBuilder b(vocab.get(), "r", ErrorClass::kIncomplete);
+  VarId x = b.Node("x", "A"), y = b.Node("y", "A");
+  b.Edge(x, y, "l");
+  b.NoEdge(y, x, "l");
+  b.ActionAddEdge(y, x, "l");
+  EXPECT_TRUE(ValidateRule(std::move(b).Build(), *vocab).ok());
+}
+
+TEST(RuleValidatorTest, AddNodeNeedsMatchingDirectionNac) {
+  auto vocab = MakeVocabulary();
+  {
+    RuleBuilder b(vocab.get(), "r", ErrorClass::kIncomplete);
+    VarId y = b.Node("y", "Country");
+    b.NoInEdge(y, "capital_of");
+    b.ActionAddNode("City", "capital_of", y, /*new_node_is_src=*/true);
+    EXPECT_TRUE(ValidateRule(std::move(b).Build(), *vocab).ok());
+  }
+  {
+    // NAC guards the wrong direction: invalid.
+    RuleBuilder b(vocab.get(), "r", ErrorClass::kIncomplete);
+    VarId y = b.Node("y", "Country");
+    b.NoOutEdge(y, "capital_of");
+    b.ActionAddNode("City", "capital_of", y, /*new_node_is_src=*/true);
+    EXPECT_FALSE(ValidateRule(std::move(b).Build(), *vocab).ok());
+  }
+}
+
+TEST(RuleValidatorTest, ClassActionAgreement) {
+  auto vocab = MakeVocabulary();
+  {
+    // conflict rule with ADD action: invalid.
+    RuleBuilder b(vocab.get(), "r", ErrorClass::kConflict);
+    VarId x = b.Node("x", "A"), y = b.Node("y", "A");
+    b.NoEdge(x, y, "l");
+    b.ActionAddEdge(x, y, "l");
+    EXPECT_FALSE(ValidateRule(std::move(b).Build(), *vocab).ok());
+  }
+  {
+    // redundant rule with DEL_EDGE: invalid (must merge or delete node).
+    RuleBuilder b(vocab.get(), "r", ErrorClass::kRedundant);
+    VarId x = b.Node("x", "A"), y = b.Node("y", "A");
+    size_t e = b.Edge(x, y, "l");
+    b.ActionDelEdge(e);
+    EXPECT_FALSE(ValidateRule(std::move(b).Build(), *vocab).ok());
+  }
+  {
+    // incomplete rule with MERGE: invalid.
+    RuleBuilder b(vocab.get(), "r", ErrorClass::kIncomplete);
+    VarId x = b.Node("x", "A"), y = b.Node("y", "A");
+    b.ActionMerge(x, y);
+    EXPECT_FALSE(ValidateRule(std::move(b).Build(), *vocab).ok());
+  }
+}
+
+TEST(RuleValidatorTest, RelabelToSameLabelRejected) {
+  auto vocab = MakeVocabulary();
+  RuleBuilder b(vocab.get(), "r", ErrorClass::kConflict);
+  b.Node("x", "A");
+  b.ActionRelabelNode(0, "A");
+  EXPECT_FALSE(ValidateRule(std::move(b).Build(), *vocab).ok());
+}
+
+TEST(RuleValidatorTest, SetAttrNeedsGuardPredicate) {
+  auto vocab = MakeVocabulary();
+  {
+    RuleBuilder b(vocab.get(), "r", ErrorClass::kConflict);
+    b.Node("x", "A");
+    b.ActionSetAttr(0, "flag", "yes");  // unguarded: re-fires forever
+    EXPECT_FALSE(ValidateRule(std::move(b).Build(), *vocab).ok());
+  }
+  {
+    RuleBuilder b(vocab.get(), "r", ErrorClass::kConflict);
+    b.Node("x", "A");
+    b.AttrCmpConst(0, "flag", CmpOp::kNe, "yes");
+    b.ActionSetAttr(0, "flag", "yes");
+    EXPECT_TRUE(ValidateRule(std::move(b).Build(), *vocab).ok());
+  }
+}
+
+TEST(RuleValidatorTest, MergeSelfRejected) {
+  auto vocab = MakeVocabulary();
+  RuleBuilder b(vocab.get(), "r", ErrorClass::kRedundant);
+  VarId x = b.Node("x", "A");
+  b.ActionMerge(x, x);
+  EXPECT_FALSE(ValidateRule(std::move(b).Build(), *vocab).ok());
+}
+
+TEST(RuleValidatorTest, DelEdgeRangeChecked) {
+  auto vocab = MakeVocabulary();
+  RuleBuilder b(vocab.get(), "r", ErrorClass::kConflict);
+  VarId x = b.Node("x", "A"), y = b.Node("y", "A");
+  b.Edge(x, y, "l");
+  b.ActionDelEdge(7);  // out of range
+  EXPECT_FALSE(ValidateRule(std::move(b).Build(), *vocab).ok());
+}
+
+}  // namespace
+}  // namespace grepair

@@ -1,0 +1,249 @@
+// Behavioral unit tests for every shipped rule: each rule is exercised on a
+// minimal scenario containing exactly its error, and must produce exactly
+// its repair. This pins the semantics of the rule libraries the benchmarks
+// and examples depend on.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "grr/standard_rules.h"
+#include "repair/engine.h"
+
+namespace grepair {
+namespace {
+
+// Runs the engine restricted to one named rule.
+RepairResult RunOne(Graph* g, const RuleSet& all, const std::string& name) {
+  RuleSet one;
+  auto id = all.Find(name);
+  EXPECT_TRUE(id.ok()) << name;
+  EXPECT_TRUE(one.Add(all[id.value()]).ok());
+  RepairEngine engine;
+  auto res = engine.Run(g, one);
+  EXPECT_TRUE(res.ok()) << res.status().ToString();
+  return res.ok() ? std::move(res).value() : RepairResult{};
+}
+
+class KgRuleTest : public ::testing::Test {
+ protected:
+  KgRuleTest() : vocab_(MakeVocabulary()), g_(vocab_) {
+    rules_ = KgRules(vocab_).value();
+    s_ = KgSchema::Create(vocab_.get());
+  }
+
+  VocabularyPtr vocab_;
+  Graph g_;
+  RuleSet rules_;
+  KgSchema s_;
+};
+
+TEST_F(KgRuleTest, SpouseSymmetric) {
+  NodeId a = g_.AddNode(s_.person), b = g_.AddNode(s_.person);
+  g_.AddEdge(a, b, s_.spouse);
+  RepairResult r = RunOne(&g_, rules_, "spouse_symmetric");
+  EXPECT_EQ(r.applied.size(), 1u);
+  EXPECT_TRUE(g_.HasEdge(b, a, s_.spouse));
+}
+
+TEST_F(KgRuleTest, KnowsSymmetric) {
+  NodeId a = g_.AddNode(s_.person), b = g_.AddNode(s_.person);
+  g_.AddEdge(a, b, s_.knows);
+  RepairResult r = RunOne(&g_, rules_, "knows_symmetric");
+  EXPECT_EQ(r.applied.size(), 1u);
+  EXPECT_TRUE(g_.HasEdge(b, a, s_.knows));
+}
+
+TEST_F(KgRuleTest, CapitalImpliesLocated) {
+  NodeId c = g_.AddNode(s_.city), y = g_.AddNode(s_.country);
+  g_.AddEdge(c, y, s_.capital_of);
+  RepairResult r = RunOne(&g_, rules_, "capital_implies_located");
+  EXPECT_EQ(r.applied.size(), 1u);
+  EXPECT_TRUE(g_.HasEdge(c, y, s_.located_in));
+}
+
+TEST_F(KgRuleTest, CountryNeedsCapital) {
+  NodeId y = g_.AddNode(s_.country);
+  RepairResult r = RunOne(&g_, rules_, "country_needs_capital");
+  ASSERT_EQ(r.applied.size(), 1u);
+  NodeId nu = r.applied[0].new_node;
+  EXPECT_EQ(g_.NodeLabel(nu), s_.city);
+  EXPECT_TRUE(g_.HasEdge(nu, y, s_.capital_of));
+}
+
+TEST_F(KgRuleTest, OneCapitalPerCountryPrefersLowConfidence) {
+  NodeId c1 = g_.AddNode(s_.city), c2 = g_.AddNode(s_.city);
+  NodeId y = g_.AddNode(s_.country);
+  EdgeId hi = g_.AddEdge(c1, y, s_.capital_of).value();
+  EdgeId lo = g_.AddEdge(c2, y, s_.capital_of).value();
+  g_.SetEdgeAttr(hi, s_.conf, s_.conf_high);
+  g_.SetEdgeAttr(lo, s_.conf, s_.conf_low);
+  RepairResult r = RunOne(&g_, rules_, "one_capital_per_country");
+  EXPECT_EQ(r.applied.size(), 1u);
+  EXPECT_TRUE(g_.EdgeAlive(hi));
+  EXPECT_FALSE(g_.EdgeAlive(lo));
+}
+
+TEST_F(KgRuleTest, OneBirthplace) {
+  NodeId p = g_.AddNode(s_.person);
+  NodeId c1 = g_.AddNode(s_.city), c2 = g_.AddNode(s_.city);
+  EdgeId real = g_.AddEdge(p, c1, s_.born_in).value();
+  EdgeId fake = g_.AddEdge(p, c2, s_.born_in).value();
+  g_.SetEdgeAttr(real, s_.conf, s_.conf_high);
+  g_.SetEdgeAttr(fake, s_.conf, s_.conf_low);
+  RepairResult r = RunOne(&g_, rules_, "one_birthplace");
+  EXPECT_EQ(r.applied.size(), 1u);
+  EXPECT_TRUE(g_.EdgeAlive(real));
+  EXPECT_FALSE(g_.EdgeAlive(fake));
+}
+
+TEST_F(KgRuleTest, WorkerIsPerson) {
+  NodeId x = g_.AddNode(s_.city);  // mislabeled person
+  NodeId o = g_.AddNode(s_.org);
+  g_.AddEdge(x, o, s_.works_for);
+  RepairResult r = RunOne(&g_, rules_, "worker_is_person");
+  EXPECT_EQ(r.applied.size(), 1u);
+  EXPECT_EQ(g_.NodeLabel(x), s_.person);
+}
+
+TEST_F(KgRuleTest, CapitalFlag) {
+  NodeId c = g_.AddNode(s_.city), y = g_.AddNode(s_.country);
+  g_.AddEdge(c, y, s_.capital_of);
+  g_.AddEdge(c, y, s_.located_in);
+  RepairResult r = RunOne(&g_, rules_, "capital_flag");
+  EXPECT_EQ(r.applied.size(), 1u);
+  EXPECT_EQ(g_.NodeAttr(c, s_.is_capital), s_.yes);
+}
+
+TEST_F(KgRuleTest, DupPersonRequiresBothKeys) {
+  SymbolId name = s_.name, year = s_.birth_year;
+  NodeId a = g_.AddNode(s_.person), b = g_.AddNode(s_.person);
+  NodeId c = g_.AddNode(s_.person);
+  g_.SetNodeAttr(a, name, vocab_->Value("alice"));
+  g_.SetNodeAttr(b, name, vocab_->Value("alice"));
+  g_.SetNodeAttr(c, name, vocab_->Value("alice"));
+  g_.SetNodeAttr(a, year, vocab_->Value("1980"));
+  g_.SetNodeAttr(b, year, vocab_->Value("1980"));
+  g_.SetNodeAttr(c, year, vocab_->Value("1999"));  // same name, diff year
+  RepairResult r = RunOne(&g_, rules_, "dup_person");
+  EXPECT_EQ(r.applied.size(), 1u);  // only a+b merge
+  EXPECT_TRUE(g_.NodeAlive(a));
+  EXPECT_FALSE(g_.NodeAlive(b));
+  EXPECT_TRUE(g_.NodeAlive(c));
+}
+
+TEST_F(KgRuleTest, JunkOrgOnlyWhenIsolatedAndUnnamed) {
+  NodeId junk = g_.AddNode(s_.org);
+  NodeId named = g_.AddNode(s_.org);
+  g_.SetNodeAttr(named, s_.name, vocab_->Value("acme"));
+  NodeId connected = g_.AddNode(s_.org);
+  NodeId city = g_.AddNode(s_.city);
+  g_.AddEdge(connected, city, s_.hq_in);
+  RepairResult r = RunOne(&g_, rules_, "junk_org");
+  EXPECT_EQ(r.applied.size(), 1u);
+  EXPECT_FALSE(g_.NodeAlive(junk));
+  EXPECT_TRUE(g_.NodeAlive(named));
+  EXPECT_TRUE(g_.NodeAlive(connected));
+}
+
+class SocialRuleTest : public ::testing::Test {
+ protected:
+  SocialRuleTest() : vocab_(MakeVocabulary()), g_(vocab_) {
+    rules_ = SocialRules(vocab_).value();
+    s_ = SocialSchema::Create(vocab_.get());
+  }
+  VocabularyPtr vocab_;
+  Graph g_;
+  RuleSet rules_;
+  SocialSchema s_;
+};
+
+TEST_F(SocialRuleTest, NoSelfKnows) {
+  NodeId a = g_.AddNode(s_.person);
+  g_.AddEdge(a, a, s_.knows);
+  RepairResult r = RunOne(&g_, rules_, "no_self_knows");
+  EXPECT_EQ(r.applied.size(), 1u);
+  EXPECT_EQ(g_.NumEdges(), 0u);
+}
+
+TEST_F(SocialRuleTest, DupUserMergePreservesFriends) {
+  NodeId orig = g_.AddNode(s_.person), dup = g_.AddNode(s_.person);
+  NodeId f = g_.AddNode(s_.person);
+  g_.SetNodeAttr(orig, s_.name, vocab_->Value("u1"));
+  g_.SetNodeAttr(dup, s_.name, vocab_->Value("u1"));
+  g_.SetNodeAttr(f, s_.name, vocab_->Value("u2"));
+  g_.AddEdge(dup, f, s_.knows);
+  g_.AddEdge(f, dup, s_.knows);
+  RepairResult r = RunOne(&g_, rules_, "dup_user");
+  EXPECT_FALSE(g_.NodeAlive(dup));
+  EXPECT_TRUE(g_.HasEdge(orig, f, s_.knows));
+  EXPECT_TRUE(g_.HasEdge(f, orig, s_.knows));
+}
+
+TEST_F(SocialRuleTest, OrphanUserDeleted) {
+  NodeId orphan = g_.AddNode(s_.person);  // no name, no edges
+  NodeId named = g_.AddNode(s_.person);
+  g_.SetNodeAttr(named, s_.name, vocab_->Value("u"));
+  RepairResult r = RunOne(&g_, rules_, "orphan_user");
+  EXPECT_EQ(r.applied.size(), 1u);
+  EXPECT_FALSE(g_.NodeAlive(orphan));
+  EXPECT_TRUE(g_.NodeAlive(named));
+}
+
+class CitationRuleTest : public ::testing::Test {
+ protected:
+  CitationRuleTest() : vocab_(MakeVocabulary()), g_(vocab_) {
+    rules_ = CitationRules(vocab_).value();
+    s_ = CitationSchema::Create(vocab_.get());
+  }
+  NodeId Paper(const char* title, const char* year) {
+    NodeId p = g_.AddNode(s_.paper);
+    g_.SetNodeAttr(p, s_.title, vocab_->Value(title));
+    g_.SetNodeAttr(p, s_.year, vocab_->Value(year));
+    return p;
+  }
+  VocabularyPtr vocab_;
+  Graph g_;
+  RuleSet rules_;
+  CitationSchema s_;
+};
+
+TEST_F(CitationRuleTest, NoFutureCitation) {
+  NodeId old_p = Paper("a", "1990"), new_p = Paper("b", "2010");
+  g_.AddEdge(old_p, new_p, s_.cites);  // time travel
+  g_.AddEdge(new_p, old_p, s_.cites);  // legitimate
+  RepairResult r = RunOne(&g_, rules_, "no_future_citation");
+  EXPECT_EQ(r.applied.size(), 1u);
+  EXPECT_FALSE(g_.HasEdge(old_p, new_p, s_.cites));
+  EXPECT_TRUE(g_.HasEdge(new_p, old_p, s_.cites));
+}
+
+TEST_F(CitationRuleTest, CitesToAuthorRelabeled) {
+  NodeId p = Paper("a", "2000");
+  NodeId a = g_.AddNode(s_.author);
+  EdgeId e = g_.AddEdge(p, a, s_.cites).value();
+  RepairResult r = RunOne(&g_, rules_, "cites_to_author_is_authorship");
+  EXPECT_EQ(r.applied.size(), 1u);
+  EXPECT_EQ(g_.EdgeLabel(e), s_.authored_by);
+}
+
+TEST_F(CitationRuleTest, PaperNeedsAuthor) {
+  NodeId p = Paper("lonely", "2001");
+  RepairResult r = RunOne(&g_, rules_, "paper_needs_author");
+  ASSERT_EQ(r.applied.size(), 1u);
+  NodeId nu = r.applied[0].new_node;
+  EXPECT_EQ(g_.NodeLabel(nu), s_.author);
+  EXPECT_TRUE(g_.HasEdge(p, nu, s_.authored_by));
+}
+
+TEST_F(CitationRuleTest, DupPaperNeedsTitleAndYear) {
+  NodeId a = Paper("same", "2001");
+  NodeId b = Paper("same", "2001");
+  NodeId c = Paper("same", "2005");  // same title, different year
+  RepairResult r = RunOne(&g_, rules_, "dup_paper");
+  EXPECT_EQ(r.applied.size(), 1u);
+  EXPECT_TRUE(g_.NodeAlive(a));
+  EXPECT_FALSE(g_.NodeAlive(b));
+  EXPECT_TRUE(g_.NodeAlive(c));
+}
+
+}  // namespace
+}  // namespace grepair

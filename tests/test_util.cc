@@ -1,0 +1,230 @@
+// Unit tests for util/: Status/Result, Rng, strings, Dictionary, TableWriter.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/dictionary.h"
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/table_writer.h"
+
+namespace grepair {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MovesOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i)
+    if (a.Next() != b.Next()) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.NextBounded(17), 17u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng r(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit in 1000 draws
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng r(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.NextBernoulli(0.0));
+    EXPECT_TRUE(r.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardsLowRanks) {
+  Rng r(17);
+  size_t low = 0, total = 20000;
+  for (size_t i = 0; i < total; ++i)
+    if (r.NextZipf(100, 1.0) < 10) ++low;
+  // With s=1 the first 10 of 100 ranks carry far more than 10% of the mass.
+  EXPECT_GT(low, total / 4);
+}
+
+TEST(RngTest, ZipfZeroSkewIsUniformish) {
+  Rng r(19);
+  size_t low = 0, total = 20000;
+  for (size_t i = 0; i < total; ++i)
+    if (r.NextZipf(100, 0.0) < 10) ++low;
+  EXPECT_NEAR(double(low) / double(total), 0.10, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng r(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  r.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a\t\tb", '\t');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpty) {
+  auto parts = SplitWhitespace("  a   b\tc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("hello", "lo"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+}
+
+TEST(StringsTest, ParseUint64) {
+  uint64_t v;
+  EXPECT_TRUE(ParseUint64("12345", &v));
+  EXPECT_EQ(v, 12345u);
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("12a", &v));
+  EXPECT_FALSE(ParseUint64("-3", &v));
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // overflow
+}
+
+TEST(StringsTest, ParseDouble) {
+  double v;
+  EXPECT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_FALSE(ParseDouble("3.5x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(DictionaryTest, EmptyStringIsZero) {
+  Dictionary d;
+  EXPECT_EQ(d.Intern(""), 0u);
+  EXPECT_EQ(d.Name(0), "");
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary d;
+  SymbolId a = d.Intern("alpha");
+  SymbolId b = d.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.Intern("alpha"), a);
+  EXPECT_EQ(d.Name(a), "alpha");
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(DictionaryTest, LookupDoesNotIntern) {
+  Dictionary d;
+  SymbolId id;
+  EXPECT_FALSE(d.Lookup("nothere", &id));
+  EXPECT_EQ(d.size(), 1u);
+  d.Intern("x");
+  EXPECT_TRUE(d.Lookup("x", &id));
+}
+
+TEST(HashTest, Mix64InjectiveOnSample) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 10000; ++i) seen.insert(Mix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(TableWriterTest, AsciiAndCsv) {
+  TableWriter t("demo", {"a", "bee"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"333", "4"});
+  std::string ascii = t.ToAscii();
+  EXPECT_NE(ascii.find("demo"), std::string::npos);
+  EXPECT_NE(ascii.find("333"), std::string::npos);
+  EXPECT_EQ(t.ToCsv(), "a,bee\n1,2\n333,4\n");
+}
+
+TEST(TableWriterTest, NumFormatting) {
+  EXPECT_EQ(TableWriter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::Int(-5), "-5");
+}
+
+}  // namespace
+}  // namespace grepair

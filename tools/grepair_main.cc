@@ -1,0 +1,15 @@
+// The grepair command-line entry point. All logic lives in src/cli (tested
+// as a library); this file only adapts argv and prints.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string out;
+  int code = grepair::RunCli(args, &out);
+  std::fputs(out.c_str(), stdout);
+  return code;
+}
