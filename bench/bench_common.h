@@ -4,13 +4,31 @@
 #define GREPAIR_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <ctime>
 #include <string>
+#include <thread>
 
 #include "eval/experiment.h"
 #include "util/table_writer.h"
 
 namespace grepair {
 namespace bench {
+
+/// Prints the self-describing run header: one JSON line with the bench
+/// name, wall-clock start time (UTC) and the machine's thread count, so a
+/// saved bench output identifies when and where it was produced. Benches
+/// that sweep a thread budget (bench_parallel_scaling) also report the
+/// per-row thread count in their JSON rows.
+inline void PrintBenchHeader(const std::string& name) {
+  std::time_t now = std::time(nullptr);
+  char ts[32] = "unknown";
+  std::tm tm_utc{};
+  if (gmtime_r(&now, &tm_utc) != nullptr)
+    std::strftime(ts, sizeof(ts), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  std::printf("{\"bench\":\"%s\",\"wall_clock\":\"%s\","
+              "\"hardware_threads\":%u}\n",
+              name.c_str(), ts, std::thread::hardware_concurrency());
+}
 
 inline DatasetBundle MustKgBundle(const KgOptions& gopt,
                                   const InjectOptions& iopt) {

@@ -21,11 +21,26 @@ constexpr char kUsage[] = R"(usage:
           [--seed S] [--rules-out r.grr]
   grepair stats  <graph.tsv>
   grepair check  <rules.grr>
-  grepair detect <graph.tsv> <rules.grr>
+  grepair detect <graph.tsv> <rules.grr> [--threads N]
   grepair repair <graph.tsv> <rules.grr> [--strategy greedy|naive|batch|exact]
-          [--out repaired.tsv]
-  grepair mine   <graph.tsv> [--min-support X]
+          [--out repaired.tsv] [--threads N]
+  grepair mine   <graph.tsv> [--min-support X] [--threads N]
+
+--threads N fans detection / mining statistics out over N worker threads
+(0 = hardware concurrency); results are identical to --threads 1.
 )";
+
+// Parses the shared --threads flag (default 1 = sequential).
+Status ParseThreads(const std::map<std::string, std::string>& flags,
+                    size_t* threads) {
+  auto it = flags.find("threads");
+  if (it == flags.end()) return Status::Ok();
+  uint64_t v = 0;
+  if (!ParseUint64(it->second, &v))
+    return Status::InvalidArgument("bad --threads");
+  *threads = static_cast<size_t>(v);
+  return Status::Ok();
+}
 
 // Simple flag parsing: positional args + --key value pairs.
 struct Args {
@@ -205,8 +220,10 @@ Status CmdDetect(const Args& args, std::string* out) {
   GREPAIR_ASSIGN_OR_RETURN(Graph g, LoadGraph(args.positional[1], vocab));
   GREPAIR_ASSIGN_OR_RETURN(std::string text, ReadFile(args.positional[2]));
   GREPAIR_ASSIGN_OR_RETURN(RuleSet rules, ParseRules(text, vocab));
+  size_t threads = 1;
+  GREPAIR_RETURN_IF_ERROR(ParseThreads(args.flags, &threads));
   ViolationStore store;
-  DetectAll(g, rules, &store);
+  DetectAll(g, rules, &store, /*expansions=*/nullptr, threads);
   std::map<std::string, size_t> per_rule;
   for (const Violation& v : store.Snapshot()) per_rule[rules[v.rule].name()]++;
   *out += StrFormat("%zu violations\n", store.Size());
@@ -224,6 +241,7 @@ Status CmdRepair(const Args& args, std::string* out) {
   GREPAIR_ASSIGN_OR_RETURN(RuleSet rules, ParseRules(text, vocab));
 
   RepairOptions opt;
+  GREPAIR_RETURN_IF_ERROR(ParseThreads(args.flags, &opt.num_threads));
   std::string strategy = args.Flag("strategy", "greedy");
   if (strategy == "greedy") {
     opt.strategy = RepairStrategy::kGreedy;
@@ -259,6 +277,7 @@ Status CmdMine(const Args& args, std::string* out) {
   auto vocab = MakeVocabulary();
   GREPAIR_ASSIGN_OR_RETURN(Graph g, LoadGraph(args.positional[1], vocab));
   MiningOptions opt;
+  GREPAIR_RETURN_IF_ERROR(ParseThreads(args.flags, &opt.num_threads));
   double support = 0.9;
   if (!ParseDouble(args.Flag("min-support", "0.9"), &support))
     return Status::InvalidArgument("bad --min-support");

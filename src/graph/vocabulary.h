@@ -30,6 +30,39 @@ class Vocabulary {
   bool LookupLabel(std::string_view s, SymbolId* id) const {
     return labels_.Lookup(s, id);
   }
+  bool LookupAttr(std::string_view s, SymbolId* id) const {
+    return attrs_.Lookup(s, id);
+  }
+  bool LookupValue(std::string_view s, SymbolId* id) const {
+    return values_.Lookup(s, id);
+  }
+
+  /// Read-only view for code that runs on concurrent reader threads
+  /// (parallel detection, mining statistics). It exposes lookups and name
+  /// resolution but no interning, so holding a LookupOnly instead of the
+  /// Vocabulary makes the no-Intern rule (DESIGN.md "Threading model") a
+  /// compile-time guarantee. A symbol that was never interned cannot occur
+  /// in the graph, so a failed lookup simply means "matches nothing".
+  class LookupOnly {
+   public:
+    explicit LookupOnly(const Vocabulary& v) : v_(v) {}
+    bool Label(std::string_view s, SymbolId* id) const {
+      return v_.LookupLabel(s, id);
+    }
+    bool Attr(std::string_view s, SymbolId* id) const {
+      return v_.LookupAttr(s, id);
+    }
+    bool Value(std::string_view s, SymbolId* id) const {
+      return v_.LookupValue(s, id);
+    }
+    const std::string& LabelName(SymbolId id) const { return v_.LabelName(id); }
+    const std::string& AttrName(SymbolId id) const { return v_.AttrName(id); }
+    const std::string& ValueName(SymbolId id) const { return v_.ValueName(id); }
+
+   private:
+    const Vocabulary& v_;
+  };
+  LookupOnly lookup_only() const { return LookupOnly(*this); }
 
   size_t NumLabels() const { return labels_.size(); }
   size_t NumAttrs() const { return attrs_.size(); }

@@ -391,6 +391,26 @@ size_t Matcher::Count(size_t limit) const {
   return n;
 }
 
+VarId Matcher::SeedVar() const {
+  if (p_.NumNodes() == 0) return kNoVar;
+  MatchOptions opts;
+  SearchState st;
+  st.opts = &opts;
+  st.binding.assign(p_.NumNodes(), kInvalidNode);
+  return PickNextVar(st);
+}
+
+std::vector<NodeId> Matcher::SeedCandidates(VarId var) const {
+  MatchOptions opts;
+  SearchState st;
+  st.opts = &opts;
+  st.binding.assign(p_.NumNodes(), kInvalidNode);
+  std::vector<NodeId> cands = CandidatesFor(st, var);
+  // Same deterministic order Extend() uses.
+  std::sort(cands.begin(), cands.end());
+  return cands;
+}
+
 bool Matcher::Verify(const Match& m) const {
   if (m.nodes.size() != p_.NumNodes() || m.edges.size() != p_.NumEdges())
     return false;

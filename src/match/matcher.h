@@ -77,6 +77,17 @@ class Matcher {
   /// all elements alive, labels/adjacency intact, predicates and NACs hold.
   bool Verify(const Match& m) const;
 
+  /// The node variable an unanchored FindAll binds first, or kNoVar for a
+  /// node-less pattern. Deterministic for a given (graph, pattern) snapshot.
+  /// This is the sharding contract used by parallel::ParallelDetector: the
+  /// full enumeration order equals the concatenation, over SeedCandidates()
+  /// in order, of the anchored searches {SeedVar() -> candidate}.
+  VarId SeedVar() const;
+
+  /// The candidates FindAll tries for SeedVar(), in enumeration (ascending
+  /// id) order. Every match binds SeedVar() to exactly one of these.
+  std::vector<NodeId> SeedCandidates(VarId var) const;
+
  private:
   struct SearchState;
   void Extend(SearchState* st) const;

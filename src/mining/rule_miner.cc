@@ -6,6 +6,7 @@
 
 #include "grr/rule_builder.h"
 #include "grr/rule_validator.h"
+#include "parallel/thread_pool.h"
 #include "util/strings.h"
 
 namespace grepair {
@@ -34,57 +35,141 @@ std::string LabelName(const Graph& g, SymbolId l) {
   return l ? g.vocab()->LabelName(l) : std::string("any");
 }
 
+// Everything the support-statistics passes accumulate. Each shard fills its
+// own instance from a contiguous slice of edges/nodes; Merge folds shards
+// together. All aggregates are sums, max-free counts or set unions, so the
+// merged result is independent of sharding.
+struct SupportStats {
+  std::map<SymbolId, LabelStats> stats;
+  // co_fwd[l1][l2]: edges (x,l1,y) with an (x,l2,y) companion.
+  // co_rev[l1][l2]: edges (x,l1,y) with a (y,l2,x) companion.
+  std::map<SymbolId, std::map<SymbolId, size_t>> co_fwd, co_rev;
+  // label -> attr -> (count, distinct values), for key mining.
+  std::map<SymbolId, std::map<SymbolId, std::pair<size_t, std::set<SymbolId>>>>
+      attr_values;
+
+  void Merge(const SupportStats& o) {
+    for (const auto& [l, s] : o.stats) {
+      LabelStats& d = stats[l];
+      d.count += s.count;
+      d.symmetric += s.symmetric;
+      for (const auto& [k, v] : s.src_labels) d.src_labels[k] += v;
+      for (const auto& [k, v] : s.dst_labels) d.dst_labels[k] += v;
+      d.srcs_with_any += s.srcs_with_any;
+      d.srcs_with_one += s.srcs_with_one;
+      d.dsts_with_any += s.dsts_with_any;
+      d.dsts_with_one += s.dsts_with_one;
+    }
+    for (const auto& [l1, row] : o.co_fwd)
+      for (const auto& [l2, c] : row) co_fwd[l1][l2] += c;
+    for (const auto& [l1, row] : o.co_rev)
+      for (const auto& [l2, c] : row) co_rev[l1][l2] += c;
+    for (const auto& [nl, attrs] : o.attr_values) {
+      for (const auto& [attr, slot] : attrs) {
+        auto& dst = attr_values[nl][attr];
+        dst.first += slot.first;
+        dst.second.insert(slot.second.begin(), slot.second.end());
+      }
+    }
+  }
+
+  // Edge-anchored statistics for edges[lo, hi).
+  void ScanEdges(const Graph& g, const std::vector<EdgeId>& edges, size_t lo,
+                 size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      EdgeView v = g.Edge(edges[i]);
+      LabelStats& s = stats[v.label];
+      ++s.count;
+      if (g.HasEdge(v.dst, v.src, v.label)) ++s.symmetric;
+      s.src_labels[g.NodeLabel(v.src)]++;
+      s.dst_labels[g.NodeLabel(v.dst)]++;
+    }
+  }
+
+  // Node-anchored statistics (functionality, co-occurrence, key attrs) for
+  // nodes[lo, hi).
+  void ScanNodes(const Graph& g, const std::vector<NodeId>& nodes, size_t lo,
+                 size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      NodeId n = nodes[i];
+      // Functionality: per-node out/in edge counts per label.
+      std::map<SymbolId, size_t> out_per_label, in_per_label;
+      for (EdgeId e : g.OutEdges(n)) out_per_label[g.EdgeLabel(e)]++;
+      for (EdgeId e : g.InEdges(n)) in_per_label[g.EdgeLabel(e)]++;
+      for (const auto& [l, k] : out_per_label) {
+        ++stats[l].srcs_with_any;
+        if (k == 1) ++stats[l].srcs_with_one;
+      }
+      for (const auto& [l, k] : in_per_label) {
+        ++stats[l].dsts_with_any;
+        if (k == 1) ++stats[l].dsts_with_one;
+      }
+      // Implications between labels on the same node pair.
+      std::map<NodeId, std::set<SymbolId>> by_dst;
+      for (EdgeId e : g.OutEdges(n))
+        by_dst[g.Edge(e).dst].insert(g.EdgeLabel(e));
+      for (const auto& [y, labels] : by_dst) {
+        std::set<SymbolId> rev;
+        for (EdgeId e : g.OutEdges(y))
+          if (g.Edge(e).dst == n) rev.insert(g.EdgeLabel(e));
+        for (SymbolId l1 : labels) {
+          for (SymbolId l2 : labels)
+            if (l1 != l2) co_fwd[l1][l2]++;
+          for (SymbolId l2 : rev)
+            if (l1 != l2) co_rev[l1][l2]++;
+        }
+      }
+      // Key mining: attr usage per node label.
+      SymbolId nl = g.NodeLabel(n);
+      for (const auto& [attr, value] : g.NodeAttrs(n).entries()) {
+        auto& slot = attr_values[nl][attr];
+        slot.first++;
+        slot.second.insert(value);
+      }
+    }
+  }
+};
+
+// Runs the read-only scan passes, sharded across a pool when
+// opt.num_threads != 1. Shard workers touch only const Graph state and
+// never the vocabulary writer API (single-writer/concurrent-reader model).
+SupportStats CollectSupportStats(const Graph& g, const MiningOptions& opt) {
+  std::vector<EdgeId> edges = g.Edges();
+  std::vector<NodeId> nodes = g.Nodes();
+
+  if (opt.num_threads == 1) {
+    SupportStats total;
+    total.ScanEdges(g, edges, 0, edges.size());
+    total.ScanNodes(g, nodes, 0, nodes.size());
+    return total;
+  }
+
+  ThreadPool pool(opt.num_threads);
+  size_t shards = std::max<size_t>(1, pool.NumThreads());
+  std::vector<SupportStats> per_shard(shards);
+  pool.ParallelFor(shards, [&](size_t s) {
+    auto [elo, ehi] = BlockRange(edges.size(), s, shards);
+    per_shard[s].ScanEdges(g, edges, elo, ehi);
+    auto [nlo, nhi] = BlockRange(nodes.size(), s, shards);
+    per_shard[s].ScanNodes(g, nodes, nlo, nhi);
+  });
+  SupportStats total;
+  for (const SupportStats& ps : per_shard) total.Merge(ps);
+  return total;
+}
+
 }  // namespace
 
 std::vector<MinedRule> MineRules(const Graph& g, const MiningOptions& opt) {
   std::vector<MinedRule> out;
   Vocabulary* vocab = g.vocab().get();
 
-  // ---- Pass 1: per-label stats, symmetry, endpoint histograms -----------
-  std::map<SymbolId, LabelStats> stats;
-  for (EdgeId e : g.Edges()) {
-    EdgeView v = g.Edge(e);
-    LabelStats& s = stats[v.label];
-    ++s.count;
-    if (g.HasEdge(v.dst, v.src, v.label)) ++s.symmetric;
-    s.src_labels[g.NodeLabel(v.src)]++;
-    s.dst_labels[g.NodeLabel(v.dst)]++;
-  }
-  // Functionality: count per-node out/in edges per label.
-  for (NodeId n : g.Nodes()) {
-    std::map<SymbolId, size_t> out_per_label, in_per_label;
-    for (EdgeId e : g.OutEdges(n)) out_per_label[g.EdgeLabel(e)]++;
-    for (EdgeId e : g.InEdges(n)) in_per_label[g.EdgeLabel(e)]++;
-    for (const auto& [l, k] : out_per_label) {
-      ++stats[l].srcs_with_any;
-      if (k == 1) ++stats[l].srcs_with_one;
-    }
-    for (const auto& [l, k] : in_per_label) {
-      ++stats[l].dsts_with_any;
-      if (k == 1) ++stats[l].dsts_with_one;
-    }
-  }
-
-  // ---- Pass 2: implications between labels on the same node pair --------
-  // co_fwd[l1][l2]: edges (x,l1,y) with an (x,l2,y) companion.
-  // co_rev[l1][l2]: edges (x,l1,y) with a (y,l2,x) companion.
-  std::map<SymbolId, std::map<SymbolId, size_t>> co_fwd, co_rev;
-  for (NodeId x : g.Nodes()) {
-    // Group out-edges by destination.
-    std::map<NodeId, std::set<SymbolId>> by_dst;
-    for (EdgeId e : g.OutEdges(x)) by_dst[g.Edge(e).dst].insert(g.EdgeLabel(e));
-    for (const auto& [y, labels] : by_dst) {
-      std::set<SymbolId> rev;
-      for (EdgeId e : g.OutEdges(y))
-        if (g.Edge(e).dst == x) rev.insert(g.EdgeLabel(e));
-      for (SymbolId l1 : labels) {
-        for (SymbolId l2 : labels)
-          if (l1 != l2) co_fwd[l1][l2]++;
-        for (SymbolId l2 : rev)
-          if (l1 != l2) co_rev[l1][l2]++;
-      }
-    }
-  }
+  // ---- Support statistics (parallel when opt.num_threads != 1) ----------
+  SupportStats support = CollectSupportStats(g, opt);
+  std::map<SymbolId, LabelStats>& stats = support.stats;
+  auto& co_fwd = support.co_fwd;
+  auto& co_rev = support.co_rev;
+  auto& attr_values = support.attr_values;
 
   // ---- Emit edge rules ---------------------------------------------------
   for (const auto& [label, s] : stats) {
@@ -185,17 +270,6 @@ std::vector<MinedRule> MineRules(const Graph& g, const MiningOptions& opt) {
     for (const auto& [l2, co] : row) emit_implication(l1, l2, co, true);
 
   // ---- Key mining: (node label, attr) uniqueness -> MERGE rule ----------
-  // Gather attr usage per node label.
-  std::map<SymbolId, std::map<SymbolId, std::pair<size_t, std::set<SymbolId>>>>
-      attr_values;  // label -> attr -> (count, distinct values)
-  for (NodeId n : g.Nodes()) {
-    SymbolId nl = g.NodeLabel(n);
-    for (const auto& [attr, value] : g.NodeAttrs(n).entries()) {
-      auto& slot = attr_values[nl][attr];
-      slot.first++;
-      slot.second.insert(value);
-    }
-  }
   for (const auto& [nl, attrs] : attr_values) {
     for (const auto& [attr, slot] : attrs) {
       const auto& [count, distinct] = slot;

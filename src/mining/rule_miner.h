@@ -33,6 +33,13 @@ struct MiningOptions {
   double min_label_purity = 0.95;
   /// For key mining: minimum distinct-value ratio to call an attr a key.
   double min_key_uniqueness = 0.99;
+  /// Worker threads for the support-statistics passes (0 = hardware
+  /// concurrency). The scan shards edges/nodes across a thread pool and
+  /// merges the per-shard counts; since every aggregate is additive the
+  /// mined output is identical for any thread count. Rule construction and
+  /// validation stay on the calling thread (they intern symbols, which the
+  /// single-writer threading model reserves for the owner; see DESIGN.md).
+  size_t num_threads = 1;
 };
 
 /// One discovered rule with its supporting statistics.

@@ -1,0 +1,78 @@
+// A fixed-size worker pool for the read-path fan-out (parallel detection,
+// mining support evaluation). Tasks are arbitrary callables; Submit returns
+// a std::future so exceptions thrown inside a task propagate to whoever
+// waits on it. The destructor drains: every task submitted before
+// destruction runs to completion before the workers join.
+//
+// Threading contract (see DESIGN.md "Threading model"): the pool is the ONLY
+// sanctioned way to run engine code concurrently, and tasks must treat the
+// Graph, Vocabulary and RuleSet they read as frozen — const reads only, no
+// Dictionary::Intern, no graph mutation.
+#ifndef GREPAIR_PARALLEL_THREAD_POOL_H_
+#define GREPAIR_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace grepair {
+
+/// Block i of k contiguous blocks covering [0, n): {begin, end}. The single
+/// partition formula shared by ParallelFor, detection sharding and mining
+/// shard scans, so the paths cannot drift apart.
+inline std::pair<size_t, size_t> BlockRange(size_t n, size_t i, size_t k) {
+  return {n * i / k, n * (i + 1) / k};
+}
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = std::thread::hardware_concurrency,
+  /// itself clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue (pending tasks still run), then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t NumThreads() const { return workers_.size(); }
+
+  /// Enqueues `fn`; the future carries its result or its exception.
+  template <typename Fn>
+  auto Submit(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> fut = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Runs fn(0) .. fn(n-1) across the pool and waits for all of them.
+  /// Indices are block-partitioned into at most NumThreads() contiguous
+  /// chunks (one task each), so per-call overhead is paid per chunk, not
+  /// per index. If any call throws, the first (lowest-chunk) exception is
+  /// rethrown after every chunk finished.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_PARALLEL_THREAD_POOL_H_

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "match/incremental.h"
+#include "parallel/parallel_detector.h"
+#include "parallel/thread_pool.h"
 #include "repair/interaction.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -15,9 +18,21 @@ namespace grepair {
 namespace {
 
 // Adds every match of every rule to the store, costed for fix selection.
+// A non-null pool with >1 workers fans the matching out (bit-identical
+// results; see ParallelDetector); costing and store insertion stay on the
+// calling thread either way.
 size_t DetectInto(const Graph& g, const RuleSet& rules, ViolationStore* store,
                   const CostModel& model, SymbolId conf_attr,
-                  size_t* expansions) {
+                  size_t* expansions, ThreadPool* pool = nullptr) {
+  if (pool != nullptr && pool->NumThreads() > 1) {
+    ParallelDetector detector(pool);
+    MatchStats st = detector.Detect(g, rules, [&](RuleId r, const Match& m) {
+      double cost = FixCost(g, rules[r], m, model, conf_attr);
+      store->Add(r, m, cost);
+    });
+    if (expansions) *expansions += st.expansions;
+    return store->Size();
+  }
   for (RuleId r = 0; r < rules.size(); ++r) {
     const Rule& rule = rules[r];
     Matcher matcher(g, rule.pattern());
@@ -30,6 +45,21 @@ size_t DetectInto(const Graph& g, const RuleSet& rules, ViolationStore* store,
     if (expansions) *expansions += st.expansions;
   }
   return store->Size();
+}
+
+// Lazily creates the detection pool for the configured thread count
+// (nullptr = stay sequential).
+std::unique_ptr<ThreadPool> MakeDetectPool(size_t num_threads) {
+  if (num_threads == 1) return nullptr;
+  return std::make_unique<ThreadPool>(num_threads);
+}
+
+// CountViolations against an already-running pool (the strategy runners
+// reuse their detection pool instead of spawning a fresh one per count).
+size_t CountWith(const Graph& g, const RuleSet& rules, ThreadPool* pool) {
+  CostModel model;
+  ViolationStore store;
+  return DetectInto(g, rules, &store, model, /*conf_attr=*/0, nullptr, pool);
 }
 
 // Incremental re-detection: only around the delta.
@@ -56,14 +86,17 @@ std::vector<EditEntry> JournalSlice(const Graph& g, size_t from) {
 }  // namespace
 
 size_t DetectAll(const Graph& g, const RuleSet& rules, ViolationStore* store,
-                 size_t* expansions) {
+                 size_t* expansions, size_t num_threads) {
   CostModel model;
-  return DetectInto(g, rules, store, model, /*conf_attr=*/0, expansions);
+  std::unique_ptr<ThreadPool> pool = MakeDetectPool(num_threads);
+  return DetectInto(g, rules, store, model, /*conf_attr=*/0, expansions,
+                    pool.get());
 }
 
-size_t CountViolations(const Graph& g, const RuleSet& rules) {
+size_t CountViolations(const Graph& g, const RuleSet& rules,
+                       size_t num_threads) {
   ViolationStore store;
-  return DetectAll(g, rules, &store);
+  return DetectAll(g, rules, &store, nullptr, num_threads);
 }
 
 RepairEngine::RepairEngine(RepairOptions options)
@@ -71,7 +104,12 @@ RepairEngine::RepairEngine(RepairOptions options)
 
 SymbolId RepairEngine::ConfAttr(const Graph& g) const {
   if (options_.confidence_attr.empty()) return 0;
-  return g.vocab()->Attr(options_.confidence_attr);
+  // Lookup-only, never Intern: ConfAttr feeds detection, which may run on
+  // pool threads reading the vocabulary concurrently. An attr name nothing
+  // ever interned cannot occur on any edge, so "absent" means "unweighted".
+  SymbolId id;
+  if (!g.vocab()->lookup_only().Attr(options_.confidence_attr, &id)) return 0;
+  return id;
 }
 
 Result<RepairResult> RepairEngine::Run(Graph* g, const RuleSet& rules) const {
@@ -103,6 +141,14 @@ Result<RepairResult> RepairEngine::RunGreedy(
   RepairResult res;
   SymbolId conf = ConfAttr(*g);
   size_t start_mark = g->JournalSize();
+  // Lazy: dynamic-mode runs that stay delta-anchored throughout never pay
+  // for worker threads they would not use.
+  std::unique_ptr<ThreadPool> pool;
+  auto detect_pool = [&]() -> ThreadPool* {
+    if (pool == nullptr && options_.num_threads != 1)
+      pool = MakeDetectPool(options_.num_threads);
+    return pool.get();
+  };
 
   ViolationStore store;
   {
@@ -110,7 +156,7 @@ Result<RepairResult> RepairEngine::RunGreedy(
     if (seed_delta == nullptr) {
       res.initial_violations = DetectInto(
           *g, rules, &store, options_.cost_model, conf,
-          &res.matcher_expansions);
+          &res.matcher_expansions, detect_pool());
     } else {
       // Dynamic mode: seed only with violations the delta can have created.
       DetectDeltaInto(*g, rules, *seed_delta, &store, options_.cost_model,
@@ -160,7 +206,7 @@ Result<RepairResult> RepairEngine::RunGreedy(
       } else {
         store.Clear();
         DetectInto(*g, rules, &store, options_.cost_model, conf,
-                   &res.matcher_expansions);
+                   &res.matcher_expansions, detect_pool());
       }
       res.detect_ms += t.ElapsedMs();
     }
@@ -174,7 +220,7 @@ Result<RepairResult> RepairEngine::RunGreedy(
   }
 
   if (seed_delta == nullptr) {
-    res.remaining_violations = CountViolations(*g, rules);
+    res.remaining_violations = CountWith(*g, rules, detect_pool());
   } else {
     // Dynamic mode stays O(delta): the store was drained, so anything left
     // is what the budget cut off. Callers wanting a global count run
@@ -194,6 +240,7 @@ Result<RepairResult> RepairEngine::RunNaive(Graph* g,
   RepairResult res;
   size_t start_mark = g->JournalSize();
   Rng rng(options_.seed);
+  std::unique_ptr<ThreadPool> pool = MakeDetectPool(options_.num_threads);
 
   std::unordered_set<uint64_t> fingerprints;
   if (options_.detect_oscillation) fingerprints.insert(g->Fingerprint());
@@ -204,7 +251,7 @@ Result<RepairResult> RepairEngine::RunNaive(Graph* g,
     {
       Timer t;
       DetectInto(*g, rules, &store, options_.cost_model, /*conf_attr=*/0,
-                 &res.matcher_expansions);
+                 &res.matcher_expansions, pool.get());
       res.detect_ms += t.ElapsedMs();
     }
     if (first_round) {
@@ -249,7 +296,7 @@ Result<RepairResult> RepairEngine::RunNaive(Graph* g,
   }
   if (res.rounds >= options_.max_rounds) res.budget_exhausted = true;
 
-  res.remaining_violations = CountViolations(*g, rules);
+  res.remaining_violations = CountWith(*g, rules, pool.get());
   res.repair_cost = g->CostSince(start_mark, options_.cost_model);
   res.total_ms = total.ElapsedMs();
   return res;
@@ -263,12 +310,14 @@ Result<RepairResult> RepairEngine::RunBatch(Graph* g,
   RepairResult res;
   SymbolId conf = ConfAttr(*g);
   size_t start_mark = g->JournalSize();
+  std::unique_ptr<ThreadPool> pool = MakeDetectPool(options_.num_threads);
 
   ViolationStore store;
   {
     Timer t;
-    res.initial_violations = DetectInto(*g, rules, &store, options_.cost_model,
-                                        conf, &res.matcher_expansions);
+    res.initial_violations =
+        DetectInto(*g, rules, &store, options_.cost_model, conf,
+                   &res.matcher_expansions, pool.get());
     res.detect_ms += t.ElapsedMs();
   }
 
@@ -340,7 +389,7 @@ Result<RepairResult> RepairEngine::RunBatch(Graph* g,
       } else {
         store.Clear();
         DetectInto(*g, rules, &store, options_.cost_model, conf,
-                   &res.matcher_expansions);
+                   &res.matcher_expansions, pool.get());
       }
       res.detect_ms += t.ElapsedMs();
     }
@@ -355,13 +404,15 @@ Result<RepairResult> RepairEngine::RunBatch(Graph* g,
   }
   if (res.rounds >= options_.max_rounds) res.budget_exhausted = true;
 
-  res.remaining_violations = CountViolations(*g, rules);
+  res.remaining_violations = CountWith(*g, rules, pool.get());
   res.repair_cost = g->CostSince(start_mark, options_.cost_model);
   res.total_ms = total.ElapsedMs();
   return res;
 }
 
 // ---------------------------------------------------------------- Exact
+// (Exact detection stays sequential: the DFS re-detects on every expansion
+// of a deliberately small graph, where per-call fan-out overhead dominates.)
 
 namespace {
 

@@ -38,6 +38,13 @@ struct RepairOptions {
   /// Exact-strategy budgets.
   size_t exact_max_expansions = 500'000;
   size_t exact_max_depth = 64;
+  /// Worker threads for full (re-)detection — the initial detection of
+  /// incremental mode and every full re-detection route through
+  /// parallel::ParallelDetector when this exceeds 1 (0 = hardware
+  /// concurrency). Results are bit-identical to the sequential path; only
+  /// wall-clock and the expansions statistic change. Delta-anchored
+  /// re-detection stays sequential (it is already O(delta)).
+  size_t num_threads = 1;
 };
 
 /// Outcome of a repair run.
@@ -55,12 +62,15 @@ struct RepairResult {
 };
 
 /// Runs detection only: fills `store` with every violation of `rules` in
-/// `g`. Returns the number of live violations.
+/// `g`. Returns the number of live violations. With num_threads > 1 the
+/// matching fans out over a thread pool; the store contents and order are
+/// identical to the sequential result for any thread count.
 size_t DetectAll(const Graph& g, const RuleSet& rules, ViolationStore* store,
-                 size_t* expansions = nullptr);
+                 size_t* expansions = nullptr, size_t num_threads = 1);
 
 /// Counts violations without keeping them.
-size_t CountViolations(const Graph& g, const RuleSet& rules);
+size_t CountViolations(const Graph& g, const RuleSet& rules,
+                       size_t num_threads = 1);
 
 /// The engine. Stateless across runs; all state lives in the Graph and the
 /// run-local stores.

@@ -15,8 +15,12 @@ namespace grepair {
 /// doubles as "unlabeled"/wildcard-free default.
 using SymbolId = uint32_t;
 
-/// Append-only bidirectional string <-> id map. Not thread-safe (the engine
-/// is single-threaded by design; see DESIGN.md).
+/// Append-only bidirectional string <-> id map. Not thread-safe: the engine
+/// follows a single-writer/concurrent-reader model in which interning only
+/// happens on the owning thread (load, generation, rule building) and the
+/// parallel read paths (detection, mining statistics) call Lookup/Name only
+/// — enforced at the API level by Vocabulary::LookupOnly. See DESIGN.md
+/// "Threading model".
 class Dictionary {
  public:
   Dictionary();

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# clang-format gate: fails if any C++ source under src/, tests/, bench/,
+# examples/ or tools/ deviates from .clang-format. Run from the repo root:
+#   tools/format_check.sh          # check (CI gate)
+#   tools/format_check.sh --fix    # rewrite files in place
+set -u
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "format_check: $CLANG_FORMAT not found; skipping (install clang-format to enable the gate)" >&2
+  exit 0
+fi
+
+mapfile -t files < <(find src tests bench examples tools \
+  \( -name '*.cc' -o -name '*.h' \) | sort)
+
+if [ "${1:-}" = "--fix" ]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "format_check: reformatted ${#files[@]} files"
+  exit 0
+fi
+
+bad=0
+for f in "${files[@]}"; do
+  if ! "$CLANG_FORMAT" --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "format_check: needs formatting: $f" >&2
+    bad=1
+  fi
+done
+if [ "$bad" -ne 0 ]; then
+  echo "format_check: FAILED — run tools/format_check.sh --fix" >&2
+  exit 1
+fi
+echo "format_check: OK (${#files[@]} files)"

@@ -1,6 +1,9 @@
 // The grepair command-line entry point. All logic lives in src/cli (tested
-// as a library); this file only adapts argv and prints.
+// as a library); this file only adapts argv and prints. The GREPAIR_THREADS
+// environment variable supplies a default for --threads (explicit flags
+// win), so deployments can set a thread budget once per host.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -8,6 +11,17 @@
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  const char* env_threads = std::getenv("GREPAIR_THREADS");
+  // Only inject after a subcommand: bare `grepair` must still reach the
+  // usage path with empty args.
+  if (!args.empty() && env_threads != nullptr && *env_threads != '\0') {
+    bool has_flag = false;
+    for (const std::string& a : args) has_flag |= (a == "--threads");
+    if (!has_flag) {
+      args.push_back("--threads");
+      args.push_back(env_threads);
+    }
+  }
   std::string out;
   int code = grepair::RunCli(args, &out);
   std::fputs(out.c_str(), stdout);
