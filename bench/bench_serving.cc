@@ -1,0 +1,130 @@
+// S1 — Serving throughput: a RepairService under a stream of random edits,
+// swept over batch size × worker threads on a clean repaired knowledge
+// graph. Reports per-batch commit latency (p50/p95 from ServiceStats) and
+// edit throughput; results are bit-identical across thread counts (asserted
+// in tests/test_serve.cc), so the sweep measures pure wall-clock. Each row
+// is also emitted as a self-describing JSON line (see PrintBenchHeader).
+#include "bench_common.h"
+
+#include "serve/repair_service.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace grepair;
+using namespace grepair::bench;
+
+namespace {
+
+// The same domain-agnostic edit generator the serve tests use: mutate a
+// scratch clone, feed the journal slice to the service as ops.
+std::vector<EditEntry> MakeBatch(Graph* scratch, Rng* rng, size_t n) {
+  size_t mark = scratch->JournalSize();
+  std::vector<NodeId> nodes = scratch->Nodes();
+  std::vector<SymbolId> nlabels, elabels;
+  for (NodeId node : nodes) nlabels.push_back(scratch->NodeLabel(node));
+  for (EdgeId e : scratch->Edges()) elabels.push_back(scratch->EdgeLabel(e));
+  for (size_t k = 0; k < n; ++k) {
+    switch (rng->NextBounded(4)) {
+      case 0: {
+        NodeId a = nodes[rng->PickIndex(nodes)];
+        NodeId b = nodes[rng->PickIndex(nodes)];
+        if (scratch->NodeAlive(a) && scratch->NodeAlive(b) && a != b)
+          scratch->AddEdge(a, b, elabels[rng->PickIndex(elabels)]);
+        break;
+      }
+      case 1: {
+        std::vector<EdgeId> cur = scratch->Edges();
+        if (!cur.empty()) scratch->RemoveEdge(cur[rng->PickIndex(cur)]);
+        break;
+      }
+      case 2: {
+        scratch->AddNode(nlabels[rng->PickIndex(nlabels)]);
+        break;
+      }
+      default: {
+        NodeId a = nodes[rng->PickIndex(nodes)];
+        if (scratch->NodeAlive(a))
+          scratch->SetNodeLabel(a, nlabels[rng->PickIndex(nlabels)]);
+        break;
+      }
+    }
+  }
+  return std::vector<EditEntry>(scratch->Journal().begin() + mark,
+                                scratch->Journal().end());
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("S1: serving throughput vs batch size x threads (KG)");
+  TableWriter t("S1: commit latency / edit throughput (KG, 2000 persons)",
+                {"batch_size", "threads", "batches", "edits", "fixes",
+                 "p50_ms", "p95_ms", "edits_per_s"});
+
+  KgOptions gopt;
+  gopt.num_persons = 2000;
+  gopt.num_cities = 200;
+  gopt.num_countries = 10;
+  gopt.num_orgs = 130;
+  InjectOptions iopt;
+  iopt.rate = 0.05;
+  DatasetBundle bundle = MustKgBundle(gopt, iopt);
+  // Serve from a clean state: repair the injected corruption first.
+  {
+    RepairEngine engine;
+    auto res = engine.Run(&bundle.graph, bundle.rules);
+    if (!res.ok() || res.value().remaining_violations != 0) {
+      std::fprintf(stderr, "initial repair failed\n");
+      return 1;
+    }
+  }
+
+  const size_t kTotalEdits = 192;
+  const size_t kBatchSizes[] = {1, 8, 64};
+  const size_t kThreads[] = {1, 2, 4, 8};
+  for (size_t batch_size : kBatchSizes) {
+    for (size_t threads : kThreads) {
+      ServeOptions sopt;
+      sopt.num_threads = threads;
+      sopt.shard_min_anchors = 2;  // fan out everything but single anchors
+      RepairService service(bundle.graph.Clone(), bundle.rules, sopt);
+      Graph scratch = bundle.graph.Clone();
+      Rng rng(17);  // same stream for every (batch size, threads) cell
+
+      Timer wall;
+      for (size_t done = 0; done < kTotalEdits; done += batch_size) {
+        std::vector<EditEntry> ops = MakeBatch(&scratch, &rng, batch_size);
+        auto r = service.ApplyBatch(ops);
+        if (!r.ok()) {
+          std::fprintf(stderr, "batch failed: %s\n",
+                       r.status().ToString().c_str());
+          return 1;
+        }
+        // Keep the edit generator aligned with the repaired graph.
+        scratch = service.graph().Clone();
+      }
+      double total_s = wall.ElapsedMs() / 1000.0;
+
+      const ServiceStats& s = service.stats();
+      double p50 = s.LatencyPercentileMs(50), p95 = s.LatencyPercentileMs(95);
+      double eps = total_s > 0 ? static_cast<double>(s.edits) / total_s : 0;
+      std::printf("{\"batch_size\":%zu,\"threads\":%zu,\"batches\":%zu,"
+                  "\"edits\":%zu,\"fixes\":%zu,\"p50_ms\":%.3f,"
+                  "\"p95_ms\":%.3f,\"edits_per_s\":%.1f}\n",
+                  batch_size, threads, s.batches, s.edits,
+                  s.violations_repaired, p50, p95, eps);
+      t.AddRow({TableWriter::Int(int64_t(batch_size)),
+                TableWriter::Int(int64_t(threads)),
+                TableWriter::Int(int64_t(s.batches)),
+                TableWriter::Int(int64_t(s.edits)),
+                TableWriter::Int(int64_t(s.violations_repaired)),
+                TableWriter::Num(p50, 3), TableWriter::Num(p95, 3),
+                TableWriter::Num(eps, 1)});
+    }
+  }
+
+  t.Print();
+  std::puts("\nCSV:");
+  std::fputs(t.ToCsv().c_str(), stdout);
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "cli/cli.h"
 
 #include <cstdio>
+#include <iostream>
 #include <map>
+#include <set>
 
 #include "consistency/checker.h"
 #include "consistency/simulator.h"
@@ -11,6 +13,7 @@
 #include "grr/standard_rules.h"
 #include "mining/rule_miner.h"
 #include "repair/engine.h"
+#include "serve/repair_service.h"
 #include "util/strings.h"
 
 namespace grepair {
@@ -25,10 +28,34 @@ constexpr char kUsage[] = R"(usage:
   grepair repair <graph.tsv> <rules.grr> [--strategy greedy|naive|batch|exact]
           [--out repaired.tsv] [--threads N]
   grepair mine   <graph.tsv> [--min-support X] [--threads N]
+  grepair serve  <graph.tsv> <rules.grr> [--threads N]
 
 --threads N fans detection / mining statistics out over N worker threads
 (0 = hardware concurrency); results are identical to --threads 1.
+
+serve reads edit commands from stdin, one per line, and repairs after each
+commit (see DESIGN.md "Serving model"):
+  add_node <Label>                   add_edge <src> <dst> <label>
+  remove_node <id>                   remove_edge <id>
+  set_node_label <id> <Label>        set_edge_label <id> <label>
+  set_node_attr <id> <attr> <value>  set_edge_attr <id> <attr> <value>
+  commit | stats | save <path> | quit
 )";
+
+// Flags each command accepts; anything else is a usage error (exit 2), so a
+// typo like --thread cannot be silently ignored.
+const std::map<std::string, std::set<std::string>>& AllowedFlags() {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"gen", {"out", "scale", "rate", "seed", "rules-out"}},
+      {"stats", {}},
+      {"check", {}},
+      {"detect", {"threads"}},
+      {"repair", {"strategy", "out", "threads"}},
+      {"mine", {"min-support", "threads"}},
+      {"serve", {"threads"}},
+  };
+  return kAllowed;
+}
 
 // Parses the shared --threads flag (default 1 = sequential).
 Status ParseThreads(const std::map<std::string, std::string>& flags,
@@ -291,9 +318,155 @@ Status CmdMine(const Args& args, std::string* out) {
   return Status::Ok();
 }
 
+// ------------------------------------------------------------------ serve
+
+std::string FormatBatch(const BatchResult& r) {
+  return StrFormat("batch %zu edits=%zu anchors=%zu violations=%zu fixes=%zu "
+                   "ms=%.2f%s",
+                   r.batch, r.edits, r.anchor_nodes + r.anchor_edges,
+                   r.violations, r.fixes, r.total_ms,
+                   r.budget_exhausted ? " BUDGET_EXHAUSTED" : "");
+}
+
+// One protocol line against the live service; returns the response line.
+std::string ServeLine(RepairService* service,
+                      const std::vector<std::string>& tok) {
+  // verb -> token count (verb included), so a known verb with the wrong
+  // argument count gets an arity error rather than "unknown command".
+  static const std::map<std::string, size_t> kArity = {
+      {"add_node", 2},
+      {"add_edge", 4},
+      {"remove_node", 2},
+      {"remove_edge", 2},
+      {"set_node_label", 3},
+      {"set_edge_label", 3},
+      {"set_node_attr", 4},
+      {"set_edge_attr", 4},
+      {"commit", 1},
+      {"stats", 1},
+      {"save", 2},
+  };
+  auto arity = kArity.find(tok[0]);
+  if (arity == kArity.end()) return "err unknown command: " + tok[0];
+  if (tok.size() != arity->second)
+    return StrFormat("err %s expects %zu argument(s)", tok[0].c_str(),
+                     arity->second - 1);
+
+  const VocabularyPtr& vocab = service->graph().vocab();
+  auto parse_id = [&](const std::string& s, uint32_t* id) {
+    uint64_t v = 0;
+    if (!ParseUint64(s, &v) || v > UINT32_MAX) return false;
+    *id = static_cast<uint32_t>(v);
+    return true;
+  };
+  auto apply = [&](const EditEntry& op, const char* ok_fmt) -> std::string {
+    auto r = service->ApplyEdit(op);
+    if (!r.ok()) return "err " + r.status().ToString();
+    uint32_t created =
+        r.value().node != kInvalidNode ? r.value().node : r.value().edge;
+    return StrFormat(ok_fmt, created);
+  };
+
+  const std::string& cmd = tok[0];
+  EditEntry op;
+  if (cmd == "add_node") {
+    op.kind = EditKind::kAddNode;
+    op.label = vocab->Label(tok[1]);
+    return apply(op, "node %u");
+  }
+  if (cmd == "add_edge") {
+    op.kind = EditKind::kAddEdge;
+    if (!parse_id(tok[1], &op.src) || !parse_id(tok[2], &op.dst))
+      return "err bad node id";
+    op.label = vocab->Label(tok[3]);
+    return apply(op, "edge %u");
+  }
+  if (cmd == "remove_node") {
+    op.kind = EditKind::kRemoveNode;
+    if (!parse_id(tok[1], &op.node)) return "err bad node id";
+    return apply(op, "ok");
+  }
+  if (cmd == "remove_edge") {
+    op.kind = EditKind::kRemoveEdge;
+    if (!parse_id(tok[1], &op.edge)) return "err bad edge id";
+    return apply(op, "ok");
+  }
+  if (cmd == "set_node_label" || cmd == "set_edge_label") {
+    bool is_node = cmd == "set_node_label";
+    op.kind = is_node ? EditKind::kSetNodeLabel : EditKind::kSetEdgeLabel;
+    if (!parse_id(tok[1], is_node ? &op.node : &op.edge))
+      return "err bad element id";
+    op.new_sym = vocab->Label(tok[2]);
+    return apply(op, "ok");
+  }
+  if (cmd == "set_node_attr" || cmd == "set_edge_attr") {
+    bool is_node = cmd == "set_node_attr";
+    op.kind = is_node ? EditKind::kSetNodeAttr : EditKind::kSetEdgeAttr;
+    if (!parse_id(tok[1], is_node ? &op.node : &op.edge))
+      return "err bad element id";
+    op.attr = vocab->Attr(tok[2]);
+    op.new_sym = tok[3] == "-" ? 0 : vocab->Value(tok[3]);  // "-" clears
+    return apply(op, "ok");
+  }
+  if (cmd == "commit") return FormatBatch(service->Commit());
+  if (cmd == "stats") {
+    const ServiceStats& s = service->stats();
+    return StrFormat(
+        "stats batches=%zu edits=%zu op_errors=%zu violations=%zu fixes=%zu "
+        "anchors=%zu pending=%zu p50_ms=%.2f p95_ms=%.2f",
+        s.batches, s.edits, s.op_errors, s.violations_detected,
+        s.violations_repaired, s.anchors_visited, service->PendingEdits(),
+        s.LatencyPercentileMs(50), s.LatencyPercentileMs(95));
+  }
+  // cmd == "save": the only verb left after the arity table check.
+  Status st = SaveGraph(service->graph(), tok[1]);
+  return st.ok() ? "saved " + tok[1] : "err " + st.ToString();
+}
+
+Status CmdServe(const Args& args, std::string* out, std::istream* in,
+                std::ostream* live) {
+  if (args.positional.size() < 3)
+    return Status::InvalidArgument("serve needs <graph> <rules>");
+  auto vocab = MakeVocabulary();
+  GREPAIR_ASSIGN_OR_RETURN(Graph g, LoadGraph(args.positional[1], vocab));
+  GREPAIR_ASSIGN_OR_RETURN(std::string text, ReadFile(args.positional[2]));
+  GREPAIR_ASSIGN_OR_RETURN(RuleSet rules, ParseRules(text, vocab));
+
+  ServeOptions sopt;
+  GREPAIR_RETURN_IF_ERROR(ParseThreads(args.flags, &sopt.num_threads));
+  RepairService service(std::move(g), std::move(rules), sopt);
+
+  auto respond = [&](const std::string& line) {
+    *out += line + "\n";
+    if (live != nullptr) {
+      *live << line << "\n";
+      live->flush();
+    }
+  };
+  respond(StrFormat("serving %zu nodes %zu edges %zu rules threads=%zu",
+                    service.graph().NumNodes(), service.graph().NumEdges(),
+                    service.rules().size(), sopt.num_threads));
+
+  if (in == nullptr) in = &std::cin;
+  std::string line;
+  while (std::getline(*in, line)) {
+    std::vector<std::string> tok = SplitWhitespace(line);
+    if (tok.empty() || tok[0][0] == '#') continue;
+    if (tok[0] == "quit") break;
+    respond(ServeLine(&service, tok));
+  }
+  // Repair anything still pending so quitting never abandons a dirty graph.
+  if (service.PendingEdits() > 0) respond(FormatBatch(service.Commit()));
+  const ServiceStats& s = service.stats();
+  respond(StrFormat("bye batches=%zu fixes=%zu", s.batches,
+                    s.violations_repaired));
+  return Status::Ok();
+}
+
 }  // namespace
 
-int RunCli(const std::vector<std::string>& args, std::string* out) {
+int RunCli(const std::vector<std::string>& args, std::string* out,
+           std::istream* serve_in, std::ostream* serve_live) {
   if (args.empty()) {
     *out = kUsage;
     return 2;
@@ -304,6 +477,18 @@ int RunCli(const std::vector<std::string>& args, std::string* out) {
     return 2;
   }
   const std::string& cmd = args[0];
+  auto allowed = AllowedFlags().find(cmd);
+  if (allowed == AllowedFlags().end()) {
+    *out = "unknown command: " + cmd + "\n" + kUsage;
+    return 2;
+  }
+  for (const auto& [flag, value] : parsed.value().flags) {
+    (void)value;
+    if (!allowed->second.count(flag)) {
+      *out = "unknown flag --" + flag + " for '" + cmd + "'\n" + kUsage;
+      return 2;
+    }
+  }
   Status st;
   if (cmd == "gen") {
     st = CmdGen(parsed.value(), out);
@@ -317,8 +502,12 @@ int RunCli(const std::vector<std::string>& args, std::string* out) {
     st = CmdRepair(parsed.value(), out);
   } else if (cmd == "mine") {
     st = CmdMine(parsed.value(), out);
+  } else if (cmd == "serve") {
+    st = CmdServe(parsed.value(), out, serve_in, serve_live);
   } else {
-    *out = "unknown command: " + cmd + "\n" + kUsage;
+    // Unreachable while AllowedFlags() and this chain list the same
+    // commands; fail loudly if they ever drift.
+    *out = "command not dispatched: " + cmd + "\n" + kUsage;
     return 2;
   }
   if (!st.ok()) {

@@ -8,17 +8,33 @@
 //   grepair repair <graph.tsv> <rules.grr> [--strategy greedy|naive|batch|
 //           exact] [--out repaired.tsv]
 //   grepair mine   <graph.tsv> [--min-support X]
+//   grepair serve  <graph.tsv> <rules.grr> [--threads N]
+//
+// `serve` starts the streaming repair service (src/serve/) and drives it
+// with a line-oriented edit protocol (see DESIGN.md "Serving model"): edit
+// commands mutate the owned graph, `commit` runs batched parallel
+// delta-detection plus cascade repair, `stats` reports service counters.
 #ifndef GREPAIR_CLI_CLI_H_
 #define GREPAIR_CLI_CLI_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 namespace grepair {
 
 /// Runs one CLI invocation; `args` excludes the program name. Output goes
-/// to `out` (stdout text). Returns the process exit code (0 = success).
-int RunCli(const std::vector<std::string>& args, std::string* out);
+/// to `out` (stdout text). Returns the process exit code (0 = success,
+/// 1 = command failed, 2 = usage error — including unknown flags).
+///
+/// `serve_in` is the stream the `serve` command reads protocol lines from
+/// (nullptr = std::cin). `serve_live` additionally receives each protocol
+/// response as it is produced, flushed per line, so a real session is
+/// interactive; responses are always accumulated into `out` as well, which
+/// is what tests assert against.
+int RunCli(const std::vector<std::string>& args, std::string* out,
+           std::istream* serve_in = nullptr,
+           std::ostream* serve_live = nullptr);
 
 }  // namespace grepair
 

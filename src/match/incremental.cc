@@ -7,6 +7,13 @@
 
 namespace grepair {
 
+uint64_t DeltaMatchHash(const Match& m) {
+  uint64_t h = 0;
+  for (NodeId n : m.nodes) h = HashCombine(h, n);
+  for (EdgeId e : m.edges) h = HashCombine(h, 0x800000000ULL + e);
+  return h;
+}
+
 DeltaMatcher::DeltaMatcher(const Graph& graph, const Pattern& pattern)
     : g_(graph), p_(pattern) {}
 
@@ -60,20 +67,81 @@ DeltaMatcher::Anchors DeltaMatcher::ComputeAnchors(
   return a;
 }
 
+MatchStats DeltaMatcher::MatchEdgeAnchors(
+    const std::vector<EdgeId>& anchor_edges, const MatchCallback& cb) const {
+  MatchStats total;
+  Matcher matcher(g_, p_);
+  bool stop = false;
+  auto counting_cb = [&](const Match& m) {
+    if (!cb(m)) {
+      stop = true;
+      return false;
+    }
+    return true;
+  };
+  // Edge anchors: matches that use an added/relabeled edge.
+  for (EdgeId eid : anchor_edges) {
+    SymbolId el = g_.EdgeLabel(eid);
+    for (size_t i = 0; i < p_.NumEdges(); ++i) {
+      const auto& pe = p_.edges()[i];
+      if (pe.label != 0 && pe.label != el) continue;
+      MatchOptions opts;
+      opts.edge_anchors.push_back({i, eid});
+      MatchStats st = matcher.FindAll(opts, counting_cb);
+      total.expansions += st.expansions;
+      total.matches += st.matches;
+      total.exhausted |= st.exhausted;
+      if (stop) return total;
+    }
+  }
+  return total;
+}
+
+MatchStats DeltaMatcher::MatchNodeAnchors(
+    const std::vector<NodeId>& anchor_nodes, const MatchCallback& cb) const {
+  MatchStats total;
+  Matcher matcher(g_, p_);
+  bool stop = false;
+  auto counting_cb = [&](const Match& m) {
+    if (!cb(m)) {
+      stop = true;
+      return false;
+    }
+    return true;
+  };
+  // Node anchors: matches through touched nodes (covers added nodes,
+  // relabels, attr changes, and NAC-enabling removals around endpoints).
+  for (NodeId nid : anchor_nodes) {
+    SymbolId nl = g_.NodeLabel(nid);
+    for (VarId v = 0; v < p_.NumNodes(); ++v) {
+      const auto& pn = p_.nodes()[v];
+      if (pn.label != 0 && pn.label != nl) continue;
+      MatchOptions opts;
+      opts.node_anchors.push_back({v, nid});
+      MatchStats st = matcher.FindAll(opts, counting_cb);
+      total.expansions += st.expansions;
+      total.matches += st.matches;
+      total.exhausted |= st.exhausted;
+      if (stop) return total;
+    }
+  }
+  return total;
+}
+
 MatchStats DeltaMatcher::FindDelta(const std::vector<EditEntry>& delta,
                                    const MatchCallback& cb) const {
+  return FindDelta(ComputeAnchors(delta), cb);
+}
+
+MatchStats DeltaMatcher::FindDelta(const Anchors& anchors,
+                                   const MatchCallback& cb) const {
   MatchStats total;
-  Anchors anchors = ComputeAnchors(delta);
-  Matcher matcher(g_, p_);
 
   // Dedup across anchor runs.
   std::unordered_set<uint64_t> seen;
   bool stop = false;
   auto dedup_cb = [&](const Match& m) {
-    uint64_t h = 0;
-    for (NodeId n : m.nodes) h = HashCombine(h, n);
-    for (EdgeId e : m.edges) h = HashCombine(h, 0x800000000ULL + e);
-    if (!seen.insert(h).second) return true;  // already reported
+    if (!seen.insert(DeltaMatchHash(m)).second) return true;  // reported
     if (!cb(m)) {
       stop = true;
       return false;
@@ -81,43 +149,14 @@ MatchStats DeltaMatcher::FindDelta(const std::vector<EditEntry>& delta,
     return true;
   };
 
-  // Edge anchors: matches that use an added/relabeled edge.
-  for (EdgeId eid : anchors.edges) {
-    SymbolId el = g_.EdgeLabel(eid);
-    for (size_t i = 0; i < p_.NumEdges(); ++i) {
-      const auto& pe = p_.edges()[i];
-      if (pe.label != 0 && pe.label != el) continue;
-      MatchOptions opts;
-      opts.edge_anchors.push_back({i, eid});
-      MatchStats st = matcher.FindAll(opts, dedup_cb);
-      total.expansions += st.expansions;
-      total.exhausted |= st.exhausted;
-      if (stop) {
-        total.matches = seen.size();
-        return total;
-      }
-    }
+  MatchStats st = MatchEdgeAnchors(anchors.edges, dedup_cb);
+  total.expansions += st.expansions;
+  total.exhausted |= st.exhausted;
+  if (!stop) {
+    st = MatchNodeAnchors(anchors.nodes, dedup_cb);
+    total.expansions += st.expansions;
+    total.exhausted |= st.exhausted;
   }
-
-  // Node anchors: matches through touched nodes (covers added nodes,
-  // relabels, attr changes, and NAC-enabling removals around endpoints).
-  for (NodeId nid : anchors.nodes) {
-    SymbolId nl = g_.NodeLabel(nid);
-    for (VarId v = 0; v < p_.NumNodes(); ++v) {
-      const auto& pn = p_.nodes()[v];
-      if (pn.label != 0 && pn.label != nl) continue;
-      MatchOptions opts;
-      opts.node_anchors.push_back({v, nid});
-      MatchStats st = matcher.FindAll(opts, dedup_cb);
-      total.expansions += st.expansions;
-      total.exhausted |= st.exhausted;
-      if (stop) {
-        total.matches = seen.size();
-        return total;
-      }
-    }
-  }
-
   total.matches = seen.size();
   return total;
 }

@@ -14,6 +14,7 @@
 #ifndef GREPAIR_MATCH_INCREMENTAL_H_
 #define GREPAIR_MATCH_INCREMENTAL_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/edit_log.h"
@@ -22,10 +23,26 @@
 
 namespace grepair {
 
+/// Footprint hash used to deduplicate delta-found matches (a match reachable
+/// through two anchors must be reported once). Shared by FindDelta and the
+/// sharded merge in parallel::ParallelDeltaDetector so both paths keep the
+/// exact same survivor set.
+uint64_t DeltaMatchHash(const Match& m);
+
 /// Incremental (delta-anchored) pattern search over one graph.
 class DeltaMatcher {
  public:
   DeltaMatcher(const Graph& graph, const Pattern& pattern);
+
+  /// The anchors a delta induces — exposed for tests, diagnostics and
+  /// callers that search several rules over one delta. Anchor extraction
+  /// reads only the graph and the delta, never the pattern, so one
+  /// computation serves every rule of a rule set.
+  struct Anchors {
+    std::vector<NodeId> nodes;  ///< touched, alive nodes
+    std::vector<EdgeId> edges;  ///< added/relabeled, alive edges
+  };
+  Anchors ComputeAnchors(const std::vector<EditEntry>& delta) const;
 
   /// Enumerates every match that can be NEW after applying `delta`
   /// (journal entries). May also report surviving old matches; never misses
@@ -33,12 +50,22 @@ class DeltaMatcher {
   MatchStats FindDelta(const std::vector<EditEntry>& delta,
                        const MatchCallback& cb) const;
 
-  /// The anchors a delta induces — exposed for tests and diagnostics.
-  struct Anchors {
-    std::vector<NodeId> nodes;  ///< touched, alive nodes
-    std::vector<EdgeId> edges;  ///< added/relabeled, alive edges
-  };
-  Anchors ComputeAnchors(const std::vector<EditEntry>& delta) const;
+  /// Same search from precomputed anchors (they must describe the current
+  /// graph state).
+  MatchStats FindDelta(const Anchors& anchors, const MatchCallback& cb) const;
+
+  /// Raw anchored enumeration through a slice of anchors, WITHOUT the
+  /// cross-anchor dedup — the sharding primitive of the parallel delta
+  /// path. FindDelta(delta, cb) is exactly: MatchEdgeAnchors over all
+  /// anchor edges, then MatchNodeAnchors over all anchor nodes, filtered
+  /// through a DeltaMatchHash dedup set. Each anchored search carries its
+  /// own expansion budget, so any partition of the anchor lists into
+  /// contiguous slices replays the identical searches (tested in
+  /// tests/test_incremental.cc).
+  MatchStats MatchEdgeAnchors(const std::vector<EdgeId>& anchor_edges,
+                              const MatchCallback& cb) const;
+  MatchStats MatchNodeAnchors(const std::vector<NodeId>& anchor_nodes,
+                              const MatchCallback& cb) const;
 
  private:
   const Graph& g_;

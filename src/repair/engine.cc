@@ -62,11 +62,17 @@ size_t CountWith(const Graph& g, const RuleSet& rules, ThreadPool* pool) {
   return DetectInto(g, rules, &store, model, /*conf_attr=*/0, nullptr, pool);
 }
 
+std::vector<EditEntry> JournalSlice(const Graph& g, size_t from) {
+  return std::vector<EditEntry>(g.Journal().begin() + from, g.Journal().end());
+}
+
+}  // namespace
+
 // Incremental re-detection: only around the delta.
-void DetectDeltaInto(const Graph& g, const RuleSet& rules,
-                     const std::vector<EditEntry>& delta,
-                     ViolationStore* store, const CostModel& model,
-                     SymbolId conf_attr, size_t* expansions) {
+void DetectDelta(const Graph& g, const RuleSet& rules,
+                 const std::vector<EditEntry>& delta, ViolationStore* store,
+                 const CostModel& model, SymbolId conf_attr,
+                 size_t* expansions) {
   for (RuleId r = 0; r < rules.size(); ++r) {
     const Rule& rule = rules[r];
     DeltaMatcher dm(g, rule.pattern());
@@ -78,12 +84,6 @@ void DetectDeltaInto(const Graph& g, const RuleSet& rules,
     if (expansions) *expansions += st.expansions;
   }
 }
-
-std::vector<EditEntry> JournalSlice(const Graph& g, size_t from) {
-  return std::vector<EditEntry>(g.Journal().begin() + from, g.Journal().end());
-}
-
-}  // namespace
 
 size_t DetectAll(const Graph& g, const RuleSet& rules, ViolationStore* store,
                  size_t* expansions, size_t num_threads) {
@@ -159,8 +159,8 @@ Result<RepairResult> RepairEngine::RunGreedy(
           &res.matcher_expansions, detect_pool());
     } else {
       // Dynamic mode: seed only with violations the delta can have created.
-      DetectDeltaInto(*g, rules, *seed_delta, &store, options_.cost_model,
-                      conf, &res.matcher_expansions);
+      DetectDelta(*g, rules, *seed_delta, &store, options_.cost_model, conf,
+                  &res.matcher_expansions);
       res.initial_violations = store.Size();
     }
     res.detect_ms += t.ElapsedMs();
@@ -201,8 +201,8 @@ Result<RepairResult> RepairEngine::RunGreedy(
       Timer t;
       if (options_.incremental) {
         std::vector<EditEntry> delta = JournalSlice(*g, mark);
-        DetectDeltaInto(*g, rules, delta, &store, options_.cost_model, conf,
-                        &res.matcher_expansions);
+        DetectDelta(*g, rules, delta, &store, options_.cost_model, conf,
+                    &res.matcher_expansions);
       } else {
         store.Clear();
         DetectInto(*g, rules, &store, options_.cost_model, conf,
@@ -378,8 +378,8 @@ Result<RepairResult> RepairEngine::RunBatch(Graph* g,
       Timer t;
       if (options_.incremental) {
         std::vector<EditEntry> delta = JournalSlice(*g, round_mark);
-        DetectDeltaInto(*g, rules, delta, &store, options_.cost_model, conf,
-                        &res.matcher_expansions);
+        DetectDelta(*g, rules, delta, &store, options_.cost_model, conf,
+                    &res.matcher_expansions);
         // Unchosen candidates may still be violations; re-add (dedup safe).
         for (size_t i = 0; i < cands.size(); ++i) {
           if (std::find(chosen.begin(), chosen.end(), i) != chosen.end())

@@ -72,6 +72,17 @@ size_t DetectAll(const Graph& g, const RuleSet& rules, ViolationStore* store,
 size_t CountViolations(const Graph& g, const RuleSet& rules,
                        size_t num_threads = 1);
 
+/// Delta-anchored re-detection: adds, for every rule, each violation the
+/// edit slice `delta` can have introduced to `store`, costed with
+/// `model`/`conf_attr` exactly like full detection. Sequential; the seeding
+/// step of RunDelta, exposed for the serving layer (src/serve/), whose
+/// batched path routes the same search through
+/// parallel::ParallelDeltaDetector instead.
+void DetectDelta(const Graph& g, const RuleSet& rules,
+                 const std::vector<EditEntry>& delta, ViolationStore* store,
+                 const CostModel& model, SymbolId conf_attr,
+                 size_t* expansions);
+
 /// The engine. Stateless across runs; all state lives in the Graph and the
 /// run-local stores.
 class RepairEngine {

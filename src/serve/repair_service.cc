@@ -1,0 +1,188 @@
+#include "serve/repair_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "match/incremental.h"
+#include "repair/fix.h"
+#include "util/timer.h"
+
+namespace grepair {
+
+double ServiceStats::LatencyPercentileMs(double p) const {
+  if (batch_ms.empty()) return 0.0;
+  std::vector<double> sorted = batch_ms;
+  std::sort(sorted.begin(), sorted.end());
+  p = std::min(100.0, std::max(0.0, p));
+  // Nearest-rank: the smallest latency >= p percent of the samples.
+  size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * sorted.size()));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+RepairService::RepairService(Graph graph, RuleSet rules, ServeOptions options)
+    : options_(std::move(options)),
+      graph_(std::move(graph)),
+      rules_(std::move(rules)),
+      clean_mark_(graph_.JournalSize()) {
+  if (options_.num_threads != 1)
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+}
+
+SymbolId RepairService::ConfAttr() const {
+  // Lookup-only, never Intern: detection runs on pool threads reading the
+  // vocabulary concurrently (see RepairEngine::ConfAttr).
+  if (options_.confidence_attr.empty()) return 0;
+  SymbolId id;
+  if (!graph_.vocab()->lookup_only().Attr(options_.confidence_attr, &id))
+    return 0;
+  return id;
+}
+
+Result<EditApplied> RepairService::ApplyEdit(const EditEntry& op) {
+  EditApplied out;
+  Status st;
+  switch (op.kind) {
+    case EditKind::kAddNode:
+      out.node = graph_.AddNode(op.label);
+      break;
+    case EditKind::kRemoveNode:
+      st = graph_.RemoveNode(op.node);
+      break;
+    case EditKind::kAddEdge: {
+      auto added = graph_.AddEdge(op.src, op.dst, op.label);
+      if (!added.ok()) {
+        st = added.status();
+        break;
+      }
+      out.edge = added.value();
+      break;
+    }
+    case EditKind::kRemoveEdge:
+      st = graph_.RemoveEdge(op.edge);
+      break;
+    case EditKind::kSetNodeLabel:
+      st = graph_.SetNodeLabel(op.node, op.new_sym);
+      break;
+    case EditKind::kSetEdgeLabel:
+      st = graph_.SetEdgeLabel(op.edge, op.new_sym);
+      break;
+    case EditKind::kSetNodeAttr:
+      st = graph_.SetNodeAttr(op.node, op.attr, op.new_sym);
+      break;
+    case EditKind::kSetEdgeAttr:
+      st = graph_.SetEdgeAttr(op.edge, op.attr, op.new_sym);
+      break;
+  }
+  if (!st.ok()) {
+    ++stats_.op_errors;
+    return st;
+  }
+  ++stats_.edits;
+  return out;
+}
+
+BatchResult RepairService::Commit() {
+  Timer total;
+  BatchResult res;
+  res.batch = stats_.batches + 1;
+  res.edits = PendingEdits();
+  SymbolId conf = ConfAttr();
+
+  std::vector<EditEntry> delta(graph_.Journal().begin() + clean_mark_,
+                               graph_.Journal().end());
+  DeltaMatcher::Anchors anchors;  // pattern-independent: computed once
+  if (!rules_.empty()) {
+    anchors = DeltaMatcher(graph_, rules_[0].pattern()).ComputeAnchors(delta);
+    res.anchor_nodes = anchors.nodes.size();
+    res.anchor_edges = anchors.edges.size();
+  }
+
+  // Seed: batched parallel delta-detection. The detector falls back to the
+  // sequential per-rule FindDelta loop for tiny deltas or a 1-thread budget;
+  // either way the store receives the exact RunDelta seeding.
+  const size_t backlog = store_.Size();  // budget-cut leftovers, if any
+  {
+    Timer t;
+    ParallelDeltaOptions popt;
+    popt.shard_min_anchors = options_.shard_min_anchors;
+    popt.max_shards_per_rule = options_.max_shards_per_rule;
+    ParallelDeltaDetector detector(pool_.get(), popt);
+    MatchStats st = detector.Detect(
+        graph_, rules_, anchors, [&](RuleId r, const Match& m) {
+          store_.Add(r, m,
+                     FixCost(graph_, rules_[r], m, options_.cost_model, conf));
+        });
+    res.expansions += st.expansions;
+    res.detect_ms = t.ElapsedMs();
+  }
+  res.violations = store_.Size();
+
+  // Cascade: drain greedily, re-detecting sequentially around each fix —
+  // the same loop as RepairEngine::RunGreedy in dynamic mode, so a commit
+  // is bit-identical to RunDelta over the same slice.
+  Violation v;
+  for (;;) {
+    if (res.fixes >= options_.max_fixes_per_batch && !store_.Empty()) {
+      res.budget_exhausted = true;
+      break;
+    }
+    if (!store_.PopBest(&v)) break;
+    const Rule& rule = rules_[v.rule];
+    Matcher matcher(graph_, rule.pattern());
+    const Match* best = nullptr;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (const Match& alt : v.alternatives) {
+      if (!matcher.Verify(alt)) continue;
+      double c = FixCost(graph_, rule, alt, options_.cost_model, conf);
+      if (c < best_cost) {
+        best_cost = c;
+        best = &alt;
+      }
+    }
+    if (best == nullptr) continue;  // stale violation
+
+    size_t mark = graph_.JournalSize();
+    auto applied = ApplyFix(&graph_, v.rule, rule, *best);
+    if (!applied.ok()) continue;  // defensive: verified matches must apply
+    ++res.fixes;
+
+    std::vector<EditEntry> fix_delta(graph_.Journal().begin() + mark,
+                                     graph_.Journal().end());
+    size_t cascade_expansions = 0;
+    DetectDelta(graph_, rules_, fix_delta, &store_, options_.cost_model, conf,
+                &cascade_expansions);
+    res.expansions += cascade_expansions;
+  }
+
+  clean_mark_ = graph_.JournalSize();
+  res.total_ms = total.ElapsedMs();
+
+  ++stats_.batches;
+  // Only newly seeded violations count as detected; backlog re-reported by
+  // res.violations was already counted by the batch that found it.
+  stats_.violations_detected += res.violations - backlog;
+  stats_.violations_repaired += res.fixes;
+  stats_.anchors_visited += res.anchor_nodes + res.anchor_edges;
+  stats_.expansions += res.expansions;
+  if (stats_.batch_ms.size() < ServiceStats::kLatencyWindow)
+    stats_.batch_ms.push_back(res.total_ms);
+  else
+    stats_.batch_ms[(stats_.batches - 1) % ServiceStats::kLatencyWindow] =
+        res.total_ms;
+  return res;
+}
+
+Result<BatchResult> RepairService::ApplyBatch(
+    const std::vector<EditEntry>& ops) {
+  for (size_t i = 0; i < ops.size(); ++i) {
+    auto applied = ApplyEdit(ops[i]);
+    if (!applied.ok())
+      return Status::InvalidArgument("batch op " + std::to_string(i) + ": " +
+                                     applied.status().ToString());
+  }
+  return Commit();
+}
+
+}  // namespace grepair

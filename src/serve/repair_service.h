@@ -1,0 +1,146 @@
+// The serving subsystem: a long-lived RepairService that owns a graph and a
+// persistent violation store, accepts batches of edits, and keeps the graph
+// clean under a stream of updates — the paper's "efficient repairing"
+// (delta-anchored re-detection) turned into a system surface.
+//
+// Lifecycle per batch (DESIGN.md "Serving model"):
+//   1. edits are applied to the owned graph immediately (journaled);
+//   2. Commit() takes the journal slice since the last commit as the delta
+//      and seeds the violation store with batched PARALLEL delta-detection
+//      (parallel::ParallelDeltaDetector over the service pool — bit-identical
+//      to the sequential RunDelta seeding for any thread count);
+//   3. repair cascades drain the store greedily, exactly like
+//      RepairEngine::RunDelta: pop cheapest, re-verify, apply, re-detect
+//      sequentially around the fix (a cascade delta is O(1) anchors).
+//
+// Threading contract: all mutation happens on the caller's thread; worker
+// threads only read the frozen graph during step 2 (DESIGN.md "Threading
+// model"). The service is single-writer — callers serialize access.
+#ifndef GREPAIR_SERVE_REPAIR_SERVICE_H_
+#define GREPAIR_SERVE_REPAIR_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "grr/rule.h"
+#include "parallel/delta_detector.h"
+#include "parallel/thread_pool.h"
+#include "repair/engine.h"
+#include "repair/violation.h"
+#include "util/status.h"
+
+namespace grepair {
+
+/// Service configuration.
+struct ServeOptions {
+  /// Worker threads for batched delta-detection (0 = hardware concurrency,
+  /// 1 = sequential, no pool). Results are bit-identical across counts.
+  size_t num_threads = 1;
+  /// Fan out a batch only when its delta induces at least this many anchors;
+  /// smaller batches (and all per-fix cascades) run sequentially.
+  size_t shard_min_anchors = 16;
+  /// Anchor slices per (rule, anchor kind); 0 = 2x pool threads.
+  size_t max_shards_per_rule = 0;
+  /// Edge attribute carrying evidence confidence ("" disables weighting).
+  std::string confidence_attr = "conf";
+  /// Cost model for fix selection and cost accounting.
+  CostModel cost_model;
+  /// Per-batch cascade budget; an exhausted batch leaves the remaining
+  /// violations in the store for the next commit to continue draining.
+  size_t max_fixes_per_batch = 1'000'000;
+};
+
+/// Outcome of one committed batch.
+struct BatchResult {
+  size_t batch = 0;         ///< 1-based commit sequence number
+  size_t edits = 0;         ///< journal entries in the batch delta
+  size_t anchor_nodes = 0;  ///< node anchors the delta induced
+  size_t anchor_edges = 0;  ///< edge anchors the delta induced
+  /// Violations pending after seeding: the delta's, plus any backlog a
+  /// budget-cut earlier batch left in the persistent store.
+  size_t violations = 0;
+  size_t fixes = 0;  ///< cascade fixes applied
+  size_t expansions = 0;    ///< matcher expansions (detection + cascades)
+  bool budget_exhausted = false;
+  double detect_ms = 0.0;  ///< seed detection time
+  double total_ms = 0.0;   ///< whole commit (detection + cascades)
+};
+
+/// Cumulative service counters; latencies are per committed batch.
+struct ServiceStats {
+  /// Latency samples kept: a bounded ring of the most recent commits, so a
+  /// long-lived service never grows without bound.
+  static constexpr size_t kLatencyWindow = 4096;
+
+  size_t batches = 0;
+  size_t edits = 0;
+  size_t op_errors = 0;  ///< rejected edit ops (dead ids, bad endpoints)
+  size_t violations_detected = 0;  ///< newly seeded (backlog not recounted)
+  size_t violations_repaired = 0;
+  size_t anchors_visited = 0;  ///< node + edge anchors over all batches
+  size_t expansions = 0;
+  /// Commit latencies of the most recent kLatencyWindow batches (unordered
+  /// once the ring wraps).
+  std::vector<double> batch_ms;
+
+  /// Latency percentile over the retained window (p in [0,100];
+  /// nearest-rank). Returns 0 before the first commit.
+  double LatencyPercentileMs(double p) const;
+};
+
+/// Result of applying one edit op: the id it created, when it created one.
+struct EditApplied {
+  NodeId node = kInvalidNode;  ///< kAddNode
+  EdgeId edge = kInvalidEdge;  ///< kAddEdge
+};
+
+/// A long-lived repair service over one graph + rule set.
+class RepairService {
+ public:
+  /// Takes ownership of the graph. The rule set must share its vocabulary.
+  RepairService(Graph graph, RuleSet rules, ServeOptions options = {});
+
+  /// Applies one edit op, journaled but NOT yet repaired (repair happens at
+  /// the next Commit). Ops are interpreted EditEntry records — the fields a
+  /// journal replay needs: kAddNode reads `label`; kAddEdge reads
+  /// `src`/`dst`/`label`; kRemove* read the element id; kSet*Label and
+  /// kSet*Attr read the element id, `attr` and `new_sym`. Invalid ops (dead
+  /// or unknown ids, self-referential adds) are rejected without touching
+  /// the graph.
+  Result<EditApplied> ApplyEdit(const EditEntry& op);
+
+  /// Runs batched delta-detection over everything journaled since the last
+  /// commit, then repairs cascades greedily. Equivalent to
+  /// RepairEngine::RunDelta over the same slice for any thread count.
+  BatchResult Commit();
+
+  /// ApplyEdit for each op (stopping at the first invalid one), then
+  /// Commit. The error status reports the offending op index; edits before
+  /// it stay journaled and are repaired by the next commit.
+  Result<BatchResult> ApplyBatch(const std::vector<EditEntry>& ops);
+
+  /// Edit ops journaled since the last commit.
+  size_t PendingEdits() const { return graph_.JournalSize() - clean_mark_; }
+
+  const Graph& graph() const { return graph_; }
+  const RuleSet& rules() const { return rules_; }
+  const ServiceStats& stats() const { return stats_; }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  SymbolId ConfAttr() const;
+
+  ServeOptions options_;
+  Graph graph_;
+  RuleSet rules_;
+  ViolationStore store_;  ///< persistent across batches
+  std::unique_ptr<ThreadPool> pool_;  ///< null when num_threads == 1
+  size_t clean_mark_ = 0;  ///< journal position of the last commit
+  ServiceStats stats_;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_SERVE_REPAIR_SERVICE_H_

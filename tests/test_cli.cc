@@ -145,5 +145,30 @@ TEST_F(CliTest, BadFlagsReported) {
   EXPECT_EQ(Run({"gen", "mars", "--out", "/tmp/x"}, &out), 1);
 }
 
+TEST_F(CliTest, UnknownFlagsAreUsageErrors) {
+  // A mistyped flag must fail loudly (exit 2 + usage), never be silently
+  // ignored: --thread instead of --threads would otherwise run sequentially.
+  std::string graph = Track(Tmp("g6.tsv"));
+  std::string rules = Track(Tmp("r6.grr"));
+  std::string out;
+  ASSERT_EQ(Run({"gen", "kg", "--out", graph, "--rules-out", rules,
+                 "--scale", "100"},
+                &out),
+            0);
+
+  EXPECT_EQ(Run({"detect", graph, rules, "--thread", "4"}, &out), 2);
+  EXPECT_NE(out.find("unknown flag --thread"), std::string::npos);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+
+  EXPECT_EQ(Run({"repair", graph, rules, "--stratgy", "greedy"}, &out), 2);
+  EXPECT_NE(out.find("unknown flag --stratgy"), std::string::npos);
+
+  EXPECT_EQ(Run({"stats", graph, "--threads", "2"}, &out), 2);  // not accepted
+  EXPECT_EQ(Run({"mine", graph, "--min-supprot", "0.5"}, &out), 2);
+
+  // Correctly spelled flags still work.
+  EXPECT_EQ(Run({"detect", graph, rules, "--threads", "2"}, &out), 0) << out;
+}
+
 }  // namespace
 }  // namespace grepair

@@ -1,0 +1,344 @@
+// Serving subsystem tests. The load-bearing property is the acceptance
+// criterion of the serving layer: a RepairService commit (batched PARALLEL
+// delta-detection + greedy cascades) is bit-identical to the sequential
+// RepairEngine::RunDelta over the same edit slice, for thread counts
+// {1, 2, 4, 8}, on all three generator domains — graphs, fix counts,
+// violation counts AND matcher expansions.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli/cli.h"
+#include "eval/experiment.h"
+#include "parallel/delta_detector.h"
+#include "serve/repair_service.h"
+#include "util/rng.h"
+
+namespace grepair {
+namespace {
+
+// A clean (fully repaired) bundle of the given domain.
+DatasetBundle CleanBundle(const std::string& domain, uint64_t seed = 3) {
+  Result<DatasetBundle> b = Status::Ok();
+  InjectOptions iopt;
+  iopt.rate = 0.05;
+  iopt.seed = seed + 5;
+  if (domain == "kg") {
+    KgOptions gopt;
+    gopt.num_persons = 300;
+    gopt.num_cities = 40;
+    gopt.num_countries = 10;
+    gopt.num_orgs = 20;
+    gopt.seed = seed;
+    b = MakeKgBundle(gopt, iopt);
+  } else if (domain == "social") {
+    SocialOptions gopt;
+    gopt.num_persons = 300;
+    gopt.seed = seed;
+    b = MakeSocialBundle(gopt, iopt);
+  } else {
+    CitationOptions gopt;
+    gopt.num_papers = 250;
+    gopt.num_authors = 100;
+    gopt.seed = seed;
+    b = MakeCitationBundle(gopt, iopt);
+  }
+  EXPECT_TRUE(b.ok()) << b.status().ToString();
+  DatasetBundle bundle = std::move(b).value();
+  auto res = RepairEngine().Run(&bundle.graph, bundle.rules);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.value().remaining_violations, 0u);
+  return bundle;
+}
+
+// Applies n random domain-agnostic edits to g (labels sampled from the
+// graph itself, so any domain works) and returns the resulting journal
+// slice — which doubles as the op list a RepairService replays, since ops
+// are interpreted EditEntry records.
+std::vector<EditEntry> MutateRandom(Graph* g, Rng* rng, size_t n) {
+  size_t mark = g->JournalSize();
+  std::vector<NodeId> nodes = g->Nodes();
+  std::vector<SymbolId> nlabels, elabels;
+  for (NodeId node : nodes) nlabels.push_back(g->NodeLabel(node));
+  for (EdgeId e : g->Edges()) elabels.push_back(g->EdgeLabel(e));
+  for (size_t k = 0; k < n; ++k) {
+    switch (rng->NextBounded(5)) {
+      case 0: {  // edge between random endpoints (asymmetries, conflicts)
+        NodeId a = nodes[rng->PickIndex(nodes)];
+        NodeId b = nodes[rng->PickIndex(nodes)];
+        if (g->NodeAlive(a) && g->NodeAlive(b) && a != b)
+          g->AddEdge(a, b, elabels[rng->PickIndex(elabels)]);
+        break;
+      }
+      case 1: {  // drop a random edge (breaks required/symmetric edges)
+        std::vector<EdgeId> cur = g->Edges();
+        if (!cur.empty()) g->RemoveEdge(cur[rng->PickIndex(cur)]);
+        break;
+      }
+      case 2: {  // node relabel
+        NodeId a = nodes[rng->PickIndex(nodes)];
+        if (g->NodeAlive(a))
+          g->SetNodeLabel(a, nlabels[rng->PickIndex(nlabels)]);
+        break;
+      }
+      case 3: {  // orphan node (incompleteness)
+        g->AddNode(nlabels[rng->PickIndex(nlabels)]);
+        break;
+      }
+      default: {  // edge relabel
+        std::vector<EdgeId> cur = g->Edges();
+        if (!cur.empty())
+          g->SetEdgeLabel(cur[rng->PickIndex(cur)],
+                          elabels[rng->PickIndex(elabels)]);
+        break;
+      }
+    }
+  }
+  return std::vector<EditEntry>(g->Journal().begin() + mark,
+                                g->Journal().end());
+}
+
+// ---------------------------------------------- Commit == RunDelta (bitwise)
+
+void ExpectServiceMatchesRunDelta(const std::string& domain, size_t threads) {
+  DatasetBundle bundle = CleanBundle(domain);
+  Graph reference = bundle.graph.Clone();
+
+  ServeOptions sopt;
+  sopt.num_threads = threads;
+  sopt.shard_min_anchors = 1;  // force the fan-out path even for tiny deltas
+  RepairService service(bundle.graph.Clone(), bundle.rules, sopt);
+
+  Rng rng(domain.size() * 1000 + threads);
+  RepairEngine engine;
+  for (size_t batch = 0; batch < 4; ++batch) {
+    // Generate the batch against the reference, repair it with RunDelta,
+    // and replay the identical ops through the service.
+    size_t mark = reference.JournalSize();
+    std::vector<EditEntry> ops = MutateRandom(&reference, &rng, 8);
+    auto ref = engine.RunDelta(&reference, bundle.rules, mark);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+    auto got = service.ApplyBatch(ops);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    const BatchResult& r = got.value();
+    EXPECT_EQ(r.edits, ops.size());
+    EXPECT_EQ(r.violations, ref.value().initial_violations)
+        << domain << " batch " << batch << " threads " << threads;
+    EXPECT_EQ(r.fixes, ref.value().applied.size());
+    EXPECT_EQ(r.expansions, ref.value().matcher_expansions)
+        << domain << " batch " << batch << " threads " << threads;
+    EXPECT_TRUE(service.graph().ContentEquals(reference))
+        << domain << " diverged at batch " << batch << " threads " << threads;
+  }
+  EXPECT_EQ(CountViolations(service.graph(), bundle.rules), 0u);
+}
+
+class ServeBitIdentity
+    : public ::testing::TestWithParam<std::tuple<const char*, size_t>> {};
+
+TEST_P(ServeBitIdentity, CommitMatchesRunDelta) {
+  ExpectServiceMatchesRunDelta(std::get<0>(GetParam()),
+                               std::get<1>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Domains, ServeBitIdentity,
+    ::testing::Combine(::testing::Values("kg", "social", "citation"),
+                       ::testing::Values(1u, 2u, 4u, 8u)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------- ParallelDeltaDetector
+
+// Forced sharding must reproduce the sequential per-rule FindDelta stream
+// exactly: same (rule, match) sequence, same stats.
+TEST(ParallelDeltaDetectorTest, ForcedShardingPreservesEmissionOrder) {
+  DatasetBundle bundle = CleanBundle("kg");
+  Graph& g = bundle.graph;
+  Rng rng(99);
+  std::vector<EditEntry> delta = MutateRandom(&g, &rng, 30);
+
+  std::vector<std::pair<RuleId, Match>> seq;
+  MatchStats seq_stats;
+  for (RuleId r = 0; r < bundle.rules.size(); ++r) {
+    DeltaMatcher dm(g, bundle.rules[r].pattern());
+    MatchStats st = dm.FindDelta(delta, [&](const Match& m) {
+      seq.emplace_back(r, m);
+      return true;
+    });
+    seq_stats.expansions += st.expansions;
+    seq_stats.matches += st.matches;
+    seq_stats.exhausted |= st.exhausted;
+  }
+
+  ThreadPool pool(4);
+  ParallelDeltaOptions opts;
+  opts.shard_min_anchors = 1;
+  opts.max_shards_per_rule = 16;
+  ParallelDeltaDetector detector(&pool, opts);
+  std::vector<std::pair<RuleId, Match>> par;
+  MatchStats par_stats = detector.Detect(
+      g, bundle.rules, delta,
+      [&](RuleId r, const Match& m) { par.emplace_back(r, m); });
+
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].first, par[i].first) << "emission " << i;
+    EXPECT_EQ(seq[i].second, par[i].second) << "emission " << i;
+  }
+  EXPECT_EQ(seq_stats.expansions, par_stats.expansions);
+  EXPECT_EQ(seq_stats.matches, par_stats.matches);
+  EXPECT_EQ(seq_stats.exhausted, par_stats.exhausted);
+}
+
+TEST(ParallelDeltaDetectorTest, EmptyRuleSetFindsNothing) {
+  DatasetBundle bundle = CleanBundle("kg");
+  Rng rng(7);
+  std::vector<EditEntry> delta = MutateRandom(&bundle.graph, &rng, 5);
+  ThreadPool pool(2);
+  ParallelDeltaDetector detector(&pool);
+  size_t emitted = 0;
+  MatchStats st = detector.Detect(bundle.graph, RuleSet(), delta,
+                                  [&](RuleId, const Match&) { ++emitted; });
+  EXPECT_EQ(emitted, 0u);
+  EXPECT_EQ(st.matches, 0u);
+}
+
+// ------------------------------------------------------- service behavior
+
+TEST(RepairServiceTest, StatsAccumulateAcrossBatches) {
+  DatasetBundle bundle = CleanBundle("kg");
+  ServeOptions sopt;
+  sopt.num_threads = 2;
+  RepairService service(bundle.graph.Clone(), bundle.rules, sopt);
+  Rng rng(5);
+
+  Graph scratch = bundle.graph.Clone();  // op generator only
+  size_t expected_edits = 0;  // some random draws no-op, so count actual ops
+  for (int i = 0; i < 3; ++i) {
+    std::vector<EditEntry> ops = MutateRandom(&scratch, &rng, 4);
+    expected_edits += ops.size();
+    // Keep generator and service in lockstep by replaying fixes.
+    auto r = service.ApplyBatch(ops);
+    ASSERT_TRUE(r.ok());
+    scratch = service.graph().Clone();
+  }
+
+  const ServiceStats& s = service.stats();
+  EXPECT_EQ(s.batches, 3u);
+  EXPECT_EQ(s.batch_ms.size(), 3u);
+  EXPECT_EQ(s.edits, expected_edits);
+  EXPECT_EQ(s.op_errors, 0u);
+  EXPECT_GE(s.LatencyPercentileMs(95), s.LatencyPercentileMs(50));
+  EXPECT_GT(s.LatencyPercentileMs(50), 0.0);
+  EXPECT_EQ(service.PendingEdits(), 0u);
+}
+
+TEST(RepairServiceTest, InvalidOpRejectedAndCounted) {
+  DatasetBundle bundle = CleanBundle("kg");
+  RepairService service(bundle.graph.Clone(), bundle.rules);
+
+  EditEntry bad;
+  bad.kind = EditKind::kRemoveNode;
+  bad.node = 1u << 30;  // far beyond the id space
+  auto r = service.ApplyEdit(bad);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(service.stats().op_errors, 1u);
+
+  auto b = service.ApplyBatch({bad});
+  EXPECT_FALSE(b.ok());
+  EXPECT_NE(b.status().ToString().find("batch op 0"), std::string::npos);
+}
+
+TEST(RepairServiceTest, BudgetLeftoversDrainAcrossCommits) {
+  DatasetBundle bundle = CleanBundle("kg");
+  ServeOptions sopt;
+  sopt.max_fixes_per_batch = 1;  // one fix per commit: force carry-over
+  RepairService service(bundle.graph.Clone(), bundle.rules, sopt);
+  Rng rng(13);
+
+  // An edit batch that provably introduces violations.
+  Graph scratch = service.graph().Clone();
+  std::vector<EditEntry> ops;
+  while (ops.empty() || CountViolations(scratch, bundle.rules) == 0)
+    ops = MutateRandom(&scratch, &rng, 6);
+
+  auto first = service.ApplyBatch(ops);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GE(first.value().violations, 1u);
+  EXPECT_LE(first.value().fixes, 1u);
+
+  // The store persists across commits: re-committing with no new edits
+  // keeps draining the backlog one fix at a time until the graph is clean.
+  bool exhausted = first.value().budget_exhausted;
+  for (int i = 0; exhausted && i < 100; ++i)
+    exhausted = service.Commit().budget_exhausted;
+  EXPECT_FALSE(exhausted);
+  EXPECT_EQ(CountViolations(service.graph(), bundle.rules), 0u);
+}
+
+TEST(RepairServiceTest, CommitWithNoEditsIsCheapNoop) {
+  DatasetBundle bundle = CleanBundle("social");
+  RepairService service(bundle.graph.Clone(), bundle.rules);
+  BatchResult r = service.Commit();
+  EXPECT_EQ(r.edits, 0u);
+  EXPECT_EQ(r.violations, 0u);
+  EXPECT_EQ(r.fixes, 0u);
+  EXPECT_EQ(r.anchor_nodes + r.anchor_edges, 0u);
+}
+
+// ----------------------------------------------------------- CLI surface
+
+TEST(ServeCliTest, LineProtocolRepairsAndReports) {
+  std::string graph = ::testing::TempDir() + "/grepair_serve_g.tsv";
+  std::string rules = ::testing::TempDir() + "/grepair_serve_r.grr";
+  std::string out;
+  ASSERT_EQ(RunCli({"gen", "kg", "--out", graph, "--rules-out", rules,
+                    "--scale", "150"},
+                   &out),
+            0)
+      << out;
+
+  std::istringstream in(
+      "add_node Org\n"
+      "commit\n"
+      "stats\n"
+      "nonsense\n"
+      "quit\n");
+  out.clear();
+  int code = RunCli({"serve", graph, rules, "--threads", "2"}, &out, &in);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("serving"), std::string::npos);
+  EXPECT_NE(out.find("node "), std::string::npos);
+  EXPECT_NE(out.find("batch 1"), std::string::npos);
+  EXPECT_NE(out.find("stats batches=1"), std::string::npos);
+  EXPECT_NE(out.find("err unknown command"), std::string::npos);
+  EXPECT_NE(out.find("bye"), std::string::npos);
+
+  std::remove(graph.c_str());
+  std::remove(rules.c_str());
+}
+
+TEST(ServeCliTest, PendingEditsCommittedOnQuit) {
+  std::string graph = ::testing::TempDir() + "/grepair_serve_g2.tsv";
+  std::string rules = ::testing::TempDir() + "/grepair_serve_r2.grr";
+  std::string out;
+  ASSERT_EQ(RunCli({"gen", "kg", "--out", graph, "--rules-out", rules,
+                    "--scale", "150"},
+                   &out),
+            0);
+
+  std::istringstream in("add_node Org\nquit\n");  // no explicit commit
+  out.clear();
+  EXPECT_EQ(RunCli({"serve", graph, rules}, &out, &in), 0);
+  EXPECT_NE(out.find("batch 1"), std::string::npos);  // implicit final commit
+
+  std::remove(graph.c_str());
+  std::remove(rules.c_str());
+}
+
+}  // namespace
+}  // namespace grepair

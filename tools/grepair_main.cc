@@ -4,6 +4,7 @@
 // win), so deployments can set a thread budget once per host.
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -23,7 +24,12 @@ int main(int argc, char** argv) {
     }
   }
   std::string out;
-  int code = grepair::RunCli(args, &out);
-  std::fputs(out.c_str(), stdout);
+  // serve streams its protocol responses to stdout as they happen (the
+  // accumulated copy in `out` is suppressed to avoid replaying them at
+  // exit); every other command prints its buffered output once.
+  bool is_serve = !args.empty() && args[0] == "serve";
+  int code = grepair::RunCli(args, &out, &std::cin,
+                             is_serve ? &std::cout : nullptr);
+  if (!is_serve || code != 0) std::fputs(out.c_str(), stdout);
   return code;
 }
