@@ -18,16 +18,21 @@ namespace bench {
 /// name, wall-clock start time (UTC) and the machine's thread count, so a
 /// saved bench output identifies when and where it was produced. Benches
 /// that sweep a thread budget (bench_parallel_scaling) also report the
-/// per-row thread count in their JSON rows.
-inline void PrintBenchHeader(const std::string& name) {
+/// per-row thread count in their JSON rows. `extra_json` appends raw
+/// `"key":value` fields (comma-joined by the caller) — used to record
+/// whether the snapshot read path is active so perf trajectories stay
+/// comparable across PRs.
+inline void PrintBenchHeader(const std::string& name,
+                             const std::string& extra_json = "") {
   std::time_t now = std::time(nullptr);
   char ts[32] = "unknown";
   std::tm tm_utc{};
   if (gmtime_r(&now, &tm_utc) != nullptr)
     std::strftime(ts, sizeof(ts), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
   std::printf("{\"bench\":\"%s\",\"wall_clock\":\"%s\","
-              "\"hardware_threads\":%u}\n",
-              name.c_str(), ts, std::thread::hardware_concurrency());
+              "\"hardware_threads\":%u%s%s}\n",
+              name.c_str(), ts, std::thread::hardware_concurrency(),
+              extra_json.empty() ? "" : ",", extra_json.c_str());
 }
 
 inline DatasetBundle MustKgBundle(const KgOptions& gopt,

@@ -1,9 +1,12 @@
 // M9 — Matching micro-benchmarks (google-benchmark): full detection cost by
-// graph size and pattern, and incremental delta re-matching vs full
-// re-detection after a single edit — the per-edit cost the repair loop pays.
+// graph size and pattern, incremental delta re-matching vs full re-detection
+// after a single edit — the per-edit cost the repair loop pays — and the
+// graph-vs-snapshot read-path comparison (seeding + single-rule expansion).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "eval/experiment.h"
+#include "graph/snapshot.h"
 #include "grr/standard_rules.h"
 #include "match/incremental.h"
 #include "repair/engine.h"
@@ -135,6 +138,63 @@ BENCHMARK(BM_MatchAblation)
     ->Args({0, 0})   // label scans only
     ->Unit(benchmark::kMillisecond);
 
+// --- Graph vs GraphSnapshot read paths ------------------------------------
+// Seeding is the contiguous-range-vs-hash-index comparison the snapshot
+// refactor targets: SeedCandidates over the live Graph copies an
+// unordered_set and sorts; over a snapshot it memcpys a pre-sorted label
+// partition. Both produce identical candidate lists (tests/test_snapshot.cc).
+
+void BM_SeedCandidatesGraph(benchmark::State& state) {
+  Workload w(static_cast<size_t>(state.range(0)));
+  RuleId dup = w.rules.Find("dup_person").value();
+  Matcher m(w.graph, w.rules[dup].pattern());
+  VarId seed = m.SeedVar();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.SeedCandidates(seed));
+  }
+}
+BENCHMARK(BM_SeedCandidatesGraph)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SeedCandidatesSnapshot(benchmark::State& state) {
+  Workload w(static_cast<size_t>(state.range(0)));
+  GraphSnapshot snap(w.graph);
+  RuleId dup = w.rules.Find("dup_person").value();
+  Matcher m(snap, w.rules[dup].pattern());
+  VarId seed = m.SeedVar();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.SeedCandidates(seed));
+  }
+}
+BENCHMARK(BM_SeedCandidatesSnapshot)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Full single-rule expansion over both backends (identical search trees;
+// only the storage layout differs).
+void BM_SingleRuleMatchSnapshot(benchmark::State& state) {
+  Workload w(static_cast<size_t>(state.range(0)));
+  GraphSnapshot snap(w.graph);
+  RuleId dup = w.rules.Find("dup_person").value();
+  const Pattern& p = w.rules[dup].pattern();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Matcher(snap, p).Count());
+  }
+}
+BENCHMARK(BM_SingleRuleMatchSnapshot)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+// What a per-pass snapshot costs to build — the price DetectAll pays once
+// before fanning out.
+void BM_SnapshotBuild(benchmark::State& state) {
+  Workload w(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    GraphSnapshot snap(w.graph);
+    benchmark::DoNotOptimize(snap.NumEdges());
+  }
+}
+BENCHMARK(BM_SnapshotBuild)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_GraphMutation(benchmark::State& state) {
   auto vocab = MakeVocabulary();
   Graph g(vocab);
@@ -165,4 +225,16 @@ BENCHMARK(BM_UndoJournal)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace grepair
 
-BENCHMARK_MAIN();
+// Custom main so the run opens with the same self-describing JSON header
+// the other benches emit (google-benchmark's own output follows).
+int main(int argc, char** argv) {
+  grepair::bench::PrintBenchHeader(
+      "M9: matching micro-benchmarks (graph vs snapshot)",
+      std::string("\"snapshot_read_path\":") +
+          (grepair::kSnapshotDetectReads ? "true" : "false"));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

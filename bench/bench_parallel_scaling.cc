@@ -31,7 +31,9 @@ double DetectMs(const Graph& g, const RuleSet& rules, size_t threads,
 }  // namespace
 
 int main() {
-  PrintBenchHeader("P1: detection throughput vs threads (KG, 5% errors)");
+  PrintBenchHeader("P1: detection throughput vs threads (KG, 5% errors)",
+                   std::string("\"snapshot_read_path\":") +
+                       (kSnapshotDetectReads ? "true" : "false"));
   TableWriter t("P1: detection wall-clock vs threads (KG, 5% errors)",
                 {"persons", "|V|", "|E|", "violations", "t1_ms", "t2_ms",
                  "t4_ms", "t8_ms", "speedup_4t"});
@@ -53,9 +55,11 @@ int main() {
     for (size_t i = 0; i < 4; ++i) {
       ms[i] = DetectMs(bundle.graph, bundle.rules, kThreads[i], &violations);
       std::printf("{\"persons\":%zu,\"nodes\":%zu,\"edges\":%zu,"
-                  "\"threads\":%zu,\"violations\":%zu,\"detect_ms\":%.2f}\n",
+                  "\"threads\":%zu,\"violations\":%zu,\"detect_ms\":%.2f,"
+                  "\"snapshot_path\":%s}\n",
                   persons, bundle.graph.NumNodes(), bundle.graph.NumEdges(),
-                  kThreads[i], violations, ms[i]);
+                  kThreads[i], violations, ms[i],
+                  kSnapshotDetectReads && kThreads[i] > 1 ? "true" : "false");
     }
 
     t.AddRow({TableWriter::Int(int64_t(persons)),

@@ -56,7 +56,9 @@ std::vector<EditEntry> MakeBatch(Graph* scratch, Rng* rng, size_t n) {
 }  // namespace
 
 int main() {
-  PrintBenchHeader("S1: serving throughput vs batch size x threads (KG)");
+  PrintBenchHeader("S1: serving throughput vs batch size x threads (KG)",
+                   std::string("\"snapshot_read_path\":") +
+                       (kSnapshotDetectReads ? "true" : "false"));
   TableWriter t("S1: commit latency / edit throughput (KG, 2000 persons)",
                 {"batch_size", "threads", "batches", "edits", "fixes",
                  "p50_ms", "p95_ms", "edits_per_s"});
@@ -110,9 +112,10 @@ int main() {
       double eps = total_s > 0 ? static_cast<double>(s.edits) / total_s : 0;
       std::printf("{\"batch_size\":%zu,\"threads\":%zu,\"batches\":%zu,"
                   "\"edits\":%zu,\"fixes\":%zu,\"p50_ms\":%.3f,"
-                  "\"p95_ms\":%.3f,\"edits_per_s\":%.1f}\n",
+                  "\"p95_ms\":%.3f,\"edits_per_s\":%.1f,"
+                  "\"snapshot_batches\":%zu}\n",
                   batch_size, threads, s.batches, s.edits,
-                  s.violations_repaired, p50, p95, eps);
+                  s.violations_repaired, p50, p95, eps, s.snapshot_batches);
       t.AddRow({TableWriter::Int(int64_t(batch_size)),
                 TableWriter::Int(int64_t(threads)),
                 TableWriter::Int(int64_t(s.batches)),

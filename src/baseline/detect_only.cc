@@ -4,7 +4,7 @@
 
 namespace grepair {
 
-RepairResult DetectOnlyBaseline(const Graph& g, const RuleSet& rules) {
+RepairResult DetectOnlyBaseline(const GraphView& g, const RuleSet& rules) {
   Timer t;
   RepairResult res;
   ViolationStore store;

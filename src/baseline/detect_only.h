@@ -9,7 +9,7 @@
 namespace grepair {
 
 /// Runs detection and returns a RepairResult with zero applied fixes.
-RepairResult DetectOnlyBaseline(const Graph& g, const RuleSet& rules);
+RepairResult DetectOnlyBaseline(const GraphView& g, const RuleSet& rules);
 
 }  // namespace grepair
 

@@ -51,8 +51,7 @@ Result<RepairResult> TripleCfdRepair(Graph* g, const TripleCfdOptions& opt) {
     SymbolId label;
     if (!vocab->LookupLabel(label_name, &label)) return Status::Ok();
     for (NodeId n : g->Nodes()) {
-      const std::vector<EdgeId>& edges =
-          per_source ? g->OutEdges(n) : g->InEdges(n);
+      IdSpan edges = per_source ? g->OutEdges(n) : g->InEdges(n);
       std::vector<EdgeId> group;
       for (EdgeId e : edges)
         if (g->EdgeLabel(e) == label) group.push_back(e);

@@ -40,6 +40,9 @@ commit (see DESIGN.md "Serving model"):
   set_node_label <id> <Label>        set_edge_label <id> <label>
   set_node_attr <id> <attr> <value>  set_edge_attr <id> <attr> <value>
   commit | stats | save <path> | quit
+  snapshot <path>   persist service state (graph + violation backlog;
+                    commits pending edits first)
+  restore <path>    replace service state from a snapshot file
 )";
 
 // Flags each command accepts; anything else is a usage error (exit 2), so a
@@ -345,6 +348,8 @@ std::string ServeLine(RepairService* service,
       {"commit", 1},
       {"stats", 1},
       {"save", 2},
+      {"snapshot", 2},
+      {"restore", 2},
   };
   auto arity = kArity.find(tok[0]);
   if (arity == kArity.end()) return "err unknown command: " + tok[0];
@@ -409,6 +414,26 @@ std::string ServeLine(RepairService* service,
     return apply(op, "ok");
   }
   if (cmd == "commit") return FormatBatch(service->Commit());
+  if (cmd == "snapshot") {
+    // SaveState commits pending edits first; surface that in the response —
+    // including on write failure, since the commit mutated the graph even
+    // when the file never materialized.
+    bool commits = service->PendingEdits() > 0;
+    Status st = service->SaveState(tok[1]);
+    std::string suffix =
+        commits ? StrFormat(" committed_batch=%zu", service->stats().batches)
+                : std::string();
+    if (!st.ok()) return "err " + st.ToString() + suffix;
+    return "snapshot " + tok[1] + suffix;
+  }
+  if (cmd == "restore") {
+    Status st = service->RestoreState(tok[1]);
+    if (!st.ok()) return "err " + st.ToString();
+    return StrFormat("restored %s nodes=%zu edges=%zu violations=%zu",
+                     tok[1].c_str(), service->graph().NumNodes(),
+                     service->graph().NumEdges(),
+                     service->ViolationBacklog());
+  }
   if (cmd == "stats") {
     const ServiceStats& s = service->stats();
     return StrFormat(

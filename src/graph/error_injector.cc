@@ -84,7 +84,8 @@ Result<NodeId> CloneNodeWithEdges(Graph* g, NodeId orig, SymbolId conf_attr,
       if (sl == l) return true;
     return false;
   };
-  std::vector<EdgeId> out = g->OutEdges(orig);
+  IdSpan orig_out = g->OutEdges(orig);
+  std::vector<EdgeId> out(orig_out.begin(), orig_out.end());
   for (EdgeId e : out) {
     if (!rng->NextBernoulli(edge_keep_prob)) continue;
     EdgeView v = g->Edge(e);

@@ -27,6 +27,10 @@ SymbolId AttrMap::Set(SymbolId attr, SymbolId value) {
     old = it->second;
     if (value == 0) {
       entries_.erase(it);
+      // Capacity story: an emptied map releases its buffer — tombstoned
+      // elements keep their AttrMap forever, and a graph that strips
+      // attributes at scale must not pin one allocation per element.
+      if (entries_.empty()) entries_.shrink_to_fit();
     } else {
       it->second = value;
     }
@@ -296,7 +300,7 @@ Status Graph::MergeNodes(NodeId keep, NodeId gone) {
 EdgeId Graph::FindEdge(NodeId src, NodeId dst, SymbolId label) const {
   if (!NodeAlive(src) || !NodeAlive(dst)) return kInvalidEdge;
   // Scan the smaller adjacency list.
-  if (OutDegree(src) <= InDegree(dst)) {
+  if (nodes_[src].out.size() <= nodes_[dst].in.size()) {
     for (EdgeId e : nodes_[src].out) {
       const EdgeRec& rec = edges_[e];
       if (rec.dst == dst && (label == 0 || rec.label == label)) return e;
@@ -339,6 +343,20 @@ const std::unordered_set<NodeId>& Graph::NodesWithAttr(SymbolId attr,
   return it == attr_index_.end() ? kEmpty : it->second;
 }
 
+bool Graph::CollectNodesWithLabel(SymbolId label,
+                                  std::vector<NodeId>* out) const {
+  const auto& set = NodesWithLabel(label);
+  out->assign(set.begin(), set.end());
+  return false;  // hash-set order
+}
+
+bool Graph::CollectNodesWithAttr(SymbolId attr, SymbolId value,
+                                 std::vector<NodeId>* out) const {
+  const auto& set = NodesWithAttr(attr, value);
+  out->assign(set.begin(), set.end());
+  return false;  // hash-set order
+}
+
 size_t Graph::CountNodesWithLabel(SymbolId label) const {
   return NodesWithLabel(label).size();
 }
@@ -369,6 +387,7 @@ Status Graph::UndoEntry(const EditEntry& e) {
       rec.alive = true;
       rec.label = e.label;
       rec.attrs = AttrMap();
+      rec.attrs.Reserve(e.attr_snapshot.size());
       for (const auto& [a, v] : e.attr_snapshot) rec.attrs.Set(a, v);
       ++num_alive_nodes_;
       IndexNode(e.node);
@@ -391,6 +410,7 @@ Status Graph::UndoEntry(const EditEntry& e) {
       rec.dst = e.dst;
       rec.label = e.label;
       rec.attrs = AttrMap();
+      rec.attrs.Reserve(e.attr_snapshot.size());
       for (const auto& [a, v] : e.attr_snapshot) rec.attrs.Set(a, v);
       ++num_alive_edges_;
       LinkEdge(e.edge);

@@ -3,6 +3,11 @@
 // mutation journal with undo. This is the substrate every other module
 // (matcher, repair engine, baselines, benchmarks) runs on.
 //
+// Graph is the WRITE path. It also implements the GraphView read seam
+// (graph_view.h) as a thin adapter over its live indexes, so read-only
+// layers can run over either the live graph or an immutable GraphSnapshot
+// (snapshot.h) interchangeably.
+//
 // Identity semantics: ids are never reused. Removing an element tombstones
 // it; undoing the removal revives the same id. This keeps ground-truth
 // bookkeeping and incremental match maintenance simple and exact.
@@ -16,40 +21,14 @@
 #include <vector>
 
 #include "graph/edit_log.h"
+#include "graph/graph_view.h"
 #include "graph/vocabulary.h"
 #include "util/status.h"
 
 namespace grepair {
 
-/// Sorted small-vector attribute map (symbol -> symbol). Value id 0 means
-/// "absent"; setting an attribute to 0 erases it.
-class AttrMap {
- public:
-  /// Returns the value id, or 0 when absent.
-  SymbolId Get(SymbolId attr) const;
-  /// Sets (value != 0) or erases (value == 0); returns the previous value.
-  SymbolId Set(SymbolId attr, SymbolId value);
-  /// All present (attr, value) pairs, sorted by attr id.
-  const std::vector<std::pair<SymbolId, SymbolId>>& entries() const {
-    return entries_;
-  }
-  bool empty() const { return entries_.empty(); }
-  bool operator==(const AttrMap& other) const = default;
-
- private:
-  std::vector<std::pair<SymbolId, SymbolId>> entries_;
-};
-
-/// Immutable view of one edge.
-struct EdgeView {
-  EdgeId id;
-  NodeId src;
-  NodeId dst;
-  SymbolId label;
-};
-
 /// Directed labeled multigraph with journaled mutations.
-class Graph {
+class Graph : public GraphView {
  public:
   /// Creates an empty graph over the given shared vocabulary.
   explicit Graph(VocabularyPtr vocab);
@@ -59,7 +38,7 @@ class Graph {
   /// copy are costed relative to the copied state).
   Graph Clone() const;
 
-  const VocabularyPtr& vocab() const { return vocab_; }
+  const VocabularyPtr& vocab() const override { return vocab_; }
 
   // --- Mutations (all journaled) --------------------------------------
 
@@ -85,55 +64,55 @@ class Graph {
   /// removed. Journaled entirely via primitives, so undo works.
   Status MergeNodes(NodeId keep, NodeId gone);
 
-  // --- Inspection ------------------------------------------------------
+  // --- Inspection (the GraphView read surface) -------------------------
 
-  bool NodeAlive(NodeId n) const {
+  bool NodeAlive(NodeId n) const override {
     return n < nodes_.size() && nodes_[n].alive;
   }
-  bool EdgeAlive(EdgeId e) const {
+  bool EdgeAlive(EdgeId e) const override {
     return e < edges_.size() && edges_[e].alive;
   }
   /// Number of alive nodes / edges.
-  size_t NumNodes() const { return num_alive_nodes_; }
-  size_t NumEdges() const { return num_alive_edges_; }
+  size_t NumNodes() const override { return num_alive_nodes_; }
+  size_t NumEdges() const override { return num_alive_edges_; }
   /// Id-space upper bounds (alive or dead ids are all < these).
-  size_t NodeIdBound() const { return nodes_.size(); }
-  size_t EdgeIdBound() const { return edges_.size(); }
+  size_t NodeIdBound() const override { return nodes_.size(); }
+  size_t EdgeIdBound() const override { return edges_.size(); }
 
-  SymbolId NodeLabel(NodeId n) const { return nodes_[n].label; }
-  SymbolId EdgeLabel(EdgeId e) const { return edges_[e].label; }
-  EdgeView Edge(EdgeId e) const {
+  SymbolId NodeLabel(NodeId n) const override { return nodes_[n].label; }
+  SymbolId EdgeLabel(EdgeId e) const override { return edges_[e].label; }
+  EdgeView Edge(EdgeId e) const override {
     return {e, edges_[e].src, edges_[e].dst, edges_[e].label};
   }
-  SymbolId NodeAttr(NodeId n, SymbolId attr) const {
+  SymbolId NodeAttr(NodeId n, SymbolId attr) const override {
     return nodes_[n].attrs.Get(attr);
   }
-  SymbolId EdgeAttr(EdgeId e, SymbolId attr) const {
+  SymbolId EdgeAttr(EdgeId e, SymbolId attr) const override {
     return edges_[e].attrs.Get(attr);
   }
-  const AttrMap& NodeAttrs(NodeId n) const { return nodes_[n].attrs; }
-  const AttrMap& EdgeAttrs(EdgeId e) const { return edges_[e].attrs; }
+  const AttrMap& NodeAttrs(NodeId n) const override {
+    return nodes_[n].attrs;
+  }
+  const AttrMap& EdgeAttrs(EdgeId e) const override {
+    return edges_[e].attrs;
+  }
 
   /// Outgoing / incoming alive edge ids of an alive node.
-  const std::vector<EdgeId>& OutEdges(NodeId n) const {
-    return nodes_[n].out;
+  IdSpan OutEdges(NodeId n) const override {
+    return {nodes_[n].out.data(), nodes_[n].out.size()};
   }
-  const std::vector<EdgeId>& InEdges(NodeId n) const { return nodes_[n].in; }
-  size_t OutDegree(NodeId n) const { return nodes_[n].out.size(); }
-  size_t InDegree(NodeId n) const { return nodes_[n].in.size(); }
-  size_t Degree(NodeId n) const { return OutDegree(n) + InDegree(n); }
+  IdSpan InEdges(NodeId n) const override {
+    return {nodes_[n].in.data(), nodes_[n].in.size()};
+  }
 
   /// First alive edge src-[label]->dst, or kInvalidEdge. label==0 matches
   /// any label.
-  EdgeId FindEdge(NodeId src, NodeId dst, SymbolId label) const;
-  bool HasEdge(NodeId src, NodeId dst, SymbolId label) const {
-    return FindEdge(src, dst, label) != kInvalidEdge;
-  }
+  EdgeId FindEdge(NodeId src, NodeId dst, SymbolId label) const override;
 
   /// All alive node ids (ascending).
-  std::vector<NodeId> Nodes() const;
+  std::vector<NodeId> Nodes() const override;
   /// All alive edge ids (ascending).
-  std::vector<EdgeId> Edges() const;
+  std::vector<EdgeId> Edges() const override;
   /// Alive nodes carrying `label` (unordered). label==0 → all alive nodes.
   const std::unordered_set<NodeId>& NodesWithLabel(SymbolId label) const;
   /// Alive nodes whose attribute `attr` currently equals `value` (value!=0).
@@ -141,10 +120,16 @@ class Graph {
   /// duplicate-detection patterns.
   const std::unordered_set<NodeId>& NodesWithAttr(SymbolId attr,
                                                   SymbolId value) const;
+  /// GraphView candidate collection: copies the hash indexes above into
+  /// *out; returns false (unsorted).
+  bool CollectNodesWithLabel(SymbolId label,
+                             std::vector<NodeId>* out) const override;
+  bool CollectNodesWithAttr(SymbolId attr, SymbolId value,
+                            std::vector<NodeId>* out) const override;
   /// Count of alive nodes carrying `label`.
-  size_t CountNodesWithLabel(SymbolId label) const;
+  size_t CountNodesWithLabel(SymbolId label) const override;
   /// Count of alive edges carrying `label`.
-  size_t CountEdgesWithLabel(SymbolId label) const;
+  size_t CountEdgesWithLabel(SymbolId label) const override;
 
   // --- Journal ---------------------------------------------------------
 

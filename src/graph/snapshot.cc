@@ -1,0 +1,219 @@
+#include "graph/snapshot.h"
+
+#include <algorithm>
+#include <map>
+
+namespace grepair {
+
+GraphSnapshot::GraphSnapshot(const GraphView& g)
+    : vocab_(g.vocab()), num_nodes_(g.NumNodes()), num_edges_(g.NumEdges()) {
+  const size_t nb = g.NodeIdBound();
+  const size_t eb = g.EdgeIdBound();
+
+  // --- Node columns + label/attr partitions ----------------------------
+  node_alive_.resize(nb, 0);
+  node_label_.resize(nb, 0);
+  node_attrs_.resize(nb);
+  // Ordered buckets so the flattened partitions are deterministic; node ids
+  // are appended in ascending order, so every group comes out ascending.
+  std::map<SymbolId, std::vector<NodeId>> label_buckets;
+  std::map<uint64_t, std::vector<NodeId>> attr_buckets;
+  for (NodeId n = 0; n < nb; ++n) {
+    node_label_[n] = g.NodeLabel(n);
+    node_attrs_[n] = g.NodeAttrs(n);  // tombstones keep attrs addressable
+    if (!g.NodeAlive(n)) continue;
+    node_alive_[n] = 1;
+    label_buckets[node_label_[n]].push_back(n);
+    for (const auto& [a, v] : node_attrs_[n].entries())
+      attr_buckets[AttrKey(a, v)].push_back(n);
+  }
+  label_nodes_.reserve(2 * num_nodes_);
+  // Group 0: all alive nodes, ascending (mirrors Graph's label_index_[0]).
+  {
+    Range all;
+    all.offset = 0;
+    all.len = static_cast<uint32_t>(num_nodes_);
+    label_nodes_.resize(num_nodes_);
+    NodeId* out = label_nodes_.data();
+    for (NodeId n = 0; n < nb; ++n)
+      if (node_alive_[n]) *out++ = n;
+    label_dir_[0] = all;
+  }
+  for (const auto& [label, nodes] : label_buckets) {
+    if (label == 0) continue;  // unlabeled nodes are only in group 0
+    Range r;
+    r.offset = static_cast<uint32_t>(label_nodes_.size());
+    r.len = static_cast<uint32_t>(nodes.size());
+    label_nodes_.insert(label_nodes_.end(), nodes.begin(), nodes.end());
+    label_dir_[label] = r;
+  }
+  size_t attr_total = 0;
+  for (const auto& [key, nodes] : attr_buckets) attr_total += nodes.size();
+  attr_nodes_.reserve(attr_total);
+  for (const auto& [key, nodes] : attr_buckets) {
+    Range r;
+    r.offset = static_cast<uint32_t>(attr_nodes_.size());
+    r.len = static_cast<uint32_t>(nodes.size());
+    attr_nodes_.insert(attr_nodes_.end(), nodes.begin(), nodes.end());
+    attr_dir_[key] = r;
+  }
+
+  // --- Edge columns ----------------------------------------------------
+  edge_alive_.resize(eb, 0);
+  edge_src_.resize(eb, kInvalidNode);
+  edge_dst_.resize(eb, kInvalidNode);
+  edge_label_.resize(eb, 0);
+  edge_attrs_.resize(eb);
+  alive_edges_.reserve(num_edges_);
+  for (EdgeId e = 0; e < eb; ++e) {
+    EdgeView v = g.Edge(e);
+    edge_src_[e] = v.src;
+    edge_dst_[e] = v.dst;
+    edge_label_[e] = v.label;
+    edge_attrs_[e] = g.EdgeAttrs(e);
+    if (!g.EdgeAlive(e)) continue;
+    edge_alive_[e] = 1;
+    alive_edges_.push_back(e);
+    ++edge_label_count_[v.label];
+  }
+
+  // --- CSR adjacency, source order preserved verbatim ------------------
+  out_offset_.assign(nb + 1, 0);
+  in_offset_.assign(nb + 1, 0);
+  for (NodeId n = 0; n < nb; ++n) {
+    // Dead nodes have empty adjacency (RemoveNode cascades first).
+    out_offset_[n + 1] =
+        out_offset_[n] +
+        static_cast<uint32_t>(node_alive_[n] ? g.OutEdges(n).size() : 0);
+    in_offset_[n + 1] =
+        in_offset_[n] +
+        static_cast<uint32_t>(node_alive_[n] ? g.InEdges(n).size() : 0);
+  }
+  out_edges_.resize(out_offset_[nb]);
+  in_edges_.resize(in_offset_[nb]);
+  for (NodeId n = 0; n < nb; ++n) {
+    if (!node_alive_[n]) continue;
+    IdSpan out = g.OutEdges(n);
+    std::copy(out.begin(), out.end(), out_edges_.begin() + out_offset_[n]);
+    IdSpan in = g.InEdges(n);
+    std::copy(in.begin(), in.end(), in_edges_.begin() + in_offset_[n]);
+  }
+
+  // --- (src, dst, label, id)-sorted alive-edge index for HasEdge -------
+  edge_search_ = alive_edges_;
+  std::sort(edge_search_.begin(), edge_search_.end(),
+            [this](EdgeId a, EdgeId b) {
+              if (edge_src_[a] != edge_src_[b])
+                return edge_src_[a] < edge_src_[b];
+              if (edge_dst_[a] != edge_dst_[b])
+                return edge_dst_[a] < edge_dst_[b];
+              if (edge_label_[a] != edge_label_[b])
+                return edge_label_[a] < edge_label_[b];
+              return a < b;
+            });
+}
+
+EdgeId GraphSnapshot::FindEdge(NodeId src, NodeId dst, SymbolId label) const {
+  // Same scan (and therefore same "first edge") as Graph::FindEdge: walk
+  // the smaller adjacency side in stored order.
+  if (!NodeAlive(src) || !NodeAlive(dst)) return kInvalidEdge;
+  if (OutDegree(src) <= InDegree(dst)) {
+    for (EdgeId e : OutEdges(src))
+      if (edge_dst_[e] == dst && (label == 0 || edge_label_[e] == label))
+        return e;
+  } else {
+    for (EdgeId e : InEdges(dst))
+      if (edge_src_[e] == src && (label == 0 || edge_label_[e] == label))
+        return e;
+  }
+  return kInvalidEdge;
+}
+
+bool GraphSnapshot::HasEdge(NodeId src, NodeId dst, SymbolId label) const {
+  if (!NodeAlive(src) || !NodeAlive(dst)) return false;
+  // Lower bound of (src, dst, label, 0) in the sorted alive-edge index; a
+  // hit is an edge with that exact (src, dst) — and exact label when one
+  // was asked for (label==0 accepts the smallest label present).
+  auto it = std::lower_bound(
+      edge_search_.begin(), edge_search_.end(),
+      std::make_tuple(src, dst, label), [this](EdgeId e, const auto& key) {
+        if (edge_src_[e] != std::get<0>(key))
+          return edge_src_[e] < std::get<0>(key);
+        if (edge_dst_[e] != std::get<1>(key))
+          return edge_dst_[e] < std::get<1>(key);
+        return edge_label_[e] < std::get<2>(key);
+      });
+  if (it == edge_search_.end()) return false;
+  EdgeId e = *it;
+  if (edge_src_[e] != src || edge_dst_[e] != dst) return false;
+  return label == 0 || edge_label_[e] == label;
+}
+
+std::vector<NodeId> GraphSnapshot::Nodes() const {
+  IdSpan all = NodesWithLabelSorted(0);
+  return std::vector<NodeId>(all.begin(), all.end());
+}
+
+std::vector<EdgeId> GraphSnapshot::Edges() const { return alive_edges_; }
+
+IdSpan GraphSnapshot::NodesWithLabelSorted(SymbolId label) const {
+  auto it = label_dir_.find(label);
+  if (it == label_dir_.end()) return {};
+  return {label_nodes_.data() + it->second.offset, it->second.len};
+}
+
+IdSpan GraphSnapshot::NodesWithAttrSorted(SymbolId attr,
+                                          SymbolId value) const {
+  auto it = attr_dir_.find(AttrKey(attr, value));
+  if (it == attr_dir_.end()) return {};
+  return {attr_nodes_.data() + it->second.offset, it->second.len};
+}
+
+bool GraphSnapshot::CollectNodesWithLabel(SymbolId label,
+                                          std::vector<NodeId>* out) const {
+  IdSpan range = NodesWithLabelSorted(label);
+  out->assign(range.begin(), range.end());
+  return true;  // partitions are ascending
+}
+
+bool GraphSnapshot::CollectNodesWithAttr(SymbolId attr, SymbolId value,
+                                         std::vector<NodeId>* out) const {
+  IdSpan range = NodesWithAttrSorted(attr, value);
+  out->assign(range.begin(), range.end());
+  return true;  // partitions are ascending
+}
+
+size_t GraphSnapshot::CountNodesWithLabel(SymbolId label) const {
+  auto it = label_dir_.find(label);
+  return it == label_dir_.end() ? 0 : it->second.len;
+}
+
+size_t GraphSnapshot::CountEdgesWithLabel(SymbolId label) const {
+  auto it = edge_label_count_.find(label);
+  return it == edge_label_count_.end() ? 0 : it->second;
+}
+
+size_t GraphSnapshot::MemoryBytes() const {
+  size_t bytes = node_alive_.capacity() + edge_alive_.capacity() +
+                 sizeof(SymbolId) * (node_label_.capacity() +
+                                     edge_label_.capacity()) +
+                 sizeof(NodeId) * (edge_src_.capacity() +
+                                   edge_dst_.capacity()) +
+                 sizeof(uint32_t) * (out_offset_.capacity() +
+                                     in_offset_.capacity()) +
+                 sizeof(EdgeId) * (out_edges_.capacity() +
+                                   in_edges_.capacity() +
+                                   edge_search_.capacity() +
+                                   alive_edges_.capacity()) +
+                 sizeof(NodeId) * (label_nodes_.capacity() +
+                                   attr_nodes_.capacity());
+  for (const AttrMap& m : node_attrs_)
+    bytes += sizeof(AttrMap) + m.entries().capacity() * sizeof(
+                                   std::pair<SymbolId, SymbolId>);
+  for (const AttrMap& m : edge_attrs_)
+    bytes += sizeof(AttrMap) + m.entries().capacity() * sizeof(
+                                   std::pair<SymbolId, SymbolId>);
+  return bytes;
+}
+
+}  // namespace grepair

@@ -1,0 +1,160 @@
+// GraphSnapshot: an immutable, read-optimized copy of a graph state built
+// for repeated subgraph matching. Where the journaled Graph answers reads
+// through per-node vectors and hash-map label/attr indexes, the snapshot
+// packs:
+//   - CSR out/in adjacency: one flat edge array per direction plus offsets,
+//     preserving the source graph's per-node adjacency order EXACTLY (match
+//     enumeration order — and therefore every downstream repair decision —
+//     depends on that order, including revived-edge positions after undo);
+//   - dense node/edge label, endpoint and attribute columns (tombstones
+//     keep their data addressable, mirroring Graph's identity semantics);
+//   - label- and attr-partitioned candidate indexes: alive node ids grouped
+//     per label / per (attr, value), each group ascending, so
+//     Matcher::SeedCandidates is a contiguous-range copy with no sort;
+//   - an alive-edge index sorted by (src, dst, label, id) that answers
+//     HasEdge in O(log E) instead of an adjacency scan.
+//
+// One snapshot per detection pass is built by DetectAll / DetectInto and
+// RepairService::Commit when the pool fans out, and shared read-only across
+// all worker threads (no synchronization needed: the snapshot never
+// changes). Every read is bit-identical to the Graph it was built from —
+// asserted by tests/test_snapshot.cc. See DESIGN.md "Storage model".
+#ifndef GREPAIR_GRAPH_SNAPSHOT_H_
+#define GREPAIR_GRAPH_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph_view.h"
+
+namespace grepair {
+
+class GraphSnapshot final : public GraphView {
+ public:
+  /// Builds from any GraphView (in practice: the live Graph). O(V + E +
+  /// sort of the edge index). The source must not be mutated during
+  /// construction.
+  explicit GraphSnapshot(const GraphView& g);
+
+  const VocabularyPtr& vocab() const override { return vocab_; }
+
+  bool NodeAlive(NodeId n) const override {
+    return n < node_alive_.size() && node_alive_[n] != 0;
+  }
+  bool EdgeAlive(EdgeId e) const override {
+    return e < edge_alive_.size() && edge_alive_[e] != 0;
+  }
+  size_t NumNodes() const override { return num_nodes_; }
+  size_t NumEdges() const override { return num_edges_; }
+  size_t NodeIdBound() const override { return node_alive_.size(); }
+  size_t EdgeIdBound() const override { return edge_alive_.size(); }
+
+  SymbolId NodeLabel(NodeId n) const override { return node_label_[n]; }
+  SymbolId EdgeLabel(EdgeId e) const override { return edge_label_[e]; }
+  EdgeView Edge(EdgeId e) const override {
+    return {e, edge_src_[e], edge_dst_[e], edge_label_[e]};
+  }
+  SymbolId NodeAttr(NodeId n, SymbolId attr) const override {
+    return node_attrs_[n].Get(attr);
+  }
+  SymbolId EdgeAttr(EdgeId e, SymbolId attr) const override {
+    return edge_attrs_[e].Get(attr);
+  }
+  const AttrMap& NodeAttrs(NodeId n) const override { return node_attrs_[n]; }
+  const AttrMap& EdgeAttrs(EdgeId e) const override { return edge_attrs_[e]; }
+
+  IdSpan OutEdges(NodeId n) const override {
+    return {out_edges_.data() + out_offset_[n],
+            out_offset_[n + 1] - out_offset_[n]};
+  }
+  IdSpan InEdges(NodeId n) const override {
+    return {in_edges_.data() + in_offset_[n],
+            in_offset_[n + 1] - in_offset_[n]};
+  }
+
+  EdgeId FindEdge(NodeId src, NodeId dst, SymbolId label) const override;
+  /// O(log E) binary search over the (src, dst, label)-sorted edge index.
+  bool HasEdge(NodeId src, NodeId dst, SymbolId label) const override;
+
+  std::vector<NodeId> Nodes() const override;
+  std::vector<EdgeId> Edges() const override;
+  bool CollectNodesWithLabel(SymbolId label,
+                             std::vector<NodeId>* out) const override;
+  bool CollectNodesWithAttr(SymbolId attr, SymbolId value,
+                            std::vector<NodeId>* out) const override;
+  size_t CountNodesWithLabel(SymbolId label) const override;
+  size_t CountEdgesWithLabel(SymbolId label) const override;
+
+  const GraphSnapshot* AsSnapshot() const override { return this; }
+
+  /// The label-partitioned candidate index as a raw range: alive nodes
+  /// carrying `label` (0 = all alive), ascending, contiguous.
+  IdSpan NodesWithLabelSorted(SymbolId label) const;
+  /// Same for the (attr, value) partitions.
+  IdSpan NodesWithAttrSorted(SymbolId attr, SymbolId value) const;
+
+  /// Approximate heap footprint of the packed arrays, for capacity
+  /// planning (documented in DESIGN.md "Storage model").
+  size_t MemoryBytes() const;
+
+ private:
+  struct Range {
+    uint32_t offset = 0;
+    uint32_t len = 0;
+  };
+
+  static uint64_t AttrKey(SymbolId attr, SymbolId value) {
+    return (static_cast<uint64_t>(attr) << 32) | value;
+  }
+
+  VocabularyPtr vocab_;
+  size_t num_nodes_ = 0;
+  size_t num_edges_ = 0;
+
+  // Dense columns over the full id space (tombstones included).
+  std::vector<uint8_t> node_alive_;
+  std::vector<SymbolId> node_label_;
+  std::vector<AttrMap> node_attrs_;
+  std::vector<uint8_t> edge_alive_;
+  std::vector<NodeId> edge_src_;
+  std::vector<NodeId> edge_dst_;
+  std::vector<SymbolId> edge_label_;
+  std::vector<AttrMap> edge_attrs_;
+
+  // CSR adjacency, per-node order copied verbatim from the source view.
+  std::vector<uint32_t> out_offset_;  // NodeIdBound()+1 entries
+  std::vector<uint32_t> in_offset_;
+  std::vector<EdgeId> out_edges_;
+  std::vector<EdgeId> in_edges_;
+
+  // Label-partitioned candidate index: groups of ascending alive node ids.
+  // label_dir_[0] covers ALL alive nodes (mirrors Graph's label_index_[0]).
+  std::vector<NodeId> label_nodes_;
+  std::unordered_map<SymbolId, Range> label_dir_;
+  std::vector<NodeId> attr_nodes_;
+  std::unordered_map<uint64_t, Range> attr_dir_;
+
+  // Alive edges sorted by (src, dst, label, id) for HasEdge; and ascending
+  // alive edge ids for Edges().
+  std::vector<EdgeId> edge_search_;
+  std::vector<EdgeId> alive_edges_;
+  std::unordered_map<SymbolId, size_t> edge_label_count_;
+};
+
+/// The one-snapshot-per-pass idiom of the parallel read paths: returns `g`
+/// itself when it already is a snapshot, otherwise builds one into
+/// `*storage` (which owns it for the duration of the pass) and returns
+/// that. Keeps the build-or-reuse gate in one place.
+inline const GraphView& SnapshotForPass(
+    const GraphView& g, std::unique_ptr<GraphSnapshot>* storage) {
+  if (g.AsSnapshot() != nullptr) return g;
+  *storage = std::make_unique<GraphSnapshot>(g);
+  return **storage;
+}
+
+}  // namespace grepair
+
+#endif  // GREPAIR_GRAPH_SNAPSHOT_H_

@@ -14,7 +14,7 @@ uint64_t DeltaMatchHash(const Match& m) {
   return h;
 }
 
-DeltaMatcher::DeltaMatcher(const Graph& graph, const Pattern& pattern)
+DeltaMatcher::DeltaMatcher(const GraphView& graph, const Pattern& pattern)
     : g_(graph), p_(pattern) {}
 
 DeltaMatcher::Anchors DeltaMatcher::ComputeAnchors(

@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "graph/edit_log.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "match/matcher.h"
 
 namespace grepair {
@@ -32,7 +32,7 @@ uint64_t DeltaMatchHash(const Match& m);
 /// Incremental (delta-anchored) pattern search over one graph.
 class DeltaMatcher {
  public:
-  DeltaMatcher(const Graph& graph, const Pattern& pattern);
+  DeltaMatcher(const GraphView& graph, const Pattern& pattern);
 
   /// The anchors a delta induces — exposed for tests, diagnostics and
   /// callers that search several rules over one delta. Anchor extraction
@@ -68,7 +68,7 @@ class DeltaMatcher {
                               const MatchCallback& cb) const;
 
  private:
-  const Graph& g_;
+  const GraphView& g_;
   const Pattern& p_;
 };
 

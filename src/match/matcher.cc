@@ -15,7 +15,7 @@ bool Match::ContainsEdge(EdgeId e) const {
   return std::find(edges.begin(), edges.end(), e) != edges.end();
 }
 
-Matcher::Matcher(const Graph& graph, const Pattern& pattern)
+Matcher::Matcher(const GraphView& graph, const Pattern& pattern)
     : g_(graph), p_(pattern) {}
 
 struct Matcher::SearchState {
@@ -74,8 +74,9 @@ bool Matcher::CheckNewBinding(SearchState* st, VarId var, NodeId node) const {
 // 1) adjacency to a bound var, 2) attr-index join via an EQ predicate with
 // a bound var or constant, 3) label index.
 std::vector<NodeId> Matcher::CandidatesFor(const SearchState& st,
-                                           VarId var) const {
+                                           VarId var, bool* sorted) const {
   std::vector<NodeId> out;
+  *sorted = false;
   // 1) adjacency pivot: choose the bound-adjacent pattern edge whose bound
   //    endpoint has the smallest relevant degree.
   int best_edge = -1;
@@ -149,14 +150,12 @@ std::vector<NodeId> Matcher::CandidatesFor(const SearchState& st,
       continue;
     }
     if (value == 0) continue;  // absent attr: EQ can't hold anyway
-    const auto& set = g_.NodesWithAttr(self->attr, value);
-    out.assign(set.begin(), set.end());
+    *sorted = g_.CollectNodesWithAttr(self->attr, value, &out);
     return out;
   }
 
   // 3) label index.
-  const auto& set = g_.NodesWithLabel(p_.nodes()[var].label);
-  out.assign(set.begin(), set.end());
+  *sorted = g_.CollectNodesWithLabel(p_.nodes()[var].label, &out);
   return out;
 }
 
@@ -288,9 +287,11 @@ void Matcher::Extend(SearchState* st) const {
     return;
   }
   VarId var = PickNextVar(*st);
-  std::vector<NodeId> cands = CandidatesFor(*st, var);
-  // Deterministic order helps tests and reproducibility.
-  std::sort(cands.begin(), cands.end());
+  bool sorted = false;
+  std::vector<NodeId> cands = CandidatesFor(*st, var, &sorted);
+  // Deterministic (ascending) order helps tests and reproducibility; a
+  // snapshot's label/attr partitions arrive pre-sorted.
+  if (!sorted) std::sort(cands.begin(), cands.end());
   for (NodeId cand : cands) {
     if (!CheckNewBinding(st, var, cand)) continue;
     st->binding[var] = cand;
@@ -405,9 +406,11 @@ std::vector<NodeId> Matcher::SeedCandidates(VarId var) const {
   SearchState st;
   st.opts = &opts;
   st.binding.assign(p_.NumNodes(), kInvalidNode);
-  std::vector<NodeId> cands = CandidatesFor(st, var);
-  // Same deterministic order Extend() uses.
-  std::sort(cands.begin(), cands.end());
+  bool sorted = false;
+  std::vector<NodeId> cands = CandidatesFor(st, var, &sorted);
+  // Same deterministic order Extend() uses. Over a GraphSnapshot this is a
+  // contiguous-range copy with no sort at all.
+  if (!sorted) std::sort(cands.begin(), cands.end());
   return cands;
 }
 

@@ -9,7 +9,7 @@
 #include <limits>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "match/pattern.h"
 
 namespace grepair {
@@ -52,11 +52,12 @@ struct MatchStats {
 /// Return false from the callback to stop enumeration.
 using MatchCallback = std::function<bool(const Match&)>;
 
-/// Pattern-matching engine over one graph snapshot. Stateless between calls;
-/// cheap to construct.
+/// Pattern-matching engine over one frozen graph state (any GraphView:
+/// the live Graph between mutations, or an immutable GraphSnapshot).
+/// Stateless between calls; cheap to construct.
 class Matcher {
  public:
-  Matcher(const Graph& graph, const Pattern& pattern);
+  Matcher(const GraphView& graph, const Pattern& pattern);
 
   /// Enumerates matches; stops at opts.max_matches or when cb returns false.
   MatchStats FindAll(const MatchOptions& opts, const MatchCallback& cb) const;
@@ -93,10 +94,11 @@ class Matcher {
   void Extend(SearchState* st) const;
   void EnumerateEdges(SearchState* st, size_t edge_idx) const;
   bool CheckNewBinding(SearchState* st, VarId var, NodeId node) const;
-  std::vector<NodeId> CandidatesFor(const SearchState& st, VarId var) const;
+  std::vector<NodeId> CandidatesFor(const SearchState& st, VarId var,
+                                    bool* sorted) const;
   VarId PickNextVar(const SearchState& st) const;
 
-  const Graph& g_;
+  const GraphView& g_;
   const Pattern& p_;
 };
 

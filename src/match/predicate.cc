@@ -41,7 +41,7 @@ namespace {
 // Resolves an operand to a value id; returns false while unresolvable
 // because the var is unbound. `*absent` is set when the var is bound but the
 // attribute is missing.
-bool ResolveOperand(const Graph& g, const AttrOperand& o,
+bool ResolveOperand(const GraphView& g, const AttrOperand& o,
                     const std::vector<NodeId>& binding,
                     const std::vector<EdgeId>* edges, SymbolId* out,
                     bool* absent) {
@@ -77,7 +77,7 @@ bool PredicateUsesEdges(const AttrPredicate& p) {
          (p.rhs.var != kNoVar && p.rhs.is_edge);
 }
 
-PredVerdict EvalPredicate(const Graph& g, const AttrPredicate& p,
+PredVerdict EvalPredicate(const GraphView& g, const AttrPredicate& p,
                           const std::vector<NodeId>& binding,
                           const std::vector<EdgeId>* edges) {
   SymbolId lv, rv;
@@ -104,7 +104,7 @@ PredVerdict EvalPredicate(const Graph& g, const AttrPredicate& p,
                                                  : PredVerdict::kFalse;
 }
 
-bool EvalNac(const Graph& g, const Nac& nac,
+bool EvalNac(const GraphView& g, const Nac& nac,
              const std::vector<NodeId>& binding) {
   switch (nac.kind) {
     case NacKind::kNoEdge: {

@@ -4,7 +4,7 @@
 
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "match/pattern.h"
 
 namespace grepair {
@@ -22,7 +22,7 @@ bool CompareValues(const Vocabulary& vocab, SymbolId lhs, CmpOp op,
 /// unbound pattern edges). Returns kUnknown while any referenced var is
 /// unbound. Absent attributes: EQ-family predicates are false; kNe is true
 /// iff exactly one side absent.
-PredVerdict EvalPredicate(const Graph& g, const AttrPredicate& p,
+PredVerdict EvalPredicate(const GraphView& g, const AttrPredicate& p,
                           const std::vector<NodeId>& binding,
                           const std::vector<EdgeId>* edges = nullptr);
 
@@ -31,7 +31,7 @@ bool PredicateUsesEdges(const AttrPredicate& p);
 
 /// Evaluates a NAC under a FULL binding; true = the NAC is satisfied
 /// (i.e. the forbidden thing is absent).
-bool EvalNac(const Graph& g, const Nac& nac,
+bool EvalNac(const GraphView& g, const Nac& nac,
              const std::vector<NodeId>& binding);
 
 }  // namespace grepair

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 
+#include "graph/snapshot.h"
 #include "grr/rule_builder.h"
 #include "grr/rule_validator.h"
 #include "parallel/thread_pool.h"
@@ -31,7 +33,7 @@ SymbolId DominantLabel(const std::map<SymbolId, size_t>& hist, size_t total,
   return 0;
 }
 
-std::string LabelName(const Graph& g, SymbolId l) {
+std::string LabelName(const GraphView& g, SymbolId l) {
   return l ? g.vocab()->LabelName(l) : std::string("any");
 }
 
@@ -74,7 +76,8 @@ struct SupportStats {
   }
 
   // Edge-anchored statistics for edges[lo, hi).
-  void ScanEdges(const Graph& g, const std::vector<EdgeId>& edges, size_t lo,
+  void ScanEdges(const GraphView& g, const std::vector<EdgeId>& edges,
+                 size_t lo,
                  size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       EdgeView v = g.Edge(edges[i]);
@@ -88,7 +91,8 @@ struct SupportStats {
 
   // Node-anchored statistics (functionality, co-occurrence, key attrs) for
   // nodes[lo, hi).
-  void ScanNodes(const Graph& g, const std::vector<NodeId>& nodes, size_t lo,
+  void ScanNodes(const GraphView& g, const std::vector<NodeId>& nodes,
+                 size_t lo,
                  size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       NodeId n = nodes[i];
@@ -133,7 +137,8 @@ struct SupportStats {
 // Runs the read-only scan passes, sharded across a pool when
 // opt.num_threads != 1. Shard workers touch only const Graph state and
 // never the vocabulary writer API (single-writer/concurrent-reader model).
-SupportStats CollectSupportStats(const Graph& g, const MiningOptions& opt) {
+SupportStats CollectSupportStats(const GraphView& g,
+                                 const MiningOptions& opt) {
   std::vector<EdgeId> edges = g.Edges();
   std::vector<NodeId> nodes = g.Nodes();
 
@@ -145,13 +150,21 @@ SupportStats CollectSupportStats(const Graph& g, const MiningOptions& opt) {
   }
 
   ThreadPool pool(opt.num_threads);
+  // The sharded scan reads through one immutable snapshot shared by every
+  // worker (all aggregates are sharding-independent, and snapshot reads are
+  // bit-identical to live-graph reads, so the merged result is unchanged).
+  // A 1-worker pool (e.g. num_threads=0 on a single-core host) skips the
+  // build: there is nothing to share.
+  std::unique_ptr<GraphSnapshot> built;
+  const GraphView& view =
+      pool.NumThreads() > 1 ? SnapshotForPass(g, &built) : g;
   size_t shards = std::max<size_t>(1, pool.NumThreads());
   std::vector<SupportStats> per_shard(shards);
   pool.ParallelFor(shards, [&](size_t s) {
     auto [elo, ehi] = BlockRange(edges.size(), s, shards);
-    per_shard[s].ScanEdges(g, edges, elo, ehi);
+    per_shard[s].ScanEdges(view, edges, elo, ehi);
     auto [nlo, nhi] = BlockRange(nodes.size(), s, shards);
-    per_shard[s].ScanNodes(g, nodes, nlo, nhi);
+    per_shard[s].ScanNodes(view, nodes, nlo, nhi);
   });
   SupportStats total;
   for (const SupportStats& ps : per_shard) total.Merge(ps);
@@ -160,7 +173,8 @@ SupportStats CollectSupportStats(const Graph& g, const MiningOptions& opt) {
 
 }  // namespace
 
-std::vector<MinedRule> MineRules(const Graph& g, const MiningOptions& opt) {
+std::vector<MinedRule> MineRules(const GraphView& g,
+                                 const MiningOptions& opt) {
   std::vector<MinedRule> out;
   Vocabulary* vocab = g.vocab().get();
 

@@ -52,7 +52,8 @@ struct MinedRule {
 
 /// Mines candidate rules from `g`. Every returned rule passes ValidateRule.
 /// Deterministic: output order is fixed by label id.
-std::vector<MinedRule> MineRules(const Graph& g, const MiningOptions& opt);
+std::vector<MinedRule> MineRules(const GraphView& g,
+                                 const MiningOptions& opt);
 
 }  // namespace grepair
 

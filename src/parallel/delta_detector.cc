@@ -23,7 +23,7 @@ struct DeltaTask {
   MatchStats stats;
 };
 
-void RunTask(const Graph& g, const RuleSet& rules, DeltaTask* task) {
+void RunTask(const GraphView& g, const RuleSet& rules, DeltaTask* task) {
   DeltaMatcher dm(g, rules[task->rule].pattern());
   auto collect = [task](const Match& m) {
     task->out.push_back(m);
@@ -40,7 +40,7 @@ ParallelDeltaDetector::ParallelDeltaDetector(ThreadPool* pool,
                                              ParallelDeltaOptions options)
     : pool_(pool), options_(options) {}
 
-MatchStats ParallelDeltaDetector::Detect(const Graph& g, const RuleSet& rules,
+MatchStats ParallelDeltaDetector::Detect(const GraphView& g, const RuleSet& rules,
                                          const std::vector<EditEntry>& delta,
                                          const Emit& emit) const {
   if (rules.empty()) return MatchStats{};
@@ -51,7 +51,7 @@ MatchStats ParallelDeltaDetector::Detect(const Graph& g, const RuleSet& rules,
                 emit);
 }
 
-MatchStats ParallelDeltaDetector::Detect(const Graph& g, const RuleSet& rules,
+MatchStats ParallelDeltaDetector::Detect(const GraphView& g, const RuleSet& rules,
                                          const DeltaMatcher::Anchors& anchors,
                                          const Emit& emit) const {
   MatchStats total;
@@ -60,8 +60,7 @@ MatchStats ParallelDeltaDetector::Detect(const Graph& g, const RuleSet& rules,
 
   // Tiny deltas (the per-fix cascade case) stay on the calling thread: the
   // pool round-trip would dominate a handful of anchored searches.
-  if (pool_ == nullptr || pool_->NumThreads() <= 1 ||
-      num_anchors < options_.shard_min_anchors) {
+  if (!WouldFanOut(num_anchors)) {
     for (RuleId r = 0; r < rules.size(); ++r) {
       DeltaMatcher dm(g, rules[r].pattern());
       MatchStats st = dm.FindDelta(anchors, [&](const Match& m) {

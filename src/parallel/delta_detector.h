@@ -24,7 +24,7 @@
 #include <functional>
 
 #include "graph/edit_log.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "grr/rule.h"
 #include "match/incremental.h"
 #include "parallel/thread_pool.h"
@@ -58,15 +58,24 @@ class ParallelDeltaDetector {
   /// but parallel, including identical expansion counts (each anchored
   /// search carries its own budget in both paths). Early termination is not
   /// supported: emit returns void.
-  MatchStats Detect(const Graph& g, const RuleSet& rules,
+  MatchStats Detect(const GraphView& g, const RuleSet& rules,
                     const std::vector<EditEntry>& delta,
                     const Emit& emit) const;
 
   /// Same fan-out from precomputed anchors, for callers (the serving layer)
   /// that already extracted them for stats.
-  MatchStats Detect(const Graph& g, const RuleSet& rules,
+  MatchStats Detect(const GraphView& g, const RuleSet& rules,
                     const DeltaMatcher::Anchors& anchors,
                     const Emit& emit) const;
+
+  /// True when a delta with `num_anchors` anchors would fan out over the
+  /// pool (rather than run the sequential loop on the calling thread).
+  /// Exposed so callers deciding whether to build a read snapshot for the
+  /// pass use the exact gate Detect applies.
+  bool WouldFanOut(size_t num_anchors) const {
+    return pool_ != nullptr && pool_->NumThreads() > 1 &&
+           num_anchors >= options_.shard_min_anchors;
+  }
 
  private:
   ThreadPool* pool_;

@@ -21,7 +21,7 @@ struct DetectTask {
   MatchStats stats;
 };
 
-void RunTask(const Graph& g, const RuleSet& rules, DetectTask* task) {
+void RunTask(const GraphView& g, const RuleSet& rules, DetectTask* task) {
   const Matcher matcher(g, rules[task->rule].pattern());
   auto collect = [task](const Match& m) {
     task->out.push_back(m);
@@ -47,7 +47,7 @@ ParallelDetector::ParallelDetector(ThreadPool* pool,
                                    ParallelDetectOptions options)
     : pool_(pool), options_(options) {}
 
-MatchStats ParallelDetector::Detect(const Graph& g, const RuleSet& rules,
+MatchStats ParallelDetector::Detect(const GraphView& g, const RuleSet& rules,
                                     const Emit& emit) const {
   size_t max_shards = options_.max_shards_per_rule
                           ? options_.max_shards_per_rule

@@ -22,7 +22,7 @@
 
 #include <functional>
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "grr/rule.h"
 #include "match/matcher.h"
 #include "parallel/thread_pool.h"
@@ -61,7 +61,7 @@ class ParallelDetector {
   /// rule hits the expansion budget: a sharded rule whose total expansions
   /// reach the sequential budget is re-run sequentially so its truncation
   /// point matches the single-budget search exactly.
-  MatchStats Detect(const Graph& g, const RuleSet& rules,
+  MatchStats Detect(const GraphView& g, const RuleSet& rules,
                     const Emit& emit) const;
 
  private:

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "graph/snapshot.h"
 #include "match/incremental.h"
 #include "parallel/parallel_detector.h"
 #include "parallel/thread_pool.h"
@@ -21,15 +22,24 @@ namespace {
 // A non-null pool with >1 workers fans the matching out (bit-identical
 // results; see ParallelDetector); costing and store insertion stay on the
 // calling thread either way.
-size_t DetectInto(const Graph& g, const RuleSet& rules, ViolationStore* store,
+size_t DetectInto(const GraphView& g, const RuleSet& rules,
+                  ViolationStore* store,
                   const CostModel& model, SymbolId conf_attr,
                   size_t* expansions, ThreadPool* pool = nullptr) {
   if (pool != nullptr && pool->NumThreads() > 1) {
+    // One immutable read-optimized snapshot per detection pass, shared
+    // read-only by every pool worker (cache-friendly CSR reads, no live
+    // hash indexes on the hot path). Reads over the snapshot are
+    // bit-identical to reads over `g` (tests/test_snapshot.cc), so the
+    // store receives the exact sequential seeding either way.
+    std::unique_ptr<GraphSnapshot> built;
+    const GraphView& view = SnapshotForPass(g, &built);
     ParallelDetector detector(pool);
-    MatchStats st = detector.Detect(g, rules, [&](RuleId r, const Match& m) {
-      double cost = FixCost(g, rules[r], m, model, conf_attr);
-      store->Add(r, m, cost);
-    });
+    MatchStats st =
+        detector.Detect(view, rules, [&](RuleId r, const Match& m) {
+          double cost = FixCost(view, rules[r], m, model, conf_attr);
+          store->Add(r, m, cost);
+        });
     if (expansions) *expansions += st.expansions;
     return store->Size();
   }
@@ -56,7 +66,8 @@ std::unique_ptr<ThreadPool> MakeDetectPool(size_t num_threads) {
 
 // CountViolations against an already-running pool (the strategy runners
 // reuse their detection pool instead of spawning a fresh one per count).
-size_t CountWith(const Graph& g, const RuleSet& rules, ThreadPool* pool) {
+size_t CountWith(const GraphView& g, const RuleSet& rules,
+                 ThreadPool* pool) {
   CostModel model;
   ViolationStore store;
   return DetectInto(g, rules, &store, model, /*conf_attr=*/0, nullptr, pool);
@@ -69,7 +80,7 @@ std::vector<EditEntry> JournalSlice(const Graph& g, size_t from) {
 }  // namespace
 
 // Incremental re-detection: only around the delta.
-void DetectDelta(const Graph& g, const RuleSet& rules,
+void DetectDelta(const GraphView& g, const RuleSet& rules,
                  const std::vector<EditEntry>& delta, ViolationStore* store,
                  const CostModel& model, SymbolId conf_attr,
                  size_t* expansions) {
@@ -85,7 +96,8 @@ void DetectDelta(const Graph& g, const RuleSet& rules,
   }
 }
 
-size_t DetectAll(const Graph& g, const RuleSet& rules, ViolationStore* store,
+size_t DetectAll(const GraphView& g, const RuleSet& rules,
+                 ViolationStore* store,
                  size_t* expansions, size_t num_threads) {
   CostModel model;
   std::unique_ptr<ThreadPool> pool = MakeDetectPool(num_threads);
@@ -93,7 +105,7 @@ size_t DetectAll(const Graph& g, const RuleSet& rules, ViolationStore* store,
                     pool.get());
 }
 
-size_t CountViolations(const Graph& g, const RuleSet& rules,
+size_t CountViolations(const GraphView& g, const RuleSet& rules,
                        size_t num_threads) {
   ViolationStore store;
   return DetectAll(g, rules, &store, nullptr, num_threads);

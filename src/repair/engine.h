@@ -61,15 +61,23 @@ struct RepairResult {
   bool oscillation_detected = false;
 };
 
+/// True when multi-threaded full detection builds a read-optimized
+/// GraphSnapshot per pass and fans matching out over it (sequential
+/// detection reads the live graph directly). Benchmarks record this in
+/// their JSON headers so perf trajectories stay comparable across PRs.
+inline constexpr bool kSnapshotDetectReads = true;
+
 /// Runs detection only: fills `store` with every violation of `rules` in
 /// `g`. Returns the number of live violations. With num_threads > 1 the
-/// matching fans out over a thread pool; the store contents and order are
+/// matching builds one immutable GraphSnapshot for the pass and fans out
+/// over a thread pool reading it; the store contents and order are
 /// identical to the sequential result for any thread count.
-size_t DetectAll(const Graph& g, const RuleSet& rules, ViolationStore* store,
+size_t DetectAll(const GraphView& g, const RuleSet& rules,
+                 ViolationStore* store,
                  size_t* expansions = nullptr, size_t num_threads = 1);
 
 /// Counts violations without keeping them.
-size_t CountViolations(const Graph& g, const RuleSet& rules,
+size_t CountViolations(const GraphView& g, const RuleSet& rules,
                        size_t num_threads = 1);
 
 /// Delta-anchored re-detection: adds, for every rule, each violation the
@@ -78,7 +86,7 @@ size_t CountViolations(const Graph& g, const RuleSet& rules,
 /// step of RunDelta, exposed for the serving layer (src/serve/), whose
 /// batched path routes the same search through
 /// parallel::ParallelDeltaDetector instead.
-void DetectDelta(const Graph& g, const RuleSet& rules,
+void DetectDelta(const GraphView& g, const RuleSet& rules,
                  const std::vector<EditEntry>& delta, ViolationStore* store,
                  const CostModel& model, SymbolId conf_attr,
                  size_t* expansions);

@@ -10,7 +10,7 @@ namespace {
 
 // "Person(n17 \"alice\")" — label, id, and name attribute when present.
 // Works for tombstoned nodes too (their label/attrs survive removal).
-std::string NodeRef(const Graph& g, NodeId n) {
+std::string NodeRef(const GraphView& g, NodeId n) {
   if (n == kInvalidNode) return "?";
   if (n >= g.NodeIdBound()) return StrFormat("n%u", n);
   std::string out = g.vocab()->LabelName(g.NodeLabel(n));
@@ -34,7 +34,7 @@ std::string ClassName(const RuleSet& rules, RuleId id) {
 
 }  // namespace
 
-std::string ExplainFix(const Graph& g, const RuleSet& rules,
+std::string ExplainFix(const GraphView& g, const RuleSet& rules,
                        const AppliedFix& fix) {
   std::string head = StrFormat("[%s] %s: ",
                                ClassName(rules, fix.rule).c_str(),
@@ -76,7 +76,7 @@ std::string ExplainFix(const Graph& g, const RuleSet& rules,
   return head + "?";
 }
 
-std::string ExplainRepair(const Graph& g, const RuleSet& rules,
+std::string ExplainRepair(const GraphView& g, const RuleSet& rules,
                           const RepairResult& result, size_t max_fixes) {
   std::string out = StrFormat(
       "repair: %zu violations -> %zu, %zu fixes, cost %.1f, %.1f ms "
@@ -109,7 +109,8 @@ std::string ExplainRepair(const Graph& g, const RuleSet& rules,
   return out;
 }
 
-std::string RepairDiffDot(const Graph& repaired, const RepairResult& result) {
+std::string RepairDiffDot(const Graph& repaired,
+                          const RepairResult& result) {
   // Classify elements from the journal slice the repair produced.
   std::set<NodeId> added_nodes, touched_nodes, removed_nodes;
   std::set<EdgeId> added_edges, touched_edges;

@@ -15,19 +15,20 @@ namespace grepair {
 /// affected elements (with `name` attributes when present).
 /// Example: "[conflict] one_birthplace: deleted born_in edge
 ///           Person(n17 "person17") -> City(n203 "city3")".
-std::string ExplainFix(const Graph& g, const RuleSet& rules,
+std::string ExplainFix(const GraphView& g, const RuleSet& rules,
                        const AppliedFix& fix);
 
 /// Multi-line report: per-class and per-rule fix counts, cost, timing, and
 /// the first `max_fixes` individual explanations.
-std::string ExplainRepair(const Graph& g, const RuleSet& rules,
+std::string ExplainRepair(const GraphView& g, const RuleSet& rules,
                           const RepairResult& result, size_t max_fixes = 20);
 
 /// Graphviz DOT of the repaired graph with the repair diff highlighted:
 /// created elements green, relabeled/re-attributed orange, and removed
 /// elements drawn as dashed red ghosts (reconstructed from the journal
 /// range covered by `result`).
-std::string RepairDiffDot(const Graph& repaired, const RepairResult& result);
+std::string RepairDiffDot(const Graph& repaired,
+                          const RepairResult& result);
 
 }  // namespace grepair
 

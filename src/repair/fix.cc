@@ -8,7 +8,7 @@ namespace grepair {
 namespace {
 
 // Confidence factor in (0, 1]: conf=30 -> 0.3. Absent/garbled attr -> 1.0.
-double ConfFactor(const Graph& g, EdgeId e, SymbolId conf_attr) {
+double ConfFactor(const GraphView& g, EdgeId e, SymbolId conf_attr) {
   if (conf_attr == 0) return 1.0;
   SymbolId v = g.EdgeAttr(e, conf_attr);
   if (v == 0) return 1.0;
@@ -28,7 +28,7 @@ std::string AppliedFix::ToString(const Vocabulary& vocab) const {
                    node_b, label ? vocab.LabelName(label).c_str() : "-");
 }
 
-double FixCost(const Graph& g, const Rule& rule, const Match& match,
+double FixCost(const GraphView& g, const Rule& rule, const Match& match,
                const CostModel& model, SymbolId conf_attr) {
   const RepairAction& a = rule.action();
   double cost = 0.0;

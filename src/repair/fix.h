@@ -36,7 +36,7 @@ struct AppliedFix {
 /// (numeric string, 0-100; absent = 100), so removing a low-confidence
 /// claim is cheaper: this is the weighted-GED "closest repair" semantics.
 /// Rule priority divides the final cost (higher priority = preferred).
-double FixCost(const Graph& g, const Rule& rule, const Match& match,
+double FixCost(const GraphView& g, const Rule& rule, const Match& match,
                const CostModel& model, SymbolId conf_attr);
 
 /// Applies `rule`'s action at `match`. The caller must have verified the

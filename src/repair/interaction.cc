@@ -6,7 +6,7 @@
 namespace grepair {
 namespace {
 
-void AddNodeAndIncidence(const Graph& g, NodeId n, FixScope* scope) {
+void AddNodeAndIncidence(const GraphView& g, NodeId n, FixScope* scope) {
   scope->write_nodes.push_back(n);
   for (EdgeId e : g.OutEdges(n)) {
     scope->write_edges.push_back(e);
@@ -42,7 +42,8 @@ bool Intersects(const std::vector<T>& a, const std::vector<T>& b) {
 
 }  // namespace
 
-FixScope ComputeScope(const Graph& g, const Rule& rule, const Match& match) {
+FixScope ComputeScope(const GraphView& g, const Rule& rule,
+                      const Match& match) {
   FixScope scope;
   scope.read_nodes = match.nodes;
   scope.read_edges = match.edges;

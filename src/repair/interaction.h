@@ -24,7 +24,8 @@ struct FixScope {
 /// Computes the scope of applying `rule` at `match` on the current graph.
 /// Node deletions/merges include every incident edge in the write set and
 /// the neighbor nodes in the read set (their adjacency changes).
-FixScope ComputeScope(const Graph& g, const Rule& rule, const Match& match);
+FixScope ComputeScope(const GraphView& g, const Rule& rule,
+                      const Match& match);
 
 /// True when the two fixes cannot be batched (write/read+write overlap).
 bool ScopesConflict(const FixScope& a, const FixScope& b);

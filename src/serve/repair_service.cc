@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
+#include <unordered_map>
 #include <utility>
 
+#include "graph/graph_io.h"
+#include "graph/snapshot.h"
 #include "match/incremental.h"
 #include "repair/fix.h"
+#include "util/strings.h"
 #include "util/timer.h"
 
 namespace grepair {
@@ -109,10 +114,23 @@ BatchResult RepairService::Commit() {
     popt.shard_min_anchors = options_.shard_min_anchors;
     popt.max_shards_per_rule = options_.max_shards_per_rule;
     ParallelDeltaDetector detector(pool_.get(), popt);
+    // When the batch fans out, build ONE immutable snapshot for this seed
+    // pass and share it read-only across all pool threads; tiny batches
+    // (and thread budget 1) read the live graph directly — an O(|G|)
+    // snapshot build would dominate their O(delta) search. Reads are
+    // bit-identical either way (tests/test_snapshot.cc).
+    std::unique_ptr<GraphSnapshot> snap;
+    const GraphView* view = &graph_;
+    if (detector.WouldFanOut(anchors.nodes.size() + anchors.edges.size())) {
+      snap = std::make_unique<GraphSnapshot>(graph_);
+      view = snap.get();
+      res.snapshot_reads = true;
+      ++stats_.snapshot_batches;
+    }
     MatchStats st = detector.Detect(
-        graph_, rules_, anchors, [&](RuleId r, const Match& m) {
+        *view, rules_, anchors, [&](RuleId r, const Match& m) {
           store_.Add(r, m,
-                     FixCost(graph_, rules_[r], m, options_.cost_model, conf));
+                     FixCost(*view, rules_[r], m, options_.cost_model, conf));
         });
     res.expansions += st.expansions;
     res.detect_ms = t.ElapsedMs();
@@ -172,6 +190,210 @@ BatchResult RepairService::Commit() {
     stats_.batch_ms[(stats_.batches - 1) % ServiceStats::kLatencyWindow] =
         res.total_ms;
   return res;
+}
+
+// ------------------------------------------------- state persistence
+// File layout (line-oriented, TSV-compatible with graph_io):
+//   # comments
+//   N/E ...            the graph (SerializeGraph format)
+//   V <rule> <cost>    one backlog violation (cost = best_cost)
+//   A <k> <node ids...> <m> <edge ids...>   one alternative match of the
+//                      preceding V, ids already in the reloaded id space
+namespace {
+
+// ParseGraph assigns fresh dense ids in serialization order (alive
+// elements, ascending), so the reloaded id of an element is its rank among
+// the alive ids of its kind.
+template <typename Id>
+std::unordered_map<Id, Id> RankMap(const std::vector<Id>& alive_ascending) {
+  std::unordered_map<Id, Id> rank;
+  rank.reserve(alive_ascending.size());
+  for (size_t i = 0; i < alive_ascending.size(); ++i)
+    rank[alive_ascending[i]] = static_cast<Id>(i);
+  return rank;
+}
+
+}  // namespace
+
+Status RepairService::SaveState(const std::string& path) {
+  if (PendingEdits() > 0) Commit();
+
+  std::unordered_map<NodeId, NodeId> node_rank = RankMap(graph_.Nodes());
+  std::unordered_map<EdgeId, EdgeId> edge_rank = RankMap(graph_.Edges());
+
+  // Backlog with ids translated to the reloaded space; alternatives that
+  // reference dead elements cannot be expressed there and are dropped (the
+  // cascade loop's re-verify would discard them on pop anyway).
+  struct SavedViolation {
+    RuleId rule;
+    double cost;
+    std::vector<Match> alternatives;
+  };
+  std::vector<SavedViolation> backlog;
+  for (const Violation& v : store_.Snapshot()) {
+    SavedViolation sv;
+    sv.rule = v.rule;
+    sv.cost = v.best_cost;
+    for (const Match& alt : v.alternatives) {
+      Match translated;
+      bool live = true;
+      for (NodeId n : alt.nodes) {
+        auto it = node_rank.find(n);
+        if (it == node_rank.end() || !graph_.NodeAlive(n)) {
+          live = false;
+          break;
+        }
+        translated.nodes.push_back(it->second);
+      }
+      for (EdgeId e : alt.edges) {
+        auto it = edge_rank.find(e);
+        if (!live || it == edge_rank.end() || !graph_.EdgeAlive(e)) {
+          live = false;
+          break;
+        }
+        translated.edges.push_back(it->second);
+      }
+      if (live) sv.alternatives.push_back(std::move(translated));
+    }
+    if (!sv.alternatives.empty()) backlog.push_back(std::move(sv));
+  }
+  // Deterministic file order (Snapshot() iterates a hash map).
+  std::sort(backlog.begin(), backlog.end(),
+            [](const SavedViolation& a, const SavedViolation& b) {
+              if (a.rule != b.rule) return a.rule < b.rule;
+              if (a.alternatives.front().nodes != b.alternatives.front().nodes)
+                return a.alternatives.front().nodes <
+                       b.alternatives.front().nodes;
+              return a.alternatives.front().edges <
+                     b.alternatives.front().edges;
+            });
+
+  std::string out = "# grepair service state v1\n";
+  out += SerializeGraph(graph_);
+  for (const SavedViolation& sv : backlog) {
+    out += StrFormat("V\t%u\t%.17g\n", sv.rule, sv.cost);
+    for (const Match& alt : sv.alternatives) {
+      out += StrFormat("A\t%zu", alt.nodes.size());
+      for (NodeId n : alt.nodes) out += StrFormat("\t%u", n);
+      out += StrFormat("\t%zu", alt.edges.size());
+      for (EdgeId e : alt.edges) out += StrFormat("\t%u", e);
+      out += "\n";
+    }
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f)
+    return Status::InvalidArgument("cannot open for write: " + path);
+  size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  if (written != out.size())
+    return Status::Internal("short write: " + path);
+  return Status::Ok();
+}
+
+Status RepairService::RestoreState(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return Status::NotFound("cannot open: " + path);
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  // Split graph lines from violation lines.
+  std::string graph_text;
+  struct PendingViolation {
+    RuleId rule;
+    double cost;
+    std::vector<Match> alternatives;
+  };
+  std::vector<PendingViolation> backlog;
+  size_t line_no = 0;
+  for (const auto& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    auto err = [&](const std::string& what) {
+      return Status::ParseError(
+          StrFormat("%s line %zu: %s", path.c_str(), line_no, what.c_str()));
+    };
+    if (line.empty() || line[0] == '#') continue;
+    if (line[0] == 'N' || line[0] == 'E') {
+      graph_text += std::string(line) + "\n";
+      continue;
+    }
+    auto fields = Split(line, '\t');
+    if (fields[0] == "V") {
+      if (fields.size() != 3) return err("bad V record");
+      PendingViolation pv;
+      uint64_t rule = 0;
+      if (!ParseUint64(fields[1], &rule) || rule >= rules_.size())
+        return err("bad rule id");
+      pv.rule = static_cast<RuleId>(rule);
+      if (!ParseDouble(fields[2], &pv.cost)) return err("bad cost");
+      backlog.push_back(std::move(pv));
+    } else if (fields[0] == "A") {
+      if (backlog.empty()) return err("A record before any V record");
+      if (fields.size() < 3) return err("bad A record");
+      Match m;
+      size_t idx = 1;
+      uint64_t count = 0, id = 0;
+      // Reject ids that don't fit the 32-bit id space BEFORE the
+      // static_cast: truncation could alias a live element and defeat the
+      // validated-before-swap guarantee.
+      if (!ParseUint64(fields[idx++], &count)) return err("bad node count");
+      for (uint64_t i = 0; i < count; ++i) {
+        if (idx >= fields.size() || !ParseUint64(fields[idx++], &id) ||
+            id >= kInvalidNode)
+          return err("bad node id");
+        m.nodes.push_back(static_cast<NodeId>(id));
+      }
+      if (idx >= fields.size() || !ParseUint64(fields[idx++], &count))
+        return err("bad edge count");
+      for (uint64_t i = 0; i < count; ++i) {
+        if (idx >= fields.size() || !ParseUint64(fields[idx++], &id) ||
+            id >= kInvalidEdge)
+          return err("bad edge id");
+        m.edges.push_back(static_cast<EdgeId>(id));
+      }
+      if (idx != fields.size()) return err("trailing fields in A record");
+      const Pattern& p = rules_[backlog.back().rule].pattern();
+      if (m.nodes.size() != p.NumNodes() || m.edges.size() != p.NumEdges())
+        return err("match arity does not fit the rule's pattern");
+      backlog.back().alternatives.push_back(std::move(m));
+    } else {
+      return err("unknown record type '" + std::string(fields[0]) + "'");
+    }
+  }
+
+  auto parsed = ParseGraph(graph_text, graph_.vocab());
+  if (!parsed.ok()) return parsed.status();
+  Graph restored = std::move(parsed).value();
+  // The parse journal is construction noise, not user edits; the restored
+  // state is clean by definition (SaveState commits first).
+  restored.ResetJournal();
+  for (const PendingViolation& pv : backlog) {
+    for (const Match& alt : pv.alternatives) {
+      for (NodeId nid : alt.nodes)
+        if (!restored.NodeAlive(nid))
+          return Status::ParseError(
+              StrFormat("%s: violation references dead node %u",
+                        path.c_str(), nid));
+      for (EdgeId eid : alt.edges)
+        if (!restored.EdgeAlive(eid))
+          return Status::ParseError(
+              StrFormat("%s: violation references dead edge %u",
+                        path.c_str(), eid));
+    }
+  }
+
+  // Point of no return: every record validated, swap the state in.
+  graph_ = std::move(restored);
+  clean_mark_ = 0;
+  store_.Clear();
+  for (const PendingViolation& pv : backlog)
+    for (const Match& alt : pv.alternatives)
+      store_.Add(pv.rule, alt, pv.cost);
+  return Status::Ok();
 }
 
 Result<BatchResult> RepairService::ApplyBatch(

@@ -63,6 +63,10 @@ struct BatchResult {
   size_t violations = 0;
   size_t fixes = 0;  ///< cascade fixes applied
   size_t expansions = 0;    ///< matcher expansions (detection + cascades)
+  /// True when seed detection fanned out over the pool and therefore read
+  /// from a per-commit GraphSnapshot instead of the live graph (see
+  /// DESIGN.md "Storage model").
+  bool snapshot_reads = false;
   bool budget_exhausted = false;
   double detect_ms = 0.0;  ///< seed detection time
   double total_ms = 0.0;   ///< whole commit (detection + cascades)
@@ -81,6 +85,7 @@ struct ServiceStats {
   size_t violations_repaired = 0;
   size_t anchors_visited = 0;  ///< node + edge anchors over all batches
   size_t expansions = 0;
+  size_t snapshot_batches = 0;  ///< commits whose seed pass read a snapshot
   /// Commit latencies of the most recent kLatencyWindow batches (unordered
   /// once the ring wraps).
   std::vector<double> batch_ms;
@@ -121,8 +126,25 @@ class RepairService {
   /// it stay journaled and are repaired by the next commit.
   Result<BatchResult> ApplyBatch(const std::vector<EditEntry>& ops);
 
+  /// Persists the service's graph + violation-store backlog to `path`
+  /// (protocol verb `snapshot <file>`). Pending edits are committed first —
+  /// their delta could not survive a save/load round trip, and quitting
+  /// already commits, so a saved state is always a committed state. Stale
+  /// backlog alternatives referencing dead elements are dropped (re-verify
+  /// would discard them on pop anyway); element ids are rewritten to the
+  /// dense id space a reload produces.
+  Status SaveState(const std::string& path);
+
+  /// Replaces the owned graph and violation backlog with the state saved at
+  /// `path` (protocol verb `restore <file>`). Rules, options and the worker
+  /// pool are kept; pending (uncommitted) edits are discarded with the old
+  /// graph; cumulative ServiceStats keep counting across the restore.
+  Status RestoreState(const std::string& path);
+
   /// Edit ops journaled since the last commit.
   size_t PendingEdits() const { return graph_.JournalSize() - clean_mark_; }
+  /// Violations waiting in the persistent store (a budget-cut backlog).
+  size_t ViolationBacklog() const { return store_.Size(); }
 
   const Graph& graph() const { return graph_; }
   const RuleSet& rules() const { return rules_; }

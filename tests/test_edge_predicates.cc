@@ -3,6 +3,7 @@
 // incremental) and the engine.
 #include <gtest/gtest.h>
 
+#include "graph/graph.h"
 #include "grr/rule_builder.h"
 #include "grr/rule_parser.h"
 #include "match/incremental.h"

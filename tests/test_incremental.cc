@@ -5,6 +5,7 @@
 
 #include <set>
 
+#include "graph/graph.h"
 #include "eval/experiment.h"
 #include "match/incremental.h"
 #include "util/rng.h"

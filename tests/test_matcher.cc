@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "graph/graph.h"
 #include "match/matcher.h"
 
 namespace grepair {

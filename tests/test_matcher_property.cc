@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <set>
 
+#include "graph/graph.h"
 #include "match/matcher.h"
 #include "match/predicate.h"
 #include "util/rng.h"

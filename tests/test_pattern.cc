@@ -1,6 +1,7 @@
 // Pattern model and predicate evaluation tests.
 #include <gtest/gtest.h>
 
+#include "graph/graph.h"
 #include "match/pattern.h"
 #include "match/predicate.h"
 

@@ -6,6 +6,8 @@
 // violation counts AND matcher expansions.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "cli/cli.h"
@@ -290,6 +292,125 @@ TEST(RepairServiceTest, CommitWithNoEditsIsCheapNoop) {
   EXPECT_EQ(r.anchor_nodes + r.anchor_edges, 0u);
 }
 
+// ------------------------------------------------- state persistence
+
+TEST(RepairServiceTest, SaveRestoreRoundTripIsStable) {
+  DatasetBundle bundle = CleanBundle("kg");
+  RepairService service(bundle.graph.Clone(), bundle.rules);
+  Rng rng(29);
+  Graph scratch = service.graph().Clone();
+  auto r = service.ApplyBatch(MutateRandom(&scratch, &rng, 8));
+  ASSERT_TRUE(r.ok());
+
+  std::string path1 = ::testing::TempDir() + "/grepair_state_a.snap";
+  std::string path2 = ::testing::TempDir() + "/grepair_state_b.snap";
+  ASSERT_TRUE(service.SaveState(path1).ok());
+  size_t nodes = service.graph().NumNodes();
+  size_t edges = service.graph().NumEdges();
+  size_t backlog = service.ViolationBacklog();
+
+  // Restore into a SECOND service over the same rules/vocab.
+  RepairService other(bundle.graph.Clone(), bundle.rules);
+  ASSERT_TRUE(other.RestoreState(path1).ok());
+  EXPECT_EQ(other.graph().NumNodes(), nodes);
+  EXPECT_EQ(other.graph().NumEdges(), edges);
+  EXPECT_EQ(other.ViolationBacklog(), backlog);
+  EXPECT_EQ(other.PendingEdits(), 0u);
+  // Same alive content (restored ids are dense ranks, so compare counts +
+  // full detection rather than raw ids).
+  EXPECT_EQ(CountViolations(service.graph(), bundle.rules),
+            CountViolations(other.graph(), bundle.rules));
+
+  // Id translation reaches a fixpoint after one round trip (the first save
+  // may still carry sparse pre-restore ids in the graph section): saving
+  // the restored state and saving a restore OF that save produce identical
+  // bytes.
+  ASSERT_TRUE(other.SaveState(path2).ok());
+  RepairService third(bundle.graph.Clone(), bundle.rules);
+  ASSERT_TRUE(third.RestoreState(path2).ok());
+  std::string path3 = ::testing::TempDir() + "/grepair_state_c.snap";
+  ASSERT_TRUE(third.SaveState(path3).ok());
+  std::ifstream f2(path2), f3(path3);
+  std::stringstream s2, s3;
+  s2 << f2.rdbuf();
+  s3 << f3.rdbuf();
+  EXPECT_EQ(s2.str(), s3.str());
+  EXPECT_NE(s2.str().find("# grepair service state v1"), std::string::npos);
+
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+  std::remove(path3.c_str());
+}
+
+TEST(RepairServiceTest, RestorePreservesViolationBacklog) {
+  DatasetBundle bundle = CleanBundle("kg");
+  ServeOptions sopt;
+  sopt.max_fixes_per_batch = 0;  // commit detects but repairs nothing
+  RepairService service(bundle.graph.Clone(), bundle.rules, sopt);
+  Rng rng(13);
+
+  Graph scratch = service.graph().Clone();
+  std::vector<EditEntry> ops;
+  while (ops.empty() || CountViolations(scratch, bundle.rules) == 0)
+    ops = MutateRandom(&scratch, &rng, 6);
+  auto first = service.ApplyBatch(ops);
+  ASSERT_TRUE(first.ok());
+  ASSERT_GE(service.ViolationBacklog(), 1u);
+
+  std::string path = ::testing::TempDir() + "/grepair_state_backlog.snap";
+  ASSERT_TRUE(service.SaveState(path).ok());
+
+  // Restore into a fresh default-options service and drain: it ends clean.
+  RepairService restored(bundle.graph.Clone(), bundle.rules);
+  ASSERT_TRUE(restored.RestoreState(path).ok());
+  EXPECT_EQ(restored.ViolationBacklog(), service.ViolationBacklog());
+  BatchResult drained = restored.Commit();
+  EXPECT_GE(drained.fixes, 1u);
+  EXPECT_EQ(CountViolations(restored.graph(), bundle.rules), 0u);
+  EXPECT_EQ(restored.ViolationBacklog(), 0u);
+
+  std::remove(path.c_str());
+}
+
+TEST(RepairServiceTest, SaveCommitsPendingEditsFirst) {
+  DatasetBundle bundle = CleanBundle("social");
+  RepairService service(bundle.graph.Clone(), bundle.rules);
+  EditEntry op;
+  op.kind = EditKind::kAddNode;
+  op.label = bundle.vocab->Label("Person");
+  ASSERT_TRUE(service.ApplyEdit(op).ok());
+  ASSERT_EQ(service.PendingEdits(), 1u);
+
+  std::string path = ::testing::TempDir() + "/grepair_state_pending.snap";
+  ASSERT_TRUE(service.SaveState(path).ok());
+  EXPECT_EQ(service.PendingEdits(), 0u);  // implicit commit
+  EXPECT_EQ(service.stats().batches, 1u);
+
+  std::remove(path.c_str());
+}
+
+TEST(RepairServiceTest, RestoreRejectsCorruptState) {
+  DatasetBundle bundle = CleanBundle("social");
+  RepairService service(bundle.graph.Clone(), bundle.rules);
+  std::string path = ::testing::TempDir() + "/grepair_state_bad.snap";
+
+  {  // rule id out of range
+    std::ofstream f(path);
+    f << "N\t0\tPerson\nV\t9999\t1.0\nA\t1\t0\t0\n";
+  }
+  EXPECT_FALSE(service.RestoreState(path).ok());
+  {  // match arity does not fit the rule's pattern (no pattern has 0 nodes)
+    std::ofstream f(path);
+    f << "N\t0\tPerson\nV\t0\t1.0\nA\t0\t0\n";
+  }
+  EXPECT_FALSE(service.RestoreState(path).ok());
+  EXPECT_FALSE(service.RestoreState("/nonexistent/state.snap").ok());
+  // Failed restores leave the service untouched.
+  EXPECT_EQ(service.graph().NumNodes(), bundle.graph.NumNodes());
+
+  std::remove(path.c_str());
+}
+
 // ----------------------------------------------------------- CLI surface
 
 TEST(ServeCliTest, LineProtocolRepairsAndReports) {
@@ -320,6 +441,37 @@ TEST(ServeCliTest, LineProtocolRepairsAndReports) {
 
   std::remove(graph.c_str());
   std::remove(rules.c_str());
+}
+
+TEST(ServeCliTest, SnapshotAndRestoreVerbs) {
+  std::string graph = ::testing::TempDir() + "/grepair_serve_g3.tsv";
+  std::string rules = ::testing::TempDir() + "/grepair_serve_r3.grr";
+  std::string state = ::testing::TempDir() + "/grepair_serve_s3.snap";
+  std::string out;
+  ASSERT_EQ(RunCli({"gen", "kg", "--out", graph, "--rules-out", rules,
+                    "--scale", "150"},
+                   &out),
+            0);
+
+  std::istringstream in("add_node Org\n"
+                        "snapshot " + state + "\n"   // commits the pending op
+                        "add_node Org\n"
+                        "restore " + state + "\n"    // drops the second op
+                        "restore /nonexistent.snap\n"
+                        "quit\n");
+  out.clear();
+  EXPECT_EQ(RunCli({"serve", graph, rules}, &out, &in), 0) << out;
+  // The snapshot verb committed the pending op and says so.
+  EXPECT_NE(out.find("snapshot " + state + " committed_batch=1"),
+            std::string::npos);
+  EXPECT_NE(out.find("restored " + state), std::string::npos);
+  EXPECT_NE(out.find("err "), std::string::npos);  // bad restore reported
+  // After restore nothing is pending, so quit adds no second batch.
+  EXPECT_NE(out.find("bye batches=1"), std::string::npos);
+
+  std::remove(graph.c_str());
+  std::remove(rules.c_str());
+  std::remove(state.c_str());
 }
 
 TEST(ServeCliTest, PendingEditsCommittedOnQuit) {

@@ -1,0 +1,310 @@
+// GraphSnapshot equivalence suite: every read over the immutable snapshot
+// must be bit-identical to the same read over the Graph it was built from —
+// accessors, adjacency order (including revived-edge positions after undo),
+// seed candidates, matcher expansions, and whole DetectAll violation streams
+// across thread counts {1,2,4,8} on all three generator domains.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eval/experiment.h"
+#include "graph/graph.h"
+#include "graph/snapshot.h"
+#include "match/incremental.h"
+#include "match/matcher.h"
+#include "repair/engine.h"
+
+namespace grepair {
+namespace {
+
+DatasetBundle SmallKg() {
+  KgOptions gopt;
+  gopt.num_persons = 300;
+  gopt.num_cities = 30;
+  gopt.num_countries = 10;
+  gopt.num_orgs = 20;
+  InjectOptions iopt;
+  iopt.rate = 0.08;
+  auto b = MakeKgBundle(gopt, iopt);
+  EXPECT_TRUE(b.ok()) << b.status().ToString();
+  return std::move(b).value();
+}
+
+DatasetBundle SmallSocial() {
+  SocialOptions gopt;
+  gopt.num_persons = 300;
+  InjectOptions iopt;
+  iopt.rate = 0.08;
+  auto b = MakeSocialBundle(gopt, iopt);
+  EXPECT_TRUE(b.ok()) << b.status().ToString();
+  return std::move(b).value();
+}
+
+DatasetBundle SmallCitation() {
+  CitationOptions gopt;
+  gopt.num_papers = 200;
+  gopt.num_authors = 80;
+  InjectOptions iopt;
+  iopt.rate = 0.08;
+  auto b = MakeCitationBundle(gopt, iopt);
+  EXPECT_TRUE(b.ok()) << b.status().ToString();
+  return std::move(b).value();
+}
+
+std::vector<EdgeId> ToVector(IdSpan span) {
+  return std::vector<EdgeId>(span.begin(), span.end());
+}
+
+// Element-by-element read equivalence, including tombstones and adjacency
+// order.
+void ExpectViewEquivalent(const Graph& g, const GraphSnapshot& s) {
+  ASSERT_EQ(g.NumNodes(), s.NumNodes());
+  ASSERT_EQ(g.NumEdges(), s.NumEdges());
+  ASSERT_EQ(g.NodeIdBound(), s.NodeIdBound());
+  ASSERT_EQ(g.EdgeIdBound(), s.EdgeIdBound());
+  EXPECT_EQ(g.Nodes(), s.Nodes());
+  EXPECT_EQ(g.Edges(), s.Edges());
+
+  for (NodeId n = 0; n < g.NodeIdBound(); ++n) {
+    ASSERT_EQ(g.NodeAlive(n), s.NodeAlive(n)) << "n" << n;
+    EXPECT_EQ(g.NodeLabel(n), s.NodeLabel(n)) << "n" << n;
+    EXPECT_TRUE(g.NodeAttrs(n) == s.NodeAttrs(n)) << "n" << n;
+    if (!g.NodeAlive(n)) continue;
+    // Adjacency: same edges in the SAME order (enumeration order is
+    // load-bearing for match emission).
+    EXPECT_EQ(ToVector(g.OutEdges(n)), ToVector(s.OutEdges(n))) << "n" << n;
+    EXPECT_EQ(ToVector(g.InEdges(n)), ToVector(s.InEdges(n))) << "n" << n;
+    EXPECT_EQ(g.CountNodesWithLabel(g.NodeLabel(n)),
+              s.CountNodesWithLabel(g.NodeLabel(n)));
+  }
+  for (EdgeId e = 0; e < g.EdgeIdBound(); ++e) {
+    ASSERT_EQ(g.EdgeAlive(e), s.EdgeAlive(e)) << "e" << e;
+    EdgeView a = g.Edge(e), b = s.Edge(e);
+    EXPECT_EQ(a.src, b.src) << "e" << e;
+    EXPECT_EQ(a.dst, b.dst) << "e" << e;
+    EXPECT_EQ(a.label, b.label) << "e" << e;
+    EXPECT_TRUE(g.EdgeAttrs(e) == s.EdgeAttrs(e)) << "e" << e;
+    if (!g.EdgeAlive(e)) continue;
+    EXPECT_EQ(g.CountEdgesWithLabel(a.label), s.CountEdgesWithLabel(a.label));
+    // FindEdge/HasEdge agree on every alive edge's endpoints, both with the
+    // exact label and with the wildcard.
+    EXPECT_EQ(g.FindEdge(a.src, a.dst, a.label),
+              s.FindEdge(a.src, a.dst, a.label));
+    EXPECT_EQ(g.FindEdge(a.src, a.dst, 0), s.FindEdge(a.src, a.dst, 0));
+    EXPECT_TRUE(s.HasEdge(a.src, a.dst, a.label));
+    EXPECT_EQ(g.HasEdge(a.dst, a.src, a.label),
+              s.HasEdge(a.dst, a.src, a.label));
+  }
+
+  // Candidate collection: same SET of nodes; the snapshot's must come back
+  // ascending (that is the contiguous-range seeding contract).
+  std::vector<NodeId> from_g, from_s;
+  for (NodeId n : g.Nodes()) {
+    SymbolId label = g.NodeLabel(n);
+    EXPECT_FALSE(g.CollectNodesWithLabel(label, &from_g));
+    EXPECT_TRUE(s.CollectNodesWithLabel(label, &from_s));
+    EXPECT_TRUE(std::is_sorted(from_s.begin(), from_s.end()));
+    std::sort(from_g.begin(), from_g.end());
+    EXPECT_EQ(from_g, from_s) << "label of n" << n;
+    for (const auto& [attr, value] : g.NodeAttrs(n).entries()) {
+      EXPECT_FALSE(g.CollectNodesWithAttr(attr, value, &from_g));
+      EXPECT_TRUE(s.CollectNodesWithAttr(attr, value, &from_s));
+      EXPECT_TRUE(std::is_sorted(from_s.begin(), from_s.end()));
+      std::sort(from_g.begin(), from_g.end());
+      EXPECT_EQ(from_g, from_s) << "attr " << attr << "=" << value;
+    }
+  }
+}
+
+TEST(SnapshotTest, AccessorEquivalenceOnInjectedKg) {
+  DatasetBundle bundle = SmallKg();
+  GraphSnapshot snap(bundle.graph);
+  ExpectViewEquivalent(bundle.graph, snap);
+  EXPECT_NE(snap.AsSnapshot(), nullptr);
+  EXPECT_EQ(bundle.graph.AsSnapshot(), nullptr);
+  EXPECT_GT(snap.MemoryBytes(), 0u);
+}
+
+// The hard case for adjacency-order preservation: removing an edge and
+// undoing the removal revives it at the TAIL of its endpoints' adjacency
+// lists (no longer in ascending id position). The snapshot must reproduce
+// exactly that order, not an id-sorted one.
+TEST(SnapshotTest, PreservesRevivedEdgeAdjacencyOrder) {
+  auto vocab = MakeVocabulary();
+  Graph g(vocab);
+  SymbolId person = vocab->Label("Person"), knows = vocab->Label("knows");
+  NodeId a = g.AddNode(person), b = g.AddNode(person), c = g.AddNode(person);
+  EdgeId e0 = g.AddEdge(a, b, knows).value();
+  EdgeId e1 = g.AddEdge(a, c, knows).value();
+  EdgeId e2 = g.AddEdge(a, b, knows).value();  // parallel to e0
+  size_t mark = g.JournalSize();
+  ASSERT_TRUE(g.RemoveEdge(e0).ok());
+  ASSERT_TRUE(g.UndoTo(mark).ok());  // e0 revived at the tail: e1, e2, e0
+
+  std::vector<EdgeId> expected = {e1, e2, e0};
+  ASSERT_EQ(ToVector(g.OutEdges(a)), expected);
+  GraphSnapshot snap(g);
+  EXPECT_EQ(ToVector(snap.OutEdges(a)), expected);
+  ExpectViewEquivalent(g, snap);
+
+  // Match enumeration over parallel edges follows that order on both
+  // backends.
+  Pattern p;
+  VarId x = p.AddNode(person), y = p.AddNode(person);
+  ASSERT_TRUE(p.AddEdge(x, y, knows).ok());
+  std::vector<Match> over_g = Matcher(g, p).Collect();
+  std::vector<Match> over_s = Matcher(snap, p).Collect();
+  EXPECT_EQ(over_g, over_s);
+}
+
+// Snapshots taken mid-repair-history (merges, cascading removals, attribute
+// rewrites) must still agree read-for-read.
+TEST(SnapshotTest, AccessorEquivalenceAfterRepairMutations) {
+  DatasetBundle bundle = SmallKg();
+  Graph g = bundle.graph.Clone();
+  RepairEngine engine;
+  auto res = engine.Run(&g, bundle.rules);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  GraphSnapshot snap(g);
+  ExpectViewEquivalent(g, snap);
+}
+
+void ExpectSeedEquivalence(const Graph& g, const RuleSet& rules) {
+  GraphSnapshot snap(g);
+  for (RuleId r = 0; r < rules.size(); ++r) {
+    Matcher over_g(g, rules[r].pattern());
+    Matcher over_s(snap, rules[r].pattern());
+    VarId sv_g = over_g.SeedVar();
+    VarId sv_s = over_s.SeedVar();
+    ASSERT_EQ(sv_g, sv_s) << rules[r].name();
+    if (sv_g == kNoVar) continue;
+    EXPECT_EQ(over_g.SeedCandidates(sv_g), over_s.SeedCandidates(sv_s))
+        << rules[r].name();
+  }
+}
+
+void ExpectMatchEquivalence(const Graph& g, const RuleSet& rules) {
+  GraphSnapshot snap(g);
+  for (RuleId r = 0; r < rules.size(); ++r) {
+    std::vector<Match> a, b;
+    MatchStats sa = Matcher(g, rules[r].pattern())
+                        .FindAll(MatchOptions{}, [&](const Match& m) {
+                          a.push_back(m);
+                          return true;
+                        });
+    MatchStats sb = Matcher(snap, rules[r].pattern())
+                        .FindAll(MatchOptions{}, [&](const Match& m) {
+                          b.push_back(m);
+                          return true;
+                        });
+    EXPECT_EQ(a, b) << rules[r].name();
+    // Identical search trees, not just identical results.
+    EXPECT_EQ(sa.expansions, sb.expansions) << rules[r].name();
+    EXPECT_EQ(sa.matches, sb.matches) << rules[r].name();
+    EXPECT_EQ(sa.exhausted, sb.exhausted) << rules[r].name();
+  }
+}
+
+std::vector<Violation> Drain(ViolationStore* store) {
+  std::vector<Violation> out;
+  Violation v;
+  while (store->PopBest(&v)) out.push_back(v);
+  return out;
+}
+
+// DetectAll over the Graph vs over an explicit GraphSnapshot, across thread
+// counts: identical violation streams in PopBest order (the order the
+// repair engine consumes).
+void ExpectDetectEquivalence(const Graph& g, const RuleSet& rules) {
+  GraphSnapshot snap(g);
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    ViolationStore via_graph, via_snap;
+    size_t n_g = DetectAll(g, rules, &via_graph, nullptr, threads);
+    size_t n_s = DetectAll(snap, rules, &via_snap, nullptr, threads);
+    EXPECT_EQ(n_g, n_s) << "threads=" << threads;
+    std::vector<Violation> a = Drain(&via_graph), b = Drain(&via_snap);
+    ASSERT_EQ(a.size(), b.size()) << "threads=" << threads;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].rule, b[i].rule) << "pop " << i;
+      EXPECT_EQ(a[i].alternatives, b[i].alternatives) << "pop " << i;
+      EXPECT_DOUBLE_EQ(a[i].best_cost, b[i].best_cost) << "pop " << i;
+    }
+  }
+  // Sequential expansion statistics agree exactly as well.
+  ViolationStore sg, ss;
+  size_t exp_g = 0, exp_s = 0;
+  DetectAll(g, rules, &sg, &exp_g, 1);
+  DetectAll(snap, rules, &ss, &exp_s, 1);
+  EXPECT_EQ(exp_g, exp_s);
+}
+
+TEST(SnapshotTest, KgSeedAndMatchAndDetectEquivalence) {
+  DatasetBundle bundle = SmallKg();
+  ExpectSeedEquivalence(bundle.graph, bundle.rules);
+  ExpectMatchEquivalence(bundle.graph, bundle.rules);
+  ExpectDetectEquivalence(bundle.graph, bundle.rules);
+}
+
+TEST(SnapshotTest, SocialSeedAndMatchAndDetectEquivalence) {
+  DatasetBundle bundle = SmallSocial();
+  ExpectSeedEquivalence(bundle.graph, bundle.rules);
+  ExpectMatchEquivalence(bundle.graph, bundle.rules);
+  ExpectDetectEquivalence(bundle.graph, bundle.rules);
+}
+
+TEST(SnapshotTest, CitationSeedAndMatchAndDetectEquivalence) {
+  DatasetBundle bundle = SmallCitation();
+  ExpectSeedEquivalence(bundle.graph, bundle.rules);
+  ExpectMatchEquivalence(bundle.graph, bundle.rules);
+  ExpectDetectEquivalence(bundle.graph, bundle.rules);
+}
+
+// Delta-anchored matching (the serving seed path) reads identically through
+// a snapshot built after the batch was applied.
+TEST(SnapshotTest, DeltaMatcherEquivalenceAfterBatch) {
+  DatasetBundle bundle = SmallKg();
+  Graph g = bundle.graph.Clone();
+  const RuleSet& rules = bundle.rules;
+
+  size_t mark = g.JournalSize();
+  std::vector<NodeId> nodes = g.Nodes();
+  SymbolId person = g.vocab()->Label("Person");
+  SymbolId knows = g.vocab()->Label("knows");
+  NodeId nu = g.AddNode(person);
+  ASSERT_TRUE(g.AddEdge(nodes[0], nu, knows).ok());
+  ASSERT_TRUE(g.AddEdge(nu, nodes[1], knows).ok());
+  ASSERT_TRUE(g.SetNodeLabel(nodes[2], person).ok() ||
+              true);  // may be a no-op relabel
+  std::vector<EditEntry> delta(g.Journal().begin() + mark, g.Journal().end());
+
+  GraphSnapshot snap(g);
+  for (RuleId r = 0; r < rules.size(); ++r) {
+    std::vector<Match> a, b;
+    DeltaMatcher(g, rules[r].pattern()).FindDelta(delta, [&](const Match& m) {
+      a.push_back(m);
+      return true;
+    });
+    DeltaMatcher(snap, rules[r].pattern())
+        .FindDelta(delta, [&](const Match& m) {
+          b.push_back(m);
+          return true;
+        });
+    EXPECT_EQ(a, b) << rules[r].name();
+  }
+}
+
+// AttrMap capacity story: erasing the last entry releases the buffer.
+TEST(SnapshotTest, AttrMapReleasesCapacityWhenEmptied) {
+  AttrMap m;
+  m.Reserve(4);
+  m.Set(1, 10);
+  m.Set(2, 20);
+  EXPECT_GE(m.entries().capacity(), 2u);
+  m.Set(1, 0);
+  m.Set(2, 0);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.entries().capacity(), 0u);
+}
+
+}  // namespace
+}  // namespace grepair
