@@ -195,6 +195,60 @@ void BM_SnapshotBuild(benchmark::State& state) {
 BENCHMARK(BM_SnapshotBuild)->Arg(1000)->Arg(4000)
     ->Unit(benchmark::kMillisecond);
 
+// The incremental alternative the serving path uses: advance a cached
+// snapshot by a 16-edit delta-log slice. Compare against BM_SnapshotBuild
+// at the same scale — the gap is the O(delta)-vs-O(V+E) asymmetry of
+// RepairService::Commit. Each iteration patches the edit batch in (timed),
+// then the undo's inverse records (untimed) to return the snapshot to the
+// synced baseline state.
+void BM_SnapshotPatch(benchmark::State& state) {
+  Workload w(static_cast<size_t>(state.range(0)));
+  w.graph.EnableDeltaLog();
+  auto persons = w.graph.NodesWithLabel(w.schema.person);
+  NodeId a = *persons.begin();
+  GraphSnapshot snap(w.graph);
+  uint64_t watermark = w.graph.DeltaLogEnd();
+  constexpr int kEditsPerBatch = 16;
+  for (auto _ : state) {
+    state.PauseTiming();
+    size_t mark = w.graph.JournalSize();
+    for (int i = 0; i < kEditsPerBatch / 2; ++i) {
+      NodeId b = w.graph.AddNode(w.schema.person);
+      (void)w.graph.AddEdge(a, b, w.schema.knows);
+    }
+    auto [records, count] = w.graph.DeltaLogSince(watermark);
+    state.ResumeTiming();
+    snap.Patch(records, count);
+    state.PauseTiming();
+    watermark = w.graph.DeltaLogEnd();
+    (void)w.graph.UndoTo(mark);
+    auto [undo_records, undo_count] = w.graph.DeltaLogSince(watermark);
+    snap.Patch(undo_records, undo_count);
+    watermark = w.graph.DeltaLogEnd();
+    w.graph.TrimDeltaLog(watermark);
+    state.ResumeTiming();
+  }
+  state.counters["edits_per_patch"] = kEditsPerBatch;
+}
+BENCHMARK(BM_SnapshotPatch)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Full detection with the caller-provided snapshot reused across calls —
+// what eval loops and thread sweeps over an unchanged graph now do instead
+// of re-snapshotting per pass.
+void BM_FullDetectionReusedSnapshot(benchmark::State& state) {
+  Workload w(static_cast<size_t>(state.range(0)));
+  GraphSnapshot snap(w.graph);
+  for (auto _ : state) {
+    ViolationStore store;
+    benchmark::DoNotOptimize(
+        DetectAll(w.graph, w.rules, &store, nullptr, 1, &snap));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullDetectionReusedSnapshot)->Arg(500)->Arg(1000)->Arg(2000)
+    ->Arg(4000)->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
 void BM_GraphMutation(benchmark::State& state) {
   auto vocab = MakeVocabulary();
   Graph g(vocab);

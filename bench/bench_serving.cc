@@ -4,8 +4,20 @@
 // edit throughput; results are bit-identical across thread counts (asserted
 // in tests/test_serve.cc), so the sweep measures pure wall-clock. Each row
 // is also emitted as a self-describing JSON line (see PrintBenchHeader).
+//
+// S2 — Snapshot acquisition: what the serving commit path pays to hand the
+// seed pass a read snapshot, per batch size — advancing the cached
+// snapshot by a delta-log Patch (O(delta)) vs building a fresh one
+// (O(V+E)). Rows report the delta fraction of |E| and the speedup; the
+// acceptance bar is >=10x for deltas <= 1% of |E| at the largest scale.
+//
+// GREPAIR_BENCH_SMOKE=1 shrinks both sections to CI-smoke scale; the JSON
+// header records the mode so collected artifacts stay comparable.
 #include "bench_common.h"
 
+#include <cstdlib>
+
+#include "graph/snapshot.h"
 #include "serve/repair_service.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -14,6 +26,11 @@ using namespace grepair;
 using namespace grepair::bench;
 
 namespace {
+
+bool SmokeMode() {
+  const char* v = std::getenv("GREPAIR_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
 
 // The same domain-agnostic edit generator the serve tests use: mutate a
 // scratch clone, feed the journal slice to the service as ops.
@@ -53,21 +70,93 @@ std::vector<EditEntry> MakeBatch(Graph* scratch, Rng* rng, size_t n) {
                                 scratch->Journal().end());
 }
 
+// S2: the per-commit snapshot acquisition cost, patch vs rebuild, on a
+// clean graph under batches of `batch_size` random edits. Each round
+// applies a batch, patches the cached snapshot forward (timed) and builds
+// a fresh snapshot of the same state (timed); medians over `rounds`.
+void AcquisitionSweep(const DatasetBundle& clean, size_t batch_size,
+                      size_t rounds, TableWriter* table) {
+  Graph g = clean.graph.Clone();
+  g.EnableDeltaLog();
+  Graph scratch = clean.graph.Clone();
+  Rng rng(23);
+  GraphSnapshot snap(g);
+  uint64_t watermark = g.DeltaLogEnd();
+
+  std::vector<double> patch_ms, rebuild_ms;
+  size_t delta_edits = 0;
+  for (size_t round = 0; round < rounds; ++round) {
+    std::vector<EditEntry> ops = MakeBatch(&scratch, &rng, batch_size);
+    size_t mark = g.JournalSize();
+    for (const EditEntry& op : ops) {
+      switch (op.kind) {
+        case EditKind::kAddNode: g.AddNode(op.label); break;
+        case EditKind::kAddEdge: (void)g.AddEdge(op.src, op.dst, op.label);
+          break;
+        case EditKind::kRemoveEdge: (void)g.RemoveEdge(op.edge); break;
+        case EditKind::kSetNodeLabel:
+          (void)g.SetNodeLabel(op.node, op.new_sym);
+          break;
+        default: break;
+      }
+    }
+    delta_edits += g.JournalSize() - mark;
+    {
+      Timer t;
+      auto [records, count] = g.DeltaLogSince(watermark);
+      snap.Patch(records, count);
+      watermark = g.DeltaLogEnd();
+      patch_ms.push_back(t.ElapsedMs());
+    }
+    {
+      Timer t;
+      GraphSnapshot fresh(g);
+      rebuild_ms.push_back(t.ElapsedMs());
+      if (fresh.NumEdges() != snap.NumEdges()) std::abort();  // sanity
+    }
+    scratch = g.Clone();
+  }
+  std::sort(patch_ms.begin(), patch_ms.end());
+  std::sort(rebuild_ms.begin(), rebuild_ms.end());
+  double p = patch_ms[patch_ms.size() / 2];
+  double r = rebuild_ms[rebuild_ms.size() / 2];
+  double delta_fraction =
+      static_cast<double>(delta_edits) /
+      (static_cast<double>(rounds) *
+       static_cast<double>(std::max<size_t>(g.NumEdges(), 1)));
+  std::printf("{\"mode\":\"snapshot_acquisition\",\"batch_size\":%zu,"
+              "\"edges\":%zu,\"delta_fraction\":%.5f,\"patch_ms\":%.4f,"
+              "\"rebuild_ms\":%.4f,\"speedup\":%.1f,"
+              "\"patched_edits_total\":%zu,\"snapshot_mem_bytes\":%zu}\n",
+              batch_size, g.NumEdges(), delta_fraction, p, r,
+              r / std::max(1e-6, p), snap.PatchedEdits(),
+              snap.MemoryBytes());
+  table->AddRow({TableWriter::Int(int64_t(batch_size)),
+                 TableWriter::Int(int64_t(g.NumEdges())),
+                 TableWriter::Num(100.0 * delta_fraction, 3),
+                 TableWriter::Num(p, 4), TableWriter::Num(r, 4),
+                 TableWriter::Num(r / std::max(1e-6, p), 1)});
+}
+
 }  // namespace
 
 int main() {
+  const bool smoke = SmokeMode();
   PrintBenchHeader("S1: serving throughput vs batch size x threads (KG)",
                    std::string("\"snapshot_read_path\":") +
-                       (kSnapshotDetectReads ? "true" : "false"));
-  TableWriter t("S1: commit latency / edit throughput (KG, 2000 persons)",
+                       (kSnapshotDetectReads ? "true" : "false") +
+                       ",\"incremental_snapshots\":true,\"smoke\":" +
+                       (smoke ? "true" : "false"));
+  const size_t kPersons = smoke ? 400 : 2000;
+  TableWriter t("S1: commit latency / edit throughput (KG)",
                 {"batch_size", "threads", "batches", "edits", "fixes",
                  "p50_ms", "p95_ms", "edits_per_s"});
 
   KgOptions gopt;
-  gopt.num_persons = 2000;
-  gopt.num_cities = 200;
+  gopt.num_persons = kPersons;
+  gopt.num_cities = kPersons / 10;
   gopt.num_countries = 10;
-  gopt.num_orgs = 130;
+  gopt.num_orgs = kPersons / 15;
   InjectOptions iopt;
   iopt.rate = 0.05;
   DatasetBundle bundle = MustKgBundle(gopt, iopt);
@@ -81,11 +170,13 @@ int main() {
     }
   }
 
-  const size_t kTotalEdits = 192;
-  const size_t kBatchSizes[] = {1, 8, 64};
-  const size_t kThreads[] = {1, 2, 4, 8};
-  for (size_t batch_size : kBatchSizes) {
-    for (size_t threads : kThreads) {
+  const size_t kTotalEdits = smoke ? 64 : 192;
+  std::vector<size_t> batch_sizes =
+      smoke ? std::vector<size_t>{8, 64} : std::vector<size_t>{1, 8, 64};
+  std::vector<size_t> thread_counts =
+      smoke ? std::vector<size_t>{1, 4} : std::vector<size_t>{1, 2, 4, 8};
+  for (size_t batch_size : batch_sizes) {
+    for (size_t threads : thread_counts) {
       ServeOptions sopt;
       sopt.num_threads = threads;
       sopt.shard_min_anchors = 2;  // fan out everything but single anchors
@@ -113,9 +204,13 @@ int main() {
       std::printf("{\"batch_size\":%zu,\"threads\":%zu,\"batches\":%zu,"
                   "\"edits\":%zu,\"fixes\":%zu,\"p50_ms\":%.3f,"
                   "\"p95_ms\":%.3f,\"edits_per_s\":%.1f,"
-                  "\"snapshot_batches\":%zu}\n",
+                  "\"snapshot_batches\":%zu,\"snapshot_patches\":%zu,"
+                  "\"snapshot_rebuilds\":%zu,\"snapshot_patch_ms\":%.3f,"
+                  "\"snapshot_rebuild_ms\":%.3f}\n",
                   batch_size, threads, s.batches, s.edits,
-                  s.violations_repaired, p50, p95, eps, s.snapshot_batches);
+                  s.violations_repaired, p50, p95, eps, s.snapshot_batches,
+                  s.snapshot_patches, s.snapshot_rebuilds,
+                  s.snapshot_patch_ms, s.snapshot_rebuild_ms);
       t.AddRow({TableWriter::Int(int64_t(batch_size)),
                 TableWriter::Int(int64_t(threads)),
                 TableWriter::Int(int64_t(s.batches)),
@@ -129,5 +224,32 @@ int main() {
   t.Print();
   std::puts("\nCSV:");
   std::fputs(t.ToCsv().c_str(), stdout);
+
+  // --- S2: snapshot acquisition, patch vs rebuild ----------------------
+  // The largest scale is where the O(delta)-vs-O(V+E) gap matters; smoke
+  // mode shrinks it but keeps the row shape. Batch sizes are chosen to
+  // bracket the 1%-of-|E| acceptance point.
+  const size_t kAcqPersons = smoke ? 400 : 4000;
+  KgOptions aopt;
+  aopt.num_persons = kAcqPersons;
+  aopt.num_cities = kAcqPersons / 10;
+  aopt.num_countries = 10;
+  aopt.num_orgs = kAcqPersons / 15;
+  InjectOptions clean_iopt;
+  clean_iopt.rate = 0.0;
+  DatasetBundle acq = MustKgBundle(aopt, clean_iopt);
+  TableWriter t2("S2: snapshot acquisition per commit — patch vs rebuild",
+                 {"batch_size", "|E|", "delta_pct", "patch_ms", "rebuild_ms",
+                  "speedup"});
+  const size_t acq_rounds = smoke ? 5 : 9;
+  size_t edges = acq.graph.NumEdges();
+  std::vector<size_t> acq_batches = {1, 8, 64};
+  acq_batches.push_back(std::max<size_t>(1, edges / 100));  // the 1% point
+  acq_batches.push_back(std::max<size_t>(1, edges / 20));   // past threshold
+  for (size_t batch_size : acq_batches)
+    AcquisitionSweep(acq, batch_size, acq_rounds, &t2);
+  t2.Print();
+  std::puts("\nCSV:");
+  std::fputs(t2.ToCsv().c_str(), stdout);
   return 0;
 }

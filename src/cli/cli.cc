@@ -438,10 +438,12 @@ std::string ServeLine(RepairService* service,
     const ServiceStats& s = service->stats();
     return StrFormat(
         "stats batches=%zu edits=%zu op_errors=%zu violations=%zu fixes=%zu "
-        "anchors=%zu pending=%zu p50_ms=%.2f p95_ms=%.2f",
+        "anchors=%zu pending=%zu p50_ms=%.2f p95_ms=%.2f "
+        "snapshot_patches=%zu snapshot_rebuilds=%zu snapshot_mem=%zu",
         s.batches, s.edits, s.op_errors, s.violations_detected,
         s.violations_repaired, s.anchors_visited, service->PendingEdits(),
-        s.LatencyPercentileMs(50), s.LatencyPercentileMs(95));
+        s.LatencyPercentileMs(50), s.LatencyPercentileMs(95),
+        s.snapshot_patches, s.snapshot_rebuilds, s.snapshot_memory_bytes);
   }
   // cmd == "save": the only verb left after the arity table check.
   Status st = SaveGraph(service->graph(), tok[1]);

@@ -28,6 +28,36 @@ double JournalCost(const std::vector<EditEntry>& log, size_t from, size_t to,
   return total;
 }
 
+EditEntry InverseEntry(const EditEntry& e) {
+  EditEntry inv = e;
+  switch (e.kind) {
+    case EditKind::kAddNode:
+      // Undo AddNode happens only after every later mutation of the node
+      // was already undone, so its attributes are empty again.
+      inv.kind = EditKind::kRemoveNode;
+      inv.attr_snapshot.clear();
+      break;
+    case EditKind::kRemoveNode:
+      inv.kind = EditKind::kAddNode;  // revive, attrs from the snapshot
+      break;
+    case EditKind::kAddEdge:
+      inv.kind = EditKind::kRemoveEdge;
+      inv.attr_snapshot.clear();
+      break;
+    case EditKind::kRemoveEdge:
+      inv.kind = EditKind::kAddEdge;  // revive at the adjacency tail
+      break;
+    case EditKind::kSetNodeLabel:
+    case EditKind::kSetEdgeLabel:
+    case EditKind::kSetNodeAttr:
+    case EditKind::kSetEdgeAttr:
+      inv.old_sym = e.new_sym;
+      inv.new_sym = e.old_sym;
+      break;
+  }
+  return inv;
+}
+
 std::string EditEntryToString(const EditEntry& e) {
   switch (e.kind) {
     case EditKind::kAddNode:

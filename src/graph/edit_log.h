@@ -69,6 +69,15 @@ struct CostModel {
 double JournalCost(const std::vector<EditEntry>& log, size_t from, size_t to,
                    const CostModel& model);
 
+/// The PHYSICAL inverse of a journal entry: the forward record whose
+/// replay effect equals undoing `e`. Undoing a removal revives the element
+/// (with the removal's attribute snapshot), so the inverse of kRemoveEdge
+/// is a kAddEdge record carrying that snapshot — replayed, it re-links the
+/// edge at its endpoints' adjacency TAILS, exactly where Graph::UndoTo
+/// revives it. This is what lets Graph's delta log describe undo to a
+/// snapshot patcher as plain forward records.
+EditEntry InverseEntry(const EditEntry& e);
+
 /// Debug rendering of a journal entry.
 std::string EditEntryToString(const EditEntry& e);
 

@@ -47,6 +47,30 @@ Graph::Graph(VocabularyPtr vocab) : vocab_(std::move(vocab)) {
   label_index_[0];  // ensure the all-nodes bucket exists
 }
 
+Graph::Graph(const Graph& other)
+    : vocab_(other.vocab_),
+      nodes_(other.nodes_),
+      edges_(other.edges_),
+      log_(other.log_),
+      num_alive_nodes_(other.num_alive_nodes_),
+      num_alive_edges_(other.num_alive_edges_),
+      label_index_(other.label_index_),
+      attr_index_(other.attr_index_) {}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this == &other) return *this;
+  vocab_ = other.vocab_;
+  nodes_ = other.nodes_;
+  edges_ = other.edges_;
+  log_ = other.log_;
+  num_alive_nodes_ = other.num_alive_nodes_;
+  num_alive_edges_ = other.num_alive_edges_;
+  label_index_ = other.label_index_;
+  attr_index_ = other.attr_index_;
+  delta_log_.reset();
+  return *this;
+}
+
 Graph Graph::Clone() const {
   Graph copy(vocab_);
   copy.nodes_ = nodes_;
@@ -57,6 +81,42 @@ Graph Graph::Clone() const {
   copy.attr_index_ = attr_index_;
   copy.log_.clear();
   return copy;
+}
+
+void Graph::Journal(EditEntry entry) {
+  if (delta_log_ != nullptr) delta_log_->records.push_back(entry);
+  log_.push_back(std::move(entry));
+}
+
+void Graph::EnableDeltaLog() {
+  if (delta_log_ == nullptr) delta_log_ = std::make_unique<DeltaLog>();
+}
+
+uint64_t Graph::DeltaLogBegin() const {
+  return delta_log_ == nullptr ? 0 : delta_log_->base;
+}
+
+uint64_t Graph::DeltaLogEnd() const {
+  return delta_log_ == nullptr ? 0
+                               : delta_log_->base + delta_log_->records.size();
+}
+
+std::pair<const EditEntry*, size_t> Graph::DeltaLogSince(
+    uint64_t from) const {
+  if (delta_log_ == nullptr) return {nullptr, 0};
+  assert(from >= delta_log_->base && from <= DeltaLogEnd());
+  size_t offset = static_cast<size_t>(from - delta_log_->base);
+  return {delta_log_->records.data() + offset,
+          delta_log_->records.size() - offset};
+}
+
+void Graph::TrimDeltaLog(uint64_t upto) {
+  if (delta_log_ == nullptr || upto <= delta_log_->base) return;
+  assert(upto <= DeltaLogEnd());
+  size_t drop = static_cast<size_t>(upto - delta_log_->base);
+  delta_log_->records.erase(delta_log_->records.begin(),
+                            delta_log_->records.begin() + drop);
+  delta_log_->base = upto;
 }
 
 void Graph::IndexNode(NodeId n) {
@@ -109,7 +169,7 @@ NodeId Graph::AddNode(SymbolId label) {
   entry.kind = EditKind::kAddNode;
   entry.node = id;
   entry.label = label;
-  log_.push_back(std::move(entry));
+  Journal(std::move(entry));
   return id;
 }
 
@@ -133,7 +193,7 @@ Result<EdgeId> Graph::AddEdge(NodeId src, NodeId dst, SymbolId label) {
   entry.src = src;
   entry.dst = dst;
   entry.label = label;
-  log_.push_back(std::move(entry));
+  Journal(std::move(entry));
   return id;
 }
 
@@ -151,7 +211,7 @@ Status Graph::RemoveEdge(EdgeId e) {
   entry.dst = rec.dst;
   entry.label = rec.label;
   entry.attr_snapshot = rec.attrs.entries();
-  log_.push_back(std::move(entry));
+  Journal(std::move(entry));
   return Status::Ok();
 }
 
@@ -175,7 +235,7 @@ Status Graph::RemoveNode(NodeId n) {
   entry.node = n;
   entry.label = rec.label;
   entry.attr_snapshot = rec.attrs.entries();
-  log_.push_back(std::move(entry));
+  Journal(std::move(entry));
   return Status::Ok();
 }
 
@@ -192,7 +252,7 @@ Status Graph::SetNodeLabel(NodeId n, SymbolId label) {
   entry.node = n;
   entry.old_sym = old;
   entry.new_sym = label;
-  log_.push_back(std::move(entry));
+  Journal(std::move(entry));
   return Status::Ok();
 }
 
@@ -207,7 +267,7 @@ Status Graph::SetEdgeLabel(EdgeId e, SymbolId label) {
   entry.edge = e;
   entry.old_sym = old;
   entry.new_sym = label;
-  log_.push_back(std::move(entry));
+  Journal(std::move(entry));
   return Status::Ok();
 }
 
@@ -225,7 +285,7 @@ Status Graph::SetNodeAttr(NodeId n, SymbolId attr, SymbolId value) {
   entry.attr = attr;
   entry.old_sym = old;
   entry.new_sym = value;
-  log_.push_back(std::move(entry));
+  Journal(std::move(entry));
   return Status::Ok();
 }
 
@@ -241,7 +301,7 @@ Status Graph::SetEdgeAttr(EdgeId e, SymbolId attr, SymbolId value) {
   entry.attr = attr;
   entry.old_sym = old;
   entry.new_sym = value;
-  log_.push_back(std::move(entry));
+  Journal(std::move(entry));
   return Status::Ok();
 }
 
@@ -447,6 +507,11 @@ Status Graph::UndoTo(size_t mark) {
     EditEntry entry = std::move(log_.back());
     log_.pop_back();
     GREPAIR_RETURN_IF_ERROR(UndoEntry(entry));
+    // The journal pops silently, but the PHYSICAL state change (including
+    // the adjacency-tail position of a revived edge) must stay visible to
+    // delta-log consumers: record the undo as its forward inverse.
+    if (delta_log_ != nullptr)
+      delta_log_->records.push_back(InverseEntry(entry));
   }
   return Status::Ok();
 }

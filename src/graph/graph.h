@@ -15,9 +15,11 @@
 #define GREPAIR_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "graph/edit_log.h"
@@ -32,6 +34,14 @@ class Graph : public GraphView {
  public:
   /// Creates an empty graph over the given shared vocabulary.
   explicit Graph(VocabularyPtr vocab);
+
+  /// Copies duplicate everything INCLUDING the journal but start with the
+  /// delta log disabled — a delta-log consumer watches one specific graph
+  /// instance, never a copy.
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
 
   /// Deep copy (shares the vocabulary, copies all elements and the journal
   /// boundary: the copy starts with an EMPTY journal so that repairs on the
@@ -145,8 +155,39 @@ class Graph : public GraphView {
   }
   /// Drops journal history (keeps the graph): future costs are relative to
   /// the current state. Used after error injection so repair cost doesn't
-  /// include the injected corruption.
+  /// include the injected corruption. The delta log (below) is untouched —
+  /// no physical state changed.
   void ResetJournal() { log_.clear(); }
+
+  // --- Delta log (incremental snapshot maintenance) ---------------------
+  //
+  // An opt-in, append-only stream of PHYSICAL mutation records: every
+  // applied mutation appends its journal entry, and every mutation popped
+  // by UndoTo appends the inverse record (InverseEntry), so replaying the
+  // stream forward mirrors the live graph exactly — including the
+  // adjacency-tail position of undo-revived edges, which the journal stack
+  // alone cannot express (undo POPS entries; the order side effect of the
+  // revival would be invisible to a journal-slice consumer).
+  //
+  // GraphSnapshot::Patch consumes slices of this stream to advance a
+  // cached snapshot in O(delta) instead of an O(V+E) rebuild (the serving
+  // commit path). Disabled by default: non-serving workloads (eval loops,
+  // repair search with heavy undo) would pay the copy for nothing.
+
+  /// Starts recording (idempotent). Records accumulate until trimmed.
+  void EnableDeltaLog();
+  bool DeltaLogEnabled() const { return delta_log_ != nullptr; }
+  /// Sequence bounds of the retained records: [DeltaLogBegin, DeltaLogEnd).
+  /// Sequences are monotone over the graph's lifetime; Trim only advances
+  /// Begin. Both are 0 while disabled.
+  uint64_t DeltaLogBegin() const;
+  uint64_t DeltaLogEnd() const;
+  /// The retained records with sequence >= `from` (caller must keep
+  /// `from` within [Begin, End]), as a contiguous (pointer, count) pair
+  /// valid until the next mutation or Trim.
+  std::pair<const EditEntry*, size_t> DeltaLogSince(uint64_t from) const;
+  /// Drops records with sequence < `upto` (consumer watermark).
+  void TrimDeltaLog(uint64_t upto);
 
   // --- Whole-graph utilities -------------------------------------------
 
@@ -177,6 +218,10 @@ class Graph : public GraphView {
     AttrMap attrs;
   };
 
+  // Appends to the journal (and mirrors into the delta log when enabled).
+  // Every mutation routes its EditEntry through here.
+  void Journal(EditEntry entry);
+
   // Raw (non-journaling) helpers shared by mutations and undo.
   void LinkEdge(EdgeId e);
   void UnlinkEdge(EdgeId e);
@@ -190,10 +235,19 @@ class Graph : public GraphView {
     return (static_cast<uint64_t>(attr) << 32) | value;
   }
 
+  // Retained delta-log records plus the sequence of the first one. Heap
+  // allocated so an (uncommon) enabled log doesn't grow every Graph, and so
+  // Clone() naturally starts clones with the log disabled.
+  struct DeltaLog {
+    uint64_t base = 0;
+    std::vector<EditEntry> records;
+  };
+
   VocabularyPtr vocab_;
   std::vector<NodeRec> nodes_;
   std::vector<EdgeRec> edges_;
   std::vector<EditEntry> log_;
+  std::unique_ptr<DeltaLog> delta_log_;
   size_t num_alive_nodes_ = 0;
   size_t num_alive_edges_ = 0;
   // label -> alive nodes with that label; key 0 holds ALL alive nodes.

@@ -1,7 +1,6 @@
-// GraphSnapshot: an immutable, read-optimized copy of a graph state built
-// for repeated subgraph matching. Where the journaled Graph answers reads
-// through per-node vectors and hash-map label/attr indexes, the snapshot
-// packs:
+// GraphSnapshot: a read-optimized copy of a graph state built for repeated
+// subgraph matching. Where the journaled Graph answers reads through
+// per-node vectors and hash-map label/attr indexes, the snapshot packs:
 //   - CSR out/in adjacency: one flat edge array per direction plus offsets,
 //     preserving the source graph's per-node adjacency order EXACTLY (match
 //     enumeration order — and therefore every downstream repair decision —
@@ -14,11 +13,29 @@
 //   - an alive-edge index sorted by (src, dst, label, id) that answers
 //     HasEdge in O(log E) instead of an adjacency scan.
 //
-// One snapshot per detection pass is built by DetectAll / DetectInto and
-// RepairService::Commit when the pool fans out, and shared read-only across
-// all worker threads (no synchronization needed: the snapshot never
-// changes). Every read is bit-identical to the Graph it was built from —
-// asserted by tests/test_snapshot.cc. See DESIGN.md "Storage model".
+// INCREMENTAL MAINTENANCE. A snapshot is no longer single-use: Patch()
+// advances it by a slice of the source graph's delta log (physical replay
+// records, including undo inverses — see Graph::EnableDeltaLog) in
+// O(delta), instead of paying the O(V + E) constructor again. Patching is
+// overlay-based: dense columns mutate in place; a touched node's adjacency
+// moves copy-on-write into per-node overlay vectors (untouched nodes keep
+// reading the flat CSR rows); touched label/attr candidate groups move
+// copy-on-write into per-group sorted overlay vectors; the sorted edge
+// index gains a sorted "added" side array while invalidated base entries
+// are tombstoned in a hash set. Every read remains bit-identical to the
+// live Graph at the patched position — the serving layer
+// (RepairService::Commit) caches one snapshot across commits and patches
+// it per batch, rebuilding only when the accumulated patch fraction
+// crosses its threshold. Patch() must run on the writer thread BEFORE a
+// pass fans out; during a pass the snapshot is frozen and shared read-only
+// across all workers (no synchronization needed).
+//
+// One snapshot per detection pass is built (or reused, see the DetectAll
+// `snapshot` parameter) by DetectAll / DetectInto and
+// RepairService::Commit when the pool fans out. Equivalence — including
+// patched snapshots against fresh builds and the live graph — is asserted
+// by tests/test_snapshot.cc and tests/test_snapshot_patch.cc. See
+// DESIGN.md "Storage model".
 #ifndef GREPAIR_GRAPH_SNAPSHOT_H_
 #define GREPAIR_GRAPH_SNAPSHOT_H_
 
@@ -26,6 +43,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "graph/graph_view.h"
@@ -38,6 +56,18 @@ class GraphSnapshot final : public GraphView {
   /// sort of the edge index). The source must not be mutated during
   /// construction.
   explicit GraphSnapshot(const GraphView& g);
+
+  /// Advances the snapshot by `n` physical replay records (a slice of
+  /// Graph::DeltaLogSince from the position this snapshot mirrors).
+  /// O(records), with a one-time copy-on-write charge per adjacency list /
+  /// candidate group first touched over the snapshot's lifetime. After the
+  /// call every read is bit-identical to the live graph at the new
+  /// position. NOT thread-safe: patch on the writer thread, between passes.
+  void Patch(const EditEntry* records, size_t n);
+
+  /// Total records applied by Patch since construction — the "accumulated
+  /// patch fraction" input of rebuild heuristics.
+  size_t PatchedEdits() const { return patched_edits_; }
 
   const VocabularyPtr& vocab() const override { return vocab_; }
 
@@ -67,16 +97,25 @@ class GraphSnapshot final : public GraphView {
   const AttrMap& EdgeAttrs(EdgeId e) const override { return edge_attrs_[e]; }
 
   IdSpan OutEdges(NodeId n) const override {
+    if (has_patches_ && adj_patched_[n]) {
+      const std::vector<EdgeId>& v = out_patch_.find(n)->second;
+      return {v.data(), v.size()};
+    }
     return {out_edges_.data() + out_offset_[n],
             out_offset_[n + 1] - out_offset_[n]};
   }
   IdSpan InEdges(NodeId n) const override {
+    if (has_patches_ && adj_patched_[n]) {
+      const std::vector<EdgeId>& v = in_patch_.find(n)->second;
+      return {v.data(), v.size()};
+    }
     return {in_edges_.data() + in_offset_[n],
             in_offset_[n + 1] - in_offset_[n]};
   }
 
   EdgeId FindEdge(NodeId src, NodeId dst, SymbolId label) const override;
-  /// O(log E) binary search over the (src, dst, label)-sorted edge index.
+  /// O(log E) binary search over the (src, dst, label)-sorted edge index
+  /// (base + patch-added side array).
   bool HasEdge(NodeId src, NodeId dst, SymbolId label) const override;
 
   std::vector<NodeId> Nodes() const override;
@@ -96,8 +135,9 @@ class GraphSnapshot final : public GraphView {
   /// Same for the (attr, value) partitions.
   IdSpan NodesWithAttrSorted(SymbolId attr, SymbolId value) const;
 
-  /// Approximate heap footprint of the packed arrays, for capacity
-  /// planning (documented in DESIGN.md "Storage model").
+  /// Approximate heap footprint: packed columns and indexes, the attribute
+  /// maps' heap payload, the partition directories, and any patch overlay
+  /// state (documented in DESIGN.md "Storage model").
   size_t MemoryBytes() const;
 
  private:
@@ -109,6 +149,48 @@ class GraphSnapshot final : public GraphView {
   static uint64_t AttrKey(SymbolId attr, SymbolId value) {
     return (static_cast<uint64_t>(attr) << 32) | value;
   }
+
+  // --- Patch plumbing ---------------------------------------------------
+  void PatchOne(const EditEntry& rec);
+  void PatchAddNode(const EditEntry& rec);
+  void PatchRemoveNode(const EditEntry& rec);
+  void PatchAddEdge(const EditEntry& rec);
+  void PatchRemoveEdge(const EditEntry& rec);
+  /// Grows the node/edge columns (defaults) so `id` is addressable.
+  void EnsureNodeColumns(NodeId n);
+  void EnsureEdgeColumns(EdgeId e);
+  /// Copy-on-write adjacency overlay for node n (materializes BOTH
+  /// directions from the base CSR rows on first touch).
+  void TouchAdjacency(NodeId n);
+  /// Fresh empty overlay for a node added/revived by a patch.
+  void FreshAdjacency(NodeId n);
+  /// Copy-on-write candidate-group overlays (each stays ascending).
+  std::vector<NodeId>& TouchLabelGroup(SymbolId label);
+  std::vector<NodeId>& TouchAttrGroup(uint64_t key);
+  /// True when (src, dst, label) of a < that of b (id tie-break), over the
+  /// CURRENT columns.
+  bool EdgeSearchLess(EdgeId a, EdgeId b) const;
+  /// The label a base edge_search_ entry was SORTED under. Relabeling an
+  /// edge in place would silently re-key the base array and break its
+  /// binary search for unrelated edges, so the first kSetEdgeLabel record
+  /// snapshots the build-time labels and base searches keep comparing
+  /// against those (a non-tombstoned base entry always has current label
+  /// == build label, so accepts are unaffected).
+  SymbolId BaseSearchLabel(EdgeId e) const {
+    return base_edge_label_.empty() ? edge_label_[e] : base_edge_label_[e];
+  }
+  void SnapshotBaseEdgeLabels();
+  /// Maintains the patched side of the sorted edge index.
+  void SearchIndexInsert(EdgeId e);
+  bool SearchIndexEraseAdded(EdgeId e);
+  void SearchIndexInvalidate(EdgeId e);
+  /// Scan of one sorted edge array for (src, dst, label); label==0 accepts
+  /// any label. `base` entries must additionally be alive and not
+  /// invalidated by a patch.
+  bool SearchIndexContains(const std::vector<EdgeId>& index, NodeId src,
+                           NodeId dst, SymbolId label, bool base) const;
+  /// Membership of e in the BASE alive-edge list (alive at build time).
+  bool InBaseAliveEdges(EdgeId e) const;
 
   VocabularyPtr vocab_;
   size_t num_nodes_ = 0;
@@ -125,7 +207,9 @@ class GraphSnapshot final : public GraphView {
   std::vector<AttrMap> edge_attrs_;
 
   // CSR adjacency, per-node order copied verbatim from the source view.
-  std::vector<uint32_t> out_offset_;  // NodeIdBound()+1 entries
+  // Rows cover ids < base_node_bound_ only; patched or later-added nodes
+  // read their overlay vectors instead (adj_patched_ flags them).
+  std::vector<uint32_t> out_offset_;  // base_node_bound_+1 entries
   std::vector<uint32_t> in_offset_;
   std::vector<EdgeId> out_edges_;
   std::vector<EdgeId> in_edges_;
@@ -138,10 +222,38 @@ class GraphSnapshot final : public GraphView {
   std::unordered_map<uint64_t, Range> attr_dir_;
 
   // Alive edges sorted by (src, dst, label, id) for HasEdge; and ascending
-  // alive edge ids for Edges().
+  // alive edge ids for Edges(). Both are BASE (build-time) state once a
+  // patch lands: edge_alive_ / edge_search_dead_ filter stale entries and
+  // the *_added_ side arrays carry additions.
   std::vector<EdgeId> edge_search_;
   std::vector<EdgeId> alive_edges_;
   std::unordered_map<SymbolId, size_t> edge_label_count_;
+
+  // --- Patch overlay state ---------------------------------------------
+  size_t base_node_bound_ = 0;  ///< node ids with valid base CSR rows
+  size_t base_edge_bound_ = 0;
+  size_t patched_edits_ = 0;
+  bool has_patches_ = false;
+  /// Per node: nonzero when its adjacency lives in out_patch_/in_patch_.
+  /// Sized with the node columns; every id >= base_node_bound_ is flagged.
+  std::vector<uint8_t> adj_patched_;
+  std::unordered_map<NodeId, std::vector<EdgeId>> out_patch_;
+  std::unordered_map<NodeId, std::vector<EdgeId>> in_patch_;
+  /// Copy-on-write candidate groups; presence overrides label_dir_ /
+  /// attr_dir_ for that key.
+  std::unordered_map<SymbolId, std::vector<NodeId>> label_patch_;
+  std::unordered_map<uint64_t, std::vector<NodeId>> attr_patch_;
+  /// Sorted (src, dst, label, id) ids added since build; always alive with
+  /// current columns.
+  std::vector<EdgeId> edge_search_added_;
+  /// Base edge_search_ entries invalidated by a patch (removed or
+  /// relabeled; a revived edge re-enters through edge_search_added_).
+  std::unordered_set<EdgeId> edge_search_dead_;
+  /// Build-time labels of ids < base_edge_bound_, captured lazily by the
+  /// first relabel patch so the base edge index keeps its sort key.
+  std::vector<SymbolId> base_edge_label_;
+  /// Ascending alive edge ids NOT covered by the base alive_edges_ list.
+  std::vector<EdgeId> alive_added_;
 };
 
 /// The one-snapshot-per-pass idiom of the parallel read paths: returns `g`

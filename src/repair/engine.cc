@@ -25,7 +25,14 @@ namespace {
 size_t DetectInto(const GraphView& g, const RuleSet& rules,
                   ViolationStore* store,
                   const CostModel& model, SymbolId conf_attr,
-                  size_t* expansions, ThreadPool* pool = nullptr) {
+                  size_t* expansions, ThreadPool* pool = nullptr,
+                  const GraphSnapshot* snapshot = nullptr) {
+  // A caller-owned snapshot of g's current state replaces g on every read
+  // path below (bit-identical by contract) — repeated passes over an
+  // unchanged graph then skip the per-pass snapshot build entirely.
+  const GraphView& src = snapshot != nullptr
+                             ? static_cast<const GraphView&>(*snapshot)
+                             : g;
   if (pool != nullptr && pool->NumThreads() > 1) {
     // One immutable read-optimized snapshot per detection pass, shared
     // read-only by every pool worker (cache-friendly CSR reads, no live
@@ -33,7 +40,7 @@ size_t DetectInto(const GraphView& g, const RuleSet& rules,
     // bit-identical to reads over `g` (tests/test_snapshot.cc), so the
     // store receives the exact sequential seeding either way.
     std::unique_ptr<GraphSnapshot> built;
-    const GraphView& view = SnapshotForPass(g, &built);
+    const GraphView& view = SnapshotForPass(src, &built);
     ParallelDetector detector(pool);
     MatchStats st =
         detector.Detect(view, rules, [&](RuleId r, const Match& m) {
@@ -45,10 +52,10 @@ size_t DetectInto(const GraphView& g, const RuleSet& rules,
   }
   for (RuleId r = 0; r < rules.size(); ++r) {
     const Rule& rule = rules[r];
-    Matcher matcher(g, rule.pattern());
+    Matcher matcher(src, rule.pattern());
     MatchOptions opts;
     MatchStats st = matcher.FindAll(opts, [&](const Match& m) {
-      double cost = FixCost(g, rule, m, model, conf_attr);
+      double cost = FixCost(src, rule, m, model, conf_attr);
       store->Add(r, m, cost);
       return true;
     });
@@ -98,17 +105,18 @@ void DetectDelta(const GraphView& g, const RuleSet& rules,
 
 size_t DetectAll(const GraphView& g, const RuleSet& rules,
                  ViolationStore* store,
-                 size_t* expansions, size_t num_threads) {
+                 size_t* expansions, size_t num_threads,
+                 const GraphSnapshot* snapshot) {
   CostModel model;
   std::unique_ptr<ThreadPool> pool = MakeDetectPool(num_threads);
   return DetectInto(g, rules, store, model, /*conf_attr=*/0, expansions,
-                    pool.get());
+                    pool.get(), snapshot);
 }
 
 size_t CountViolations(const GraphView& g, const RuleSet& rules,
-                       size_t num_threads) {
+                       size_t num_threads, const GraphSnapshot* snapshot) {
   ViolationStore store;
-  return DetectAll(g, rules, &store, nullptr, num_threads);
+  return DetectAll(g, rules, &store, nullptr, num_threads, snapshot);
 }
 
 RepairEngine::RepairEngine(RepairOptions options)

@@ -72,13 +72,24 @@ inline constexpr bool kSnapshotDetectReads = true;
 /// matching builds one immutable GraphSnapshot for the pass and fans out
 /// over a thread pool reading it; the store contents and order are
 /// identical to the sequential result for any thread count.
+///
+/// `snapshot`, when non-null, must be a snapshot of `g`'s exact current
+/// state (fresh-built or delta-patched); the pass then reads it instead of
+/// building its own, so callers that repeatedly detect over an UNCHANGED
+/// graph (eval loops, thread-count sweeps, benchmarks) pay the O(V+E)
+/// snapshot cost once instead of per call. Reads over a snapshot are
+/// bit-identical to reads over the live graph, so results do not depend on
+/// whether one is supplied.
 size_t DetectAll(const GraphView& g, const RuleSet& rules,
                  ViolationStore* store,
-                 size_t* expansions = nullptr, size_t num_threads = 1);
+                 size_t* expansions = nullptr, size_t num_threads = 1,
+                 const GraphSnapshot* snapshot = nullptr);
 
-/// Counts violations without keeping them.
+/// Counts violations without keeping them. Same `snapshot` contract as
+/// DetectAll.
 size_t CountViolations(const GraphView& g, const RuleSet& rules,
-                       size_t num_threads = 1);
+                       size_t num_threads = 1,
+                       const GraphSnapshot* snapshot = nullptr);
 
 /// Delta-anchored re-detection: adds, for every rule, each violation the
 /// edit slice `delta` can have introduced to `store`, costed with

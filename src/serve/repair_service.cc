@@ -33,6 +33,60 @@ RepairService::RepairService(Graph graph, RuleSet rules, ServeOptions options)
       clean_mark_(graph_.JournalSize()) {
   if (options_.num_threads != 1)
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  // Record physical deltas for incremental snapshot maintenance — only a
+  // service that can fan out ever reads snapshots (a 1-thread service
+  // would pay the record copies for nothing).
+  if (pool_ != nullptr) graph_.EnableDeltaLog();
+}
+
+bool RepairService::PatchWithinBudget(uint64_t pending) const {
+  const double budget =
+      options_.snapshot_rebuild_fraction *
+      static_cast<double>(std::max<size_t>(graph_.NumEdges(), 64));
+  return snapshot_ != nullptr &&
+         static_cast<double>(pending + snapshot_->PatchedEdits()) <= budget;
+}
+
+const GraphSnapshot& RepairService::AcquireSnapshot(BatchResult* res) {
+  Timer t;
+  const uint64_t log_end = graph_.DeltaLogEnd();
+  const uint64_t pending =
+      snapshot_ != nullptr ? log_end - snapshot_watermark_ : 0;
+  if (options_.incremental_snapshots && PatchWithinBudget(pending)) {
+    auto [records, count] = graph_.DeltaLogSince(snapshot_watermark_);
+    snapshot_->Patch(records, count);
+    res->snapshot_patched = true;
+    ++stats_.snapshot_patches;
+    stats_.snapshot_patch_ms += t.ElapsedMs();
+  } else {
+    snapshot_ = std::make_unique<GraphSnapshot>(graph_);
+    ++stats_.snapshot_rebuilds;
+    stats_.snapshot_rebuild_ms += t.ElapsedMs();
+  }
+  snapshot_watermark_ = log_end;
+  graph_.TrimDeltaLog(snapshot_watermark_);
+  res->snapshot_ms = t.ElapsedMs();
+  return *snapshot_;
+}
+
+void RepairService::CapDeltaLogGrowth() {
+  if (pool_ == nullptr) return;
+  const uint64_t log_end = graph_.DeltaLogEnd();
+  if (snapshot_ != nullptr) {
+    if (PatchWithinBudget(log_end - snapshot_watermark_))
+      return;  // still worth patching later; keep the records
+    snapshot_.reset();
+  }
+  snapshot_watermark_ = log_end;
+  graph_.TrimDeltaLog(log_end);
+}
+
+const ServiceStats& RepairService::stats() const {
+  // Lazily priced: MemoryBytes walks every attribute map, which must not
+  // ride the per-commit hot path AcquireSnapshot just took off it.
+  stats_.snapshot_memory_bytes =
+      snapshot_ != nullptr ? snapshot_->MemoryBytes() : 0;
+  return stats_;
 }
 
 SymbolId RepairService::ConfAttr() const {
@@ -114,18 +168,21 @@ BatchResult RepairService::Commit() {
     popt.shard_min_anchors = options_.shard_min_anchors;
     popt.max_shards_per_rule = options_.max_shards_per_rule;
     ParallelDeltaDetector detector(pool_.get(), popt);
-    // When the batch fans out, build ONE immutable snapshot for this seed
-    // pass and share it read-only across all pool threads; tiny batches
-    // (and thread budget 1) read the live graph directly — an O(|G|)
-    // snapshot build would dominate their O(delta) search. Reads are
-    // bit-identical either way (tests/test_snapshot.cc).
-    std::unique_ptr<GraphSnapshot> snap;
+    // When the batch fans out, the seed pass reads the service's CACHED
+    // snapshot, advanced to the current graph state by patching the
+    // delta-log slice accumulated since the last acquisition — O(delta)
+    // instead of the former per-commit O(|G|) rebuild (AcquireSnapshot
+    // falls back to a rebuild on the first batch and past the patch
+    // threshold). Tiny batches (and thread budget 1) read the live graph
+    // directly. Reads are bit-identical either way (tests/test_snapshot.cc,
+    // tests/test_snapshot_patch.cc).
     const GraphView* view = &graph_;
     if (detector.WouldFanOut(anchors.nodes.size() + anchors.edges.size())) {
-      snap = std::make_unique<GraphSnapshot>(graph_);
-      view = snap.get();
+      view = &AcquireSnapshot(&res);
       res.snapshot_reads = true;
       ++stats_.snapshot_batches;
+    } else {
+      CapDeltaLogGrowth();
     }
     MatchStats st = detector.Detect(
         *view, rules_, anchors, [&](RuleId r, const Match& m) {
@@ -386,8 +443,13 @@ Status RepairService::RestoreState(const std::string& path) {
     }
   }
 
-  // Point of no return: every record validated, swap the state in.
+  // Point of no return: every record validated, swap the state in. The
+  // cached snapshot mirrors the OLD graph and the new delta log starts
+  // empty, so the next fanning-out commit rebuilds from scratch.
   graph_ = std::move(restored);
+  if (pool_ != nullptr) graph_.EnableDeltaLog();
+  snapshot_.reset();
+  snapshot_watermark_ = 0;
   clean_mark_ = 0;
   store_.Clear();
   for (const PendingViolation& pv : backlog)

@@ -8,7 +8,11 @@
 //   2. Commit() takes the journal slice since the last commit as the delta
 //      and seeds the violation store with batched PARALLEL delta-detection
 //      (parallel::ParallelDeltaDetector over the service pool — bit-identical
-//      to the sequential RunDelta seeding for any thread count);
+//      to the sequential RunDelta seeding for any thread count). A
+//      fanning-out seed pass reads the service's CACHED GraphSnapshot,
+//      advanced to the current state by patching the graph's delta log —
+//      O(delta) per commit instead of an O(V+E) rebuild (DESIGN.md
+//      "Incremental maintenance"; rebuilt past snapshot_rebuild_fraction);
 //   3. repair cascades drain the store greedily, exactly like
 //      RepairEngine::RunDelta: pop cheapest, re-verify, apply, re-detect
 //      sequentially around the fix (a cascade delta is O(1) anchors).
@@ -24,6 +28,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/snapshot.h"
 #include "grr/rule.h"
 #include "parallel/delta_detector.h"
 #include "parallel/thread_pool.h"
@@ -50,6 +55,17 @@ struct ServeOptions {
   /// Per-batch cascade budget; an exhausted batch leaves the remaining
   /// violations in the store for the next commit to continue draining.
   size_t max_fixes_per_batch = 1'000'000;
+  /// Maintain ONE read snapshot across commits and advance it per batch
+  /// from the graph's delta log (O(delta)) instead of rebuilding it from
+  /// scratch (O(V+E)) — the incremental serving hot path. Disable to force
+  /// a rebuild whenever a batch fans out (mainly for tests/benchmarks).
+  bool incremental_snapshots = true;
+  /// Rebuild instead of patch once the records to apply — the pending
+  /// delta plus everything already patched into the cached snapshot —
+  /// exceed this fraction of |E|: per-record overlay bookkeeping has a
+  /// higher constant than the linear rebuild, and a heavily patched
+  /// snapshot carries overlay lookups on its read paths.
+  double snapshot_rebuild_fraction = 0.15;
 };
 
 /// Outcome of one committed batch.
@@ -64,9 +80,14 @@ struct BatchResult {
   size_t fixes = 0;  ///< cascade fixes applied
   size_t expansions = 0;    ///< matcher expansions (detection + cascades)
   /// True when seed detection fanned out over the pool and therefore read
-  /// from a per-commit GraphSnapshot instead of the live graph (see
-  /// DESIGN.md "Storage model").
+  /// from a GraphSnapshot instead of the live graph (see DESIGN.md
+  /// "Storage model").
   bool snapshot_reads = false;
+  /// Among snapshot-read batches: true when the cached snapshot was
+  /// advanced by an O(delta) patch, false when it was (re)built O(V+E).
+  bool snapshot_patched = false;
+  /// Snapshot acquisition time (patch or rebuild), included in detect_ms.
+  double snapshot_ms = 0.0;
   bool budget_exhausted = false;
   double detect_ms = 0.0;  ///< seed detection time
   double total_ms = 0.0;   ///< whole commit (detection + cascades)
@@ -86,6 +107,17 @@ struct ServiceStats {
   size_t anchors_visited = 0;  ///< node + edge anchors over all batches
   size_t expansions = 0;
   size_t snapshot_batches = 0;  ///< commits whose seed pass read a snapshot
+  /// Snapshot-read batches split by acquisition path (patches + rebuilds
+  /// == snapshot_batches), with cumulative acquisition wall-clock per path
+  /// — the O(delta)-vs-O(V+E) ledger of the serving commit path.
+  size_t snapshot_patches = 0;
+  size_t snapshot_rebuilds = 0;
+  double snapshot_patch_ms = 0.0;
+  double snapshot_rebuild_ms = 0.0;
+  /// Heap footprint of the currently cached snapshot (0 when none).
+  /// Computed when stats() is queried — the walk over the snapshot's
+  /// attribute maps is O(V+E) and must not ride the per-commit hot path.
+  size_t snapshot_memory_bytes = 0;
   /// Commit latencies of the most recent kLatencyWindow batches (unordered
   /// once the ring wraps).
   std::vector<double> batch_ms;
@@ -148,11 +180,25 @@ class RepairService {
 
   const Graph& graph() const { return graph_; }
   const RuleSet& rules() const { return rules_; }
-  const ServiceStats& stats() const { return stats_; }
+  const ServiceStats& stats() const;
   const ServeOptions& options() const { return options_; }
 
  private:
   SymbolId ConfAttr() const;
+  /// The one rebuild-threshold policy: true when advancing the cached
+  /// snapshot by `pending` more records stays within
+  /// `snapshot_rebuild_fraction` of |E| (accumulated patches included).
+  bool PatchWithinBudget(uint64_t pending) const;
+  /// Hands out the read snapshot for a fanning-out seed pass: patches the
+  /// cached one forward by the delta-log slice since it was last current,
+  /// or (re)builds when there is none / the patch fraction crosses
+  /// `snapshot_rebuild_fraction` / incremental maintenance is disabled.
+  /// Updates the patch/rebuild counters and trims the consumed delta log.
+  const GraphSnapshot& AcquireSnapshot(BatchResult* res);
+  /// Caps delta-log growth on commits that do NOT read a snapshot: drops
+  /// the cache (and the log) once patching it would lose to a rebuild
+  /// anyway, so a fan-out drought never accumulates an unbounded log.
+  void CapDeltaLogGrowth();
 
   ServeOptions options_;
   Graph graph_;
@@ -160,7 +206,14 @@ class RepairService {
   ViolationStore store_;  ///< persistent across batches
   std::unique_ptr<ThreadPool> pool_;  ///< null when num_threads == 1
   size_t clean_mark_ = 0;  ///< journal position of the last commit
-  ServiceStats stats_;
+  /// The cached cross-commit snapshot and the delta-log sequence up to
+  /// which it mirrors the graph. Only maintained when the pool can fan out
+  /// (a sequential service never reads snapshots).
+  std::unique_ptr<GraphSnapshot> snapshot_;
+  uint64_t snapshot_watermark_ = 0;
+  /// mutable: stats() refreshes snapshot_memory_bytes on query (the
+  /// service is single-caller, so const reads never race).
+  mutable ServiceStats stats_;
 };
 
 }  // namespace grepair

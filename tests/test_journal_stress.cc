@@ -5,103 +5,13 @@
 #include <gtest/gtest.h>
 
 #include "graph/graph.h"
+#include "stress_driver.h"
 #include "util/rng.h"
 
 namespace grepair {
 namespace {
 
-struct Driver {
-  explicit Driver(uint64_t seed)
-      : vocab(MakeVocabulary()), g(vocab), rng(seed) {
-    labels = {vocab->Label("A"), vocab->Label("B"), vocab->Label("C")};
-    elabels = {vocab->Label("e"), vocab->Label("f")};
-    attrs = {vocab->Attr("a1"), vocab->Attr("a2")};
-    values = {vocab->Value("v1"), vocab->Value("v2"), vocab->Value("v3")};
-    for (int i = 0; i < 8; ++i) g.AddNode(labels[rng.PickIndex(labels)]);
-  }
-
-  // One random mutation; returns false if it was a no-op this round.
-  bool Step() {
-    switch (rng.NextBounded(8)) {
-      case 0:
-        g.AddNode(labels[rng.PickIndex(labels)]);
-        return true;
-      case 1: {
-        auto nodes = g.Nodes();
-        if (nodes.size() < 2) return false;
-        NodeId a = nodes[rng.PickIndex(nodes)];
-        NodeId b = nodes[rng.PickIndex(nodes)];
-        return g.AddEdge(a, b, elabels[rng.PickIndex(elabels)]).ok();
-      }
-      case 2: {
-        auto edges = g.Edges();
-        if (edges.empty()) return false;
-        return g.RemoveEdge(edges[rng.PickIndex(edges)]).ok();
-      }
-      case 3: {
-        auto nodes = g.Nodes();
-        if (nodes.size() <= 2) return false;  // keep some nodes around
-        return g.RemoveNode(nodes[rng.PickIndex(nodes)]).ok();
-      }
-      case 4: {
-        auto nodes = g.Nodes();
-        if (nodes.empty()) return false;
-        return g.SetNodeLabel(nodes[rng.PickIndex(nodes)],
-                              labels[rng.PickIndex(labels)])
-            .ok();
-      }
-      case 5: {
-        auto nodes = g.Nodes();
-        if (nodes.empty()) return false;
-        SymbolId v = rng.NextBernoulli(0.3) ? 0 : values[rng.PickIndex(values)];
-        return g.SetNodeAttr(nodes[rng.PickIndex(nodes)],
-                             attrs[rng.PickIndex(attrs)], v)
-            .ok();
-      }
-      case 6: {
-        auto edges = g.Edges();
-        if (edges.empty()) return false;
-        return g.SetEdgeAttr(edges[rng.PickIndex(edges)],
-                             attrs[rng.PickIndex(attrs)],
-                             values[rng.PickIndex(values)])
-            .ok();
-      }
-      default: {
-        auto nodes = g.Nodes();
-        if (nodes.size() < 3) return false;
-        NodeId a = nodes[rng.PickIndex(nodes)];
-        NodeId b = nodes[rng.PickIndex(nodes)];
-        if (a == b) return false;
-        return g.MergeNodes(a, b).ok();
-      }
-    }
-  }
-
-  // Full index verification: the label/attr indexes agree with a rescan.
-  void VerifyIndexes() {
-    size_t indexed = 0;
-    for (NodeId n : g.Nodes()) {
-      ASSERT_TRUE(g.NodesWithLabel(g.NodeLabel(n)).count(n));
-      for (const auto& [a, v] : g.NodeAttrs(n).entries())
-        ASSERT_TRUE(g.NodesWithAttr(a, v).count(n));
-      ++indexed;
-    }
-    ASSERT_EQ(g.NodesWithLabel(0).size(), indexed);
-    // Adjacency round trip.
-    for (EdgeId e : g.Edges()) {
-      EdgeView v = g.Edge(e);
-      const auto& out = g.OutEdges(v.src);
-      ASSERT_NE(std::find(out.begin(), out.end(), e), out.end());
-      const auto& in = g.InEdges(v.dst);
-      ASSERT_NE(std::find(in.begin(), in.end(), e), in.end());
-    }
-  }
-
-  VocabularyPtr vocab;
-  Graph g;
-  Rng rng;
-  std::vector<SymbolId> labels, elabels, attrs, values;
-};
+using Driver = StressDriver;
 
 class JournalStress : public ::testing::TestWithParam<uint64_t> {};
 

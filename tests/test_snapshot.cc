@@ -13,6 +13,7 @@
 #include "match/incremental.h"
 #include "match/matcher.h"
 #include "repair/engine.h"
+#include "snapshot_equivalence.h"
 
 namespace grepair {
 namespace {
@@ -49,71 +50,6 @@ DatasetBundle SmallCitation() {
   auto b = MakeCitationBundle(gopt, iopt);
   EXPECT_TRUE(b.ok()) << b.status().ToString();
   return std::move(b).value();
-}
-
-std::vector<EdgeId> ToVector(IdSpan span) {
-  return std::vector<EdgeId>(span.begin(), span.end());
-}
-
-// Element-by-element read equivalence, including tombstones and adjacency
-// order.
-void ExpectViewEquivalent(const Graph& g, const GraphSnapshot& s) {
-  ASSERT_EQ(g.NumNodes(), s.NumNodes());
-  ASSERT_EQ(g.NumEdges(), s.NumEdges());
-  ASSERT_EQ(g.NodeIdBound(), s.NodeIdBound());
-  ASSERT_EQ(g.EdgeIdBound(), s.EdgeIdBound());
-  EXPECT_EQ(g.Nodes(), s.Nodes());
-  EXPECT_EQ(g.Edges(), s.Edges());
-
-  for (NodeId n = 0; n < g.NodeIdBound(); ++n) {
-    ASSERT_EQ(g.NodeAlive(n), s.NodeAlive(n)) << "n" << n;
-    EXPECT_EQ(g.NodeLabel(n), s.NodeLabel(n)) << "n" << n;
-    EXPECT_TRUE(g.NodeAttrs(n) == s.NodeAttrs(n)) << "n" << n;
-    if (!g.NodeAlive(n)) continue;
-    // Adjacency: same edges in the SAME order (enumeration order is
-    // load-bearing for match emission).
-    EXPECT_EQ(ToVector(g.OutEdges(n)), ToVector(s.OutEdges(n))) << "n" << n;
-    EXPECT_EQ(ToVector(g.InEdges(n)), ToVector(s.InEdges(n))) << "n" << n;
-    EXPECT_EQ(g.CountNodesWithLabel(g.NodeLabel(n)),
-              s.CountNodesWithLabel(g.NodeLabel(n)));
-  }
-  for (EdgeId e = 0; e < g.EdgeIdBound(); ++e) {
-    ASSERT_EQ(g.EdgeAlive(e), s.EdgeAlive(e)) << "e" << e;
-    EdgeView a = g.Edge(e), b = s.Edge(e);
-    EXPECT_EQ(a.src, b.src) << "e" << e;
-    EXPECT_EQ(a.dst, b.dst) << "e" << e;
-    EXPECT_EQ(a.label, b.label) << "e" << e;
-    EXPECT_TRUE(g.EdgeAttrs(e) == s.EdgeAttrs(e)) << "e" << e;
-    if (!g.EdgeAlive(e)) continue;
-    EXPECT_EQ(g.CountEdgesWithLabel(a.label), s.CountEdgesWithLabel(a.label));
-    // FindEdge/HasEdge agree on every alive edge's endpoints, both with the
-    // exact label and with the wildcard.
-    EXPECT_EQ(g.FindEdge(a.src, a.dst, a.label),
-              s.FindEdge(a.src, a.dst, a.label));
-    EXPECT_EQ(g.FindEdge(a.src, a.dst, 0), s.FindEdge(a.src, a.dst, 0));
-    EXPECT_TRUE(s.HasEdge(a.src, a.dst, a.label));
-    EXPECT_EQ(g.HasEdge(a.dst, a.src, a.label),
-              s.HasEdge(a.dst, a.src, a.label));
-  }
-
-  // Candidate collection: same SET of nodes; the snapshot's must come back
-  // ascending (that is the contiguous-range seeding contract).
-  std::vector<NodeId> from_g, from_s;
-  for (NodeId n : g.Nodes()) {
-    SymbolId label = g.NodeLabel(n);
-    EXPECT_FALSE(g.CollectNodesWithLabel(label, &from_g));
-    EXPECT_TRUE(s.CollectNodesWithLabel(label, &from_s));
-    EXPECT_TRUE(std::is_sorted(from_s.begin(), from_s.end()));
-    std::sort(from_g.begin(), from_g.end());
-    EXPECT_EQ(from_g, from_s) << "label of n" << n;
-    for (const auto& [attr, value] : g.NodeAttrs(n).entries()) {
-      EXPECT_FALSE(g.CollectNodesWithAttr(attr, value, &from_g));
-      EXPECT_TRUE(s.CollectNodesWithAttr(attr, value, &from_s));
-      EXPECT_TRUE(std::is_sorted(from_s.begin(), from_s.end()));
-      std::sort(from_g.begin(), from_g.end());
-      EXPECT_EQ(from_g, from_s) << "attr " << attr << "=" << value;
-    }
-  }
 }
 
 TEST(SnapshotTest, AccessorEquivalenceOnInjectedKg) {
@@ -291,6 +227,35 @@ TEST(SnapshotTest, DeltaMatcherEquivalenceAfterBatch) {
         });
     EXPECT_EQ(a, b) << rules[r].name();
   }
+}
+
+// MemoryBytes accounts for the attribute maps' heap payload: loading the
+// same structure with attributes must report strictly more than without
+// (it used to under-report the column and per-map buffers).
+TEST(SnapshotTest, MemoryBytesCountsAttributePayload) {
+  auto vocab = MakeVocabulary();
+  Graph bare(vocab), attributed(vocab);
+  SymbolId label = vocab->Label("N");
+  SymbolId attr = vocab->Attr("a");
+  for (int i = 0; i < 64; ++i) {
+    bare.AddNode(label);
+    NodeId n = attributed.AddNode(label);
+    ASSERT_TRUE(
+        attributed.SetNodeAttr(n, attr, vocab->Value(std::to_string(i)))
+            .ok());
+  }
+  GraphSnapshot bare_snap(bare);
+  GraphSnapshot attr_snap(attributed);
+  EXPECT_GT(attr_snap.MemoryBytes(), bare_snap.MemoryBytes());
+
+  // Patch overlays are part of the footprint too.
+  attributed.EnableDeltaLog();
+  NodeId extra = attributed.AddNode(label);
+  (void)extra;
+  size_t before = attr_snap.MemoryBytes();
+  auto [records, count] = attributed.DeltaLogSince(0);
+  attr_snap.Patch(records, count);
+  EXPECT_GT(attr_snap.MemoryBytes(), before);
 }
 
 // AttrMap capacity story: erasing the last entry releases the buffer.
