@@ -6,6 +6,7 @@
 
 #include "bench_common.h"
 #include "eval/experiment.h"
+#include "graph/sharded_snapshot.h"
 #include "graph/snapshot.h"
 #include "grr/standard_rules.h"
 #include "match/incremental.h"
@@ -231,6 +232,78 @@ void BM_SnapshotPatch(benchmark::State& state) {
   state.counters["edits_per_patch"] = kEditsPerBatch;
 }
 BENCHMARK(BM_SnapshotPatch)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Shard-partitioned store: what the S per-shard column sets cost to build
+// (compare BM_SnapshotBuild — the work is split S ways, so the sequential
+// sum is comparable; a pool builds the shards concurrently).
+void BM_ShardedSnapshotBuild(benchmark::State& state) {
+  Workload w(static_cast<size_t>(state.range(0)));
+  const size_t shards = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    ShardedSnapshot ss(w.graph, shards);
+    benchmark::DoNotOptimize(ss.NumEdges());
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(BM_ShardedSnapshotBuild)
+    ->Args({4000, 2})->Args({4000, 4})->Args({4000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+// The sharded store's localized-edit hot path: a 16-edit batch confined to
+// ONE shard's nodes, advanced with a zero rebuild fraction so the dirty
+// shard is rebuilt ALONE (~1/S of BM_SnapshotBuild at the same scale) —
+// the rebuild economics that keep a hot region from forcing whole-store
+// work.
+void BM_ShardedDirtyShardRebuild(benchmark::State& state) {
+  Workload w(4000);
+  const size_t shards = static_cast<size_t>(state.range(0));
+  w.graph.EnableDeltaLog();
+  ShardedSnapshot ss(w.graph, shards);
+  uint64_t watermark = w.graph.DeltaLogEnd();
+  std::vector<NodeId> local;
+  for (NodeId n : w.graph.Nodes())
+    if (StorageShardOfNode(n, shards) == 0) local.push_back(n);
+  SymbolId attr = w.vocab->Attr("bench_note");
+  SymbolId v0 = w.vocab->Value("v0"), v1 = w.vocab->Value("v1");
+  bool flip = false;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SymbolId value = flip ? v0 : v1;  // parity flip: always a real change
+    flip = !flip;
+    for (size_t i = 0; i < 16 && i < local.size(); ++i)
+      (void)w.graph.SetNodeAttr(local[i], attr, value);
+    auto [records, count] = w.graph.DeltaLogSince(watermark);
+    state.ResumeTiming();
+    ShardedSnapshot::AdvanceStats st =
+        ss.Advance(w.graph, records, count, /*rebuild_fraction=*/0.0);
+    state.PauseTiming();
+    if (st.shards_rebuilt != 1) std::abort();  // sanity: one dirty shard
+    watermark = w.graph.DeltaLogEnd();
+    w.graph.TrimDeltaLog(watermark);
+    state.ResumeTiming();
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(BM_ShardedDirtyShardRebuild)
+    ->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Seeding over the sharded store: the k-way merge of per-shard candidate
+// partitions vs the monolithic contiguous-range copy
+// (BM_SeedCandidatesSnapshot) — the read-side price of sharding.
+void BM_SeedCandidatesSharded(benchmark::State& state) {
+  Workload w(static_cast<size_t>(state.range(0)));
+  ShardedSnapshot ss(w.graph, static_cast<size_t>(state.range(1)));
+  RuleId dup = w.rules.Find("dup_person").value();
+  Matcher m(ss, w.rules[dup].pattern());
+  VarId seed = m.SeedVar();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.SeedCandidates(seed));
+  }
+}
+BENCHMARK(BM_SeedCandidatesSharded)
+    ->Args({4000, 4})->Args({4000, 8})
     ->Unit(benchmark::kMicrosecond);
 
 // Full detection with the caller-provided snapshot reused across calls —

@@ -6,17 +6,24 @@
 // is also emitted as a self-describing JSON line (see PrintBenchHeader).
 //
 // S2 — Snapshot acquisition: what the serving commit path pays to hand the
-// seed pass a read snapshot, per batch size — advancing the cached
-// snapshot by a delta-log Patch (O(delta)) vs building a fresh one
+// seed pass a read snapshot, per batch size AND shard count — advancing
+// the cached store by a delta-log Patch (O(delta)) vs building a fresh one
 // (O(V+E)). Rows report the delta fraction of |E| and the speedup; the
 // acceptance bar is >=10x for deltas <= 1% of |E| at the largest scale.
+//
+// S2b — Dirty-shard rebuild: a batch of edits confined to ONE storage
+// shard forces that shard's rebuild alone on a ShardedSnapshot (~1/S the
+// work) while a monolithic snapshot pays the full O(V+E) rebuild — the
+// locality the sharded store exists for, measured at the 4000-node scale.
 //
 // GREPAIR_BENCH_SMOKE=1 shrinks both sections to CI-smoke scale; the JSON
 // header records the mode so collected artifacts stay comparable.
 #include "bench_common.h"
 
 #include <cstdlib>
+#include <memory>
 
+#include "graph/sharded_snapshot.h"
 #include "graph/snapshot.h"
 #include "serve/repair_service.h"
 #include "util/rng.h"
@@ -71,16 +78,23 @@ std::vector<EditEntry> MakeBatch(Graph* scratch, Rng* rng, size_t n) {
 }
 
 // S2: the per-commit snapshot acquisition cost, patch vs rebuild, on a
-// clean graph under batches of `batch_size` random edits. Each round
-// applies a batch, patches the cached snapshot forward (timed) and builds
-// a fresh snapshot of the same state (timed); medians over `rounds`.
+// clean graph under batches of `batch_size` random edits, for a monolithic
+// (shards == 1) or sharded snapshot store. Each round applies a batch,
+// patches the cached store forward (timed; sharded stores route records to
+// their shards) and builds a fresh store of the same state (timed);
+// medians over `rounds`.
 void AcquisitionSweep(const DatasetBundle& clean, size_t batch_size,
-                      size_t rounds, TableWriter* table) {
+                      size_t rounds, size_t shards, TableWriter* table) {
   Graph g = clean.graph.Clone();
   g.EnableDeltaLog();
   Graph scratch = clean.graph.Clone();
   Rng rng(23);
-  GraphSnapshot snap(g);
+  std::unique_ptr<GraphSnapshot> mono;
+  std::unique_ptr<ShardedSnapshot> sharded;
+  if (shards <= 1)
+    mono = std::make_unique<GraphSnapshot>(g);
+  else
+    sharded = std::make_unique<ShardedSnapshot>(g, shards);
   uint64_t watermark = g.DeltaLogEnd();
 
   std::vector<double> patch_ms, rebuild_ms;
@@ -104,15 +118,24 @@ void AcquisitionSweep(const DatasetBundle& clean, size_t batch_size,
     {
       Timer t;
       auto [records, count] = g.DeltaLogSince(watermark);
-      snap.Patch(records, count);
+      if (mono != nullptr)
+        mono->Patch(records, count);
+      else  // force the patch path: the rebuild column measures rebuilds
+        sharded->Advance(g, records, count, /*rebuild_fraction=*/1e30);
       watermark = g.DeltaLogEnd();
       patch_ms.push_back(t.ElapsedMs());
     }
     {
       Timer t;
-      GraphSnapshot fresh(g);
-      rebuild_ms.push_back(t.ElapsedMs());
-      if (fresh.NumEdges() != snap.NumEdges()) std::abort();  // sanity
+      if (mono != nullptr) {
+        GraphSnapshot fresh(g);
+        rebuild_ms.push_back(t.ElapsedMs());
+        if (fresh.NumEdges() != mono->NumEdges()) std::abort();  // sanity
+      } else {
+        ShardedSnapshot fresh(g, shards);
+        rebuild_ms.push_back(t.ElapsedMs());
+        if (fresh.NumEdges() != sharded->NumEdges()) std::abort();
+      }
     }
     scratch = g.Clone();
   }
@@ -124,18 +147,76 @@ void AcquisitionSweep(const DatasetBundle& clean, size_t batch_size,
       static_cast<double>(delta_edits) /
       (static_cast<double>(rounds) *
        static_cast<double>(std::max<size_t>(g.NumEdges(), 1)));
-  std::printf("{\"mode\":\"snapshot_acquisition\",\"batch_size\":%zu,"
+  size_t patched_total =
+      mono != nullptr ? mono->PatchedEdits() : sharded->PatchedEdits();
+  size_t mem =
+      mono != nullptr ? mono->MemoryBytes() : sharded->MemoryBytes();
+  std::printf("{\"mode\":\"snapshot_acquisition\",\"shards\":%zu,"
+              "\"batch_size\":%zu,"
               "\"edges\":%zu,\"delta_fraction\":%.5f,\"patch_ms\":%.4f,"
               "\"rebuild_ms\":%.4f,\"speedup\":%.1f,"
               "\"patched_edits_total\":%zu,\"snapshot_mem_bytes\":%zu}\n",
-              batch_size, g.NumEdges(), delta_fraction, p, r,
-              r / std::max(1e-6, p), snap.PatchedEdits(),
-              snap.MemoryBytes());
-  table->AddRow({TableWriter::Int(int64_t(batch_size)),
+              shards, batch_size, g.NumEdges(), delta_fraction, p, r,
+              r / std::max(1e-6, p), patched_total, mem);
+  table->AddRow({TableWriter::Int(int64_t(shards)),
+                 TableWriter::Int(int64_t(batch_size)),
                  TableWriter::Int(int64_t(g.NumEdges())),
                  TableWriter::Num(100.0 * delta_fraction, 3),
                  TableWriter::Num(p, 4), TableWriter::Num(r, 4),
                  TableWriter::Num(r / std::max(1e-6, p), 1)});
+}
+
+// S2b: the sharded store's dirty-shard-only rebuild. Every round confines
+// a batch of attribute edits to ONE storage shard's nodes and forces the
+// rebuild path (fraction 0): the sharded store rebuilds the single dirty
+// shard while a monolithic snapshot pays the full O(V+E) rebuild for the
+// same localized delta — the locality argument of the sharded store,
+// measured.
+void DirtyShardSweep(const DatasetBundle& clean, size_t shards,
+                     size_t rounds, TableWriter* table) {
+  Graph g = clean.graph.Clone();
+  g.EnableDeltaLog();
+  ShardedSnapshot store(g, shards);
+  uint64_t watermark = g.DeltaLogEnd();
+  std::vector<NodeId> local;
+  for (NodeId n : g.Nodes())
+    if (StorageShardOfNode(n, shards) == 0) local.push_back(n);
+  SymbolId attr = g.vocab()->Attr("bench_note");
+
+  std::vector<double> dirty_ms, mono_ms;
+  for (size_t round = 0; round < rounds; ++round) {
+    SymbolId value =
+        g.vocab()->Value("v" + std::to_string(round));  // always a change
+    for (size_t i = 0; i < 16 && i < local.size(); ++i)
+      (void)g.SetNodeAttr(local[i], attr, value);
+    {
+      Timer t;
+      auto [records, count] = g.DeltaLogSince(watermark);
+      ShardedSnapshot::AdvanceStats st =
+          store.Advance(g, records, count, /*rebuild_fraction=*/0.0);
+      watermark = g.DeltaLogEnd();
+      dirty_ms.push_back(t.ElapsedMs());
+      if (st.shards_rebuilt != 1) std::abort();  // sanity: one dirty shard
+    }
+    {
+      Timer t;
+      GraphSnapshot fresh(g);
+      mono_ms.push_back(t.ElapsedMs());
+      if (fresh.NumEdges() != store.NumEdges()) std::abort();
+    }
+  }
+  std::sort(dirty_ms.begin(), dirty_ms.end());
+  std::sort(mono_ms.begin(), mono_ms.end());
+  double d = dirty_ms[dirty_ms.size() / 2];
+  double m = mono_ms[mono_ms.size() / 2];
+  std::printf("{\"mode\":\"dirty_shard_rebuild\",\"shards\":%zu,"
+              "\"edges\":%zu,\"dirty_rebuild_ms\":%.4f,"
+              "\"mono_rebuild_ms\":%.4f,\"speedup\":%.1f}\n",
+              shards, g.NumEdges(), d, m, m / std::max(1e-6, d));
+  table->AddRow({TableWriter::Int(int64_t(shards)),
+                 TableWriter::Int(int64_t(g.NumEdges())),
+                 TableWriter::Num(d, 4), TableWriter::Num(m, 4),
+                 TableWriter::Num(m / std::max(1e-6, d), 1)});
 }
 
 }  // namespace
@@ -201,16 +282,20 @@ int main() {
       const ServiceStats& s = service.stats();
       double p50 = s.LatencyPercentileMs(50), p95 = s.LatencyPercentileMs(95);
       double eps = total_s > 0 ? static_cast<double>(s.edits) / total_s : 0;
-      std::printf("{\"batch_size\":%zu,\"threads\":%zu,\"batches\":%zu,"
+      std::printf("{\"batch_size\":%zu,\"threads\":%zu,\"shards\":%zu,"
+                  "\"batches\":%zu,"
                   "\"edits\":%zu,\"fixes\":%zu,\"p50_ms\":%.3f,"
                   "\"p95_ms\":%.3f,\"edits_per_s\":%.1f,"
                   "\"snapshot_batches\":%zu,\"snapshot_patches\":%zu,"
                   "\"snapshot_rebuilds\":%zu,\"snapshot_patch_ms\":%.3f,"
-                  "\"snapshot_rebuild_ms\":%.3f}\n",
-                  batch_size, threads, s.batches, s.edits,
+                  "\"snapshot_rebuild_ms\":%.3f,\"shard_patches\":%zu,"
+                  "\"shard_rebuilds\":%zu}\n",
+                  batch_size, threads, service.num_shards(), s.batches,
+                  s.edits,
                   s.violations_repaired, p50, p95, eps, s.snapshot_batches,
                   s.snapshot_patches, s.snapshot_rebuilds,
-                  s.snapshot_patch_ms, s.snapshot_rebuild_ms);
+                  s.snapshot_patch_ms, s.snapshot_rebuild_ms,
+                  s.shard_patches, s.shard_rebuilds);
       t.AddRow({TableWriter::Int(int64_t(batch_size)),
                 TableWriter::Int(int64_t(threads)),
                 TableWriter::Int(int64_t(s.batches)),
@@ -238,18 +323,35 @@ int main() {
   InjectOptions clean_iopt;
   clean_iopt.rate = 0.0;
   DatasetBundle acq = MustKgBundle(aopt, clean_iopt);
-  TableWriter t2("S2: snapshot acquisition per commit — patch vs rebuild",
-                 {"batch_size", "|E|", "delta_pct", "patch_ms", "rebuild_ms",
-                  "speedup"});
+  TableWriter t2("S2: snapshot acquisition per commit — patch vs rebuild "
+                 "(per shard count)",
+                 {"shards", "batch_size", "|E|", "delta_pct", "patch_ms",
+                  "rebuild_ms", "speedup"});
   const size_t acq_rounds = smoke ? 5 : 9;
   size_t edges = acq.graph.NumEdges();
   std::vector<size_t> acq_batches = {1, 8, 64};
   acq_batches.push_back(std::max<size_t>(1, edges / 100));  // the 1% point
   acq_batches.push_back(std::max<size_t>(1, edges / 20));   // past threshold
-  for (size_t batch_size : acq_batches)
-    AcquisitionSweep(acq, batch_size, acq_rounds, &t2);
+  std::vector<size_t> acq_shards =
+      smoke ? std::vector<size_t>{1, 4} : std::vector<size_t>{1, 4, 8};
+  for (size_t shards : acq_shards)
+    for (size_t batch_size : acq_batches)
+      AcquisitionSweep(acq, batch_size, acq_rounds, shards, &t2);
   t2.Print();
   std::puts("\nCSV:");
   std::fputs(t2.ToCsv().c_str(), stdout);
+
+  // --- S2b: localized edits — dirty-shard rebuild vs monolithic rebuild --
+  TableWriter t3("S2b: localized-edit rebuild — one dirty shard vs "
+                 "monolithic O(V+E)",
+                 {"shards", "|E|", "dirty_rebuild_ms", "mono_rebuild_ms",
+                  "speedup"});
+  std::vector<size_t> dirty_shards =
+      smoke ? std::vector<size_t>{4} : std::vector<size_t>{2, 4, 8};
+  for (size_t shards : dirty_shards)
+    DirtyShardSweep(acq, shards, acq_rounds, &t3);
+  t3.Print();
+  std::puts("\nCSV:");
+  std::fputs(t3.ToCsv().c_str(), stdout);
   return 0;
 }

@@ -28,10 +28,13 @@ constexpr char kUsage[] = R"(usage:
   grepair repair <graph.tsv> <rules.grr> [--strategy greedy|naive|batch|exact]
           [--out repaired.tsv] [--threads N]
   grepair mine   <graph.tsv> [--min-support X] [--threads N]
-  grepair serve  <graph.tsv> <rules.grr> [--threads N]
+  grepair serve  <graph.tsv> <rules.grr> [--threads N] [--shards S]
 
 --threads N fans detection / mining statistics out over N worker threads
 (0 = hardware concurrency); results are identical to --threads 1.
+--shards S partitions serve's cached read snapshot into S storage shards
+(0 = one per worker thread, 1 = monolithic); results are identical for
+any S, but a hot shard rebuilds alone instead of forcing a full rebuild.
 
 serve reads edit commands from stdin, one per line, and repairs after each
 commit (see DESIGN.md "Serving model"):
@@ -55,7 +58,7 @@ const std::map<std::string, std::set<std::string>>& AllowedFlags() {
       {"detect", {"threads"}},
       {"repair", {"strategy", "out", "threads"}},
       {"mine", {"min-support", "threads"}},
-      {"serve", {"threads"}},
+      {"serve", {"threads", "shards"}},
   };
   return kAllowed;
 }
@@ -439,11 +442,13 @@ std::string ServeLine(RepairService* service,
     return StrFormat(
         "stats batches=%zu edits=%zu op_errors=%zu violations=%zu fixes=%zu "
         "anchors=%zu pending=%zu p50_ms=%.2f p95_ms=%.2f "
-        "snapshot_patches=%zu snapshot_rebuilds=%zu snapshot_mem=%zu",
+        "snapshot_patches=%zu snapshot_rebuilds=%zu snapshot_mem=%zu "
+        "shards=%zu shard_patches=%zu shard_rebuilds=%zu",
         s.batches, s.edits, s.op_errors, s.violations_detected,
         s.violations_repaired, s.anchors_visited, service->PendingEdits(),
         s.LatencyPercentileMs(50), s.LatencyPercentileMs(95),
-        s.snapshot_patches, s.snapshot_rebuilds, s.snapshot_memory_bytes);
+        s.snapshot_patches, s.snapshot_rebuilds, s.snapshot_memory_bytes,
+        service->num_shards(), s.shard_patches, s.shard_rebuilds);
   }
   // cmd == "save": the only verb left after the arity table check.
   Status st = SaveGraph(service->graph(), tok[1]);
@@ -461,6 +466,15 @@ Status CmdServe(const Args& args, std::string* out, std::istream* in,
 
   ServeOptions sopt;
   GREPAIR_RETURN_IF_ERROR(ParseThreads(args.flags, &sopt.num_threads));
+  if (auto it = args.flags.find("shards"); it != args.flags.end()) {
+    uint64_t v = 0;
+    if (!ParseUint64(it->second, &v))
+      return Status::InvalidArgument("bad --shards");
+    sopt.num_shards = static_cast<size_t>(v);
+  }
+  // Validate BEFORE constructing: the service constructor throws on bad
+  // options, but flag errors should exit through the status path.
+  GREPAIR_RETURN_IF_ERROR(sopt.Validate());
   RepairService service(std::move(g), std::move(rules), sopt);
 
   auto respond = [&](const std::string& line) {
@@ -470,9 +484,11 @@ Status CmdServe(const Args& args, std::string* out, std::istream* in,
       live->flush();
     }
   };
-  respond(StrFormat("serving %zu nodes %zu edges %zu rules threads=%zu",
+  respond(StrFormat("serving %zu nodes %zu edges %zu rules threads=%zu "
+                    "shards=%zu",
                     service.graph().NumNodes(), service.graph().NumEdges(),
-                    service.rules().size(), sopt.num_threads));
+                    service.rules().size(), sopt.num_threads,
+                    service.num_shards()));
 
   if (in == nullptr) in = &std::cin;
   std::string line;

@@ -41,14 +41,17 @@ void SortedErase(std::vector<NodeId>* v, NodeId x) {
 
 }  // namespace
 
-GraphSnapshot::GraphSnapshot(const GraphView& g)
-    : vocab_(g.vocab()), num_nodes_(g.NumNodes()), num_edges_(g.NumEdges()) {
+GraphSnapshot::GraphSnapshot(const GraphView& g, SnapshotShard shard)
+    : vocab_(g.vocab()), shard_(shard) {
   const size_t nb = g.NodeIdBound();
   const size_t eb = g.EdgeIdBound();
   base_node_bound_ = nb;
   base_edge_bound_ = eb;
 
   // --- Node columns + label/attr partitions ----------------------------
+  // Columns span the FULL id space even when sharded (routing stays O(1)
+  // id arithmetic), but non-owned ids keep their defaults: the owner shard
+  // is the only one ever read for them.
   node_alive_.resize(nb, 0);
   node_label_.resize(nb, 0);
   node_attrs_.resize(nb);
@@ -58,10 +61,12 @@ GraphSnapshot::GraphSnapshot(const GraphView& g)
   std::map<SymbolId, std::vector<NodeId>> label_buckets;
   std::map<uint64_t, std::vector<NodeId>> attr_buckets;
   for (NodeId n = 0; n < nb; ++n) {
+    if (!shard_.OwnsNode(n)) continue;
     node_label_[n] = g.NodeLabel(n);
     node_attrs_[n] = g.NodeAttrs(n);  // tombstones keep attrs addressable
     if (!g.NodeAlive(n)) continue;
     node_alive_[n] = 1;
+    ++num_nodes_;
     label_buckets[node_label_[n]].push_back(n);
     for (const auto& [a, v] : node_attrs_[n].entries())
       attr_buckets[AttrKey(a, v)].push_back(n);
@@ -98,20 +103,23 @@ GraphSnapshot::GraphSnapshot(const GraphView& g)
   }
 
   // --- Edge columns ----------------------------------------------------
+  // An edge belongs to its src's shard; non-owned edges (including their
+  // tombstones) stay at defaults and are read through their owner.
   edge_alive_.resize(eb, 0);
   edge_src_.resize(eb, kInvalidNode);
   edge_dst_.resize(eb, kInvalidNode);
   edge_label_.resize(eb, 0);
   edge_attrs_.resize(eb);
-  alive_edges_.reserve(num_edges_);
   for (EdgeId e = 0; e < eb; ++e) {
     EdgeView v = g.Edge(e);
+    if (!shard_.OwnsNode(v.src)) continue;
     edge_src_[e] = v.src;
     edge_dst_[e] = v.dst;
     edge_label_[e] = v.label;
     edge_attrs_[e] = g.EdgeAttrs(e);
     if (!g.EdgeAlive(e)) continue;
     edge_alive_[e] = 1;
+    ++num_edges_;
     alive_edges_.push_back(e);
     ++edge_label_count_[v.label];
   }
@@ -195,13 +203,18 @@ bool GraphSnapshot::SearchIndexContains(const std::vector<EdgeId>& index,
   return false;
 }
 
-bool GraphSnapshot::HasEdge(NodeId src, NodeId dst, SymbolId label) const {
-  if (!NodeAlive(src) || !NodeAlive(dst)) return false;
+bool GraphSnapshot::EdgeIndexContains(NodeId src, NodeId dst,
+                                      SymbolId label) const {
   if (SearchIndexContains(edge_search_, src, dst, label, /*base=*/true))
     return true;
   return has_patches_ &&
          SearchIndexContains(edge_search_added_, src, dst, label,
                              /*base=*/false);
+}
+
+bool GraphSnapshot::HasEdge(NodeId src, NodeId dst, SymbolId label) const {
+  if (!NodeAlive(src) || !NodeAlive(dst)) return false;
+  return EdgeIndexContains(src, dst, label);
 }
 
 std::vector<NodeId> GraphSnapshot::Nodes() const {
@@ -274,10 +287,37 @@ size_t GraphSnapshot::CountEdgesWithLabel(SymbolId label) const {
 // ------------------------------------------------------------------ patch
 
 void GraphSnapshot::Patch(const EditEntry* records, size_t n) {
-  if (n == 0) return;
-  has_patches_ = true;
-  for (size_t i = 0; i < n; ++i) PatchOne(records[i]);
-  patched_edits_ += n;
+  // A sharded snapshot receives the FULL record slice and applies only the
+  // records touching its slice; PatchedEdits() counts exactly those, which
+  // is what the per-shard rebuild heuristics budget against. Monolithic
+  // snapshots apply (and count) everything, as before.
+  for (size_t i = 0; i < n; ++i) {
+    if (!AppliesTo(records[i])) continue;
+    has_patches_ = true;
+    ++patched_edits_;
+    PatchOne(records[i]);
+  }
+}
+
+bool GraphSnapshot::AppliesTo(const EditEntry& rec) const {
+  switch (rec.kind) {
+    case EditKind::kAddNode:
+    case EditKind::kRemoveNode:
+    case EditKind::kSetNodeLabel:
+    case EditKind::kSetNodeAttr:
+      return shard_.OwnsNode(rec.node);
+    case EditKind::kAddEdge:
+    case EditKind::kRemoveEdge:
+      // The src shard owns the edge; the dst shard owns the in-adjacency
+      // side effect. Either involvement makes the record this shard's.
+      return shard_.OwnsNode(rec.src) || shard_.OwnsNode(rec.dst);
+    case EditKind::kSetEdgeLabel:
+    case EditKind::kSetEdgeAttr:
+      // These records carry no endpoints; ownership comes from the edge's
+      // own (owned-only) src column.
+      return OwnsEdge(rec.edge);
+  }
+  return false;
 }
 
 void GraphSnapshot::PatchOne(const EditEntry& rec) {
@@ -365,39 +405,53 @@ void GraphSnapshot::PatchRemoveNode(const EditEntry& rec) {
 
 void GraphSnapshot::PatchAddEdge(const EditEntry& rec) {
   EdgeId e = rec.edge;
-  EnsureEdgeColumns(e);
-  edge_alive_[e] = 1;
-  edge_src_[e] = rec.src;
-  edge_dst_[e] = rec.dst;
-  edge_label_[e] = rec.label;
-  edge_attrs_[e] = AttrMapFromSnapshot(rec.attr_snapshot);
-  ++num_edges_;
-  ++edge_label_count_[rec.label];
-  // Tail append on both endpoints: Graph::LinkEdge pushes back, and an
-  // undo-revived edge lands at the tail the same way.
-  TouchAdjacency(rec.src);
-  TouchAdjacency(rec.dst);
-  out_patch_[rec.src].push_back(e);
-  in_patch_[rec.dst].push_back(e);
-  SearchIndexInsert(e);
-  if (!InBaseAliveEdges(e)) SortedInsert(&alive_added_, e);
+  // Split by ownership: the src shard owns the edge columns, index entries
+  // and out-adjacency; the dst shard owns only the in-adjacency. The
+  // monolithic shard owns both and takes both branches, reproducing the
+  // pre-shard behavior exactly.
+  if (shard_.OwnsNode(rec.src)) {
+    EnsureEdgeColumns(e);
+    edge_alive_[e] = 1;
+    edge_src_[e] = rec.src;
+    edge_dst_[e] = rec.dst;
+    edge_label_[e] = rec.label;
+    edge_attrs_[e] = AttrMapFromSnapshot(rec.attr_snapshot);
+    ++num_edges_;
+    ++edge_label_count_[rec.label];
+    // Tail append: Graph::LinkEdge pushes back, and an undo-revived edge
+    // lands at the tail the same way.
+    TouchAdjacency(rec.src);
+    out_patch_[rec.src].push_back(e);
+    SearchIndexInsert(e);
+    if (!InBaseAliveEdges(e)) SortedInsert(&alive_added_, e);
+  }
+  if (shard_.OwnsNode(rec.dst)) {
+    TouchAdjacency(rec.dst);
+    in_patch_[rec.dst].push_back(e);
+  }
 }
 
 void GraphSnapshot::PatchRemoveEdge(const EditEntry& rec) {
   EdgeId e = rec.edge;
-  SearchIndexInvalidate(e);
-  TouchAdjacency(edge_src_[e]);
-  TouchAdjacency(edge_dst_[e]);
-  std::vector<EdgeId>& out = out_patch_[edge_src_[e]];
-  out.erase(std::find(out.begin(), out.end(), e));
-  std::vector<EdgeId>& in = in_patch_[edge_dst_[e]];
-  in.erase(std::find(in.begin(), in.end(), e));
-  edge_alive_[e] = 0;
-  --num_edges_;
-  --edge_label_count_[edge_label_[e]];
-  // Keep the tombstone addressable; empty for the inverse of kAddEdge.
-  edge_attrs_[e] = AttrMapFromSnapshot(rec.attr_snapshot);
-  if (!InBaseAliveEdges(e)) SortedErase(&alive_added_, e);
+  // Endpoints come from the record, not the columns: a shard owning only
+  // the dst side never populated this edge's columns.
+  if (shard_.OwnsNode(rec.src)) {
+    SearchIndexInvalidate(e);
+    TouchAdjacency(rec.src);
+    std::vector<EdgeId>& out = out_patch_[rec.src];
+    out.erase(std::find(out.begin(), out.end(), e));
+    edge_alive_[e] = 0;
+    --num_edges_;
+    --edge_label_count_[edge_label_[e]];
+    // Keep the tombstone addressable; empty for the inverse of kAddEdge.
+    edge_attrs_[e] = AttrMapFromSnapshot(rec.attr_snapshot);
+    if (!InBaseAliveEdges(e)) SortedErase(&alive_added_, e);
+  }
+  if (shard_.OwnsNode(rec.dst)) {
+    TouchAdjacency(rec.dst);
+    std::vector<EdgeId>& in = in_patch_[rec.dst];
+    in.erase(std::find(in.begin(), in.end(), e));
+  }
 }
 
 void GraphSnapshot::EnsureNodeColumns(NodeId n) {

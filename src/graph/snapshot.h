@@ -50,20 +50,50 @@
 
 namespace grepair {
 
+/// Which slice of the id space a GraphSnapshot materializes: shard `index`
+/// of `count` owns the nodes with StorageShardOfNode(n, count) == index and
+/// the edges whose SRC it owns. The default {0, 1} owns everything — the
+/// monolithic snapshot. A sharded instance leaves non-owned ids at column
+/// defaults (never read: ShardedSnapshot routes every read to the owner)
+/// and its counts/partitions/indexes cover owned elements only.
+struct SnapshotShard {
+  uint32_t index = 0;
+  uint32_t count = 1;
+
+  bool OwnsNode(NodeId n) const {
+    return count <= 1 || StorageShardOfNode(n, count) == index;
+  }
+};
+
 class GraphSnapshot final : public GraphView {
  public:
   /// Builds from any GraphView (in practice: the live Graph). O(V + E +
   /// sort of the edge index). The source must not be mutated during
-  /// construction.
-  explicit GraphSnapshot(const GraphView& g);
+  /// construction. A non-default `shard` materializes only that shard's
+  /// slice (see SnapshotShard); the constructor reads only `g`'s plain
+  /// accessors (no lazily populated indexes), so shard builds of one
+  /// source may run concurrently.
+  explicit GraphSnapshot(const GraphView& g, SnapshotShard shard = {});
 
   /// Advances the snapshot by `n` physical replay records (a slice of
   /// Graph::DeltaLogSince from the position this snapshot mirrors).
   /// O(records), with a one-time copy-on-write charge per adjacency list /
   /// candidate group first touched over the snapshot's lifetime. After the
   /// call every read is bit-identical to the live graph at the new
-  /// position. NOT thread-safe: patch on the writer thread, between passes.
+  /// position. A sharded snapshot applies only the records that touch its
+  /// slice (AppliesTo) and skips the rest, so the same full slice can be
+  /// handed to every shard — including concurrently: shards share no
+  /// mutable state. NOT thread-safe per instance: patch on the writer
+  /// thread (or one task per shard), between passes.
   void Patch(const EditEntry* records, size_t n);
+
+  /// True when `rec` touches this snapshot's shard slice — the unit of the
+  /// per-shard dirty accounting (PatchedEdits counts exactly the records
+  /// AppliesTo accepted). Always true for the monolithic default shard.
+  bool AppliesTo(const EditEntry& rec) const;
+
+  /// The shard slice this snapshot materializes ({0, 1} = monolithic).
+  const SnapshotShard& shard() const { return shard_; }
 
   /// Total records applied by Patch since construction — the "accumulated
   /// patch fraction" input of rebuild heuristics.
@@ -117,6 +147,11 @@ class GraphSnapshot final : public GraphView {
   /// O(log E) binary search over the (src, dst, label)-sorted edge index
   /// (base + patch-added side array).
   bool HasEdge(NodeId src, NodeId dst, SymbolId label) const override;
+  /// The index probe of HasEdge WITHOUT the endpoint-liveness prechecks —
+  /// the routing hook ShardedSnapshot::HasEdge needs: the shard owning
+  /// `src` holds the edge index entry, but `dst` may live (and be alive)
+  /// in another shard, so the caller checks liveness globally first.
+  bool EdgeIndexContains(NodeId src, NodeId dst, SymbolId label) const;
 
   std::vector<NodeId> Nodes() const override;
   std::vector<EdgeId> Edges() const override;
@@ -148,6 +183,15 @@ class GraphSnapshot final : public GraphView {
 
   static uint64_t AttrKey(SymbolId attr, SymbolId value) {
     return (static_cast<uint64_t>(attr) << 32) | value;
+  }
+
+  /// Edge ownership = ownership of its src. Only owned edges ever get
+  /// their src column populated, so a default (kInvalidNode) src means
+  /// "not this shard's edge" (always false under the monolithic shard
+  /// only for ids beyond the columns).
+  bool OwnsEdge(EdgeId e) const {
+    return e < edge_src_.size() && edge_src_[e] != kInvalidNode &&
+           shard_.OwnsNode(edge_src_[e]);
   }
 
   // --- Patch plumbing ---------------------------------------------------
@@ -193,8 +237,9 @@ class GraphSnapshot final : public GraphView {
   bool InBaseAliveEdges(EdgeId e) const;
 
   VocabularyPtr vocab_;
-  size_t num_nodes_ = 0;
-  size_t num_edges_ = 0;
+  SnapshotShard shard_;
+  size_t num_nodes_ = 0;  ///< owned alive nodes (all alive when monolithic)
+  size_t num_edges_ = 0;  ///< owned alive edges
 
   // Dense columns over the full id space (tombstones included).
   std::vector<uint8_t> node_alive_;
@@ -257,12 +302,12 @@ class GraphSnapshot final : public GraphView {
 };
 
 /// The one-snapshot-per-pass idiom of the parallel read paths: returns `g`
-/// itself when it already is a snapshot, otherwise builds one into
-/// `*storage` (which owns it for the duration of the pass) and returns
-/// that. Keeps the build-or-reuse gate in one place.
+/// itself when it already is a snapshot view (monolithic OR sharded),
+/// otherwise builds one into `*storage` (which owns it for the duration of
+/// the pass) and returns that. Keeps the build-or-reuse gate in one place.
 inline const GraphView& SnapshotForPass(
     const GraphView& g, std::unique_ptr<GraphSnapshot>* storage) {
-  if (g.AsSnapshot() != nullptr) return g;
+  if (g.IsSnapshotView()) return g;
   *storage = std::make_unique<GraphSnapshot>(g);
   return **storage;
 }

@@ -4,17 +4,23 @@
 //
 // Fan-out unit is (rule × anchor-shard): the anchor lists a delta induces
 // (DeltaMatcher::ComputeAnchors — pattern-independent, so computed once per
-// batch) are split into contiguous slices, and each (rule, edge-slice) /
+// batch) are split into slices, and each (rule, edge-slice) /
 // (rule, node-slice) pair is an independent task running the raw anchored
-// searches of DeltaMatcher::MatchEdgeAnchors / MatchNodeAnchors.
+// searches of DeltaMatcher::MatchEdgeAnchors / MatchNodeAnchors. Over an
+// unsharded view the slices are contiguous blocks; over a sharded store
+// (GraphView::NumStorageShards() > 1, e.g. ShardedSnapshot) slicing is
+// STORAGE-ALIGNED — one slice per storage shard holding exactly the
+// anchors that shard owns (an edge anchor belongs to its src's shard), so
+// a task's anchored reads stay within one shard's columns.
 //
 // Determinism: the sequential FindDelta visits anchor edges in ascending-id
 // order, then anchor nodes, each anchored search with its OWN expansion
 // budget, deduplicating by match footprint as it goes. Workers collect raw
-// (pre-dedup) matches; the calling thread concatenates task outputs in
-// (rule id, edge shards, node shards, slice index) order and applies the
-// same per-rule footprint dedup, so the surviving emission stream — and
-// every stat — equals the sequential run for any thread count.
+// (pre-dedup) matches; the calling thread merges task outputs back into
+// that exact visit order — block slices by concatenation, storage-aligned
+// slices by a per-anchor-count interleave — and applies the same per-rule
+// footprint dedup, so the surviving emission stream — and every stat —
+// equals the sequential run for any shard x thread combination.
 //
 // Concurrency contract (DESIGN.md "Threading model"): the graph, rule set
 // and vocabulary must not be mutated while Detect runs.

@@ -5,14 +5,20 @@
 // Two levels of fan-out:
 //   (a) rule-level — each rule's full-graph match is an independent task;
 //   (b) shard-level — a rule whose seed-candidate set is large is split
-//       into contiguous ranges of Matcher::SeedCandidates(); each range is
-//       matched with per-seed anchored searches.
+//       into per-seed anchored searches. Over an UNSHARDED view the split
+//       is contiguous ranges of Matcher::SeedCandidates(); over a sharded
+//       store (GraphView::NumStorageShards() > 1, e.g. ShardedSnapshot)
+//       the split is STORAGE-ALIGNED: one task per storage shard holding
+//       exactly the seeds that shard owns, so a task's reads stay within
+//       one shard's columns.
 //
 // Determinism: the sequential matcher explores seeds in ascending-id order
-// and each seed's subtree deterministically, so concatenating shard results
-// (tasks are ordered by rule id, then shard index) reproduces the exact
-// sequential emission order. Workers only read the graph; emission happens
-// on the calling thread after all tasks complete.
+// and each seed's subtree deterministically. Block shards concatenate in
+// (rule id, shard index) order; storage-aligned shards record per-seed
+// match counts and are interleaved back into global ascending-seed order.
+// Both reproduce the exact sequential emission stream for any shard x
+// thread combination. Workers only read the graph; emission happens on the
+// calling thread after all tasks complete.
 //
 // Concurrency contract (DESIGN.md "Threading model"): the graph, rule set
 // and vocabulary must not be mutated while Detect runs. Matching never

@@ -26,13 +26,12 @@ size_t DetectInto(const GraphView& g, const RuleSet& rules,
                   ViolationStore* store,
                   const CostModel& model, SymbolId conf_attr,
                   size_t* expansions, ThreadPool* pool = nullptr,
-                  const GraphSnapshot* snapshot = nullptr) {
-  // A caller-owned snapshot of g's current state replaces g on every read
-  // path below (bit-identical by contract) — repeated passes over an
-  // unchanged graph then skip the per-pass snapshot build entirely.
-  const GraphView& src = snapshot != nullptr
-                             ? static_cast<const GraphView&>(*snapshot)
-                             : g;
+                  const GraphView* snapshot = nullptr) {
+  // A caller-owned snapshot view of g's current state (monolithic or
+  // sharded) replaces g on every read path below (bit-identical by
+  // contract) — repeated passes over an unchanged graph then skip the
+  // per-pass snapshot build entirely.
+  const GraphView& src = snapshot != nullptr ? *snapshot : g;
   if (pool != nullptr && pool->NumThreads() > 1) {
     // One immutable read-optimized snapshot per detection pass, shared
     // read-only by every pool worker (cache-friendly CSR reads, no live
@@ -106,7 +105,7 @@ void DetectDelta(const GraphView& g, const RuleSet& rules,
 size_t DetectAll(const GraphView& g, const RuleSet& rules,
                  ViolationStore* store,
                  size_t* expansions, size_t num_threads,
-                 const GraphSnapshot* snapshot) {
+                 const GraphView* snapshot) {
   CostModel model;
   std::unique_ptr<ThreadPool> pool = MakeDetectPool(num_threads);
   return DetectInto(g, rules, store, model, /*conf_attr=*/0, expansions,
@@ -114,7 +113,7 @@ size_t DetectAll(const GraphView& g, const RuleSet& rules,
 }
 
 size_t CountViolations(const GraphView& g, const RuleSet& rules,
-                       size_t num_threads, const GraphSnapshot* snapshot) {
+                       size_t num_threads, const GraphView* snapshot) {
   ViolationStore store;
   return DetectAll(g, rules, &store, nullptr, num_threads, snapshot);
 }

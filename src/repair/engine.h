@@ -73,23 +73,25 @@ inline constexpr bool kSnapshotDetectReads = true;
 /// over a thread pool reading it; the store contents and order are
 /// identical to the sequential result for any thread count.
 ///
-/// `snapshot`, when non-null, must be a snapshot of `g`'s exact current
-/// state (fresh-built or delta-patched); the pass then reads it instead of
-/// building its own, so callers that repeatedly detect over an UNCHANGED
-/// graph (eval loops, thread-count sweeps, benchmarks) pay the O(V+E)
-/// snapshot cost once instead of per call. Reads over a snapshot are
-/// bit-identical to reads over the live graph, so results do not depend on
-/// whether one is supplied.
+/// `snapshot`, when non-null, must be a snapshot VIEW of `g`'s exact
+/// current state (a fresh-built or delta-patched GraphSnapshot, or a
+/// ShardedSnapshot — anything whose IsSnapshotView() is true); the pass
+/// then reads it instead of building its own, so callers that repeatedly
+/// detect over an UNCHANGED graph (eval loops, thread-count sweeps,
+/// benchmarks) pay the O(V+E) snapshot cost once instead of per call.
+/// Reads over a snapshot are bit-identical to reads over the live graph —
+/// for a sharded snapshot across every shard count — so results do not
+/// depend on whether (or which) one is supplied.
 size_t DetectAll(const GraphView& g, const RuleSet& rules,
                  ViolationStore* store,
                  size_t* expansions = nullptr, size_t num_threads = 1,
-                 const GraphSnapshot* snapshot = nullptr);
+                 const GraphView* snapshot = nullptr);
 
 /// Counts violations without keeping them. Same `snapshot` contract as
 /// DetectAll.
 size_t CountViolations(const GraphView& g, const RuleSet& rules,
                        size_t num_threads = 1,
-                       const GraphSnapshot* snapshot = nullptr);
+                       const GraphView* snapshot = nullptr);
 
 /// Delta-anchored re-detection: adds, for every rule, each violation the
 /// edit slice `delta` can have introduced to `store`, costed with

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
@@ -26,17 +27,51 @@ double ServiceStats::LatencyPercentileMs(double p) const {
   return sorted[rank == 0 ? 0 : rank - 1];
 }
 
+Status ServeOptions::Validate() const {
+  // NaN fails both comparisons' complement, so spell the accept range out.
+  if (!(snapshot_rebuild_fraction >= 0.0 &&
+        snapshot_rebuild_fraction <= 1.0))
+    return Status::InvalidArgument(
+        "snapshot_rebuild_fraction must be in [0, 1]");
+  if (num_shards > ShardedSnapshot::kMaxShards)
+    return Status::InvalidArgument(
+        StrFormat("num_shards must be at most %zu",
+                  ShardedSnapshot::kMaxShards));
+  // size_t cannot be negative, but a "-1" that slipped through an unsigned
+  // parse becomes an absurd count — reject it rather than spawning it.
+  constexpr size_t kMaxThreads = 4096;
+  if (num_threads > kMaxThreads)
+    return Status::InvalidArgument(
+        StrFormat("num_threads must be at most %zu", kMaxThreads));
+  return Status::Ok();
+}
+
 RepairService::RepairService(Graph graph, RuleSet rules, ServeOptions options)
     : options_(std::move(options)),
       graph_(std::move(graph)),
       rules_(std::move(rules)),
       clean_mark_(graph_.JournalSize()) {
+  Status valid = options_.Validate();
+  if (!valid.ok()) throw std::invalid_argument(valid.ToString());
   if (options_.num_threads != 1)
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   // Record physical deltas for incremental snapshot maintenance — only a
   // service that can fan out ever reads snapshots (a 1-thread service
-  // would pay the record copies for nothing).
-  if (pool_ != nullptr) graph_.EnableDeltaLog();
+  // would pay the record copies for nothing; it also keeps num_shards_ at
+  // 1, since no snapshot ever exists to shard).
+  if (pool_ != nullptr) {
+    graph_.EnableDeltaLog();
+    num_shards_ = options_.num_shards == 0 ? pool_->NumThreads()
+                                           : options_.num_shards;
+    num_shards_ = std::min(num_shards_, ShardedSnapshot::kMaxShards);
+  }
+}
+
+ParallelRunner RepairService::ShardRunner() const {
+  if (pool_ == nullptr || pool_->NumThreads() <= 1) return {};
+  return [this](size_t n, const std::function<void(size_t)>& fn) {
+    pool_->ParallelFor(n, fn);
+  };
 }
 
 bool RepairService::PatchWithinBudget(uint64_t pending) const {
@@ -47,9 +82,44 @@ bool RepairService::PatchWithinBudget(uint64_t pending) const {
          static_cast<double>(pending + snapshot_->PatchedEdits()) <= budget;
 }
 
-const GraphSnapshot& RepairService::AcquireSnapshot(BatchResult* res) {
+const GraphView& RepairService::AcquireSnapshot(BatchResult* res) {
   Timer t;
   const uint64_t log_end = graph_.DeltaLogEnd();
+  if (num_shards_ > 1) {
+    // Sharded cache: the patch-or-rebuild decision moves inside
+    // ShardedSnapshot::Advance and becomes PER SHARD — clean shards are
+    // untouched, lightly dirty shards patch, and a shard past its own
+    // fraction rebuilds alone (~1/S of a monolithic rebuild), all fanned
+    // out over the pool. The whole acquisition counts as a patch only
+    // when no shard had to rebuild.
+    if (!options_.incremental_snapshots || sharded_ == nullptr) {
+      sharded_ = std::make_unique<ShardedSnapshot>(graph_, num_shards_,
+                                                   ShardRunner());
+      stats_.shard_rebuilds += num_shards_;
+      ++stats_.snapshot_rebuilds;
+      stats_.snapshot_rebuild_ms += t.ElapsedMs();
+    } else {
+      auto [records, count] = graph_.DeltaLogSince(snapshot_watermark_);
+      ShardedSnapshot::AdvanceStats adv =
+          sharded_->Advance(graph_, records, count,
+                            options_.snapshot_rebuild_fraction,
+                            ShardRunner());
+      stats_.shard_patches += adv.shards_patched;
+      stats_.shard_rebuilds += adv.shards_rebuilt;
+      if (adv.shards_rebuilt == 0) {
+        res->snapshot_patched = true;
+        ++stats_.snapshot_patches;
+        stats_.snapshot_patch_ms += t.ElapsedMs();
+      } else {
+        ++stats_.snapshot_rebuilds;
+        stats_.snapshot_rebuild_ms += t.ElapsedMs();
+      }
+    }
+    snapshot_watermark_ = log_end;
+    graph_.TrimDeltaLog(snapshot_watermark_);
+    res->snapshot_ms = t.ElapsedMs();
+    return *sharded_;
+  }
   const uint64_t pending =
       snapshot_ != nullptr ? log_end - snapshot_watermark_ : 0;
   if (options_.incremental_snapshots && PatchWithinBudget(pending)) {
@@ -72,6 +142,25 @@ const GraphSnapshot& RepairService::AcquireSnapshot(BatchResult* res) {
 void RepairService::CapDeltaLogGrowth() {
   if (pool_ == nullptr) return;
   const uint64_t log_end = graph_.DeltaLogEnd();
+  if (num_shards_ > 1) {
+    if (sharded_ != nullptr) {
+      // Keep the records while SOME shard could still patch them cheaper
+      // than rebuilding. The per-shard budgets (fraction * max(|E_s|, 64))
+      // sum to roughly fraction * |E| in the aggregate — the same bound as
+      // the monolithic gate — so retain under that; past it the next
+      // fan-out would rebuild every dirty shard anyway.
+      const double budget =
+          options_.snapshot_rebuild_fraction *
+          static_cast<double>(std::max<size_t>(graph_.NumEdges(), 64));
+      if (static_cast<double>(log_end - snapshot_watermark_ +
+                              sharded_->PatchedEdits()) <= budget)
+        return;
+      sharded_.reset();
+    }
+    snapshot_watermark_ = log_end;
+    graph_.TrimDeltaLog(log_end);
+    return;
+  }
   if (snapshot_ != nullptr) {
     if (PatchWithinBudget(log_end - snapshot_watermark_))
       return;  // still worth patching later; keep the records
@@ -83,9 +172,12 @@ void RepairService::CapDeltaLogGrowth() {
 
 const ServiceStats& RepairService::stats() const {
   // Lazily priced: MemoryBytes walks every attribute map, which must not
-  // ride the per-commit hot path AcquireSnapshot just took off it.
+  // ride the per-commit hot path AcquireSnapshot just took off it. Rolls
+  // up across shards when the cache is sharded.
   stats_.snapshot_memory_bytes =
-      snapshot_ != nullptr ? snapshot_->MemoryBytes() : 0;
+      sharded_ != nullptr
+          ? sharded_->MemoryBytes()
+          : (snapshot_ != nullptr ? snapshot_->MemoryBytes() : 0);
   return stats_;
 }
 
@@ -449,6 +541,7 @@ Status RepairService::RestoreState(const std::string& path) {
   graph_ = std::move(restored);
   if (pool_ != nullptr) graph_.EnableDeltaLog();
   snapshot_.reset();
+  sharded_.reset();
   snapshot_watermark_ = 0;
   clean_mark_ = 0;
   store_.Clear();

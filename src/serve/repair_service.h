@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/sharded_snapshot.h"
 #include "graph/snapshot.h"
 #include "grr/rule.h"
 #include "parallel/delta_detector.h"
@@ -64,8 +65,24 @@ struct ServeOptions {
   /// delta plus everything already patched into the cached snapshot —
   /// exceed this fraction of |E|: per-record overlay bookkeeping has a
   /// higher constant than the linear rebuild, and a heavily patched
-  /// snapshot carries overlay lookups on its read paths.
+  /// snapshot carries overlay lookups on its read paths. Under sharding
+  /// the same fraction applies PER SHARD against the shard's own edge
+  /// count, so a hot shard rebuilds alone.
   double snapshot_rebuild_fraction = 0.15;
+  /// Storage shards for the cached read snapshot (ShardedSnapshot): 0 =
+  /// one shard per pool thread (the default — build, patch and rebuild all
+  /// align with the detection fan-out), 1 = one monolithic GraphSnapshot,
+  /// capped at ShardedSnapshot::kMaxShards. Ignored by a sequential
+  /// (1-thread) service, which never reads snapshots. Results are
+  /// bit-identical across shard counts; only wall-clock changes.
+  size_t num_shards = 0;
+
+  /// Rejects out-of-range configuration — snapshot_rebuild_fraction
+  /// outside [0,1] (or NaN), num_shards beyond the kMaxShards routing
+  /// cap, absurd thread counts — instead of letting it silently misbehave.
+  /// RepairService's constructor enforces this (std::invalid_argument);
+  /// the CLI validates before constructing so bad flags exit cleanly.
+  Status Validate() const;
 };
 
 /// Outcome of one committed batch.
@@ -114,6 +131,14 @@ struct ServiceStats {
   size_t snapshot_rebuilds = 0;
   double snapshot_patch_ms = 0.0;
   double snapshot_rebuild_ms = 0.0;
+  /// Per-shard ledger of the sharded store (zeros when serving with one
+  /// monolithic snapshot): cumulative SHARDS patched / rebuilt across all
+  /// acquisitions. A commit that patches 3 shards and rebuilds the one hot
+  /// shard adds 3 and 1 — the dirty-shard-only economics the monolithic
+  /// counters cannot express (they count the whole acquisition as one
+  /// rebuild whenever any shard rebuilt).
+  size_t shard_patches = 0;
+  size_t shard_rebuilds = 0;
   /// Heap footprint of the currently cached snapshot (0 when none).
   /// Computed when stats() is queried — the walk over the snapshot's
   /// attribute maps is O(V+E) and must not ride the per-commit hot path.
@@ -137,6 +162,9 @@ struct EditApplied {
 class RepairService {
  public:
   /// Takes ownership of the graph. The rule set must share its vocabulary.
+  /// Throws std::invalid_argument when `options` fail
+  /// ServeOptions::Validate() (callers that must not throw validate
+  /// first).
   RepairService(Graph graph, RuleSet rules, ServeOptions options = {});
 
   /// Applies one edit op, journaled but NOT yet repaired (repair happens at
@@ -182,34 +210,47 @@ class RepairService {
   const RuleSet& rules() const { return rules_; }
   const ServiceStats& stats() const;
   const ServeOptions& options() const { return options_; }
+  /// Effective storage shards of the cached snapshot (1 = monolithic; also
+  /// 1 for a sequential service, which never snapshots).
+  size_t num_shards() const { return num_shards_; }
 
  private:
   SymbolId ConfAttr() const;
-  /// The one rebuild-threshold policy: true when advancing the cached
-  /// snapshot by `pending` more records stays within
+  /// The one rebuild-threshold policy of the MONOLITHIC cache: true when
+  /// advancing it by `pending` more records stays within
   /// `snapshot_rebuild_fraction` of |E| (accumulated patches included).
+  /// The sharded cache applies the same fraction per shard inside
+  /// ShardedSnapshot::Advance.
   bool PatchWithinBudget(uint64_t pending) const;
-  /// Hands out the read snapshot for a fanning-out seed pass: patches the
-  /// cached one forward by the delta-log slice since it was last current,
-  /// or (re)builds when there is none / the patch fraction crosses
-  /// `snapshot_rebuild_fraction` / incremental maintenance is disabled.
-  /// Updates the patch/rebuild counters and trims the consumed delta log.
-  const GraphSnapshot& AcquireSnapshot(BatchResult* res);
+  /// Hands out the read snapshot view for a fanning-out seed pass: patches
+  /// the cached one forward by the delta-log slice since it was last
+  /// current, or (re)builds when there is none / the patch fraction
+  /// crosses `snapshot_rebuild_fraction` / incremental maintenance is
+  /// disabled. Under sharding the patch-or-rebuild decision is PER SHARD
+  /// (dirty shards rebuild alone, in parallel over the pool). Updates the
+  /// patch/rebuild counters and trims the consumed delta log.
+  const GraphView& AcquireSnapshot(BatchResult* res);
   /// Caps delta-log growth on commits that do NOT read a snapshot: drops
   /// the cache (and the log) once patching it would lose to a rebuild
   /// anyway, so a fan-out drought never accumulates an unbounded log.
   void CapDeltaLogGrowth();
+  /// Shard-task runner over the service pool (null runner when there is no
+  /// pool to fan out over).
+  ParallelRunner ShardRunner() const;
 
   ServeOptions options_;
   Graph graph_;
   RuleSet rules_;
   ViolationStore store_;  ///< persistent across batches
   std::unique_ptr<ThreadPool> pool_;  ///< null when num_threads == 1
+  size_t num_shards_ = 1;  ///< resolved ServeOptions::num_shards
   size_t clean_mark_ = 0;  ///< journal position of the last commit
-  /// The cached cross-commit snapshot and the delta-log sequence up to
-  /// which it mirrors the graph. Only maintained when the pool can fan out
-  /// (a sequential service never reads snapshots).
+  /// The cached cross-commit snapshot — monolithic (snapshot_) when
+  /// num_shards_ == 1, sharded (sharded_) otherwise — and the delta-log
+  /// sequence up to which it mirrors the graph. Only maintained when the
+  /// pool can fan out (a sequential service never reads snapshots).
   std::unique_ptr<GraphSnapshot> snapshot_;
+  std::unique_ptr<ShardedSnapshot> sharded_;
   uint64_t snapshot_watermark_ = 0;
   /// mutable: stats() refreshes snapshot_memory_bytes on query (the
   /// service is single-caller, so const reads never race).

@@ -1,8 +1,9 @@
-// Shared read-for-read equivalence assertion between a live Graph and a
-// GraphSnapshot (fresh-built or delta-patched): accessors, tombstones,
-// adjacency ORDER, Find/HasEdge, counts, and candidate collection with the
-// snapshot's ascending contract. Used by test_snapshot.cc and
-// test_snapshot_patch.cc.
+// Shared read-for-read equivalence assertion between a live Graph and any
+// snapshot view — a GraphSnapshot (fresh-built or delta-patched) or a
+// ShardedSnapshot at any shard count: accessors, tombstones, adjacency
+// ORDER, Find/HasEdge, counts, and candidate collection with the snapshot
+// ascending contract. Used by test_snapshot.cc, test_snapshot_patch.cc and
+// test_sharded_snapshot.cc.
 #ifndef GREPAIR_TESTS_SNAPSHOT_EQUIVALENCE_H_
 #define GREPAIR_TESTS_SNAPSHOT_EQUIVALENCE_H_
 
@@ -21,8 +22,9 @@ inline std::vector<EdgeId> ToVector(IdSpan span) {
 }
 
 // Element-by-element read equivalence, including tombstones and adjacency
-// order.
-inline void ExpectViewEquivalent(const Graph& g, const GraphSnapshot& s) {
+// order. `s` must honor the snapshot contract (ascending Collect* with a
+// true sorted flag) — GraphSnapshot and ShardedSnapshot both do.
+inline void ExpectViewEquivalent(const Graph& g, const GraphView& s) {
   ASSERT_EQ(g.NumNodes(), s.NumNodes());
   ASSERT_EQ(g.NumEdges(), s.NumEdges());
   ASSERT_EQ(g.NodeIdBound(), s.NodeIdBound());
