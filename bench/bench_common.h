@@ -9,19 +9,21 @@
 #include <thread>
 
 #include "eval/experiment.h"
+#include "obs/build_info.h"
 #include "util/table_writer.h"
 
 namespace grepair {
 namespace bench {
 
 /// Prints the self-describing run header: one JSON line with the bench
-/// name, wall-clock start time (UTC) and the machine's thread count, so a
-/// saved bench output identifies when and where it was produced. Benches
-/// that sweep a thread budget (bench_parallel_scaling) also report the
-/// per-row thread count in their JSON rows. `extra_json` appends raw
-/// `"key":value` fields (comma-joined by the caller) — used to record
-/// whether the snapshot read path is active so perf trajectories stay
-/// comparable across PRs.
+/// name, wall-clock start time (UTC), the machine's thread count and the
+/// build provenance (git sha, build type, compiler — obs/build_info.h), so
+/// a saved bench output identifies when, where and from WHAT it was
+/// produced. Benches that sweep a thread budget (bench_parallel_scaling)
+/// also report the per-row thread count in their JSON rows. `extra_json`
+/// appends raw `"key":value` fields (comma-joined by the caller) — used to
+/// record whether the snapshot read path is active so perf trajectories
+/// stay comparable across PRs.
 inline void PrintBenchHeader(const std::string& name,
                              const std::string& extra_json = "") {
   std::time_t now = std::time(nullptr);
@@ -30,8 +32,9 @@ inline void PrintBenchHeader(const std::string& name,
   if (gmtime_r(&now, &tm_utc) != nullptr)
     std::strftime(ts, sizeof(ts), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
   std::printf("{\"bench\":\"%s\",\"wall_clock\":\"%s\","
-              "\"hardware_threads\":%u%s%s}\n",
+              "\"hardware_threads\":%u,%s%s%s}\n",
               name.c_str(), ts, std::thread::hardware_concurrency(),
+              obs::BuildInfoJsonFields().c_str(),
               extra_json.empty() ? "" : ",", extra_json.c_str());
 }
 

@@ -12,6 +12,9 @@
 #include "grr/rule_parser.h"
 #include "grr/standard_rules.h"
 #include "mining/rule_miner.h"
+#include "obs/build_info.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "repair/engine.h"
 #include "serve/repair_service.h"
 #include "util/strings.h"
@@ -22,13 +25,14 @@ namespace {
 constexpr char kUsage[] = R"(usage:
   grepair gen <kg|social|citation> --out g.tsv [--scale N] [--rate R]
           [--seed S] [--rules-out r.grr]
-  grepair stats  <graph.tsv>
+  grepair stats  <graph.tsv> [--format text|prom]
   grepair check  <rules.grr>
   grepair detect <graph.tsv> <rules.grr> [--threads N]
   grepair repair <graph.tsv> <rules.grr> [--strategy greedy|naive|batch|exact]
           [--out repaired.tsv] [--threads N]
   grepair mine   <graph.tsv> [--min-support X] [--threads N]
   grepair serve  <graph.tsv> <rules.grr> [--threads N] [--shards S]
+          [--trace-out trace.json]
 
 --threads N fans detection / mining statistics out over N worker threads
 (0 = hardware concurrency); results are identical to --threads 1.
@@ -46,6 +50,13 @@ commit (see DESIGN.md "Serving model"):
   snapshot <path>   persist service state (graph + violation backlog;
                     commits pending edits first)
   restore <path>    replace service state from a snapshot file
+  metrics           dump all instruments in Prometheus text exposition
+  trace <path>      flush the commit-path trace rings to <path> as Chrome
+                    trace-event JSON (requires --trace-out or prior traces)
+
+--trace-out FILE enables commit-path tracing for the session and writes the
+accumulated spans to FILE (Chrome trace-event JSON, Perfetto-loadable) when
+the session ends.
 )";
 
 // Flags each command accepts; anything else is a usage error (exit 2), so a
@@ -53,12 +64,12 @@ commit (see DESIGN.md "Serving model"):
 const std::map<std::string, std::set<std::string>>& AllowedFlags() {
   static const std::map<std::string, std::set<std::string>> kAllowed = {
       {"gen", {"out", "scale", "rate", "seed", "rules-out"}},
-      {"stats", {}},
+      {"stats", {"format"}},
       {"check", {}},
       {"detect", {"threads"}},
       {"repair", {"strategy", "out", "threads"}},
       {"mine", {"min-support", "threads"}},
-      {"serve", {"threads", "shards"}},
+      {"serve", {"threads", "shards", "trace-out"}},
   };
   return kAllowed;
 }
@@ -84,6 +95,11 @@ struct Args {
     Args out;
     for (size_t i = 0; i < raw.size(); ++i) {
       if (StartsWith(raw[i], "--")) {
+        // Both spellings: --key value and --key=value.
+        if (size_t eq = raw[i].find('='); eq != std::string::npos) {
+          out.flags[raw[i].substr(2, eq - 2)] = raw[i].substr(eq + 1);
+          continue;
+        }
         if (i + 1 >= raw.size())
           return Status::InvalidArgument("flag " + raw[i] + " needs a value");
         out.flags[raw[i].substr(2)] = raw[i + 1];
@@ -206,13 +222,36 @@ Status CmdGen(const Args& args, std::string* out) {
 Status CmdStats(const Args& args, std::string* out) {
   if (args.positional.size() < 2)
     return Status::InvalidArgument("stats needs a graph path");
+  std::string format = args.Flag("format", "text");
+  if (format != "text" && format != "prom")
+    return Status::InvalidArgument("bad --format (want text or prom)");
   auto vocab = MakeVocabulary();
   GREPAIR_ASSIGN_OR_RETURN(Graph g, LoadGraph(args.positional[1], vocab));
-  *out += StrFormat("nodes: %zu\nedges: %zu\n", g.NumNodes(), g.NumEdges());
   // Label histograms.
   std::map<std::string, size_t> node_hist, edge_hist;
   for (NodeId n : g.Nodes()) node_hist[vocab->LabelName(g.NodeLabel(n))]++;
   for (EdgeId e : g.Edges()) edge_hist[vocab->LabelName(g.EdgeLabel(e))]++;
+  if (format == "prom") {
+    // Same numbers as the text report, re-shaped into the exposition the
+    // `metrics` serve verb speaks — scrapeable graph-shape gauges.
+    obs::MetricsRegistry reg;
+    obs::RegisterBuildInfoMetric(&reg);
+    reg.GetGauge("grepair_graph_nodes", "Alive nodes in the graph.")
+        ->Set(static_cast<int64_t>(g.NumNodes()));
+    reg.GetGauge("grepair_graph_edges", "Alive edges in the graph.")
+        ->Set(static_cast<int64_t>(g.NumEdges()));
+    for (const auto& [l, c] : node_hist)
+      reg.GetGauge("grepair_graph_node_labels", "Alive nodes by label.",
+                   {{"label", l}})
+          ->Set(static_cast<int64_t>(c));
+    for (const auto& [l, c] : edge_hist)
+      reg.GetGauge("grepair_graph_edge_labels", "Alive edges by label.",
+                   {{"label", l}})
+          ->Set(static_cast<int64_t>(c));
+    *out += reg.ExpositionText();
+    return Status::Ok();
+  }
+  *out += StrFormat("nodes: %zu\nedges: %zu\n", g.NumNodes(), g.NumEdges());
   *out += "node labels:\n";
   for (const auto& [l, c] : node_hist)
     *out += StrFormat("  %-16s %zu\n", l.c_str(), c);
@@ -350,6 +389,8 @@ std::string ServeLine(RepairService* service,
       {"set_edge_attr", 4},
       {"commit", 1},
       {"stats", 1},
+      {"metrics", 1},
+      {"trace", 2},
       {"save", 2},
       {"snapshot", 2},
       {"restore", 2},
@@ -441,14 +482,36 @@ std::string ServeLine(RepairService* service,
     const ServiceStats& s = service->stats();
     return StrFormat(
         "stats batches=%zu edits=%zu op_errors=%zu violations=%zu fixes=%zu "
-        "anchors=%zu pending=%zu p50_ms=%.2f p95_ms=%.2f "
+        "anchors=%zu pending=%zu p50_ms=%.2f p95_ms=%.2f p99_ms=%.2f "
         "snapshot_patches=%zu snapshot_rebuilds=%zu snapshot_mem=%zu "
         "shards=%zu shard_patches=%zu shard_rebuilds=%zu",
         s.batches, s.edits, s.op_errors, s.violations_detected,
         s.violations_repaired, s.anchors_visited, service->PendingEdits(),
         s.LatencyPercentileMs(50), s.LatencyPercentileMs(95),
-        s.snapshot_patches, s.snapshot_rebuilds, s.snapshot_memory_bytes,
-        service->num_shards(), s.shard_patches, s.shard_rebuilds);
+        s.LatencyPercentileMs(99), s.snapshot_patches, s.snapshot_rebuilds,
+        s.snapshot_memory_bytes, service->num_shards(), s.shard_patches,
+        s.shard_rebuilds);
+  }
+  if (cmd == "metrics") {
+    // stats() refreshes the lazily-priced snapshot-memory gauge before the
+    // registry is rendered; the service instruments come first, then the
+    // process-wide families (pool, matcher, build info). Names never
+    // collide across the two registries, so the concatenation is itself a
+    // well-formed exposition.
+    (void)service->stats();
+    obs::RegisterBuildInfoMetric();
+    std::string text = service->metrics_registry().ExpositionText() +
+                       obs::MetricsRegistry::Global().ExpositionText();
+    // The protocol is line-oriented; the respond() wrapper appends the
+    // final newline.
+    if (!text.empty() && text.back() == '\n') text.pop_back();
+    return text;
+  }
+  if (cmd == "trace") {
+    size_t events = obs::TraceEventCount();
+    if (!obs::WriteChromeTrace(tok[1]))
+      return "err cannot write trace: " + tok[1];
+    return StrFormat("trace %s events=%zu", tok[1].c_str(), events);
   }
   // cmd == "save": the only verb left after the arity table check.
   Status st = SaveGraph(service->graph(), tok[1]);
@@ -475,6 +538,14 @@ Status CmdServe(const Args& args, std::string* out, std::istream* in,
   // Validate BEFORE constructing: the service constructor throws on bad
   // options, but flag errors should exit through the status path.
   GREPAIR_RETURN_IF_ERROR(sopt.Validate());
+  std::string trace_out = args.Flag("trace-out", "");
+  if (!trace_out.empty()) {
+    // Session-scoped tracing: start from empty rings so the dump holds
+    // exactly this session's commit path, and drop the enable on exit so a
+    // host process running several sessions doesn't trace the untraced.
+    obs::ClearTrace();
+    obs::SetTracingEnabled(true);
+  }
   RepairService service(std::move(g), std::move(rules), sopt);
 
   auto respond = [&](const std::string& line) {
@@ -484,6 +555,7 @@ Status CmdServe(const Args& args, std::string* out, std::istream* in,
       live->flush();
     }
   };
+  respond(obs::BuildInfoLine());
   respond(StrFormat("serving %zu nodes %zu edges %zu rules threads=%zu "
                     "shards=%zu",
                     service.graph().NumNodes(), service.graph().NumEdges(),
@@ -500,6 +572,14 @@ Status CmdServe(const Args& args, std::string* out, std::istream* in,
   }
   // Repair anything still pending so quitting never abandons a dirty graph.
   if (service.PendingEdits() > 0) respond(FormatBatch(service.Commit()));
+  if (!trace_out.empty()) {
+    size_t events = obs::TraceEventCount();
+    if (obs::WriteChromeTrace(trace_out))
+      respond(StrFormat("trace %s events=%zu", trace_out.c_str(), events));
+    else
+      respond("err cannot write trace: " + trace_out);
+    obs::SetTracingEnabled(false);
+  }
   const ServiceStats& s = service.stats();
   respond(StrFormat("bye batches=%zu fixes=%zu", s.batches,
                     s.violations_repaired));

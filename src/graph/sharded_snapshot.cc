@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/ordered_merge.h"
 
 namespace grepair {
@@ -130,10 +131,12 @@ ShardedSnapshot::AdvanceStats ShardedSnapshot::Advance(
   RunShards(S, runner, [&](size_t s) {
     if (pending[s] == 0) return;
     if (rebuild[s]) {
+      OBS_SPAN_ARG("shard.advance.rebuild", "shard", s);
       shards_[s] = std::make_unique<GraphSnapshot>(
           g,
           SnapshotShard{static_cast<uint32_t>(s), static_cast<uint32_t>(S)});
     } else {
+      OBS_SPAN_ARG("shard.advance.patch", "shard", s);
       shards_[s]->Patch(records, n);
     }
   });

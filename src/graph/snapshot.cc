@@ -5,6 +5,8 @@
 #include <map>
 #include <tuple>
 
+#include "obs/trace.h"
+
 namespace grepair {
 
 namespace {
@@ -43,6 +45,7 @@ void SortedErase(std::vector<NodeId>* v, NodeId x) {
 
 GraphSnapshot::GraphSnapshot(const GraphView& g, SnapshotShard shard)
     : vocab_(g.vocab()), shard_(shard) {
+  OBS_SPAN_ARG("snapshot.build", "shard", shard.index);
   const size_t nb = g.NodeIdBound();
   const size_t eb = g.EdgeIdBound();
   base_node_bound_ = nb;
@@ -287,6 +290,7 @@ size_t GraphSnapshot::CountEdgesWithLabel(SymbolId label) const {
 // ------------------------------------------------------------------ patch
 
 void GraphSnapshot::Patch(const EditEntry* records, size_t n) {
+  OBS_SPAN_ARG("snapshot.patch", "shard", shard_.index);
   // A sharded snapshot receives the FULL record slice and applies only the
   // records touching its slice; PatchedEdits() counts exactly those, which
   // is what the per-shard rebuild heuristics budget against. Monolithic

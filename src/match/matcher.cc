@@ -4,8 +4,39 @@
 #include <unordered_set>
 
 #include "match/predicate.h"
+#include "obs/metrics.h"
 
 namespace grepair {
+
+namespace {
+
+// Process-wide matcher instruments. The hot loops count into plain
+// SearchState locals; one flush of sharded-cell adds per FindAll keeps the
+// per-expansion cost at zero (DESIGN.md "Observability").
+struct MatchMetrics {
+  obs::Counter* seeds;
+  obs::Counter* candidates;
+  obs::Counter* expansions;
+  obs::Counter* matches;
+};
+
+MatchMetrics& Metrics() {
+  static MatchMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    return MatchMetrics{
+        reg.GetCounter("grepair_match_seeds_total",
+                       "Root-level seed candidates tried across searches."),
+        reg.GetCounter("grepair_match_candidates_total",
+                       "Candidate nodes probed at every search depth."),
+        reg.GetCounter("grepair_match_expansions_total",
+                       "Backtracking search-tree expansions."),
+        reg.GetCounter("grepair_match_matches_total",
+                       "Embeddings found and delivered to callbacks.")};
+  }();
+  return m;
+}
+
+}  // namespace
 
 bool Match::ContainsNode(NodeId n) const {
   return std::find(nodes.begin(), nodes.end(), n) != nodes.end();
@@ -31,6 +62,11 @@ struct Matcher::SearchState {
 
   std::vector<EdgeId> edge_binding;   // pattern edge -> concrete edge
   std::unordered_set<EdgeId> used_edges;
+
+  // Local observability tallies, flushed to the registry once per FindAll.
+  size_t root_depth = 0;       // bound_count after anchors = the seed level
+  size_t obs_seeds = 0;        // candidates tried at the seed level
+  size_t obs_candidates = 0;   // candidates generated at every level
 };
 
 // Checks label, injectivity, adjacency to all bound neighbors, and every
@@ -292,6 +328,8 @@ void Matcher::Extend(SearchState* st) const {
   // Deterministic (ascending) order helps tests and reproducibility; a
   // snapshot's label/attr partitions arrive pre-sorted.
   if (!sorted) std::sort(cands.begin(), cands.end());
+  st->obs_candidates += cands.size();
+  if (st->bound_count == st->root_depth) st->obs_seeds += cands.size();
   for (NodeId cand : cands) {
     if (!CheckNewBinding(st, var, cand)) continue;
     st->binding[var] = cand;
@@ -351,7 +389,16 @@ MatchStats Matcher::FindAll(const MatchOptions& opts,
     ++st.bound_count;
   }
 
+  st.root_depth = st.bound_count;
   Extend(&st);
+
+  if (obs::MetricsEnabled()) {
+    MatchMetrics& m = Metrics();
+    m.seeds->Add(st.obs_seeds);
+    m.candidates->Add(st.obs_candidates);
+    m.expansions->Add(st.stats.expansions);
+    m.matches->Add(st.stats.matches);
+  }
   return st.stats;
 }
 

@@ -1,0 +1,36 @@
+#include "obs/build_info.h"
+
+#include "obs/build_info_gen.h"
+#include "obs/metrics.h"
+
+namespace grepair {
+namespace obs {
+
+const char* BuildGitSha() { return GREPAIR_BUILD_GIT_SHA; }
+const char* BuildType() { return GREPAIR_BUILD_TYPE; }
+const char* BuildCompiler() { return GREPAIR_BUILD_COMPILER; }
+
+std::string BuildInfoLine() {
+  return std::string("grepair ") + BuildGitSha() + " (" + BuildType() + ", " +
+         BuildCompiler() + ")";
+}
+
+std::string BuildInfoJsonFields() {
+  return std::string("\"git_sha\":\"") + BuildGitSha() +
+         "\",\"build_type\":\"" + BuildType() + "\",\"compiler\":\"" +
+         BuildCompiler() + "\"";
+}
+
+void RegisterBuildInfoMetric(MetricsRegistry* registry) {
+  MetricsRegistry& reg =
+      registry != nullptr ? *registry : MetricsRegistry::Global();
+  reg.GetGauge("grepair_build_info",
+               "Build provenance; value is always 1, the labels carry it.",
+               {{"sha", BuildGitSha()},
+                {"build", BuildType()},
+                {"compiler", BuildCompiler()}})
+      ->Set(1);
+}
+
+}  // namespace obs
+}  // namespace grepair

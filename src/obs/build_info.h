@@ -1,0 +1,39 @@
+// Build provenance, baked in at configure time (CMake generates
+// obs/build_info_gen.h from src/obs/build_info_gen.h.in): git sha, build
+// type and compiler. Surfaced in the serve greeting, `grepair --version`,
+// every bench JSON header and the Prometheus exposition, so any artifact —
+// a CI bench JSON, a trace, a metrics snapshot — is attributable to the
+// commit that produced it.
+#ifndef GREPAIR_OBS_BUILD_INFO_H_
+#define GREPAIR_OBS_BUILD_INFO_H_
+
+#include <string>
+
+namespace grepair {
+namespace obs {
+
+class MetricsRegistry;
+
+/// Short git sha of the configured checkout ("unknown" outside git).
+const char* BuildGitSha();
+/// CMAKE_BUILD_TYPE at configure time ("" when unset).
+const char* BuildType();
+/// Compiler id + version, e.g. "GNU 12.2.0".
+const char* BuildCompiler();
+
+/// One-line human form: "grepair <sha> (<build type>, <compiler>)".
+std::string BuildInfoLine();
+
+/// Raw JSON fields (no braces), for bench headers:
+/// "git_sha":"...","build_type":"...","compiler":"..."
+std::string BuildInfoJsonFields();
+
+/// Registers grepair_build_info{sha=...,build=...,compiler=...} 1 — the
+/// standard Prometheus build-provenance idiom — in `registry`, or in
+/// MetricsRegistry::Global() when null. Idempotent.
+void RegisterBuildInfoMetric(MetricsRegistry* registry = nullptr);
+
+}  // namespace obs
+}  // namespace grepair
+
+#endif  // GREPAIR_OBS_BUILD_INFO_H_

@@ -1,0 +1,265 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace grepair {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+// Formats a double the way Prometheus clients expect: integral values
+// without a fractional tail, everything else with enough digits to round
+// trip.
+std::string FormatValue(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(v)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+// Escapes a label value per the exposition format: backslash, double
+// quote and newline.
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// {name="value",...} with an optional extra label appended (histogram le).
+std::string LabelBlock(const Labels& labels, const std::string& extra_name,
+                       const std::string& extra_value) {
+  if (labels.empty() && extra_name.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += MetricsRegistry::SanitizeName(k) + "=\"" + EscapeLabelValue(v) +
+           "\"";
+  }
+  if (!extra_name.empty()) {
+    if (!first) out += ",";
+    out += extra_name + "=\"" + extra_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+size_t ThreadCellSlot() {
+  // Dense sequential slots wrap around kCells; two threads share a cell
+  // only past kCells live threads, which only costs contention, never
+  // correctness.
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kCells;
+  return slot;
+}
+
+}  // namespace internal
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  cells_ = std::make_unique<internal::Cell[]>((bounds_.size() + 1) *
+                                              internal::kCells);
+}
+
+void Histogram::Observe(double v) {
+  // First bucket with v <= bound; +Inf (index bounds_.size()) otherwise.
+  const size_t b =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  const size_t slot = internal::ThreadCellSlot();
+  cells_[b * internal::kCells + slot].v.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  // Portable atomic double add (fetch_add on atomic<double> is C++20 but
+  // spotty under sanitizers): a relaxed CAS loop on an uncontended padded
+  // cell converges in one iteration in practice.
+  std::atomic<double>& sum = sum_cells_[slot].v;
+  double cur = sum.load(std::memory_order_relaxed);
+  while (!sum.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  const size_t n = (bounds_.size() + 1) * internal::kCells;
+  for (size_t i = 0; i < n; ++i)
+    total += cells_[i].v.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0;
+  for (const auto& c : sum_cells_)
+    total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+uint64_t Histogram::BucketCount(size_t i) const {
+  uint64_t total = 0;
+  for (size_t s = 0; s < internal::kCells; ++s)
+    total += cells_[i * internal::kCells + s].v.load(
+        std::memory_order_relaxed);
+  return total;
+}
+
+const std::vector<double>& DefaultLatencyBucketsMs() {
+  static const std::vector<double> kBuckets = {
+      0.01, 0.025, 0.05, 0.1,  0.25,  0.5,   1.0,    2.5,
+      5.0,  10.0,  25.0, 50.0, 100.0, 250.0, 1000.0, 5000.0};
+  return kBuckets;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* g = new MetricsRegistry();  // leaked: process-long
+  return *g;
+}
+
+std::string MetricsRegistry::SanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    if (alpha || c == '_' || (digit && !out.empty())) {
+      out += c;
+    } else if (digit) {
+      out += '_';
+      out += c;
+    } else {
+      out += '_';
+    }
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+// Called with mu_ held. Children are unique_ptr-boxed so the returned
+// pointer survives sibling registrations reallocating the vector.
+MetricsRegistry::Child* MetricsRegistry::FindOrAddChild(
+    const std::string& name, const std::string& help, Kind kind,
+    const Labels& labels) {
+  auto [it, inserted] = families_.try_emplace(SanitizeName(name));
+  Family& fam = it->second;
+  if (inserted) {
+    fam.help = help;
+    fam.kind = kind;
+  }
+  // A name reused with a different kind is a programming error; return the
+  // existing family's child of matching labels so callers cannot corrupt
+  // the exposition, creating the instrument under the registered kind.
+  for (auto& c : fam.children)
+    if (c->labels == labels) return c.get();
+  fam.children.push_back(std::make_unique<Child>());
+  fam.children.back()->labels = labels;
+  return fam.children.back().get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Child* c = FindOrAddChild(name, help, Kind::kCounter, labels);
+  if (c->counter == nullptr) c->counter = std::make_unique<Counter>();
+  return c->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Child* c = FindOrAddChild(name, help, Kind::kGauge, labels);
+  if (c->gauge == nullptr) c->gauge = std::make_unique<Gauge>();
+  return c->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds,
+                                         const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Child* c = FindOrAddChild(name, help, Kind::kHistogram, labels);
+  if (c->histogram == nullptr)
+    c->histogram = std::make_unique<Histogram>(std::move(bounds));
+  return c->histogram.get();
+}
+
+size_t MetricsRegistry::NumInstruments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [name, fam] : families_) n += fam.children.size();
+  return n;
+}
+
+std::string MetricsRegistry::ExpositionText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, fam] : families_) {
+    const char* type = fam.kind == Kind::kCounter   ? "counter"
+                       : fam.kind == Kind::kGauge   ? "gauge"
+                                                    : "histogram";
+    out += "# HELP " + name + " " + fam.help + "\n";
+    out += "# TYPE " + name + " " + std::string(type) + "\n";
+    for (const auto& child : fam.children) {
+      const Child& c = *child;
+      if (c.counter != nullptr) {
+        out += name + LabelBlock(c.labels, "", "") + " " +
+               FormatValue(static_cast<double>(c.counter->Value())) + "\n";
+      } else if (c.gauge != nullptr) {
+        out += name + LabelBlock(c.labels, "", "") + " " +
+               FormatValue(static_cast<double>(c.gauge->Value())) + "\n";
+      } else if (c.histogram != nullptr) {
+        const Histogram& h = *c.histogram;
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < h.bounds().size(); ++b) {
+          cumulative += h.BucketCount(b);
+          out += name + "_bucket" +
+                 LabelBlock(c.labels, "le", FormatValue(h.bounds()[b])) +
+                 " " + FormatValue(static_cast<double>(cumulative)) + "\n";
+        }
+        cumulative += h.BucketCount(h.bounds().size());
+        out += name + "_bucket" + LabelBlock(c.labels, "le", "+Inf") + " " +
+               FormatValue(static_cast<double>(cumulative)) + "\n";
+        out += name + "_sum" + LabelBlock(c.labels, "", "") + " " +
+               FormatValue(h.Sum()) + "\n";
+        out += name + "_count" + LabelBlock(c.labels, "", "") + " " +
+               FormatValue(static_cast<double>(cumulative)) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace grepair

@@ -1,0 +1,192 @@
+// Process observability: a metrics registry of named counters, gauges and
+// fixed-bucket histograms with Prometheus text exposition.
+//
+// Design (DESIGN.md "Observability"):
+//   - WRITES stay off the hot path: counter/histogram increments are relaxed
+//     atomic adds into a cache-line-padded cell picked by a thread-local
+//     slot, so concurrent instrumented threads do not bounce one line.
+//     Aggregation happens on READ (Value()/ExpositionText() sum the cells).
+//   - Handles are plain pointers owned by the registry: resolve once at
+//     setup (`registry.GetCounter(...)`), then `c->Add(1)` forever. The
+//     registry never deletes an instrument, so handles live as long as it.
+//   - A registry is instantiable (RepairService owns one per service so
+//     ServiceStats stays exact across service instances in one process);
+//     MetricsRegistry::Global() carries the process-wide instruments
+//     (thread pool, matcher) that have no per-service owner.
+//   - Runtime kill switch: obs::SetMetricsEnabled(false) gates the OPTIONAL
+//     instrumentation (timestamps in the pool, matcher flushes). Instruments
+//     that back serving counters are unconditional — they replaced
+//     equally-unconditional struct fields and cost the same relaxed add.
+#ifndef GREPAIR_OBS_METRICS_H_
+#define GREPAIR_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace grepair {
+namespace obs {
+
+/// Runtime gate for optional instrumentation (clock reads in the thread
+/// pool, matcher counter flushes, span timestamps). Defaults to enabled;
+/// benchmarks measuring the bare hot path may turn it off. Reads are
+/// relaxed — flipping it mid-run is advisory, not a memory barrier.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+/// Label set of one instrument instance, e.g. {{"path","patch"}}. Order is
+/// preserved into the exposition.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace internal {
+
+/// One cache-line-padded atomic cell. kCells of these per counter spread
+/// concurrent writers; readers sum.
+struct alignas(64) Cell {
+  std::atomic<uint64_t> v{0};
+};
+
+constexpr size_t kCells = 16;
+
+/// This thread's stable cell slot in [0, kCells).
+size_t ThreadCellSlot();
+
+}  // namespace internal
+
+/// Monotonically increasing event count. Write: one relaxed add. Read: sum
+/// of kCells cells (exact — adds are never lost, only summed late).
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    cells_[internal::ThreadCellSlot()].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const auto& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  std::array<internal::Cell, internal::kCells> cells_;
+};
+
+/// Point-in-time signed value (queue depth, resident bytes). Set/Add are
+/// single relaxed atomics — gauges are written from one place or are
+/// inc/dec pairs, so sharding buys nothing.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed-boundary histogram. `bounds` are ascending upper bounds (le
+/// semantics: an observation lands in the first bucket with v <= bound);
+/// an implicit +Inf bucket always exists past the last bound. Bucket
+/// counts and the running sum use the same sharded-cell scheme as Counter.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+  /// Observations recorded (the +Inf cumulative count).
+  uint64_t Count() const;
+  /// Sum of observed values.
+  double Sum() const;
+  /// Raw (non-cumulative) count of bucket i, i in [0, bounds().size()];
+  /// index bounds().size() is the +Inf bucket.
+  uint64_t BucketCount(size_t i) const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  struct alignas(64) SumCell {
+    std::atomic<double> v{0.0};
+  };
+
+  std::vector<double> bounds_;
+  /// Bucket-major: cell for (bucket b, slot s) at b * kCells + s. A raw
+  /// array allocation because atomics are neither copyable nor movable,
+  /// which rules out std::vector's relocation machinery.
+  std::unique_ptr<internal::Cell[]> cells_;
+  std::array<SumCell, internal::kCells> sum_cells_;
+};
+
+/// Bucket boundaries for millisecond latencies spanning sub-ms patches to
+/// multi-second rebuilds.
+const std::vector<double>& DefaultLatencyBucketsMs();
+
+/// A named collection of instruments with Prometheus text exposition
+/// (text format 0.0.4: HELP/TYPE lines per family, one sample line per
+/// child). Get* registers on first use and returns the existing handle on
+/// repeats (same name + labels); the returned pointers stay valid for the
+/// registry's lifetime. Registration takes a mutex; the handles' hot-path
+/// operations do not.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry for instruments without a natural owner.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds,
+                          const Labels& labels = {});
+
+  /// Registered instrument instances (children, not families).
+  size_t NumInstruments() const;
+
+  /// Prometheus text exposition of every instrument, families in
+  /// registration-name order, children in label order. Deterministic for a
+  /// frozen registry.
+  std::string ExpositionText() const;
+
+  /// Sanitizes an arbitrary string into a legal metric/label name:
+  /// [a-zA-Z_:][a-zA-Z0-9_:]* (':' reserved by convention — not emitted by
+  /// the sanitizer; every illegal char becomes '_', an illegal leading
+  /// digit gets a '_' prefix).
+  static std::string SanitizeName(const std::string& name);
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Child {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string help;
+    Kind kind = Kind::kCounter;
+    /// Boxed so registering a sibling never moves an existing child under
+    /// a handed-out instrument pointer.
+    std::vector<std::unique_ptr<Child>> children;
+  };
+
+  Child* FindOrAddChild(const std::string& name, const std::string& help,
+                        Kind kind, const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace obs
+}  // namespace grepair
+
+#endif  // GREPAIR_OBS_METRICS_H_

@@ -1,0 +1,172 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace grepair {
+namespace obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  const char* arg_key;
+  uint64_t ts_us;
+  uint64_t dur_us;
+  int64_t arg;
+  uint32_t tid;
+};
+
+// One ring per recording thread. The owning thread appends; a flushing
+// thread reads under the same mutex. The ring is shared_ptr-held by both
+// the thread_local slot and the global index, so a flush after thread
+// exit still sees its events.
+struct TraceRing {
+  explicit TraceRing(size_t cap, uint32_t tid_) : tid(tid_) {
+    events.resize(cap);
+  }
+  std::mutex mu;
+  std::vector<TraceEvent> events;  // fixed capacity, circular
+  size_t next = 0;                 // write position
+  size_t count = 0;                // retained (<= capacity)
+  uint32_t tid;
+};
+
+std::atomic<bool> g_tracing_enabled{false};
+std::atomic<size_t> g_ring_capacity{65536};
+
+struct RingIndex {
+  std::mutex mu;
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  uint32_t next_tid = 1;
+};
+
+RingIndex& Index() {
+  static RingIndex* idx = new RingIndex();  // leaked: process-long
+  return *idx;
+}
+
+TraceRing& ThisThreadRing() {
+  thread_local std::shared_ptr<TraceRing> ring = [] {
+    RingIndex& idx = Index();
+    std::lock_guard<std::mutex> lock(idx.mu);
+    auto r = std::make_shared<TraceRing>(
+        std::max<size_t>(1, g_ring_capacity.load(std::memory_order_relaxed)),
+        idx.next_tid++);
+    idx.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+}  // namespace
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void SetTraceRingCapacity(size_t events) {
+  g_ring_capacity.store(std::max<size_t>(1, events),
+                        std::memory_order_relaxed);
+}
+
+uint64_t NowUs() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+void RecordSpan(const char* name, uint64_t start_us, uint64_t dur_us,
+                int64_t arg, const char* arg_key) {
+  TraceRing& ring = ThisThreadRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.events[ring.next] = {name, arg_key, start_us, dur_us, arg, ring.tid};
+  ring.next = (ring.next + 1) % ring.events.size();
+  // Once full the write position laps the oldest event: drop-oldest.
+  ring.count = std::min(ring.count + 1, ring.events.size());
+}
+
+size_t TraceEventCount() {
+  RingIndex& idx = Index();
+  std::lock_guard<std::mutex> lock(idx.mu);
+  size_t total = 0;
+  for (const auto& r : idx.rings) {
+    std::lock_guard<std::mutex> rlock(r->mu);
+    total += r->count;
+  }
+  return total;
+}
+
+void ClearTrace() {
+  RingIndex& idx = Index();
+  std::lock_guard<std::mutex> lock(idx.mu);
+  for (const auto& r : idx.rings) {
+    std::lock_guard<std::mutex> rlock(r->mu);
+    r->next = 0;
+    r->count = 0;
+  }
+}
+
+std::string ChromeTraceJson() {
+  // Snapshot every ring, then sort by timestamp so the file reads in
+  // wall-clock order (viewers do not require it, humans do).
+  std::vector<TraceEvent> all;
+  {
+    RingIndex& idx = Index();
+    std::lock_guard<std::mutex> lock(idx.mu);
+    for (const auto& r : idx.rings) {
+      std::lock_guard<std::mutex> rlock(r->mu);
+      const size_t cap = r->events.size();
+      const size_t oldest = (r->next + cap - r->count) % cap;
+      for (size_t i = 0; i < r->count; ++i)
+        all.push_back(r->events[(oldest + i) % cap]);
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+
+  std::string out = "[";
+  char buf[256];
+  for (size_t i = 0; i < all.size(); ++i) {
+    const TraceEvent& e = all[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n{\"name\":\"%s\",\"cat\":\"grepair\",\"ph\":\"X\","
+                  "\"pid\":1,\"tid\":%u,\"ts\":%llu,\"dur\":%llu",
+                  i == 0 ? "" : ",", e.name, e.tid,
+                  static_cast<unsigned long long>(e.ts_us),
+                  static_cast<unsigned long long>(e.dur_us));
+    out += buf;
+    if (e.arg >= 0 && e.arg_key != nullptr) {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"%s\":%lld}", e.arg_key,
+                    static_cast<long long>(e.arg));
+      out += buf;
+    }
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  const std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+}  // namespace obs
+}  // namespace grepair

@@ -1,0 +1,122 @@
+// Scoped trace spans: OBS_SPAN("commit.detect") records one duration event
+// into a bounded per-thread ring buffer, flushable as Chrome trace-event
+// JSON (loadable in Perfetto / chrome://tracing).
+//
+// Cost model (DESIGN.md "Observability"):
+//   - tracing DISABLED (the default): a span is one relaxed atomic load —
+//     no clock read, no allocation, nothing recorded;
+//   - tracing ENABLED: two steady_clock reads plus one ring slot write
+//     under the ring's own mutex (uncontended except during a flush);
+//   - compiled OUT entirely with -DGREPAIR_OBS_DISABLED: the macros expand
+//     to nothing.
+//
+// Each thread owns one ring (registered on first span, capacity fixed at
+// creation, oldest events overwritten once full), so recording never
+// crosses threads. Flushing walks every ring and merges.
+#ifndef GREPAIR_OBS_TRACE_H_
+#define GREPAIR_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace grepair {
+namespace obs {
+
+/// Runtime switch; spans record only while enabled. Relaxed — a span that
+/// straddles the flip may be dropped, never torn.
+bool TracingEnabled();
+void SetTracingEnabled(bool enabled);
+
+/// Microseconds since the process trace epoch (first use), steady clock.
+uint64_t NowUs();
+
+/// Ring capacity (events per thread) for rings created AFTER the call;
+/// existing rings keep theirs. Test hook + memory bound (default 65536).
+void SetTraceRingCapacity(size_t events);
+
+/// Records one completed span. `arg` < 0 means no argument; otherwise it
+/// is emitted as "args":{"<arg_key>":arg}. `name` and `arg_key` must be
+/// string literals (stored by pointer).
+void RecordSpan(const char* name, uint64_t start_us, uint64_t dur_us,
+                int64_t arg = -1, const char* arg_key = nullptr);
+
+/// Events currently retained across all thread rings.
+size_t TraceEventCount();
+
+/// Drops every retained event (rings stay registered). Used at trace-
+/// session start so a flush covers exactly one session.
+void ClearTrace();
+
+/// All retained events as a Chrome trace-event JSON array, sorted by
+/// timestamp: [{"name":...,"ph":"X","pid":1,"tid":N,"ts":...,"dur":...},...]
+std::string ChromeTraceJson();
+
+/// Writes ChromeTraceJson() to `path`; returns false on I/O failure.
+bool WriteChromeTrace(const std::string& path);
+
+/// RAII span. Reads the clock only while tracing is enabled at
+/// construction; destruction records iff construction armed it.
+class Span {
+ public:
+  explicit Span(const char* name, int64_t arg = -1,
+                const char* arg_key = nullptr)
+      : name_(nullptr) {
+    if (TracingEnabled()) {
+      name_ = name;
+      arg_ = arg;
+      arg_key_ = arg_key;
+      start_us_ = NowUs();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr)
+      RecordSpan(name_, start_us_, NowUs() - start_us_, arg_, arg_key_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* arg_key_ = nullptr;
+  int64_t arg_ = -1;
+  uint64_t start_us_ = 0;
+};
+
+/// Steady-clock stopwatch in the obs time base — the serving path's one
+/// timing idiom (bench binaries keep util/timer.h). Readings feed
+/// BatchResult fields and registry histograms.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace grepair
+
+#ifdef GREPAIR_OBS_DISABLED
+#define OBS_SPAN(name)
+#define OBS_SPAN_ARG(name, key, value)
+#else
+#define GREPAIR_OBS_CONCAT_INNER(a, b) a##b
+#define GREPAIR_OBS_CONCAT(a, b) GREPAIR_OBS_CONCAT_INNER(a, b)
+/// Traces the enclosing scope as one span named `name` (string literal).
+#define OBS_SPAN(name) \
+  ::grepair::obs::Span GREPAIR_OBS_CONCAT(obs_span_, __LINE__)(name)
+/// Same, with one integer argument (e.g. OBS_SPAN_ARG("shard.patch",
+/// "shard", s)) emitted into the event's args.
+#define OBS_SPAN_ARG(name, key, value)                 \
+  ::grepair::obs::Span GREPAIR_OBS_CONCAT(obs_span_, __LINE__)( \
+      name, static_cast<int64_t>(value), key)
+#endif  // GREPAIR_OBS_DISABLED
+
+#endif  // GREPAIR_OBS_TRACE_H_

@@ -4,9 +4,48 @@
 #include <exception>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace grepair {
 
+namespace {
+
+// Process-wide pool instruments (DESIGN.md "Observability"): queue depth
+// at this instant, lifetime task count, and wait (enqueue -> dequeue) /
+// run histograms. One set for all pools — a process runs one serving pool
+// in practice, and the sharded counter cells absorb concurrent writers.
+struct PoolMetrics {
+  obs::Gauge* queue_depth;
+  obs::Counter* tasks;
+  obs::Histogram* wait_ms;
+  obs::Histogram* run_ms;
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    return PoolMetrics{
+        reg.GetGauge("grepair_pool_queue_depth",
+                     "Tasks enqueued and not yet started."),
+        reg.GetCounter("grepair_pool_tasks_total",
+                       "Tasks ever submitted to a worker pool."),
+        reg.GetHistogram("grepair_pool_task_wait_ms",
+                         "Queue wait from submit to a worker picking up.",
+                         obs::DefaultLatencyBucketsMs()),
+        reg.GetHistogram("grepair_pool_task_run_ms",
+                         "Task execution time on the worker.",
+                         obs::DefaultLatencyBucketsMs())};
+  }();
+  return m;
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
+  // Touch the pool instruments now so a `metrics` scrape sees the family
+  // (at zero) as soon as a pool exists, not only after its first task.
+  (void)Metrics();
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -26,18 +65,27 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
+  // Instrumentation rides the existing lock; the only added cost when
+  // metrics are on is one clock read per task (tasks are chunk-sized, see
+  // ParallelFor). Disabled: two relaxed atomic adds remain.
+  const bool obs_on = obs::MetricsEnabled();
+  Task t{std::move(task), obs_on ? obs::NowUs() : 0};
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutting_down_)
       throw std::runtime_error("ThreadPool: submit after shutdown");
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(t));
+    // Inside the lock so the consuming worker's decrement cannot land
+    // before this increment (the gauge never dips negative).
+    Metrics().tasks->Add(1);
+    Metrics().queue_depth->Add(1);
   }
   cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
@@ -46,7 +94,20 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();  // packaged_task captures any exception into its future
+    Metrics().queue_depth->Add(-1);
+    if (task.enqueue_us != 0 && obs::MetricsEnabled()) {
+      const uint64_t start_us = obs::NowUs();
+      Metrics().wait_ms->Observe(
+          static_cast<double>(start_us - task.enqueue_us) / 1000.0);
+      {
+        OBS_SPAN("pool.task");
+        task.fn();  // packaged_task captures any exception into its future
+      }
+      Metrics().run_ms->Observe(
+          static_cast<double>(obs::NowUs() - start_us) / 1000.0);
+    } else {
+      task.fn();
+    }
   }
 }
 

@@ -63,12 +63,19 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
+  /// A queued task plus its enqueue timestamp (obs time base, 0 when
+  /// metrics are disabled) so the dequeueing worker can price queue wait.
+  struct Task {
+    std::function<void()> fn;
+    uint64_t enqueue_us = 0;
+  };
+
   void Enqueue(std::function<void()> task);
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
 };

@@ -11,20 +11,29 @@
 #include "graph/graph_io.h"
 #include "graph/snapshot.h"
 #include "match/incremental.h"
+#include "obs/trace.h"
 #include "repair/fix.h"
 #include "util/strings.h"
-#include "util/timer.h"
 
 namespace grepair {
 
 double ServiceStats::LatencyPercentileMs(double p) const {
-  if (batch_ms.empty()) return 0.0;
-  std::vector<double> sorted = batch_ms;
-  std::sort(sorted.begin(), sorted.end());
+  if (batch_ms.empty()) return 0.0;  // no commits in the window yet
+  if (std::isnan(p)) return 0.0;     // garbage percentile, not UB
   p = std::min(100.0, std::max(0.0, p));
-  // Nearest-rank: the smallest latency >= p percent of the samples.
-  size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * sorted.size()));
-  return sorted[rank == 0 ? 0 : rank - 1];
+  // Nearest-rank over the retained window. The ring is UNORDERED once it
+  // wraps (newest overwrites oldest in place), so selection must not
+  // assume arrival order carries rank: rank-select on a scratch copy.
+  // rank = ceil(p/100 * n) clamped to [1, n]; p = 0 maps to the minimum
+  // (rank 1), p = 100 to the maximum (rank n).
+  std::vector<double> scratch = batch_ms;
+  size_t rank = static_cast<size_t>(std::ceil(p / 100.0 *
+                                              static_cast<double>(
+                                                  scratch.size())));
+  rank = std::max<size_t>(1, std::min(rank, scratch.size()));
+  std::nth_element(scratch.begin(), scratch.begin() + (rank - 1),
+                   scratch.end());
+  return scratch[rank - 1];
 }
 
 Status ServeOptions::Validate() const {
@@ -53,6 +62,61 @@ RepairService::RepairService(Graph graph, RuleSet rules, ServeOptions options)
       clean_mark_(graph_.JournalSize()) {
   Status valid = options_.Validate();
   if (!valid.ok()) throw std::invalid_argument(valid.ToString());
+
+  // Resolve the instrument handles once; every former stats_ field
+  // increment now lands on one of these (DESIGN.md "Observability" has the
+  // naming scheme). Registration order fixes nothing — exposition sorts by
+  // name — but keep it grouped for readers.
+  m_batches_ = registry_.GetCounter("grepair_serve_batches_total",
+                                    "Committed batches.");
+  m_edits_ = registry_.GetCounter("grepair_serve_edits_total",
+                                  "Edit ops accepted into the journal.");
+  m_op_errors_ = registry_.GetCounter(
+      "grepair_serve_op_errors_total",
+      "Edit ops rejected (dead ids, bad endpoints).");
+  m_violations_detected_ = registry_.GetCounter(
+      "grepair_serve_violations_detected_total",
+      "Violations newly seeded by batch delta-detection.");
+  m_fixes_ = registry_.GetCounter("grepair_serve_fixes_total",
+                                  "Cascade fixes applied.");
+  m_anchors_ = registry_.GetCounter(
+      "grepair_serve_anchors_total",
+      "Node + edge anchors induced by committed deltas.");
+  m_expansions_ = registry_.GetCounter(
+      "grepair_serve_expansions_total",
+      "Matcher expansions spent on detection and cascades.");
+  m_snapshot_batches_ = registry_.GetCounter(
+      "grepair_snapshot_batches_total",
+      "Commits whose seed pass read a snapshot instead of the live graph.");
+  m_shard_patches_ = registry_.GetCounter(
+      "grepair_shard_patches_total",
+      "Store shards advanced by an O(delta) patch.");
+  m_shard_rebuilds_ = registry_.GetCounter(
+      "grepair_shard_rebuilds_total",
+      "Store shards rebuilt from scratch (dirty-shard-only economics).");
+  m_backlog_ = registry_.GetGauge(
+      "grepair_serve_backlog",
+      "Violations waiting in the persistent store after the last commit.");
+  m_snapshot_mem_ = registry_.GetGauge(
+      "grepair_snapshot_memory_bytes",
+      "Heap footprint of the cached read snapshot (0 when none).");
+  m_commit_ms_ = registry_.GetHistogram(
+      "grepair_serve_commit_ms", "Whole-commit latency (detect + cascades).",
+      obs::DefaultLatencyBucketsMs());
+  m_detect_ms_ = registry_.GetHistogram(
+      "grepair_serve_detect_ms",
+      "Seed detection latency (snapshot acquisition included).",
+      obs::DefaultLatencyBucketsMs());
+  m_acquire_patch_ms_ = registry_.GetHistogram(
+      "grepair_snapshot_acquire_ms",
+      "Snapshot acquisition latency by path; counts are the patch/rebuild "
+      "ledger.",
+      obs::DefaultLatencyBucketsMs(), {{"path", "patch"}});
+  m_acquire_rebuild_ms_ = registry_.GetHistogram(
+      "grepair_snapshot_acquire_ms",
+      "Snapshot acquisition latency by path; counts are the patch/rebuild "
+      "ledger.",
+      obs::DefaultLatencyBucketsMs(), {{"path", "rebuild"}});
   if (options_.num_threads != 1)
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   // Record physical deltas for incremental snapshot maintenance — only a
@@ -83,7 +147,8 @@ bool RepairService::PatchWithinBudget(uint64_t pending) const {
 }
 
 const GraphView& RepairService::AcquireSnapshot(BatchResult* res) {
-  Timer t;
+  OBS_SPAN("commit.snapshot");
+  obs::Stopwatch t;
   const uint64_t log_end = graph_.DeltaLogEnd();
   if (num_shards_ > 1) {
     // Sharded cache: the patch-or-rebuild decision moves inside
@@ -95,24 +160,21 @@ const GraphView& RepairService::AcquireSnapshot(BatchResult* res) {
     if (!options_.incremental_snapshots || sharded_ == nullptr) {
       sharded_ = std::make_unique<ShardedSnapshot>(graph_, num_shards_,
                                                    ShardRunner());
-      stats_.shard_rebuilds += num_shards_;
-      ++stats_.snapshot_rebuilds;
-      stats_.snapshot_rebuild_ms += t.ElapsedMs();
+      m_shard_rebuilds_->Add(num_shards_);
+      m_acquire_rebuild_ms_->Observe(t.ElapsedMs());
     } else {
       auto [records, count] = graph_.DeltaLogSince(snapshot_watermark_);
       ShardedSnapshot::AdvanceStats adv =
           sharded_->Advance(graph_, records, count,
                             options_.snapshot_rebuild_fraction,
                             ShardRunner());
-      stats_.shard_patches += adv.shards_patched;
-      stats_.shard_rebuilds += adv.shards_rebuilt;
+      m_shard_patches_->Add(adv.shards_patched);
+      m_shard_rebuilds_->Add(adv.shards_rebuilt);
       if (adv.shards_rebuilt == 0) {
         res->snapshot_patched = true;
-        ++stats_.snapshot_patches;
-        stats_.snapshot_patch_ms += t.ElapsedMs();
+        m_acquire_patch_ms_->Observe(t.ElapsedMs());
       } else {
-        ++stats_.snapshot_rebuilds;
-        stats_.snapshot_rebuild_ms += t.ElapsedMs();
+        m_acquire_rebuild_ms_->Observe(t.ElapsedMs());
       }
     }
     snapshot_watermark_ = log_end;
@@ -126,12 +188,10 @@ const GraphView& RepairService::AcquireSnapshot(BatchResult* res) {
     auto [records, count] = graph_.DeltaLogSince(snapshot_watermark_);
     snapshot_->Patch(records, count);
     res->snapshot_patched = true;
-    ++stats_.snapshot_patches;
-    stats_.snapshot_patch_ms += t.ElapsedMs();
+    m_acquire_patch_ms_->Observe(t.ElapsedMs());
   } else {
     snapshot_ = std::make_unique<GraphSnapshot>(graph_);
-    ++stats_.snapshot_rebuilds;
-    stats_.snapshot_rebuild_ms += t.ElapsedMs();
+    m_acquire_rebuild_ms_->Observe(t.ElapsedMs());
   }
   snapshot_watermark_ = log_end;
   graph_.TrimDeltaLog(snapshot_watermark_);
@@ -171,14 +231,35 @@ void RepairService::CapDeltaLogGrowth() {
 }
 
 const ServiceStats& RepairService::stats() const {
+  // Materialize the view from the registry instruments — the counters ARE
+  // the bookkeeping now; this struct is how callers that predate the
+  // registry (tests, the stats verb) keep reading them.
+  ServiceStats& s = stats_view_;
+  s.batches = m_batches_->Value();
+  s.edits = m_edits_->Value();
+  s.op_errors = m_op_errors_->Value();
+  s.violations_detected = m_violations_detected_->Value();
+  s.violations_repaired = m_fixes_->Value();
+  s.anchors_visited = m_anchors_->Value();
+  s.expansions = m_expansions_->Value();
+  s.snapshot_batches = m_snapshot_batches_->Value();
+  s.snapshot_patches = m_acquire_patch_ms_->Count();
+  s.snapshot_rebuilds = m_acquire_rebuild_ms_->Count();
+  s.snapshot_patch_ms = m_acquire_patch_ms_->Sum();
+  s.snapshot_rebuild_ms = m_acquire_rebuild_ms_->Sum();
+  s.shard_patches = m_shard_patches_->Value();
+  s.shard_rebuilds = m_shard_rebuilds_->Value();
+  s.batch_ms = latency_ring_;
   // Lazily priced: MemoryBytes walks every attribute map, which must not
   // ride the per-commit hot path AcquireSnapshot just took off it. Rolls
-  // up across shards when the cache is sharded.
-  stats_.snapshot_memory_bytes =
+  // up across shards when the cache is sharded. The gauge keeps the
+  // Prometheus exposition in step with the view.
+  s.snapshot_memory_bytes =
       sharded_ != nullptr
           ? sharded_->MemoryBytes()
           : (snapshot_ != nullptr ? snapshot_->MemoryBytes() : 0);
-  return stats_;
+  m_snapshot_mem_->Set(static_cast<int64_t>(s.snapshot_memory_bytes));
+  return s;
 }
 
 SymbolId RepairService::ConfAttr() const {
@@ -192,6 +273,7 @@ SymbolId RepairService::ConfAttr() const {
 }
 
 Result<EditApplied> RepairService::ApplyEdit(const EditEntry& op) {
+  OBS_SPAN("serve.edit");
   EditApplied out;
   Status st;
   switch (op.kind) {
@@ -227,17 +309,18 @@ Result<EditApplied> RepairService::ApplyEdit(const EditEntry& op) {
       break;
   }
   if (!st.ok()) {
-    ++stats_.op_errors;
+    m_op_errors_->Add(1);
     return st;
   }
-  ++stats_.edits;
+  m_edits_->Add(1);
   return out;
 }
 
 BatchResult RepairService::Commit() {
-  Timer total;
+  OBS_SPAN("commit");
+  obs::Stopwatch total;
   BatchResult res;
-  res.batch = stats_.batches + 1;
+  res.batch = m_batches_->Value() + 1;
   res.edits = PendingEdits();
   SymbolId conf = ConfAttr();
 
@@ -245,6 +328,7 @@ BatchResult RepairService::Commit() {
                                graph_.Journal().end());
   DeltaMatcher::Anchors anchors;  // pattern-independent: computed once
   if (!rules_.empty()) {
+    OBS_SPAN("commit.delta");
     anchors = DeltaMatcher(graph_, rules_[0].pattern()).ComputeAnchors(delta);
     res.anchor_nodes = anchors.nodes.size();
     res.anchor_edges = anchors.edges.size();
@@ -255,7 +339,8 @@ BatchResult RepairService::Commit() {
   // either way the store receives the exact RunDelta seeding.
   const size_t backlog = store_.Size();  // budget-cut leftovers, if any
   {
-    Timer t;
+    OBS_SPAN("commit.detect");
+    obs::Stopwatch t;
     ParallelDeltaOptions popt;
     popt.shard_min_anchors = options_.shard_min_anchors;
     popt.max_shards_per_rule = options_.max_shards_per_rule;
@@ -272,7 +357,7 @@ BatchResult RepairService::Commit() {
     if (detector.WouldFanOut(anchors.nodes.size() + anchors.edges.size())) {
       view = &AcquireSnapshot(&res);
       res.snapshot_reads = true;
-      ++stats_.snapshot_batches;
+      m_snapshot_batches_->Add(1);
     } else {
       CapDeltaLogGrowth();
     }
@@ -283,12 +368,14 @@ BatchResult RepairService::Commit() {
         });
     res.expansions += st.expansions;
     res.detect_ms = t.ElapsedMs();
+    m_detect_ms_->Observe(res.detect_ms);
   }
   res.violations = store_.Size();
 
   // Cascade: drain greedily, re-detecting sequentially around each fix —
   // the same loop as RepairEngine::RunGreedy in dynamic mode, so a commit
   // is bit-identical to RunDelta over the same slice.
+  OBS_SPAN("commit.cascade");
   Violation v;
   for (;;) {
     if (res.fixes >= options_.max_fixes_per_batch && !store_.Empty()) {
@@ -326,17 +413,22 @@ BatchResult RepairService::Commit() {
   clean_mark_ = graph_.JournalSize();
   res.total_ms = total.ElapsedMs();
 
-  ++stats_.batches;
+  m_batches_->Add(1);
   // Only newly seeded violations count as detected; backlog re-reported by
   // res.violations was already counted by the batch that found it.
-  stats_.violations_detected += res.violations - backlog;
-  stats_.violations_repaired += res.fixes;
-  stats_.anchors_visited += res.anchor_nodes + res.anchor_edges;
-  stats_.expansions += res.expansions;
-  if (stats_.batch_ms.size() < ServiceStats::kLatencyWindow)
-    stats_.batch_ms.push_back(res.total_ms);
+  m_violations_detected_->Add(res.violations - backlog);
+  m_fixes_->Add(res.fixes);
+  m_anchors_->Add(res.anchor_nodes + res.anchor_edges);
+  m_expansions_->Add(res.expansions);
+  m_commit_ms_->Observe(res.total_ms);
+  m_backlog_->Set(static_cast<int64_t>(store_.Size()));
+  // Exact percentiles want raw samples, which histogram buckets quantize
+  // away — the bounded ring survives the registry refactor for that.
+  const uint64_t batches = m_batches_->Value();
+  if (latency_ring_.size() < ServiceStats::kLatencyWindow)
+    latency_ring_.push_back(res.total_ms);
   else
-    stats_.batch_ms[(stats_.batches - 1) % ServiceStats::kLatencyWindow] =
+    latency_ring_[(batches - 1) % ServiceStats::kLatencyWindow] =
         res.total_ms;
   return res;
 }

@@ -31,6 +31,7 @@
 #include "graph/sharded_snapshot.h"
 #include "graph/snapshot.h"
 #include "grr/rule.h"
+#include "obs/metrics.h"
 #include "parallel/delta_detector.h"
 #include "parallel/thread_pool.h"
 #include "repair/engine.h"
@@ -111,6 +112,13 @@ struct BatchResult {
 };
 
 /// Cumulative service counters; latencies are per committed batch.
+///
+/// Since the observability layer landed this is a VIEW: the service's
+/// source of truth is its obs::MetricsRegistry (the same instruments the
+/// `metrics` serve verb exports as Prometheus text), and stats()
+/// materializes this struct from those instruments on query. Field
+/// semantics are unchanged from the pre-registry struct — every assertion
+/// that held on the old bookkeeping holds on the view.
 struct ServiceStats {
   /// Latency samples kept: a bounded ring of the most recent commits, so a
   /// long-lived service never grows without bound.
@@ -209,6 +217,10 @@ class RepairService {
   const Graph& graph() const { return graph_; }
   const RuleSet& rules() const { return rules_; }
   const ServiceStats& stats() const;
+  /// The service-scoped instruments backing stats() — exported by the
+  /// `metrics` serve verb (alongside MetricsRegistry::Global() for the
+  /// process-wide pool/matcher instruments).
+  const obs::MetricsRegistry& metrics_registry() const { return registry_; }
   const ServeOptions& options() const { return options_; }
   /// Effective storage shards of the cached snapshot (1 = monolithic; also
   /// 1 for a sequential service, which never snapshots).
@@ -252,9 +264,35 @@ class RepairService {
   std::unique_ptr<GraphSnapshot> snapshot_;
   std::unique_ptr<ShardedSnapshot> sharded_;
   uint64_t snapshot_watermark_ = 0;
-  /// mutable: stats() refreshes snapshot_memory_bytes on query (the
-  /// service is single-caller, so const reads never race).
-  mutable ServiceStats stats_;
+
+  /// The service's metrics: instrument handles into registry_ (resolved
+  /// once in the constructor), incremented where the old struct fields
+  /// were. The registry is per-service so concurrent/sequential services
+  /// in one process never bleed counts into each other's stats.
+  obs::MetricsRegistry registry_;
+  obs::Counter* m_batches_;
+  obs::Counter* m_edits_;
+  obs::Counter* m_op_errors_;
+  obs::Counter* m_violations_detected_;
+  obs::Counter* m_fixes_;
+  obs::Counter* m_anchors_;
+  obs::Counter* m_expansions_;
+  obs::Counter* m_snapshot_batches_;
+  obs::Counter* m_shard_patches_;
+  obs::Counter* m_shard_rebuilds_;
+  obs::Gauge* m_backlog_;
+  obs::Gauge* m_snapshot_mem_;
+  obs::Histogram* m_commit_ms_;
+  obs::Histogram* m_detect_ms_;
+  obs::Histogram* m_acquire_patch_ms_;    ///< count == snapshot_patches
+  obs::Histogram* m_acquire_rebuild_ms_;  ///< count == snapshot_rebuilds
+  /// Raw commit-latency samples of the most recent kLatencyWindow batches
+  /// (histograms cannot answer nearest-rank percentiles exactly).
+  std::vector<double> latency_ring_;
+  /// mutable: stats() materializes the view (and prices
+  /// snapshot_memory_bytes, an O(V+E) walk kept off the commit path) on
+  /// query; the service is single-caller, so const reads never race.
+  mutable ServiceStats stats_view_;
 };
 
 }  // namespace grepair

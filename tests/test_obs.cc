@@ -1,0 +1,315 @@
+// Observability layer tests: exact counter aggregation across threads,
+// histogram le-bucket semantics, trace-ring overflow (drop-oldest), Chrome
+// trace-event JSON well-formedness, Prometheus text-exposition grammar, and
+// the load-bearing guarantee that flipping metrics/tracing on or off never
+// changes what a served workload computes (bit-identical graphs and stats).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "graph/graph_io.h"
+#include "obs/build_info.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/repair_service.h"
+
+namespace grepair {
+namespace {
+
+// ------------------------------------------------------------- registry
+
+TEST(MetricsTest, CounterExactAcrossThreads) {
+  obs::MetricsRegistry reg;
+  obs::Counter* c = reg.GetCounter("grepair_test_total", "concurrent adds");
+  constexpr int kThreads = 8, kAdds = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([c] {
+      for (int i = 0; i < kAdds; ++i) c->Add(1);
+    });
+  for (auto& w : workers) w.join();
+  // Sharded cells lose nothing: relaxed adds into per-thread cells, summed
+  // on read — the total must be exact, not approximate.
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads) * kAdds);
+}
+
+TEST(MetricsTest, GetIsIdempotentPerNameAndLabels) {
+  obs::MetricsRegistry reg;
+  obs::Counter* a = reg.GetCounter("grepair_x_total", "h");
+  obs::Counter* b = reg.GetCounter("grepair_x_total", "h");
+  EXPECT_EQ(a, b);
+  obs::Counter* labeled =
+      reg.GetCounter("grepair_x_total", "h", {{"path", "patch"}});
+  EXPECT_NE(a, labeled);
+  EXPECT_EQ(reg.GetCounter("grepair_x_total", "h", {{"path", "patch"}}),
+            labeled);
+  EXPECT_EQ(reg.NumInstruments(), 2u);
+}
+
+TEST(MetricsTest, HistogramBucketBoundariesAreLe) {
+  obs::MetricsRegistry reg;
+  obs::Histogram* h =
+      reg.GetHistogram("grepair_test_ms", "le semantics", {1.0, 10.0});
+  h->Observe(0.5);   // bucket 0
+  h->Observe(1.0);   // bucket 0: le means v <= bound lands AT the bound
+  h->Observe(1.5);   // bucket 1
+  h->Observe(10.0);  // bucket 1
+  h->Observe(11.0);  // +Inf bucket
+  EXPECT_EQ(h->BucketCount(0), 2u);
+  EXPECT_EQ(h->BucketCount(1), 2u);
+  EXPECT_EQ(h->BucketCount(2), 1u);  // +Inf
+  EXPECT_EQ(h->Count(), 5u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 0.5 + 1.0 + 1.5 + 10.0 + 11.0);
+}
+
+TEST(MetricsTest, HistogramExactAcrossThreads) {
+  obs::MetricsRegistry reg;
+  obs::Histogram* h =
+      reg.GetHistogram("grepair_conc_ms", "concurrent observes", {4.0});
+  constexpr int kThreads = 8, kObs = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([h] {
+      for (int i = 0; i < kObs; ++i) h->Observe(2.0);
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h->Count(), static_cast<uint64_t>(kThreads) * kObs);
+  EXPECT_DOUBLE_EQ(h->Sum(), 2.0 * kThreads * kObs);
+  EXPECT_EQ(h->BucketCount(0), static_cast<uint64_t>(kThreads) * kObs);
+}
+
+TEST(MetricsTest, SanitizeNameEnforcesCharset) {
+  EXPECT_EQ(obs::MetricsRegistry::SanitizeName("commit.detect-ms"),
+            "commit_detect_ms");
+  EXPECT_EQ(obs::MetricsRegistry::SanitizeName("9lives"), "_9lives");
+  EXPECT_EQ(obs::MetricsRegistry::SanitizeName("ok_name"), "ok_name");
+}
+
+// ----------------------------------------------------------- exposition
+
+// Splits exposition text into lines (dropping the trailing empty one).
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+bool ValidMetricName(const std::string& s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_' &&
+      s[0] != ':')
+    return false;
+  for (char c : s)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != ':')
+      return false;
+  return true;
+}
+
+TEST(ExpositionTest, GrammarHoldsForEveryLine) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("grepair_a_total", "a counter")->Add(3);
+  reg.GetGauge("grepair_b", "a gauge", {{"shard", "0"}})->Set(-7);
+  // Label values with every escape-worthy character.
+  reg.GetGauge("grepair_b", "a gauge", {{"shard", "q\"b\\s\nnl"}})->Set(1);
+  reg.GetHistogram("grepair_c_ms", "a histogram", {1.0, 10.0})->Observe(2.0);
+
+  std::string text = reg.ExpositionText();
+  for (const std::string& line : Lines(text)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      // "# HELP <name> <text>" or "# TYPE <name> <counter|gauge|histogram>"
+      std::istringstream in(line);
+      std::string hash, kw, name;
+      in >> hash >> kw >> name;
+      EXPECT_TRUE(kw == "HELP" || kw == "TYPE") << line;
+      EXPECT_TRUE(ValidMetricName(name)) << line;
+      if (kw == "TYPE") {
+        std::string type;
+        in >> type;
+        EXPECT_TRUE(type == "counter" || type == "gauge" ||
+                    type == "histogram")
+            << line;
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value — name before '{' or ' ' must be
+    // legal, and the value must parse as a double.
+    size_t name_end = line.find_first_of("{ ");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    EXPECT_TRUE(ValidMetricName(line.substr(0, name_end))) << line;
+    size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_NO_THROW((void)std::stod(line.substr(sp + 1))) << line;
+  }
+
+  // Histogram families carry the full bucket ladder.
+  EXPECT_NE(text.find("grepair_c_ms_bucket{le=\"1\"} 0"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("grepair_c_ms_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("grepair_c_ms_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("grepair_c_ms_sum 2"), std::string::npos);
+  EXPECT_NE(text.find("grepair_c_ms_count 1"), std::string::npos);
+  // Label escaping: quote, backslash and newline must be escaped.
+  EXPECT_NE(text.find("q\\\"b\\\\s\\nnl"), std::string::npos) << text;
+  // Counters advertise their type and value.
+  EXPECT_NE(text.find("# TYPE grepair_a_total counter"), std::string::npos);
+  EXPECT_NE(text.find("grepair_a_total 3"), std::string::npos);
+}
+
+TEST(ExpositionTest, BuildInfoMetricRegisters) {
+  obs::MetricsRegistry reg;
+  obs::RegisterBuildInfoMetric(&reg);
+  std::string text = reg.ExpositionText();
+  EXPECT_NE(text.find("grepair_build_info{sha=\""), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("} 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- traces
+
+TEST(TraceTest, RingOverflowDropsOldest) {
+  obs::ClearTrace();
+  obs::SetTraceRingCapacity(4);
+  // A fresh thread gets a fresh ring at the just-set capacity (the calling
+  // thread's ring may predate it).
+  std::thread([] {
+    for (int i = 0; i < 6; ++i)
+      obs::RecordSpan("overflow", static_cast<uint64_t>(i) * 10, 5, i, "i");
+  }).join();
+  obs::SetTraceRingCapacity(65536);
+  EXPECT_EQ(obs::TraceEventCount(), 4u);
+  std::string json = obs::ChromeTraceJson();
+  // Oldest two (args 0, 1) overwritten; newest four retained.
+  EXPECT_EQ(json.find("{\"i\":0}"), std::string::npos) << json;
+  EXPECT_EQ(json.find("{\"i\":1}"), std::string::npos) << json;
+  for (int i = 2; i < 6; ++i)
+    EXPECT_NE(json.find("{\"i\":" + std::to_string(i) + "}"),
+              std::string::npos)
+        << json;
+  obs::ClearTrace();
+}
+
+TEST(TraceTest, ChromeJsonIsWellFormed) {
+  obs::ClearTrace();
+  obs::SetTracingEnabled(true);
+  {
+    OBS_SPAN("outer");
+    OBS_SPAN_ARG("inner", "shard", 3);
+  }
+  obs::SetTracingEnabled(false);
+#ifdef GREPAIR_OBS_DISABLED
+  EXPECT_EQ(obs::TraceEventCount(), 0u);  // macros compiled out
+#else
+  EXPECT_EQ(obs::TraceEventCount(), 2u);
+  std::string json = obs::ChromeTraceJson();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.find_last_not_of(" \n")], ']');
+  // Every event carries the Chrome trace-event required keys.
+  size_t events = 0;
+  for (size_t pos = json.find("{\"name\""); pos != std::string::npos;
+       pos = json.find("{\"name\"", pos + 1))
+    ++events;
+  EXPECT_EQ(events, 2u);
+  for (const char* key :
+       {"\"cat\":", "\"ph\":\"X\"", "\"pid\":", "\"tid\":", "\"ts\":",
+        "\"dur\":"})
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"shard\":3}"), std::string::npos);
+  // Balanced braces/brackets — cheap structural sanity for a machine
+  // format a real viewer (Perfetto) will parse.
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (in_string) {
+      if (c == '\\')
+        ++i;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+#endif
+  obs::ClearTrace();
+}
+
+// ----------------------------------------------- zero-observable-effect
+
+// Serves the same edit stream against the same bundle and returns the
+// final graph serialization plus the stats line that matters.
+struct ServedOutcome {
+  std::string graph;
+  size_t batches, fixes, violations, expansions;
+};
+
+ServedOutcome ServeWorkload() {
+  KgOptions gopt;
+  gopt.num_persons = 200;
+  gopt.num_cities = 30;
+  gopt.num_countries = 8;
+  gopt.num_orgs = 15;
+  gopt.seed = 11;
+  InjectOptions iopt;
+  iopt.rate = 0.05;
+  iopt.seed = 17;
+  auto bundle_or = MakeKgBundle(gopt, iopt);
+  EXPECT_TRUE(bundle_or.ok()) << bundle_or.status().ToString();
+  DatasetBundle bundle = std::move(bundle_or).value();
+
+  ServeOptions sopt;
+  sopt.num_threads = 2;
+  sopt.num_shards = 2;
+  RepairService service(std::move(bundle.graph), bundle.rules, sopt);
+  BatchResult r1 = service.Commit();  // repair the injected errors
+  std::vector<NodeId> nodes = service.graph().Nodes();
+  for (size_t i = 0; i + 1 < std::min<size_t>(nodes.size(), 40); i += 2) {
+    EditEntry op;
+    op.kind = EditKind::kAddEdge;
+    op.src = nodes[i];
+    op.dst = nodes[i + 1];
+    op.label = service.graph().EdgeLabel(service.graph().Edges().front());
+    service.ApplyEdit(op);
+  }
+  BatchResult r2 = service.Commit();  // repair the fresh asymmetries
+  const ServiceStats& s = service.stats();
+  return {SerializeGraph(service.graph()), s.batches, s.violations_repaired,
+          s.violations_detected, r1.expansions + r2.expansions};
+}
+
+TEST(ObsOffTest, MetricsToggleNeverChangesServedResults) {
+  obs::SetMetricsEnabled(true);
+  obs::SetTracingEnabled(true);  // tracing on: spans must be pure observers
+  ServedOutcome on = ServeWorkload();
+  obs::SetTracingEnabled(false);
+  obs::SetMetricsEnabled(false);
+  ServedOutcome off = ServeWorkload();
+  obs::SetMetricsEnabled(true);  // restore the default for other tests
+  obs::ClearTrace();
+
+  // Bit-identical graph, identical counters: observability is read-only.
+  EXPECT_EQ(on.graph, off.graph);
+  EXPECT_EQ(on.batches, off.batches);
+  EXPECT_EQ(on.fixes, off.fixes);
+  EXPECT_EQ(on.violations, off.violations);
+  EXPECT_EQ(on.expansions, off.expansions);
+  EXPECT_EQ(on.batches, 2u);
+  EXPECT_GT(on.fixes, 0u);
+}
+
+}  // namespace
+}  // namespace grepair

@@ -6,6 +6,7 @@
 // violation counts AND matcher expansions.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -237,6 +238,30 @@ TEST(RepairServiceTest, StatsAccumulateAcrossBatches) {
   EXPECT_GE(s.LatencyPercentileMs(95), s.LatencyPercentileMs(50));
   EXPECT_GT(s.LatencyPercentileMs(50), 0.0);
   EXPECT_EQ(service.PendingEdits(), 0u);
+}
+
+TEST(ServiceStatsTest, LatencyPercentileEdgeCases) {
+  ServiceStats s;
+  // Empty window: every percentile is 0, not UB.
+  EXPECT_EQ(s.LatencyPercentileMs(50), 0.0);
+  // Nearest-rank on a known window. The stored order is scrambled on
+  // purpose — the ring is UNORDERED once it wraps, and selection must not
+  // assume arrival order carries rank.
+  s.batch_ms = {5.0, 1.0, 4.0, 2.0, 3.0};
+  EXPECT_EQ(s.LatencyPercentileMs(0), 1.0);     // rank clamps to 1 == min
+  EXPECT_EQ(s.LatencyPercentileMs(100), 5.0);   // rank n == max
+  EXPECT_EQ(s.LatencyPercentileMs(50), 3.0);    // ceil(.5 * 5) = rank 3
+  EXPECT_EQ(s.LatencyPercentileMs(95), 5.0);    // ceil(.95 * 5) = rank 5
+  EXPECT_EQ(s.LatencyPercentileMs(20), 1.0);    // ceil(.2 * 5) = rank 1
+  // Out-of-range and garbage percentiles clamp instead of corrupting the
+  // rank arithmetic.
+  EXPECT_EQ(s.LatencyPercentileMs(-10), 1.0);
+  EXPECT_EQ(s.LatencyPercentileMs(400), 5.0);
+  EXPECT_EQ(s.LatencyPercentileMs(std::nan("")), 0.0);
+  // Single sample: everything selects it.
+  s.batch_ms = {7.5};
+  EXPECT_EQ(s.LatencyPercentileMs(0), 7.5);
+  EXPECT_EQ(s.LatencyPercentileMs(99), 7.5);
 }
 
 TEST(RepairServiceTest, InvalidOpRejectedAndCounted) {

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validates the observability artifacts a traced serve session produces.
+
+Usage: check_obs_artifacts.py <trace.json> <metrics.prom>
+
+- trace.json must be a Chrome trace-event JSON array (the format Perfetto
+  and chrome://tracing load): every event carries name/cat/ph/pid/tid/ts/dur,
+  ph is "X" (complete events), and ts/dur are non-negative numbers.
+- metrics.prom must be Prometheus text exposition 0.0.4: HELP/TYPE comment
+  pairs, sample lines `name[{labels}] value`, legal metric names, histogram
+  families closing with a `+Inf` bucket and `_sum`/`_count`.
+
+Exit 0 when both parse; nonzero with a diagnostic otherwise. CI runs this
+on the bench-smoke artifacts so a formatting regression fails the push that
+introduced it, not the person who later tries to load the trace.
+"""
+
+import json
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# name{labels} value  |  name value   (label values may contain anything
+# except an unescaped quote; the value must parse as a float)
+SAMPLE = re.compile(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? (\S+)$')
+
+
+def fail(msg):
+    print(f"check_obs_artifacts: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path) as f:
+        events = json.load(f)
+    if not isinstance(events, list):
+        fail(f"{path}: top level is not a JSON array")
+    if not events:
+        fail(f"{path}: no events recorded (was tracing enabled?)")
+    for i, e in enumerate(events):
+        for key in ("name", "cat", "ph", "pid", "tid", "ts", "dur"):
+            if key not in e:
+                fail(f"{path}: event {i} missing '{key}': {e}")
+        if e["ph"] != "X":
+            fail(f"{path}: event {i} has ph={e['ph']!r}, want 'X'")
+        if not (isinstance(e["ts"], (int, float)) and e["ts"] >= 0):
+            fail(f"{path}: event {i} bad ts: {e['ts']!r}")
+        if not (isinstance(e["dur"], (int, float)) and e["dur"] >= 0):
+            fail(f"{path}: event {i} bad dur: {e['dur']!r}")
+    names = sorted({e["name"] for e in events})
+    print(f"{path}: OK ({len(events)} events, spans: {', '.join(names)})")
+
+
+def check_exposition(path):
+    families = {}  # name -> type
+    samples = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                fail(f"{path}:{lineno}: blank line in exposition")
+            if line.startswith("#"):
+                parts = line.split(" ", 3)
+                if len(parts) < 4 or parts[1] not in ("HELP", "TYPE"):
+                    fail(f"{path}:{lineno}: bad comment line: {line!r}")
+                if not METRIC_NAME.match(parts[2]):
+                    fail(f"{path}:{lineno}: bad metric name: {parts[2]!r}")
+                if parts[1] == "TYPE":
+                    if parts[3] not in ("counter", "gauge", "histogram"):
+                        fail(f"{path}:{lineno}: bad type: {parts[3]!r}")
+                    families[parts[2]] = parts[3]
+                continue
+            m = SAMPLE.match(line)
+            if not m:
+                fail(f"{path}:{lineno}: bad sample line: {line!r}")
+            try:
+                float(m.group(3))
+            except ValueError:
+                fail(f"{path}:{lineno}: bad sample value: {m.group(3)!r}")
+            samples += 1
+    if not families:
+        fail(f"{path}: no metric families")
+    # Histogram families must close with +Inf/_sum/_count (the le label
+    # rides last in a child's label block, after any instrument labels).
+    text = open(path).read()
+    for name, kind in families.items():
+        if kind != "histogram":
+            continue
+        if not re.search(re.escape(name) + r'_bucket\{[^}]*le="\+Inf"\}',
+                         text):
+            fail(f"{path}: histogram {name} missing a +Inf bucket")
+        for suffix in ("_sum", "_count"):
+            if name + suffix not in text:
+                fail(f"{path}: histogram {name} missing {suffix}")
+    print(f"{path}: OK ({len(families)} families, {samples} samples)")
+    return len(families)
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: check_obs_artifacts.py <trace.json> <metrics.prom>")
+    check_trace(sys.argv[1])
+    n = check_exposition(sys.argv[2])
+    # The acceptance floor: a served workload exposes at least 12
+    # instruments across the serve/snapshot/pool/matcher layers.
+    if n < 12:
+        fail(f"only {n} metric families; expected at least 12")
+    print("check_obs_artifacts: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,9 +9,16 @@
 #include <vector>
 
 #include "cli/cli.h"
+#include "obs/build_info.h"
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  // Before flag parsing: --version takes no value, which the generic
+  // --key value parser would demand.
+  if (!args.empty() && (args[0] == "--version" || args[0] == "version")) {
+    std::puts(grepair::obs::BuildInfoLine().c_str());
+    return 0;
+  }
   const char* env_threads = std::getenv("GREPAIR_THREADS");
   // Only inject after a subcommand: bare `grepair` must still reach the
   // usage path with empty args.
