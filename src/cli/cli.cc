@@ -17,6 +17,8 @@
 #include "obs/trace.h"
 #include "repair/engine.h"
 #include "serve/repair_service.h"
+#include "serve/server.h"
+#include "serve/session.h"
 #include "util/strings.h"
 
 namespace grepair {
@@ -32,7 +34,8 @@ constexpr char kUsage[] = R"(usage:
           [--out repaired.tsv] [--threads N]
   grepair mine   <graph.tsv> [--min-support X] [--threads N]
   grepair serve  <graph.tsv> <rules.grr> [--threads N] [--shards S]
-          [--trace-out trace.json]
+          [--trace-out trace.json] [--listen PORT] [--max-connections N]
+          [--max-requests-per-sec R]
 
 --threads N fans detection / mining statistics out over N worker threads
 (0 = hardware concurrency); results are identical to --threads 1.
@@ -57,6 +60,17 @@ commit (see DESIGN.md "Serving model"):
 --trace-out FILE enables commit-path tracing for the session and writes the
 accumulated spans to FILE (Chrome trace-event JSON, Perfetto-loadable) when
 the session ends.
+
+--listen PORT serves the same line protocol over TCP instead of stdio (0 =
+ephemeral port, printed on startup): many concurrent client sessions share
+one service, each staging its edits locally and applying them as one atomic
+block at commit. Admission control sheds overload with `err busy`:
+--max-connections caps concurrent clients (default 64), and
+--max-requests-per-sec rate-limits requests across all connections with a
+token bucket (default 0 = unlimited). A client's `shutdown` verb stops the
+server; `quit` only closes that client's connection. Protocol errors are
+machine-parseable `err <code> <msg>` lines (DESIGN.md "Network serving" has
+the code set); tools/serve_client.py is a minimal scripting client.
 )";
 
 // Flags each command accepts; anything else is a usage error (exit 2), so a
@@ -69,7 +83,9 @@ const std::map<std::string, std::set<std::string>>& AllowedFlags() {
       {"detect", {"threads"}},
       {"repair", {"strategy", "out", "threads"}},
       {"mine", {"min-support", "threads"}},
-      {"serve", {"threads", "shards", "trace-out"}},
+      {"serve",
+       {"threads", "shards", "trace-out", "listen", "max-connections",
+        "max-requests-per-sec"}},
   };
   return kAllowed;
 }
@@ -364,159 +380,11 @@ Status CmdMine(const Args& args, std::string* out) {
 }
 
 // ------------------------------------------------------------------ serve
-
-std::string FormatBatch(const BatchResult& r) {
-  return StrFormat("batch %zu edits=%zu anchors=%zu violations=%zu fixes=%zu "
-                   "ms=%.2f%s",
-                   r.batch, r.edits, r.anchor_nodes + r.anchor_edges,
-                   r.violations, r.fixes, r.total_ms,
-                   r.budget_exhausted ? " BUDGET_EXHAUSTED" : "");
-}
-
-// One protocol line against the live service; returns the response line.
-std::string ServeLine(RepairService* service,
-                      const std::vector<std::string>& tok) {
-  // verb -> token count (verb included), so a known verb with the wrong
-  // argument count gets an arity error rather than "unknown command".
-  static const std::map<std::string, size_t> kArity = {
-      {"add_node", 2},
-      {"add_edge", 4},
-      {"remove_node", 2},
-      {"remove_edge", 2},
-      {"set_node_label", 3},
-      {"set_edge_label", 3},
-      {"set_node_attr", 4},
-      {"set_edge_attr", 4},
-      {"commit", 1},
-      {"stats", 1},
-      {"metrics", 1},
-      {"trace", 2},
-      {"save", 2},
-      {"snapshot", 2},
-      {"restore", 2},
-  };
-  auto arity = kArity.find(tok[0]);
-  if (arity == kArity.end()) return "err unknown command: " + tok[0];
-  if (tok.size() != arity->second)
-    return StrFormat("err %s expects %zu argument(s)", tok[0].c_str(),
-                     arity->second - 1);
-
-  const VocabularyPtr& vocab = service->graph().vocab();
-  auto parse_id = [&](const std::string& s, uint32_t* id) {
-    uint64_t v = 0;
-    if (!ParseUint64(s, &v) || v > UINT32_MAX) return false;
-    *id = static_cast<uint32_t>(v);
-    return true;
-  };
-  auto apply = [&](const EditEntry& op, const char* ok_fmt) -> std::string {
-    auto r = service->ApplyEdit(op);
-    if (!r.ok()) return "err " + r.status().ToString();
-    uint32_t created =
-        r.value().node != kInvalidNode ? r.value().node : r.value().edge;
-    return StrFormat(ok_fmt, created);
-  };
-
-  const std::string& cmd = tok[0];
-  EditEntry op;
-  if (cmd == "add_node") {
-    op.kind = EditKind::kAddNode;
-    op.label = vocab->Label(tok[1]);
-    return apply(op, "node %u");
-  }
-  if (cmd == "add_edge") {
-    op.kind = EditKind::kAddEdge;
-    if (!parse_id(tok[1], &op.src) || !parse_id(tok[2], &op.dst))
-      return "err bad node id";
-    op.label = vocab->Label(tok[3]);
-    return apply(op, "edge %u");
-  }
-  if (cmd == "remove_node") {
-    op.kind = EditKind::kRemoveNode;
-    if (!parse_id(tok[1], &op.node)) return "err bad node id";
-    return apply(op, "ok");
-  }
-  if (cmd == "remove_edge") {
-    op.kind = EditKind::kRemoveEdge;
-    if (!parse_id(tok[1], &op.edge)) return "err bad edge id";
-    return apply(op, "ok");
-  }
-  if (cmd == "set_node_label" || cmd == "set_edge_label") {
-    bool is_node = cmd == "set_node_label";
-    op.kind = is_node ? EditKind::kSetNodeLabel : EditKind::kSetEdgeLabel;
-    if (!parse_id(tok[1], is_node ? &op.node : &op.edge))
-      return "err bad element id";
-    op.new_sym = vocab->Label(tok[2]);
-    return apply(op, "ok");
-  }
-  if (cmd == "set_node_attr" || cmd == "set_edge_attr") {
-    bool is_node = cmd == "set_node_attr";
-    op.kind = is_node ? EditKind::kSetNodeAttr : EditKind::kSetEdgeAttr;
-    if (!parse_id(tok[1], is_node ? &op.node : &op.edge))
-      return "err bad element id";
-    op.attr = vocab->Attr(tok[2]);
-    op.new_sym = tok[3] == "-" ? 0 : vocab->Value(tok[3]);  // "-" clears
-    return apply(op, "ok");
-  }
-  if (cmd == "commit") return FormatBatch(service->Commit());
-  if (cmd == "snapshot") {
-    // SaveState commits pending edits first; surface that in the response —
-    // including on write failure, since the commit mutated the graph even
-    // when the file never materialized.
-    bool commits = service->PendingEdits() > 0;
-    Status st = service->SaveState(tok[1]);
-    std::string suffix =
-        commits ? StrFormat(" committed_batch=%zu", service->stats().batches)
-                : std::string();
-    if (!st.ok()) return "err " + st.ToString() + suffix;
-    return "snapshot " + tok[1] + suffix;
-  }
-  if (cmd == "restore") {
-    Status st = service->RestoreState(tok[1]);
-    if (!st.ok()) return "err " + st.ToString();
-    return StrFormat("restored %s nodes=%zu edges=%zu violations=%zu",
-                     tok[1].c_str(), service->graph().NumNodes(),
-                     service->graph().NumEdges(),
-                     service->ViolationBacklog());
-  }
-  if (cmd == "stats") {
-    const ServiceStats& s = service->stats();
-    return StrFormat(
-        "stats batches=%zu edits=%zu op_errors=%zu violations=%zu fixes=%zu "
-        "anchors=%zu pending=%zu p50_ms=%.2f p95_ms=%.2f p99_ms=%.2f "
-        "snapshot_patches=%zu snapshot_rebuilds=%zu snapshot_mem=%zu "
-        "shards=%zu shard_patches=%zu shard_rebuilds=%zu",
-        s.batches, s.edits, s.op_errors, s.violations_detected,
-        s.violations_repaired, s.anchors_visited, service->PendingEdits(),
-        s.LatencyPercentileMs(50), s.LatencyPercentileMs(95),
-        s.LatencyPercentileMs(99), s.snapshot_patches, s.snapshot_rebuilds,
-        s.snapshot_memory_bytes, service->num_shards(), s.shard_patches,
-        s.shard_rebuilds);
-  }
-  if (cmd == "metrics") {
-    // stats() refreshes the lazily-priced snapshot-memory gauge before the
-    // registry is rendered; the service instruments come first, then the
-    // process-wide families (pool, matcher, build info). Names never
-    // collide across the two registries, so the concatenation is itself a
-    // well-formed exposition.
-    (void)service->stats();
-    obs::RegisterBuildInfoMetric();
-    std::string text = service->metrics_registry().ExpositionText() +
-                       obs::MetricsRegistry::Global().ExpositionText();
-    // The protocol is line-oriented; the respond() wrapper appends the
-    // final newline.
-    if (!text.empty() && text.back() == '\n') text.pop_back();
-    return text;
-  }
-  if (cmd == "trace") {
-    size_t events = obs::TraceEventCount();
-    if (!obs::WriteChromeTrace(tok[1]))
-      return "err cannot write trace: " + tok[1];
-    return StrFormat("trace %s events=%zu", tok[1].c_str(), events);
-  }
-  // cmd == "save": the only verb left after the arity table check.
-  Status st = SaveGraph(service->graph(), tok[1]);
-  return st.ok() ? "saved " + tok[1] : "err " + st.ToString();
-}
+//
+// The protocol itself (parsing, dispatch, responses) lives in
+// src/serve/session.{h,cc}; this file only owns the transports: the
+// historical stdio loop (one kImmediate session, byte-identical responses)
+// and the --listen TCP front-end (serve::Server, many kStaged sessions).
 
 Status CmdServe(const Args& args, std::string* out, std::istream* in,
                 std::ostream* live) {
@@ -534,6 +402,25 @@ Status CmdServe(const Args& args, std::string* out, std::istream* in,
     if (!ParseUint64(it->second, &v))
       return Status::InvalidArgument("bad --shards");
     sopt.num_shards = static_cast<size_t>(v);
+  }
+  if (auto it = args.flags.find("listen"); it != args.flags.end()) {
+    uint64_t v = 0;
+    if (!ParseUint64(it->second, &v) || v > 65535)
+      return Status::InvalidArgument("bad --listen (want a port in 0..65535)");
+    sopt.listen_port = static_cast<int>(v);
+  }
+  if (auto it = args.flags.find("max-connections"); it != args.flags.end()) {
+    uint64_t v = 0;
+    if (!ParseUint64(it->second, &v))
+      return Status::InvalidArgument("bad --max-connections");
+    sopt.max_connections = static_cast<size_t>(v);
+  }
+  if (auto it = args.flags.find("max-requests-per-sec");
+      it != args.flags.end()) {
+    double v = 0;
+    if (!ParseDouble(it->second, &v))
+      return Status::InvalidArgument("bad --max-requests-per-sec");
+    sopt.max_requests_per_sec = v;
   }
   // Validate BEFORE constructing: the service constructor throws on bad
   // options, but flag errors should exit through the status path.
@@ -555,6 +442,36 @@ Status CmdServe(const Args& args, std::string* out, std::istream* in,
       live->flush();
     }
   };
+  auto flush_trace = [&] {
+    if (trace_out.empty()) return;
+    size_t events = obs::TraceEventCount();
+    if (obs::WriteChromeTrace(trace_out))
+      respond(StrFormat("trace %s events=%zu", trace_out.c_str(), events));
+    else
+      respond(serve::ErrResponse("io", "cannot write trace: " + trace_out));
+    obs::SetTracingEnabled(false);
+  };
+
+  if (sopt.listen_port >= 0) {
+    // TCP transport: the server owns the sessions (one kStaged session per
+    // connection); this thread only reports the bound port and waits for a
+    // client's `shutdown` verb.
+    serve::Server server(&service);
+    GREPAIR_RETURN_IF_ERROR(server.Start());
+    respond(obs::BuildInfoLine());
+    respond(StrFormat("listening port=%u max_connections=%zu "
+                      "max_requests_per_sec=%.0f threads=%zu shards=%zu",
+                      server.port(), sopt.max_connections,
+                      sopt.max_requests_per_sec, sopt.num_threads,
+                      service.num_shards()));
+    server.Wait();
+    flush_trace();
+    const ServiceStats& s = service.stats();
+    respond(StrFormat("bye batches=%zu fixes=%zu", s.batches,
+                      s.violations_repaired));
+    return Status::Ok();
+  }
+
   respond(obs::BuildInfoLine());
   respond(StrFormat("serving %zu nodes %zu edges %zu rules threads=%zu "
                     "shards=%zu",
@@ -562,24 +479,21 @@ Status CmdServe(const Args& args, std::string* out, std::istream* in,
                     service.rules().size(), sopt.num_threads,
                     service.num_shards()));
 
+  // Stdio transport: one exclusive kImmediate session (edits apply as they
+  // arrive, responses carry real element ids — the historical protocol,
+  // byte for byte).
+  serve::Session session(&service, serve::SessionMode::kImmediate);
   if (in == nullptr) in = &std::cin;
   std::string line;
   while (std::getline(*in, line)) {
-    std::vector<std::string> tok = SplitWhitespace(line);
-    if (tok.empty() || tok[0][0] == '#') continue;
-    if (tok[0] == "quit") break;
-    respond(ServeLine(&service, tok));
+    std::string response = session.HandleLine(line);
+    if (session.quit_requested()) break;
+    if (!response.empty()) respond(response);
   }
   // Repair anything still pending so quitting never abandons a dirty graph.
-  if (service.PendingEdits() > 0) respond(FormatBatch(service.Commit()));
-  if (!trace_out.empty()) {
-    size_t events = obs::TraceEventCount();
-    if (obs::WriteChromeTrace(trace_out))
-      respond(StrFormat("trace %s events=%zu", trace_out.c_str(), events));
-    else
-      respond("err cannot write trace: " + trace_out);
-    obs::SetTracingEnabled(false);
-  }
+  if (service.PendingEdits() > 0)
+    respond(serve::FormatBatchLine(service.Commit()));
+  flush_trace();
   const ServiceStats& s = service.stats();
   respond(StrFormat("bye batches=%zu fixes=%zu", s.batches,
                     s.violations_repaired));

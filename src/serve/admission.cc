@@ -1,0 +1,80 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace grepair {
+namespace serve {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_(rate_per_sec),
+      burst_(std::max(burst, 1.0)),
+      tokens_(std::max(burst, 1.0)) {}
+
+bool TokenBucket::TryAcquire(double now_sec) {
+  if (rate_ <= 0.0) return true;  // limiting disabled
+  if (!primed_) {
+    primed_ = true;
+    last_refill_sec_ = now_sec;
+  } else if (now_sec > last_refill_sec_) {
+    tokens_ = std::min(burst_, tokens_ + (now_sec - last_refill_sec_) * rate_);
+    last_refill_sec_ = now_sec;
+  }
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options),
+      bucket_(options.max_requests_per_sec,
+              std::max(options.max_requests_per_sec, 1.0)) {}
+
+bool AdmissionController::TryAdmitConnection() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ >= options_.max_connections) {
+    ++conn_rejected_;
+    return false;
+  }
+  ++active_;
+  ++conn_admitted_;
+  return true;
+}
+
+void AdmissionController::ReleaseConnection() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ > 0) --active_;
+}
+
+bool AdmissionController::TryAdmitRequest(double now_sec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!bucket_.TryAcquire(now_sec)) {
+    ++req_rejected_;
+    return false;
+  }
+  ++req_admitted_;
+  return true;
+}
+
+size_t AdmissionController::active_connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+size_t AdmissionController::connections_admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conn_admitted_;
+}
+size_t AdmissionController::connections_rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conn_rejected_;
+}
+size_t AdmissionController::requests_admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return req_admitted_;
+}
+size_t AdmissionController::requests_rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return req_rejected_;
+}
+
+}  // namespace serve
+}  // namespace grepair

@@ -1,0 +1,83 @@
+// Admission control for the TCP serving front-end: a connection cap and a
+// token-bucket request rate limit (DESIGN.md "Network serving"). Pure
+// policy — no sockets, no clocks, no metrics: callers supply time as a
+// monotonic seconds value, which makes every decision deterministic and
+// unit-testable, and wire rejection counts into whatever instruments they
+// own. Shed work answers `err busy <why>` at the protocol layer.
+#ifndef GREPAIR_SERVE_ADMISSION_H_
+#define GREPAIR_SERVE_ADMISSION_H_
+
+#include <cstddef>
+#include <mutex>
+
+namespace grepair {
+namespace serve {
+
+/// A token bucket: capacity `burst`, refilled at `rate_per_sec`, starting
+/// full. A rate of 0 disables limiting (every acquire succeeds). Not
+/// thread-safe on its own — AdmissionController serializes access.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_sec, double burst);
+
+  /// Takes one token at monotonic time `now_sec`, refilling first. Time
+  /// going backwards (clock adjustments, test replays) refills nothing
+  /// rather than minting negative tokens.
+  bool TryAcquire(double now_sec);
+
+  double tokens() const { return tokens_; }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_refill_sec_ = 0.0;
+  bool primed_ = false;  ///< first acquire anchors the refill clock
+};
+
+struct AdmissionOptions {
+  /// Concurrent client connections admitted; further accepts are answered
+  /// `err busy` and closed.
+  size_t max_connections = 64;
+  /// Request rate across ALL connections (token bucket, burst =
+  /// max(1, rate)); 0 = unlimited.
+  double max_requests_per_sec = 0.0;
+};
+
+/// Thread-safe admission decisions shared by the acceptor and every
+/// connection thread. Tracks its own accept/reject tallies so the server
+/// can mirror them into metrics without owning the arithmetic.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  /// Admits one connection (true) or rejects at the cap (false). Every
+  /// admitted connection must be paired with ReleaseConnection().
+  bool TryAdmitConnection();
+  void ReleaseConnection();
+
+  /// Admits one request at monotonic time `now_sec`, or sheds it (false)
+  /// when the bucket is dry.
+  bool TryAdmitRequest(double now_sec);
+
+  size_t active_connections() const;
+  size_t connections_admitted() const;
+  size_t connections_rejected() const;
+  size_t requests_admitted() const;
+  size_t requests_rejected() const;
+
+ private:
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  TokenBucket bucket_;
+  size_t active_ = 0;
+  size_t conn_admitted_ = 0;
+  size_t conn_rejected_ = 0;
+  size_t req_admitted_ = 0;
+  size_t req_rejected_ = 0;
+};
+
+}  // namespace serve
+}  // namespace grepair
+
+#endif  // GREPAIR_SERVE_ADMISSION_H_

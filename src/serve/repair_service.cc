@@ -52,6 +52,18 @@ Status ServeOptions::Validate() const {
   if (num_threads > kMaxThreads)
     return Status::InvalidArgument(
         StrFormat("num_threads must be at most %zu", kMaxThreads));
+  if (listen_port < -1 || listen_port > 65535)
+    return Status::InvalidArgument(
+        "listen_port must be in [0, 65535] (-1 = stdio)");
+  // A cap of 0 would reject every client of a listener that was asked for;
+  // the upper bound keeps a mistyped value from exhausting fds/threads.
+  constexpr size_t kMaxConnectionCap = 65536;
+  if (max_connections == 0 || max_connections > kMaxConnectionCap)
+    return Status::InvalidArgument(
+        StrFormat("max_connections must be in [1, %zu]", kMaxConnectionCap));
+  if (!(max_requests_per_sec >= 0.0 && max_requests_per_sec <= 1e9))
+    return Status::InvalidArgument(
+        "max_requests_per_sec must be in [0, 1e9] (0 = unlimited)");
   return Status::Ok();
 }
 
@@ -533,6 +545,13 @@ Status RepairService::SaveState(const std::string& path) {
 }
 
 Status RepairService::RestoreState(const std::string& path) {
+  // The staged-edits rule: a restore while edits are journaled-but-
+  // uncommitted is ambiguous (discard them? commit them onto the restored
+  // state?), so it is refused outright — protocol code `staged_edits`.
+  if (PendingEdits() > 0)
+    return Status::FailedPrecondition(
+        StrFormat("%zu staged edit(s) pending; commit before restore",
+                  PendingEdits()));
   std::FILE* f = std::fopen(path.c_str(), "r");
   if (!f) return Status::NotFound("cannot open: " + path);
   std::string text;

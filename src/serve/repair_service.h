@@ -77,10 +77,21 @@ struct ServeOptions {
   /// (1-thread) service, which never reads snapshots. Results are
   /// bit-identical across shard counts; only wall-clock changes.
   size_t num_shards = 0;
+  /// TCP listener port for `grepair serve --listen` (serve::Server). -1 =
+  /// no listener, stdio transport; 0 = bind an ephemeral port (published
+  /// via Server::port()); 1..65535 = that port.
+  int listen_port = -1;
+  /// Admission cap on concurrently admitted TCP client connections;
+  /// accepts beyond it are answered `err busy` and closed.
+  size_t max_connections = 64;
+  /// Token-bucket request rate limit across ALL connections (burst =
+  /// max(1, rate)); requests past it are shed with `err busy`. 0 disables.
+  double max_requests_per_sec = 0.0;
 
   /// Rejects out-of-range configuration — snapshot_rebuild_fraction
   /// outside [0,1] (or NaN), num_shards beyond the kMaxShards routing
-  /// cap, absurd thread counts — instead of letting it silently misbehave.
+  /// cap, absurd thread counts, out-of-range listener/admission knobs —
+  /// instead of letting it silently misbehave.
   /// RepairService's constructor enforces this (std::invalid_argument);
   /// the CLI validates before constructing so bad flags exit cleanly.
   Status Validate() const;
@@ -205,8 +216,11 @@ class RepairService {
 
   /// Replaces the owned graph and violation backlog with the state saved at
   /// `path` (protocol verb `restore <file>`). Rules, options and the worker
-  /// pool are kept; pending (uncommitted) edits are discarded with the old
-  /// graph; cumulative ServiceStats keep counting across the restore.
+  /// pool are kept; cumulative ServiceStats keep counting across the
+  /// restore. Refused (kFailedPrecondition, protocol code `staged_edits`)
+  /// while edits are staged-but-uncommitted: silently discarding them — or
+  /// committing them onto the restored state — would both be surprising,
+  /// so the caller commits first and restores a quiescent service.
   Status RestoreState(const std::string& path);
 
   /// Edit ops journaled since the last commit.
@@ -221,6 +235,10 @@ class RepairService {
   /// `metrics` serve verb (alongside MetricsRegistry::Global() for the
   /// process-wide pool/matcher instruments).
   const obs::MetricsRegistry& metrics_registry() const { return registry_; }
+  /// Writable registry handle for components instrumenting this service's
+  /// exposition (serve::Server registers its connection/admission
+  /// instruments here so the `metrics` verb exports them).
+  obs::MetricsRegistry* mutable_metrics_registry() { return &registry_; }
   const ServeOptions& options() const { return options_; }
   /// Effective storage shards of the cached snapshot (1 = monolithic; also
   /// 1 for a sequential service, which never snapshots).

@@ -461,7 +461,7 @@ TEST(ServeCliTest, LineProtocolRepairsAndReports) {
   EXPECT_NE(out.find("node "), std::string::npos);
   EXPECT_NE(out.find("batch 1"), std::string::npos);
   EXPECT_NE(out.find("stats batches=1"), std::string::npos);
-  EXPECT_NE(out.find("err unknown command"), std::string::npos);
+  EXPECT_NE(out.find("err unknown_verb"), std::string::npos);
   EXPECT_NE(out.find("bye"), std::string::npos);
 
   std::remove(graph.c_str());
@@ -481,7 +481,9 @@ TEST(ServeCliTest, SnapshotAndRestoreVerbs) {
   std::istringstream in("add_node Org\n"
                         "snapshot " + state + "\n"   // commits the pending op
                         "add_node Org\n"
-                        "restore " + state + "\n"    // drops the second op
+                        "restore " + state + "\n"    // refused: edit pending
+                        "commit\n"
+                        "restore " + state + "\n"    // now allowed
                         "restore /nonexistent.snap\n"
                         "quit\n");
   out.clear();
@@ -489,10 +491,13 @@ TEST(ServeCliTest, SnapshotAndRestoreVerbs) {
   // The snapshot verb committed the pending op and says so.
   EXPECT_NE(out.find("snapshot " + state + " committed_batch=1"),
             std::string::npos);
+  // Restore never silently drops uncommitted work: with an edit pending it
+  // is refused with the staged_edits code, and succeeds after the commit.
+  EXPECT_NE(out.find("err staged_edits"), std::string::npos);
   EXPECT_NE(out.find("restored " + state), std::string::npos);
-  EXPECT_NE(out.find("err "), std::string::npos);  // bad restore reported
-  // After restore nothing is pending, so quit adds no second batch.
-  EXPECT_NE(out.find("bye batches=1"), std::string::npos);
+  EXPECT_NE(out.find("err io"), std::string::npos);  // bad restore reported
+  // After restore nothing is pending, so quit adds no third batch.
+  EXPECT_NE(out.find("bye batches=2"), std::string::npos);
 
   std::remove(graph.c_str());
   std::remove(rules.c_str());

@@ -33,7 +33,9 @@ int main(int argc, char** argv) {
   std::string out;
   // serve streams its protocol responses to stdout as they happen (the
   // accumulated copy in `out` is suppressed to avoid replaying them at
-  // exit); every other command prints its buffered output once.
+  // exit); every other command prints its buffered output once. In
+  // `serve --listen` mode stdout only carries the listening/bye lines —
+  // client traffic goes over the sockets (see tools/serve_client.py).
   bool is_serve = !args.empty() && args[0] == "serve";
   int code = grepair::RunCli(args, &out, &std::cin,
                              is_serve ? &std::cout : nullptr);

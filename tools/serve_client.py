@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Minimal line-protocol client for `grepair serve --listen`.
+
+Reads protocol lines from stdin (or --cmd arguments), sends them to the
+server, and prints every response line the server returns. Lines starting
+with `!sleep <seconds>` are client-side directives (used by CI to let the
+admission token bucket refill between bursts) and are not sent.
+
+Usage:
+  grepair serve g.tsv r.grr --listen 7471 &
+  printf 'add_node Org\ncommit\nquit\n' | tools/serve_client.py --port 7471
+
+The client sends everything as fast as the socket accepts it, then closes
+the write side and drains responses to EOF — so over-rate bursts genuinely
+race the server's token bucket, which is exactly what the admission tests
+want. Responses may include multi-line payloads (`metrics`); they are
+printed verbatim.
+"""
+
+import argparse
+import socket
+import sys
+import time
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, required=True)
+    ap.add_argument(
+        "--cmd",
+        action="append",
+        default=[],
+        help="protocol line to send (repeatable; stdin is read when absent)",
+    )
+    ap.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="socket timeout in seconds",
+    )
+    args = ap.parse_args()
+
+    lines = args.cmd if args.cmd else [l.rstrip("\n") for l in sys.stdin]
+
+    with socket.create_connection((args.host, args.port), args.timeout) as s:
+        s.settimeout(args.timeout)
+        for line in lines:
+            if line.startswith("!sleep "):
+                time.sleep(float(line.split(None, 1)[1]))
+                continue
+            s.sendall(line.encode() + b"\n")
+        s.shutdown(socket.SHUT_WR)
+        buf = b""
+        while True:
+            try:
+                chunk = s.recv(65536)
+            except (socket.timeout, ConnectionResetError):
+                break
+            if not chunk:
+                break
+            buf += chunk
+        sys.stdout.write(buf.decode(errors="replace"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
