@@ -10,6 +10,8 @@
 #include "graph/snapshot.h"
 #include "grr/standard_rules.h"
 #include "match/incremental.h"
+#include "match/intersect.h"
+#include "match/plan.h"
 #include "repair/engine.h"
 
 namespace grepair {
@@ -348,6 +350,75 @@ void BM_UndoJournal(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UndoJournal)->Unit(benchmark::kMicrosecond);
+
+// --- Compiled match plans --------------------------------------------------
+
+// One-time compilation cost of a full rule set's plans — what a detection
+// pass pays before matching (and what PlanCache amortizes across commits).
+void BM_PlanCompile(benchmark::State& state) {
+  Workload w(static_cast<size_t>(state.range(0)));
+  GraphSnapshot snap(w.graph);
+  std::vector<const Pattern*> patterns;
+  for (RuleId r = 0; r < w.rules.size(); ++r)
+    patterns.push_back(&w.rules[r].pattern());
+  for (auto _ : state) {
+    std::vector<MatchPlan> plans = CompilePlans(patterns, snap);
+    benchmark::DoNotOptimize(plans.data());
+  }
+}
+BENCHMARK(BM_PlanCompile)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMicrosecond);
+
+// The intersection kernels on the skew the galloping path targets: a small
+// candidate set against a large adjacency partition (ratio >= kGallopRatio
+// gallops, the balanced shape merges).
+void BM_IntersectGalloping(benchmark::State& state) {
+  const size_t large_n = 100000;
+  const size_t small_n = static_cast<size_t>(state.range(0));
+  std::vector<uint32_t> large, small;
+  large.reserve(large_n);
+  for (uint32_t i = 0; i < large_n; ++i) large.push_back(2 * i);
+  small.reserve(small_n);
+  for (uint32_t i = 0; i < small_n; ++i)
+    small.push_back(static_cast<uint32_t>(i * (2 * large_n / small_n)));
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    IntersectSorted(small, large, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_IntersectGalloping)->Arg(64)->Arg(1024)->Arg(16384)
+    ->Unit(benchmark::kMicrosecond);
+
+// The headline ablation: full rule-set detection over a frozen snapshot,
+// interpreted (Arg 0) vs through compiled plans (Arg 1). Plans are
+// compiled OUTSIDE the timed region — the serving path caches them across
+// commits. Streams are bit-identical (tests/test_match_plan.cc); only the
+// candidate pipeline differs.
+void BM_PlannedVsInterpreted(benchmark::State& state) {
+  Workload w(4000);
+  GraphSnapshot snap(w.graph);
+  const bool planned = state.range(0) != 0;
+  std::vector<const Pattern*> patterns;
+  for (RuleId r = 0; r < w.rules.size(); ++r)
+    patterns.push_back(&w.rules[r].pattern());
+  std::vector<MatchPlan> plans = CompilePlans(patterns, snap);
+  for (auto _ : state) {
+    size_t n = 0;
+    for (RuleId r = 0; r < w.rules.size(); ++r) {
+      MatchOptions opts;
+      opts.use_plan = planned;
+      Matcher m(snap, w.rules[r].pattern(), planned ? &plans[r] : nullptr);
+      m.FindAll(opts, [&](const Match&) {
+        ++n;
+        return true;
+      });
+    }
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_PlannedVsInterpreted)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace grepair

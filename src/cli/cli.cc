@@ -9,8 +9,10 @@
 #include "consistency/simulator.h"
 #include "graph/error_injector.h"
 #include "graph/graph_io.h"
+#include "graph/snapshot.h"
 #include "grr/rule_parser.h"
 #include "grr/standard_rules.h"
+#include "match/plan.h"
 #include "mining/rule_miner.h"
 #include "obs/build_info.h"
 #include "obs/metrics.h"
@@ -30,6 +32,7 @@ constexpr char kUsage[] = R"(usage:
   grepair stats  <graph.tsv> [--format text|prom]
   grepair check  <rules.grr>
   grepair detect <graph.tsv> <rules.grr> [--threads N]
+  grepair explain_plan <graph.tsv> <rules.grr>
   grepair repair <graph.tsv> <rules.grr> [--strategy greedy|naive|batch|exact]
           [--out repaired.tsv] [--threads N]
   grepair mine   <graph.tsv> [--min-support X] [--threads N]
@@ -81,6 +84,7 @@ const std::map<std::string, std::set<std::string>>& AllowedFlags() {
       {"stats", {"format"}},
       {"check", {}},
       {"detect", {"threads"}},
+      {"explain_plan", {}},
       {"repair", {"strategy", "out", "threads"}},
       {"mine", {"min-support", "threads"}},
       {"serve",
@@ -320,6 +324,27 @@ Status CmdDetect(const Args& args, std::string* out) {
   return Status::Ok();
 }
 
+Status CmdExplainPlan(const Args& args, std::string* out) {
+  if (args.positional.size() < 3)
+    return Status::InvalidArgument("explain_plan needs <graph> <rules>");
+  auto vocab = MakeVocabulary();
+  GREPAIR_ASSIGN_OR_RETURN(Graph g, LoadGraph(args.positional[1], vocab));
+  GREPAIR_ASSIGN_OR_RETURN(std::string text, ReadFile(args.positional[2]));
+  GREPAIR_ASSIGN_OR_RETURN(RuleSet rules, ParseRules(text, vocab));
+  // Plans are compiled against the same frozen view detection reads, so
+  // what this prints is exactly what a fanning-out pass executes.
+  GraphSnapshot snap(g);
+  for (RuleId r = 0; r < rules.size(); ++r) {
+    const Rule& rule = rules[r];
+    *out += StrFormat("rule %zu: %s\n", static_cast<size_t>(r),
+                      rule.ToString(*vocab).c_str());
+    MatchPlan plan = MatchPlan::Compile(rule.pattern(), snap);
+    *out += plan.Explain(*vocab);
+    *out += "\n";
+  }
+  return Status::Ok();
+}
+
 Status CmdRepair(const Args& args, std::string* out) {
   if (args.positional.size() < 3)
     return Status::InvalidArgument("repair needs <graph> <rules>");
@@ -535,6 +560,8 @@ int RunCli(const std::vector<std::string>& args, std::string* out,
     st = CmdCheck(parsed.value(), out);
   } else if (cmd == "detect") {
     st = CmdDetect(parsed.value(), out);
+  } else if (cmd == "explain_plan") {
+    st = CmdExplainPlan(parsed.value(), out);
   } else if (cmd == "repair") {
     st = CmdRepair(parsed.value(), out);
   } else if (cmd == "mine") {

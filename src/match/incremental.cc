@@ -14,8 +14,9 @@ uint64_t DeltaMatchHash(const Match& m) {
   return h;
 }
 
-DeltaMatcher::DeltaMatcher(const GraphView& graph, const Pattern& pattern)
-    : g_(graph), p_(pattern) {}
+DeltaMatcher::DeltaMatcher(const GraphView& graph, const Pattern& pattern,
+                           const MatchPlan* plan)
+    : g_(graph), p_(pattern), plan_(plan) {}
 
 DeltaMatcher::Anchors DeltaMatcher::ComputeAnchors(
     const std::vector<EditEntry>& delta) const {
@@ -70,7 +71,7 @@ DeltaMatcher::Anchors DeltaMatcher::ComputeAnchors(
 MatchStats DeltaMatcher::MatchEdgeAnchors(
     const std::vector<EdgeId>& anchor_edges, const MatchCallback& cb) const {
   MatchStats total;
-  Matcher matcher(g_, p_);
+  Matcher matcher(g_, p_, plan_);
   bool stop = false;
   auto counting_cb = [&](const Match& m) {
     if (!cb(m)) {
@@ -100,7 +101,7 @@ MatchStats DeltaMatcher::MatchEdgeAnchors(
 MatchStats DeltaMatcher::MatchNodeAnchors(
     const std::vector<NodeId>& anchor_nodes, const MatchCallback& cb) const {
   MatchStats total;
-  Matcher matcher(g_, p_);
+  Matcher matcher(g_, p_, plan_);
   bool stop = false;
   auto counting_cb = [&](const Match& m) {
     if (!cb(m)) {

@@ -29,10 +29,13 @@ namespace grepair {
 /// exact same survivor set.
 uint64_t DeltaMatchHash(const Match& m);
 
-/// Incremental (delta-anchored) pattern search over one graph.
+/// Incremental (delta-anchored) pattern search over one graph. An optional
+/// compiled MatchPlan (plan.h) for the same pattern accelerates the anchored
+/// searches; streams stay bit-identical to the plan-less matcher.
 class DeltaMatcher {
  public:
-  DeltaMatcher(const GraphView& graph, const Pattern& pattern);
+  DeltaMatcher(const GraphView& graph, const Pattern& pattern,
+               const MatchPlan* plan = nullptr);
 
   /// The anchors a delta induces — exposed for tests, diagnostics and
   /// callers that search several rules over one delta. Anchor extraction
@@ -70,6 +73,7 @@ class DeltaMatcher {
  private:
   const GraphView& g_;
   const Pattern& p_;
+  const MatchPlan* plan_;
 };
 
 }  // namespace grepair

@@ -1,0 +1,87 @@
+#include "match/intersect.h"
+
+#include <algorithm>
+
+namespace grepair {
+
+namespace {
+
+// Galloping (exponential) search: smallest index i in [lo, n) with
+// a[i] >= key. Doubles the probe stride from lo, then binary-searches the
+// bracketed window — O(log(i - lo)) instead of O(log n), which is what
+// makes per-element probing cheap when matches cluster forward.
+size_t GallopLowerBound(const uint32_t* a, size_t n, size_t lo, uint32_t key) {
+  size_t step = 1;
+  size_t hi = lo;
+  while (hi < n && a[hi] < key) {
+    lo = hi + 1;
+    hi += step;
+    step <<= 1;
+  }
+  if (hi > n) hi = n;
+  return static_cast<size_t>(
+      std::lower_bound(a + lo, a + hi, key) - a);
+}
+
+// Skewed kernel: gallop each element of the SMALL range through the large
+// one. `small`/`large` are ascending duplicate-free.
+void IntersectGallop(const uint32_t* small, size_t sn, const uint32_t* large,
+                     size_t ln, std::vector<uint32_t>* out) {
+  size_t pos = 0;
+  for (size_t i = 0; i < sn; ++i) {
+    pos = GallopLowerBound(large, ln, pos, small[i]);
+    if (pos == ln) return;
+    if (large[pos] == small[i]) {
+      out->push_back(small[i]);
+      ++pos;
+    }
+  }
+}
+
+// Comparable-size kernel: two-pointer merge. The loop body is branch-light
+// (pointer advances computed from comparison results) so the compiler can
+// keep it in registers and vectorize the equality scan.
+void IntersectMerge(const uint32_t* a, size_t an, const uint32_t* b,
+                    size_t bn, std::vector<uint32_t>* out) {
+  size_t i = 0, j = 0;
+  while (i < an && j < bn) {
+    uint32_t x = a[i], y = b[j];
+    if (x == y) {
+      out->push_back(x);
+      ++i;
+      ++j;
+    } else {
+      i += x < y;
+      j += y < x;
+    }
+  }
+}
+
+}  // namespace
+
+void IntersectSorted(const uint32_t* a, size_t an, const uint32_t* b,
+                     size_t bn, std::vector<uint32_t>* out,
+                     IntersectStats* stats) {
+  out->clear();
+  if (an == 0 || bn == 0) return;
+  const size_t small = std::min(an, bn);
+  const size_t large = std::max(an, bn);
+  out->reserve(small);
+  if (large / small >= kGallopRatio) {
+    if (stats) ++stats->gallop;
+    if (an <= bn)
+      IntersectGallop(a, an, b, bn, out);
+    else
+      IntersectGallop(b, bn, a, an, out);
+  } else {
+    if (stats) ++stats->merge;
+    IntersectMerge(a, an, b, bn, out);
+  }
+}
+
+void SortUniqueIds(std::vector<uint32_t>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+}  // namespace grepair

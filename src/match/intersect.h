@@ -1,0 +1,51 @@
+// Vectorization-friendly sorted-range intersection for candidate pruning.
+// The compiled match plans (plan.h) derive a step's candidates by
+// intersecting already-sorted id ranges — CSR adjacency gathers and the
+// snapshot's label/attr partitions — instead of probing a hash set per
+// candidate. Two kernels, chosen by size ratio:
+//   - block-wise merge for comparable sizes: a tight two-pointer loop over
+//     contiguous uint32 ranges (branch-light, auto-vectorizes well);
+//   - galloping for skewed sizes: each element of the small range
+//     exponential-searches forward through the large one, O(n log(m/n)).
+#ifndef GREPAIR_MATCH_INTERSECT_H_
+#define GREPAIR_MATCH_INTERSECT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace grepair {
+
+/// Branch tallies for the obs registry: how often each kernel ran. Callers
+/// accumulate locally and flush once per search (DESIGN.md "Observability").
+struct IntersectStats {
+  uint64_t gallop = 0;  ///< intersections taken by the galloping kernel
+  uint64_t merge = 0;   ///< intersections taken by the block-wise merge
+};
+
+/// Size ratio at which galloping beats the linear merge: with
+/// max/min >= 16, n * log2(m) comparisons undercut n + m.
+inline constexpr size_t kGallopRatio = 16;
+
+/// Intersects two ascending duplicate-free ranges into *out (replaced).
+/// Output is ascending and duplicate-free. Either input may alias *out's
+/// PREVIOUS contents only if the caller passed distinct storage — inputs
+/// must not point into *out.
+void IntersectSorted(const uint32_t* a, size_t an, const uint32_t* b,
+                     size_t bn, std::vector<uint32_t>* out,
+                     IntersectStats* stats = nullptr);
+
+inline void IntersectSorted(const std::vector<uint32_t>& a,
+                            const std::vector<uint32_t>& b,
+                            std::vector<uint32_t>* out,
+                            IntersectStats* stats = nullptr) {
+  IntersectSorted(a.data(), a.size(), b.data(), b.size(), out, stats);
+}
+
+/// Sorts ascending and drops duplicates in place — the scratch-reusing
+/// replacement for the matcher's per-call unordered_set dedup.
+void SortUniqueIds(std::vector<uint32_t>* v);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_MATCH_INTERSECT_H_

@@ -2,6 +2,12 @@
 // label/degree candidate pruning, attribute-index joins for disconnected
 // components, early predicate evaluation, and NAC checking. Matching is
 // injective on node variables and on edge variables.
+//
+// Two execution paths share one emission contract: the interpreter re-derives
+// pivot/ordering decisions per expansion, while a compiled MatchPlan
+// (plan.h) replays them from precompiled steps with sorted-range candidate
+// intersection. Streams are bit-identical; MatchOptions::use_plan ablates
+// back to the interpreter.
 #ifndef GREPAIR_MATCH_MATCHER_H_
 #define GREPAIR_MATCH_MATCHER_H_
 
@@ -13,6 +19,9 @@
 #include "match/pattern.h"
 
 namespace grepair {
+
+class MatchPlan;
+struct PlanStep;
 
 /// One embedding of a pattern: nodes[i] is the image of node variable i,
 /// edges[j] the image of pattern edge j.
@@ -41,6 +50,9 @@ struct MatchOptions {
   /// candidate sets get larger.
   bool use_adjacency_pivot = true;  ///< derive candidates from bound neighbors
   bool use_attr_join = true;        ///< derive candidates from the attr index
+  /// Execute via the compiled plan when the Matcher was handed one
+  /// (bit-identical stream either way; false = interpreter ablation).
+  bool use_plan = true;
 };
 
 struct MatchStats {
@@ -55,9 +67,14 @@ using MatchCallback = std::function<bool(const Match&)>;
 /// Pattern-matching engine over one frozen graph state (any GraphView:
 /// the live Graph between mutations, or an immutable GraphSnapshot).
 /// Stateless between calls; cheap to construct.
+///
+/// `plan`, when given, must be compiled for this exact Pattern object over a
+/// view with the same label cardinalities (normally the same view); searches
+/// whose anchor shape has a compiled body then run the planned path.
 class Matcher {
  public:
-  Matcher(const GraphView& graph, const Pattern& pattern);
+  explicit Matcher(const GraphView& graph, const Pattern& pattern,
+                   const MatchPlan* plan = nullptr);
 
   /// Enumerates matches; stops at opts.max_matches or when cb returns false.
   MatchStats FindAll(const MatchOptions& opts, const MatchCallback& cb) const;
@@ -92,14 +109,22 @@ class Matcher {
  private:
   struct SearchState;
   void Extend(SearchState* st) const;
+  void ExtendPlanned(SearchState* st, size_t depth) const;
   void EnumerateEdges(SearchState* st, size_t edge_idx) const;
   bool CheckNewBinding(SearchState* st, VarId var, NodeId node) const;
-  std::vector<NodeId> CandidatesFor(const SearchState& st, VarId var,
-                                    bool* sorted) const;
+  bool CheckPlannedBinding(SearchState* st, const PlanStep& step, NodeId node,
+                           uint32_t covered_pivots, int covered_pred) const;
+  void CandidatesFor(const SearchState& st, VarId var, std::vector<NodeId>* out,
+                     bool* sorted) const;
+  size_t PlannedCandidates(SearchState* st, const PlanStep& step, size_t depth,
+                           const NodeId** out, uint32_t* covered_pivots,
+                           int* covered_pred) const;
   VarId PickNextVar(const SearchState& st) const;
 
   const GraphView& g_;
   const Pattern& p_;
+  const MatchPlan* plan_;
+  const GraphSnapshot* snap_;  ///< non-null: zero-copy partition spans
 };
 
 }  // namespace grepair

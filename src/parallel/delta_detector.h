@@ -64,15 +64,21 @@ class ParallelDeltaDetector {
   /// but parallel, including identical expansion counts (each anchored
   /// search carries its own budget in both paths). Early termination is not
   /// supported: emit returns void.
+  ///
+  /// `plans`, when non-null, is an array of rules.size() compiled-plan
+  /// pointers (entries may be null), index-aligned with the rule set and
+  /// compiled against `g`'s label cardinalities; every task of rule r (and
+  /// the sequential small-delta path) then matches through plans[r].
+  /// Streams are bit-identical with or without plans.
   MatchStats Detect(const GraphView& g, const RuleSet& rules,
-                    const std::vector<EditEntry>& delta,
-                    const Emit& emit) const;
+                    const std::vector<EditEntry>& delta, const Emit& emit,
+                    const MatchPlan* const* plans = nullptr) const;
 
   /// Same fan-out from precomputed anchors, for callers (the serving layer)
   /// that already extracted them for stats.
   MatchStats Detect(const GraphView& g, const RuleSet& rules,
-                    const DeltaMatcher::Anchors& anchors,
-                    const Emit& emit) const;
+                    const DeltaMatcher::Anchors& anchors, const Emit& emit,
+                    const MatchPlan* const* plans = nullptr) const;
 
   /// True when a delta with `num_anchors` anchors would fan out over the
   /// pool (rather than run the sequential loop on the calling thread).

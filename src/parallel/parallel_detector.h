@@ -67,8 +67,14 @@ class ParallelDetector {
   /// rule hits the expansion budget: a sharded rule whose total expansions
   /// reach the sequential budget is re-run sequentially so its truncation
   /// point matches the single-budget search exactly.
-  MatchStats Detect(const GraphView& g, const RuleSet& rules,
-                    const Emit& emit) const;
+  ///
+  /// `plans`, when non-null, is an array of rules.size() pointers to
+  /// compiled MatchPlans (entries may be null), index-aligned with the rule
+  /// set and compiled against `g`'s label cardinalities; every task of rule
+  /// r (and its sequential rerun) then matches through plans[r]. Streams
+  /// are bit-identical with or without plans.
+  MatchStats Detect(const GraphView& g, const RuleSet& rules, const Emit& emit,
+                    const MatchPlan* const* plans = nullptr) const;
 
  private:
   ThreadPool* pool_;

@@ -8,6 +8,7 @@
 
 #include "graph/snapshot.h"
 #include "match/incremental.h"
+#include "match/plan.h"
 #include "parallel/parallel_detector.h"
 #include "parallel/thread_pool.h"
 #include "repair/interaction.h"
@@ -40,18 +41,31 @@ size_t DetectInto(const GraphView& g, const RuleSet& rules,
     // store receives the exact sequential seeding either way.
     std::unique_ptr<GraphSnapshot> built;
     const GraphView& view = SnapshotForPass(src, &built);
+    // Compile each rule's pattern once for the pass; every worker task of a
+    // rule then replays its plan instead of re-interpreting the pattern.
+    std::vector<const Pattern*> patterns;
+    patterns.reserve(rules.size());
+    for (RuleId r = 0; r < rules.size(); ++r)
+      patterns.push_back(&rules[r].pattern());
+    const std::vector<MatchPlan> plans = CompilePlans(patterns, view);
+    std::vector<const MatchPlan*> plan_ptrs;
+    plan_ptrs.reserve(plans.size());
+    for (const MatchPlan& p : plans) plan_ptrs.push_back(&p);
     ParallelDetector detector(pool);
-    MatchStats st =
-        detector.Detect(view, rules, [&](RuleId r, const Match& m) {
+    MatchStats st = detector.Detect(
+        view, rules,
+        [&](RuleId r, const Match& m) {
           double cost = FixCost(view, rules[r], m, model, conf_attr);
           store->Add(r, m, cost);
-        });
+        },
+        plan_ptrs.data());
     if (expansions) *expansions += st.expansions;
     return store->Size();
   }
   for (RuleId r = 0; r < rules.size(); ++r) {
     const Rule& rule = rules[r];
-    Matcher matcher(src, rule.pattern());
+    const MatchPlan plan = MatchPlan::Compile(rule.pattern(), src);
+    Matcher matcher(src, rule.pattern(), &plan);
     MatchOptions opts;
     MatchStats st = matcher.FindAll(opts, [&](const Match& m) {
       double cost = FixCost(src, rule, m, model, conf_attr);

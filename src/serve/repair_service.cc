@@ -161,6 +161,9 @@ bool RepairService::PatchWithinBudget(uint64_t pending) const {
 const GraphView& RepairService::AcquireSnapshot(BatchResult* res) {
   OBS_SPAN("commit.snapshot");
   obs::Stopwatch t;
+  // Every acquisition advances the view's contents, so cached match plans
+  // must revalidate their variable orders against the new cardinalities.
+  ++plan_generation_;
   const uint64_t log_end = graph_.DeltaLogEnd();
   if (num_shards_ > 1) {
     // Sharded cache: the patch-or-rebuild decision moves inside
@@ -366,18 +369,28 @@ BatchResult RepairService::Commit() {
     // directly. Reads are bit-identical either way (tests/test_snapshot.cc,
     // tests/test_snapshot_patch.cc).
     const GraphView* view = &graph_;
+    // Frozen-view passes match through compiled plans (cached across
+    // commits, revalidated per snapshot generation); the live-graph path
+    // stays on the interpreter — both streams are bit-identical.
+    std::vector<const MatchPlan*> plans;
     if (detector.WouldFanOut(anchors.nodes.size() + anchors.edges.size())) {
       view = &AcquireSnapshot(&res);
       res.snapshot_reads = true;
       m_snapshot_batches_->Add(1);
+      plans.reserve(rules_.size());
+      for (RuleId r = 0; r < rules_.size(); ++r)
+        plans.push_back(
+            plan_cache_.Get(r, rules_[r].pattern(), *view, plan_generation_));
     } else {
       CapDeltaLogGrowth();
     }
     MatchStats st = detector.Detect(
-        *view, rules_, anchors, [&](RuleId r, const Match& m) {
+        *view, rules_, anchors,
+        [&](RuleId r, const Match& m) {
           store_.Add(r, m,
                      FixCost(*view, rules_[r], m, options_.cost_model, conf));
-        });
+        },
+        plans.empty() ? nullptr : plans.data());
     res.expansions += st.expansions;
     res.detect_ms = t.ElapsedMs();
     m_detect_ms_->Observe(res.detect_ms);
@@ -654,6 +667,7 @@ Status RepairService::RestoreState(const std::string& path) {
   snapshot_.reset();
   sharded_.reset();
   snapshot_watermark_ = 0;
+  plan_cache_.Clear();
   clean_mark_ = 0;
   store_.Clear();
   for (const PendingViolation& pv : backlog)

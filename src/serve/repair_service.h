@@ -31,6 +31,7 @@
 #include "graph/sharded_snapshot.h"
 #include "graph/snapshot.h"
 #include "grr/rule.h"
+#include "match/plan.h"
 #include "obs/metrics.h"
 #include "parallel/delta_detector.h"
 #include "parallel/thread_pool.h"
@@ -282,6 +283,14 @@ class RepairService {
   std::unique_ptr<GraphSnapshot> snapshot_;
   std::unique_ptr<ShardedSnapshot> sharded_;
   uint64_t snapshot_watermark_ = 0;
+  /// Compiled match plans for the fanning-out seed pass, keyed by rule
+  /// index and revalidated against the cached snapshot's generation: each
+  /// AcquireSnapshot bumps plan_generation_, and PlanCache::Get then keeps
+  /// a plan whose variable orders still hold under the new label
+  /// cardinalities, recompiling only past the drift threshold. The cascade
+  /// loop matches the LIVE mutating graph and stays on the interpreter.
+  PlanCache plan_cache_;
+  uint64_t plan_generation_ = 0;
 
   /// The service's metrics: instrument handles into registry_ (resolved
   /// once in the constructor), incremented where the old struct fields

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Validates the planned-vs-interpreted matching benchmark result.
+
+Usage: check_bench_plan.py <BENCH_matching.json> [slack]
+
+BENCH_matching.json is google-benchmark JSON output containing both arms of
+BM_PlannedVsInterpreted: /0 runs the interpreter, /1 the compiled-plan path,
+over the same workload and rule set. The check asserts the planned arm is
+not slower than the interpreter beyond `slack` (default 1.10 — CI smoke
+runners are 2-core and noisy, so the gate is "not a regression", while the
+full-scale >=1.5x speedup target is tracked locally in ROADMAP.md).
+
+Exit 0 when planned <= interpreted * slack; nonzero with a diagnostic
+otherwise. CI runs this on the bench-smoke artifact so a change that makes
+the compiled path slower than the interpreter it replaces fails the push
+that introduced it.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_bench_plan: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        fail("usage: check_bench_plan.py <BENCH_matching.json> [slack]")
+    path = sys.argv[1]
+    slack = float(sys.argv[2]) if len(sys.argv) == 3 else 1.10
+
+    with open(path) as f:
+        doc = json.load(f)
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        fail(f"{path}: no 'benchmarks' array (is this google-benchmark JSON?)")
+
+    # Aggregate runs (mean/median/stddev) carry a 'aggregate_name'; when
+    # repetitions are off each benchmark appears once as an 'iteration' run.
+    times = {}
+    for b in benches:
+        name = b.get("name", "")
+        if b.get("run_type") == "aggregate":
+            continue
+        if name in ("BM_PlannedVsInterpreted/0", "BM_PlannedVsInterpreted/1"):
+            times[name] = (float(b["real_time"]), b.get("time_unit", "ns"))
+
+    interp = times.get("BM_PlannedVsInterpreted/0")
+    planned = times.get("BM_PlannedVsInterpreted/1")
+    if interp is None or planned is None:
+        have = sorted(times)
+        fail(f"{path}: missing BM_PlannedVsInterpreted arms (found: {have})")
+    if interp[1] != planned[1]:
+        fail(f"{path}: mismatched time units {interp[1]} vs {planned[1]}")
+
+    it, pt, unit = interp[0], planned[0], interp[1]
+    ratio = pt / it if it > 0 else float("inf")
+    verdict = (f"interpreted={it:.3f}{unit} planned={pt:.3f}{unit} "
+               f"planned/interpreted={ratio:.3f} (slack {slack:.2f})")
+    if pt > it * slack:
+        fail(f"{path}: compiled plan slower than interpreter: {verdict}")
+    print(f"{path}: OK {verdict}")
+    print("check_bench_plan: PASS")
+
+
+if __name__ == "__main__":
+    main()
