@@ -16,7 +16,13 @@
 // work) while a monolithic snapshot pays the full O(V+E) rebuild — the
 // locality the sharded store exists for, measured at the 4000-node scale.
 //
-// GREPAIR_BENCH_SMOKE=1 shrinks both sections to CI-smoke scale; the JSON
+// S3 — Durable commit cost: the same edit stream with a write-ahead log on
+// the real filesystem, per fsync policy (off / interval / every) against
+// the no-WAL baseline. Reports commit latency and the WAL ledger (appends,
+// syncs, bytes) — the price sheet of the durability knob (DESIGN.md
+// "Durability").
+//
+// GREPAIR_BENCH_SMOKE=1 shrinks all sections to CI-smoke scale; the JSON
 // header records the mode so collected artifacts stay comparable.
 #include "bench_common.h"
 
@@ -26,6 +32,8 @@
 #include "graph/sharded_snapshot.h"
 #include "graph/snapshot.h"
 #include "serve/repair_service.h"
+#include "storage/fs.h"
+#include "storage/wal.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -219,6 +227,77 @@ void DirtyShardSweep(const DatasetBundle& clean, size_t shards,
                  TableWriter::Num(m / std::max(1e-6, d), 1)});
 }
 
+// S3: one (policy) cell — a durable service on a real on-disk WAL
+// directory fed `total_edits` edits in batches, against the shared edit
+// stream. `policy` is "none" for the no-WAL baseline.
+void DurabilitySweep(const DatasetBundle& clean, const std::string& policy,
+                     size_t batch_size, size_t total_edits,
+                     TableWriter* table) {
+  storage::Fs* fs = storage::RealFs::Default();
+  const std::string dir = "bench_wal_" + policy + ".dir";
+  ServeOptions sopt;
+  if (policy != "none") {
+    sopt.wal_dir = dir;
+    sopt.checkpoint_every = 64;
+    if (policy == "every")
+      sopt.fsync_policy = storage::FsyncPolicy::kEveryCommit;
+    else if (policy == "interval")
+      sopt.fsync_policy = storage::FsyncPolicy::kInterval;
+    else
+      sopt.fsync_policy = storage::FsyncPolicy::kOff;
+  }
+  RepairService service(clean.graph.Clone(), clean.rules, sopt);
+  if (!sopt.wal_dir.empty()) {
+    auto rec = service.OpenDurability();
+    if (!rec.ok()) {
+      std::fprintf(stderr, "OpenDurability failed: %s\n",
+                   rec.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  Graph scratch = clean.graph.Clone();
+  Rng rng(17);  // the S1 stream, so rows are comparable across policies
+
+  Timer wall;
+  for (size_t done = 0; done < total_edits; done += batch_size) {
+    std::vector<EditEntry> ops = MakeBatch(&scratch, &rng, batch_size);
+    auto r = service.ApplyBatch(ops);
+    if (!r.ok()) {
+      std::fprintf(stderr, "durable batch failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    scratch = service.graph().Clone();
+  }
+  double total_s = wall.ElapsedMs() / 1000.0;
+
+  const ServiceStats& s = service.stats();
+  double p50 = s.LatencyPercentileMs(50), p95 = s.LatencyPercentileMs(95);
+  double eps = total_s > 0 ? static_cast<double>(s.edits) / total_s : 0;
+  std::printf("{\"mode\":\"durability\",\"fsync_policy\":\"%s\","
+              "\"batch_size\":%zu,\"batches\":%zu,\"edits\":%zu,"
+              "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"edits_per_s\":%.1f,"
+              "\"wal_appends\":%zu,\"wal_syncs\":%zu,\"wal_bytes\":%zu,"
+              "\"checkpoints\":%zu}\n",
+              policy.c_str(), batch_size, s.batches, s.edits, p50, p95, eps,
+              s.wal_appends, s.wal_syncs, s.wal_bytes, s.checkpoints);
+  table->AddRow({policy,
+                 TableWriter::Int(int64_t(s.batches)),
+                 TableWriter::Num(p50, 3), TableWriter::Num(p95, 3),
+                 TableWriter::Num(eps, 1),
+                 TableWriter::Int(int64_t(s.wal_appends)),
+                 TableWriter::Int(int64_t(s.wal_syncs)),
+                 TableWriter::Int(int64_t(s.wal_bytes))});
+
+  if (!sopt.wal_dir.empty()) {
+    auto names = fs->ListDir(dir);
+    if (names.ok())
+      for (const std::string& name : names.value())
+        (void)fs->RemoveFile(dir + "/" + name);
+    std::remove(dir.c_str());
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -353,5 +432,16 @@ int main() {
   t3.Print();
   std::puts("\nCSV:");
   std::fputs(t3.ToCsv().c_str(), stdout);
+
+  // --- S3: durable commit cost per fsync policy ------------------------
+  TableWriter t4("S3: durable commit cost per fsync policy (real fs WAL)",
+                 {"fsync_policy", "batches", "p50_ms", "p95_ms",
+                  "edits_per_s", "wal_appends", "wal_syncs", "wal_bytes"});
+  const size_t kDurableEdits = smoke ? 64 : 192;
+  for (const char* policy : {"none", "off", "interval", "every"})
+    DurabilitySweep(bundle, policy, 8, kDurableEdits, &t4);
+  t4.Print();
+  std::puts("\nCSV:");
+  std::fputs(t4.ToCsv().c_str(), stdout);
   return 0;
 }

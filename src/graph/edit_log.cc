@@ -58,6 +58,69 @@ EditEntry InverseEntry(const EditEntry& e) {
   return inv;
 }
 
+namespace {
+
+void PutU32(uint32_t v, std::string* out) {
+  char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+               static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out->append(b, 4);
+}
+
+bool GetU32(std::string_view data, size_t* pos, uint32_t* v) {
+  if (data.size() - *pos < 4) return false;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(data.data()) + *pos;
+  *v = static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+       static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+  *pos += 4;
+  return true;
+}
+
+}  // namespace
+
+void EncodeEditEntry(const EditEntry& e, std::string* out) {
+  out->push_back(static_cast<char>(e.kind));
+  PutU32(e.node, out);
+  PutU32(e.edge, out);
+  PutU32(e.src, out);
+  PutU32(e.dst, out);
+  PutU32(e.label, out);
+  PutU32(e.attr, out);
+  PutU32(e.old_sym, out);
+  PutU32(e.new_sym, out);
+  PutU32(static_cast<uint32_t>(e.attr_snapshot.size()), out);
+  for (const auto& [a, v] : e.attr_snapshot) {
+    PutU32(a, out);
+    PutU32(v, out);
+  }
+}
+
+bool DecodeEditEntry(std::string_view data, size_t* pos, EditEntry* out) {
+  if (*pos >= data.size()) return false;
+  uint8_t kind = static_cast<uint8_t>(data[*pos]);
+  if (kind > static_cast<uint8_t>(EditKind::kSetEdgeAttr)) return false;
+  out->kind = static_cast<EditKind>(kind);
+  ++*pos;
+  uint32_t count = 0;
+  if (!GetU32(data, pos, &out->node) || !GetU32(data, pos, &out->edge) ||
+      !GetU32(data, pos, &out->src) || !GetU32(data, pos, &out->dst) ||
+      !GetU32(data, pos, &out->label) || !GetU32(data, pos, &out->attr) ||
+      !GetU32(data, pos, &out->old_sym) || !GetU32(data, pos, &out->new_sym) ||
+      !GetU32(data, pos, &count))
+    return false;
+  // Bound the count by the bytes actually present before reserving: a
+  // corrupt frame must not become a multi-gigabyte allocation.
+  if (count > (data.size() - *pos) / 8) return false;
+  out->attr_snapshot.clear();
+  out->attr_snapshot.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t a = 0, v = 0;
+    if (!GetU32(data, pos, &a) || !GetU32(data, pos, &v)) return false;
+    out->attr_snapshot.emplace_back(a, v);
+  }
+  return true;
+}
+
 std::string EditEntryToString(const EditEntry& e) {
   switch (e.kind) {
     case EditKind::kAddNode:

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/dictionary.h"
@@ -80,6 +81,19 @@ EditEntry InverseEntry(const EditEntry& e);
 
 /// Debug rendering of a journal entry.
 std::string EditEntryToString(const EditEntry& e);
+
+/// Binary serialization of a journal record — the on-disk form the
+/// write-ahead log (src/storage/wal.{h,cc}) frames and checksums. Fixed
+/// little-endian layout: kind (u8), node, edge, src, dst, label, attr,
+/// old_sym, new_sym (u32 each), then the attr_snapshot as a u32 count of
+/// (u32, u32) pairs. Symbol and element ids are stored verbatim: WAL
+/// records are only ever replayed against a graph restored to the exact
+/// id space they were written in (see DESIGN.md "Durability").
+void EncodeEditEntry(const EditEntry& e, std::string* out);
+
+/// Decodes one record at `*pos`, advancing `*pos` past it. Returns false
+/// (leaving `*pos` unspecified) on truncation or an invalid kind byte.
+bool DecodeEditEntry(std::string_view data, size_t* pos, EditEntry* out);
 
 }  // namespace grepair
 

@@ -1,6 +1,7 @@
 #include "serve/repair_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -13,6 +14,8 @@
 #include "match/incremental.h"
 #include "obs/trace.h"
 #include "repair/fix.h"
+#include "storage/checkpoint.h"
+#include "storage/recovery.h"
 #include "util/strings.h"
 
 namespace grepair {
@@ -106,6 +109,40 @@ RepairService::RepairService(Graph graph, RuleSet rules, ServeOptions options)
   m_shard_rebuilds_ = registry_.GetCounter(
       "grepair_shard_rebuilds_total",
       "Store shards rebuilt from scratch (dirty-shard-only economics).");
+  m_wal_appends_ = registry_.GetCounter(
+      "grepair_wal_appends_total", "Batches appended to the write-ahead log.");
+  m_wal_bytes_ = registry_.GetCounter(
+      "grepair_wal_bytes_total", "Bytes appended to the WAL, frames included.");
+  m_wal_syncs_ = registry_.GetCounter(
+      "grepair_wal_syncs_total", "fsyncs issued by the WAL writer.");
+  m_wal_append_errors_ = registry_.GetCounter(
+      "grepair_wal_append_errors_total",
+      "Failed WAL appends; each one rolls the batch back and degrades the "
+      "service to read-only.");
+  m_checkpoints_ = registry_.GetCounter(
+      "grepair_checkpoints_total",
+      "Checkpoints written (cadence and baseline).");
+  m_checkpoint_errors_ = registry_.GetCounter(
+      "grepair_checkpoint_errors_total",
+      "Checkpoint attempts that failed (the service degrades to read-only).");
+  m_recovery_replayed_ = registry_.GetCounter(
+      "grepair_recovery_replayed_batches_total",
+      "Complete WAL batches re-committed during startup recovery.");
+  m_recovery_truncated_bytes_ = registry_.GetCounter(
+      "grepair_recovery_truncated_bytes_total",
+      "Torn/corrupt WAL tail bytes truncated during startup recovery.");
+  m_recovery_dropped_ = registry_.GetCounter(
+      "grepair_recovery_dropped_batches_total",
+      "Complete WAL batches dropped after a sequence gap during recovery.");
+  m_recovery_corrupt_ckpts_ = registry_.GetCounter(
+      "grepair_recovery_corrupt_checkpoints_total",
+      "Checkpoints that failed validation and were quarantined.");
+  m_read_only_ = registry_.GetGauge(
+      "grepair_serve_read_only",
+      "1 after a storage failure degraded the service to read-only.");
+  m_last_checkpoint_seq_ = registry_.GetGauge(
+      "grepair_last_checkpoint_seq",
+      "Batch seq covered by the newest checkpoint.");
   m_backlog_ = registry_.GetGauge(
       "grepair_serve_backlog",
       "Violations waiting in the persistent store after the last commit.");
@@ -141,6 +178,37 @@ RepairService::RepairService(Graph graph, RuleSet rules, ServeOptions options)
                                            : options_.num_shards;
     num_shards_ = std::min(num_shards_, ShardedSnapshot::kMaxShards);
   }
+}
+
+storage::Fs* RepairService::StateFs() const {
+  return options_.wal_fs != nullptr ? options_.wal_fs
+                                    : storage::RealFs::Default();
+}
+
+uint64_t RepairService::NowMs() const {
+  if (options_.clock_ms) return options_.clock_ms();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void RepairService::EnterReadOnly(const std::string& why) {
+  if (read_only_) return;
+  read_only_ = true;
+  m_read_only_->Set(1);
+  std::fprintf(stderr, "grepair: service entering read-only mode: %s\n",
+               why.c_str());
+}
+
+void RepairService::SyncWalInstruments() {
+  if (wal_ == nullptr) return;
+  m_wal_appends_->Add(wal_->appends() - seen_wal_appends_);
+  m_wal_bytes_->Add(wal_->bytes_appended() - seen_wal_bytes_);
+  m_wal_syncs_->Add(wal_->syncs() - seen_wal_syncs_);
+  seen_wal_appends_ = wal_->appends();
+  seen_wal_bytes_ = wal_->bytes_appended();
+  seen_wal_syncs_ = wal_->syncs();
 }
 
 ParallelRunner RepairService::ShardRunner() const {
@@ -264,6 +332,15 @@ const ServiceStats& RepairService::stats() const {
   s.snapshot_rebuild_ms = m_acquire_rebuild_ms_->Sum();
   s.shard_patches = m_shard_patches_->Value();
   s.shard_rebuilds = m_shard_rebuilds_->Value();
+  s.read_only = read_only_;
+  s.wal_appends = m_wal_appends_->Value();
+  s.wal_bytes = m_wal_bytes_->Value();
+  s.wal_syncs = m_wal_syncs_->Value();
+  s.wal_append_errors = m_wal_append_errors_->Value();
+  s.checkpoints = m_checkpoints_->Value();
+  s.last_checkpoint_seq =
+      static_cast<size_t>(m_last_checkpoint_seq_->Value());
+  s.recovery_replayed_batches = m_recovery_replayed_->Value();
   s.batch_ms = latency_ring_;
   // Lazily priced: MemoryBytes walks every attribute map, which must not
   // ride the per-commit hot path AcquireSnapshot just took off it. Rolls
@@ -289,6 +366,9 @@ SymbolId RepairService::ConfAttr() const {
 
 Result<EditApplied> RepairService::ApplyEdit(const EditEntry& op) {
   OBS_SPAN("serve.edit");
+  if (read_only_)
+    return Status::IoError(
+        "service is read-only after a storage failure; restart to recover");
   EditApplied out;
   Status st;
   switch (op.kind) {
@@ -331,13 +411,60 @@ Result<EditApplied> RepairService::ApplyEdit(const EditEntry& op) {
   return out;
 }
 
-BatchResult RepairService::Commit() {
+Status RepairService::AppendBatchToWal(uint64_t seq) {
+  OBS_SPAN("commit.wal");
+  storage::WalBatch b;
+  b.seq = seq;
+  // Symbols interned since the last append (by session parsing, ahead of
+  // the edits that reference them) ride along so replay can re-intern them
+  // at identical ids — WAL records store raw SymbolIds.
+  const Vocabulary& v = *graph_.vocab();
+  for (size_t i = logged_labels_; i < v.NumLabels(); ++i)
+    b.symbols.push_back(
+        {0, static_cast<uint32_t>(i), v.LabelName(static_cast<SymbolId>(i))});
+  for (size_t i = logged_attrs_; i < v.NumAttrs(); ++i)
+    b.symbols.push_back(
+        {1, static_cast<uint32_t>(i), v.AttrName(static_cast<SymbolId>(i))});
+  for (size_t i = logged_values_; i < v.NumValues(); ++i)
+    b.symbols.push_back(
+        {2, static_cast<uint32_t>(i), v.ValueName(static_cast<SymbolId>(i))});
+  b.records.assign(graph_.Journal().begin() + clean_mark_,
+                   graph_.Journal().end());
+  GREPAIR_RETURN_IF_ERROR(wal_->AppendBatch(b, NowMs()));
+  logged_labels_ = v.NumLabels();
+  logged_attrs_ = v.NumAttrs();
+  logged_values_ = v.NumValues();
+  SyncWalInstruments();
+  return Status::Ok();
+}
+
+Result<BatchResult> RepairService::Commit() {
   OBS_SPAN("commit");
+  if (read_only_)
+    return Status::IoError(
+        "service is read-only after a storage failure; restart to recover");
   obs::Stopwatch total;
   BatchResult res;
   res.batch = m_batches_->Value() + 1;
   res.edits = PendingEdits();
   SymbolId conf = ConfAttr();
+
+  // Durability: the batch's client edits go to the WAL (and the device,
+  // per policy) BEFORE detection/cascades run, so an acked batch line
+  // implies a durable batch. A failed append REJECTS the batch — the
+  // staged edits roll back and the service degrades to read-only rather
+  // than silently diverging from its log.
+  if (wal_ != nullptr && !replaying_) {
+    Status appended = AppendBatchToWal(res.batch);
+    if (!appended.ok()) {
+      m_wal_append_errors_->Add(1);
+      Status undone = graph_.UndoTo(clean_mark_);
+      EnterReadOnly("wal append failed: " + appended.message() +
+                    (undone.ok() ? "" : "; rollback also failed: " +
+                                            undone.message()));
+      return Status::IoError("wal append failed: " + appended.message());
+    }
+  }
 
   std::vector<EditEntry> delta(graph_.Journal().begin() + clean_mark_,
                                graph_.Journal().end());
@@ -455,12 +582,31 @@ BatchResult RepairService::Commit() {
   else
     latency_ring_[(batches - 1) % ServiceStats::kLatencyWindow] =
         res.total_ms;
+
+  // Cadence checkpoint: absolute seq multiples, so a replay knows to
+  // re-execute the id-compacting state swap at exactly these points. The
+  // batch itself is already durable and committed — a failed checkpoint
+  // degrades the service but still acks the batch.
+  if (wal_ != nullptr && !replaying_ && options_.checkpoint_every > 0 &&
+      res.batch % options_.checkpoint_every == 0) {
+    Status ckpt = CheckpointNow(/*baseline=*/false);
+    if (!ckpt.ok()) {
+      m_checkpoint_errors_->Add(1);
+      EnterReadOnly("checkpoint failed: " + ckpt.message());
+    }
+  }
   return res;
 }
 
 // ------------------------------------------------- state persistence
 // File layout (line-oriented, TSV-compatible with graph_io):
 //   # comments
+//   L/K/W <name>       the vocabulary dump: every label / attr name /
+//                      value in id order (id 0, the empty string, is
+//                      implicit). Interning these in order before parsing
+//                      the rest reproduces the writing process's symbol
+//                      ids exactly — what makes raw SymbolIds in WAL
+//                      records valid against a reloaded checkpoint.
 //   N/E ...            the graph (SerializeGraph format)
 //   V <rule> <cost>    one backlog violation (cost = best_cost)
 //   A <k> <node ids...> <m> <edge ids...>   one alternative match of the
@@ -481,9 +627,7 @@ std::unordered_map<Id, Id> RankMap(const std::vector<Id>& alive_ascending) {
 
 }  // namespace
 
-Status RepairService::SaveState(const std::string& path) {
-  if (PendingEdits() > 0) Commit();
-
+std::string RepairService::SerializeServiceState() const {
   std::unordered_map<NodeId, NodeId> node_rank = RankMap(graph_.Nodes());
   std::unordered_map<EdgeId, EdgeId> edge_rank = RankMap(graph_.Edges());
 
@@ -535,6 +679,13 @@ Status RepairService::SaveState(const std::string& path) {
             });
 
   std::string out = "# grepair service state v1\n";
+  const Vocabulary& v = *graph_.vocab();
+  for (size_t i = 1; i < v.NumLabels(); ++i)
+    out += "L\t" + v.LabelName(static_cast<SymbolId>(i)) + "\n";
+  for (size_t i = 1; i < v.NumAttrs(); ++i)
+    out += "K\t" + v.AttrName(static_cast<SymbolId>(i)) + "\n";
+  for (size_t i = 1; i < v.NumValues(); ++i)
+    out += "W\t" + v.ValueName(static_cast<SymbolId>(i)) + "\n";
   out += SerializeGraph(graph_);
   for (const SavedViolation& sv : backlog) {
     out += StrFormat("V\t%u\t%.17g\n", sv.rule, sv.cost);
@@ -546,34 +697,24 @@ Status RepairService::SaveState(const std::string& path) {
       out += "\n";
     }
   }
-
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f)
-    return Status::InvalidArgument("cannot open for write: " + path);
-  size_t written = std::fwrite(out.data(), 1, out.size(), f);
-  std::fclose(f);
-  if (written != out.size())
-    return Status::Internal("short write: " + path);
-  return Status::Ok();
+  return out;
 }
 
-Status RepairService::RestoreState(const std::string& path) {
-  // The staged-edits rule: a restore while edits are journaled-but-
-  // uncommitted is ambiguous (discard them? commit them onto the restored
-  // state?), so it is refused outright — protocol code `staged_edits`.
-  if (PendingEdits() > 0)
-    return Status::FailedPrecondition(
-        StrFormat("%zu staged edit(s) pending; commit before restore",
-                  PendingEdits()));
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (!f) return Status::NotFound("cannot open: " + path);
-  std::string text;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
-  std::fclose(f);
+Status RepairService::SaveState(const std::string& path) {
+  if (PendingEdits() > 0) {
+    auto committed = Commit();
+    if (!committed.ok()) return committed.status();
+  }
+  // Temp file + fsync + atomic rename: a crash mid-save never replaces a
+  // previous good state file with a torn one.
+  return storage::WriteFileAtomic(StateFs(), path, SerializeServiceState());
+}
 
-  // Split graph lines from violation lines.
+Status RepairService::LoadServiceState(const std::string& text,
+                                       const std::string& origin) {
+  const std::string& path = origin;  // error-message label
+  // Split vocabulary and graph lines from violation lines.
+  size_t next_label = 1, next_attr = 1, next_value = 1;
   std::string graph_text;
   struct PendingViolation {
     RuleId rule;
@@ -595,6 +736,34 @@ Status RepairService::RestoreState(const std::string& path) {
       continue;
     }
     auto fields = Split(line, '\t');
+    if (fields[0] == "L" || fields[0] == "K" || fields[0] == "W") {
+      if (fields.size() != 2) return err("bad vocabulary record");
+      // Interning straight into the live (shared) vocabulary is safe even
+      // when a later line fails validation: it is append-only, so extra
+      // symbols are inert. Each entry must land on its dumped id — drift
+      // means the service was built from different --graph/--rules than
+      // the one that wrote this state, and every raw SymbolId in it (and
+      // in any WAL tail about to replay) would silently mean something
+      // else.
+      SymbolId got;
+      size_t expect;
+      if (fields[0] == "L") {
+        got = graph_.vocab()->Label(fields[1]);
+        expect = next_label++;
+      } else if (fields[0] == "K") {
+        got = graph_.vocab()->Attr(fields[1]);
+        expect = next_attr++;
+      } else {
+        got = graph_.vocab()->Value(fields[1]);
+        expect = next_value++;
+      }
+      if (got != expect)
+        return err(StrFormat(
+            "vocabulary drift: '%s' interned as %u where %zu expected (was "
+            "the service built from the same --graph/--rules?)",
+            fields[1].c_str(), got, expect));
+      continue;
+    }
     if (fields[0] == "V") {
       if (fields.size() != 3) return err("bad V record");
       PendingViolation pv;
@@ -673,7 +842,180 @@ Status RepairService::RestoreState(const std::string& path) {
   for (const PendingViolation& pv : backlog)
     for (const Match& alt : pv.alternatives)
       store_.Add(pv.rule, alt, pv.cost);
+  // Everything the vocabulary now holds is covered by this state (its dump
+  // plus the construction prefix it verified), so the next WAL append
+  // starts its symbol frames here.
+  logged_labels_ = graph_.vocab()->NumLabels();
+  logged_attrs_ = graph_.vocab()->NumAttrs();
+  logged_values_ = graph_.vocab()->NumValues();
   return Status::Ok();
+}
+
+Status RepairService::RestoreState(const std::string& path) {
+  if (read_only_)
+    return Status::IoError(
+        "service is read-only after a storage failure; restart to recover");
+  // The staged-edits rule: a restore while edits are journaled-but-
+  // uncommitted is ambiguous (discard them? commit them onto the restored
+  // state?), so it is refused outright — protocol code `staged_edits`.
+  if (PendingEdits() > 0)
+    return Status::FailedPrecondition(
+        StrFormat("%zu staged edit(s) pending; commit before restore",
+                  PendingEdits()));
+  auto text = StateFs()->ReadFile(path);
+  if (!text.ok()) return text.status();
+  GREPAIR_RETURN_IF_ERROR(LoadServiceState(text.value(), path));
+  // The restore itself is a state swap no WAL replay could reproduce, so
+  // under durability history re-anchors on a baseline checkpoint of the
+  // restored state. Its failure degrades the service: the restore already
+  // happened in memory, but it is not durable.
+  if (wal_ != nullptr) {
+    Status ckpt = CheckpointNow(/*baseline=*/true);
+    if (!ckpt.ok()) {
+      m_checkpoint_errors_->Add(1);
+      EnterReadOnly("post-restore checkpoint failed: " + ckpt.message());
+      return Status::IoError("restored in memory, but the re-anchoring "
+                             "checkpoint failed: " +
+                             ckpt.message());
+    }
+  }
+  return Status::Ok();
+}
+
+Status RepairService::SwapState() {
+  std::string payload = SerializeServiceState();
+  Status st = LoadServiceState(payload, "<state swap>");
+  if (!st.ok())
+    return Status::Internal("state failed to survive its own serialize/load "
+                            "round trip: " +
+                            st.ToString());
+  return Status::Ok();
+}
+
+Status RepairService::CheckpointNow(bool baseline) {
+  if (wal_ == nullptr)
+    return Status::FailedPrecondition("durability is not open");
+  if (PendingEdits() > 0)
+    return Status::FailedPrecondition(
+        "checkpoint with uncommitted edits staged");
+  OBS_SPAN("serve.checkpoint");
+  const uint64_t seq = m_batches_->Value();
+  std::string payload = SerializeServiceState();
+  GREPAIR_RETURN_IF_ERROR(
+      storage::WriteCheckpoint(StateFs(), options_.wal_dir, seq, payload));
+  // The swap: load our own payload, compacting ids exactly the way a
+  // recovery that starts from this checkpoint will. Live state and
+  // recovered state converge by construction (DESIGN.md "Durability").
+  Status swapped = LoadServiceState(payload, "<checkpoint swap>");
+  if (!swapped.ok())
+    return Status::Internal(
+        "checkpoint payload failed to reload: " + swapped.ToString());
+  GREPAIR_RETURN_IF_ERROR(wal_->Rotate(seq + 1));
+  // A baseline re-anchors history (recovery/restore swap points a replay
+  // could not reproduce): everything older is unsound to fall back to.
+  storage::TrimStorageDir(StateFs(), options_.wal_dir, baseline ? 1 : 2);
+  m_checkpoints_->Add(1);
+  m_last_checkpoint_seq_->Set(static_cast<int64_t>(seq));
+  SyncWalInstruments();
+  return Status::Ok();
+}
+
+Result<RecoveryInfo> RepairService::OpenDurability() {
+  RecoveryInfo info;
+  if (options_.wal_dir.empty()) return info;
+  if (wal_ != nullptr)
+    return Status::FailedPrecondition("durability is already open");
+  if (m_batches_->Value() != 0 || PendingEdits() > 0)
+    return Status::FailedPrecondition(
+        "OpenDurability must run before the first commit");
+  storage::Fs* fs = StateFs();
+  GREPAIR_RETURN_IF_ERROR(fs->CreateDir(options_.wal_dir));
+  GREPAIR_ASSIGN_OR_RETURN(storage::RecoveryPlan plan,
+                           storage::PlanRecovery(fs, options_.wal_dir));
+  info.durable = true;
+  info.recovered_from_checkpoint = plan.found_checkpoint;
+  info.checkpoint_seq = plan.checkpoint_seq;
+  info.truncated_bytes = plan.truncated_bytes;
+  info.dropped_batches = plan.dropped_batches;
+  info.corrupt_checkpoints = plan.corrupt_checkpoints;
+
+  if (plan.found_checkpoint) {
+    GREPAIR_RETURN_IF_ERROR(LoadServiceState(
+        plan.checkpoint_payload,
+        options_.wal_dir + "/" + storage::CheckpointName(plan.checkpoint_seq)));
+    m_batches_->Add(plan.checkpoint_seq);
+  }
+
+  // Replay the WAL tail through the NORMAL commit path: detection and
+  // cascade fixes are recomputed (they are not logged — the engine is
+  // bit-identical across thread/shard counts), and each replayed batch
+  // must land on its logged seq or the replay is declared diverged rather
+  // than silently partial. Cadence state swaps re-execute at the same
+  // absolute seqs the original checkpointed at.
+  replaying_ = true;
+  auto diverged = [this](std::string why) {
+    replaying_ = false;
+    return Status::DataLoss("replay diverged: " + std::move(why));
+  };
+  for (const storage::WalBatch& batch : plan.batches) {
+    for (const storage::WalSymDef& s : batch.symbols) {
+      SymbolId got = s.dict == 0   ? graph_.vocab()->Label(s.name)
+                     : s.dict == 1 ? graph_.vocab()->Attr(s.name)
+                                   : graph_.vocab()->Value(s.name);
+      if (got != s.id)
+        return diverged(StrFormat(
+            "symbol '%s' re-interned as %u, wal batch %llu says %u (was the "
+            "service built from the same --graph/--rules?)",
+            s.name.c_str(), got, (unsigned long long)batch.seq, s.id));
+    }
+    for (const EditEntry& rec : batch.records) {
+      auto applied = ApplyEdit(rec);
+      if (!applied.ok())
+        return diverged(StrFormat("batch %llu record rejected: %s",
+                                  (unsigned long long)batch.seq,
+                                  applied.status().ToString().c_str()));
+    }
+    auto res = Commit();
+    if (!res.ok()) {
+      replaying_ = false;
+      return res.status();
+    }
+    if (res.value().batch != batch.seq)
+      return diverged(StrFormat("commit landed on seq %zu, wal says %llu",
+                                res.value().batch,
+                                (unsigned long long)batch.seq));
+    if (options_.checkpoint_every > 0 &&
+        batch.seq % options_.checkpoint_every == 0) {
+      Status swapped = SwapState();
+      if (!swapped.ok()) {
+        replaying_ = false;
+        return swapped;
+      }
+    }
+  }
+  replaying_ = false;
+  info.replayed_batches = plan.batches.size();
+  m_recovery_replayed_->Add(plan.batches.size());
+  m_recovery_truncated_bytes_->Add(plan.truncated_bytes);
+  m_recovery_dropped_->Add(plan.dropped_batches);
+  m_recovery_corrupt_ckpts_->Add(plan.corrupt_checkpoints);
+  for (const std::string& note : plan.notes)
+    std::fprintf(stderr, "grepair: recovery: %s\n", note.c_str());
+
+  GREPAIR_ASSIGN_OR_RETURN(
+      wal_, storage::WalWriter::Open(fs, options_.wal_dir, plan.next_seq,
+                                     options_.fsync_policy,
+                                     options_.fsync_interval_ms));
+  // Baseline re-anchor: a fresh directory gets its seq-0 checkpoint (so
+  // recovery never depends on --graph again), and a recovered one stops
+  // depending on the history just replayed.
+  Status ckpt = CheckpointNow(/*baseline=*/true);
+  if (!ckpt.ok()) {
+    wal_.reset();
+    return ckpt;
+  }
+  SyncWalInstruments();
+  return info;
 }
 
 Result<BatchResult> RepairService::ApplyBatch(

@@ -23,6 +23,7 @@
 #ifndef GREPAIR_SERVE_REPAIR_SERVICE_H_
 #define GREPAIR_SERVE_REPAIR_SERVICE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,6 +38,8 @@
 #include "parallel/thread_pool.h"
 #include "repair/engine.h"
 #include "repair/violation.h"
+#include "storage/fs.h"
+#include "storage/wal.h"
 #include "util/status.h"
 
 namespace grepair {
@@ -88,6 +91,33 @@ struct ServeOptions {
   /// Token-bucket request rate limit across ALL connections (burst =
   /// max(1, rate)); requests past it are shed with `err busy`. 0 disables.
   double max_requests_per_sec = 0.0;
+  /// Durability directory for the write-ahead log + checkpoints ("" = no
+  /// durability, the pre-WAL in-memory behavior). With a directory set,
+  /// OpenDurability() must run before the first commit: it recovers from
+  /// the newest valid checkpoint, replays the WAL tail, and opens the
+  /// writer. The SAME --graph/--rules configuration must be used across
+  /// restarts of one directory (DESIGN.md "Durability").
+  std::string wal_dir;
+  /// When WAL appends reach the device (storage/wal.h). Weaker policies
+  /// trade the last `fsync_interval_ms` (or OS flush cadence) of acked
+  /// commits for append latency; recovery still lands on a valid prefix.
+  storage::FsyncPolicy fsync_policy = storage::FsyncPolicy::kEveryCommit;
+  /// Sync cadence under FsyncPolicy::kInterval, in milliseconds.
+  uint64_t fsync_interval_ms = 100;
+  /// Write a checkpoint (and rotate + trim the WAL) every N committed
+  /// batches. 0 = only the baseline checkpoints OpenDurability and
+  /// RestoreState write — the WAL then grows until the next restart.
+  /// NOTE a checkpoint compacts element ids exactly like a save/restore
+  /// round trip (DESIGN.md "Durability"); ids handed to clients before it
+  /// are remapped to their dense rank.
+  uint64_t checkpoint_every = 256;
+  /// Filesystem seam for durability AND SaveState/RestoreState (tests and
+  /// fault injection pass MemFs/FaultFs). Null = the real filesystem. Not
+  /// owned; must outlive the service.
+  storage::Fs* wal_fs = nullptr;
+  /// Monotonic clock in ms for the interval fsync policy (tests inject a
+  /// fake). Null = std::chrono::steady_clock.
+  std::function<uint64_t()> clock_ms;
 
   /// Rejects out-of-range configuration — snapshot_rebuild_fraction
   /// outside [0,1] (or NaN), num_shards beyond the kMaxShards routing
@@ -121,6 +151,18 @@ struct BatchResult {
   bool budget_exhausted = false;
   double detect_ms = 0.0;  ///< seed detection time
   double total_ms = 0.0;   ///< whole commit (detection + cascades)
+};
+
+/// What OpenDurability found and did on startup (the recovery summary the
+/// CLI prints; the same numbers feed the recovery_* instruments).
+struct RecoveryInfo {
+  bool durable = false;  ///< a wal_dir is configured and open
+  bool recovered_from_checkpoint = false;
+  uint64_t checkpoint_seq = 0;      ///< base the replay started from
+  uint64_t replayed_batches = 0;    ///< complete WAL batches re-committed
+  uint64_t truncated_bytes = 0;     ///< torn/corrupt WAL tail cut off
+  uint64_t dropped_batches = 0;     ///< complete batches lost to a seq gap
+  uint64_t corrupt_checkpoints = 0; ///< quarantined as *.corrupt
 };
 
 /// Cumulative service counters; latencies are per committed batch.
@@ -163,6 +205,15 @@ struct ServiceStats {
   /// Computed when stats() is queried — the walk over the snapshot's
   /// attribute maps is O(V+E) and must not ride the per-commit hot path.
   size_t snapshot_memory_bytes = 0;
+  /// Durability ledger (all zero on a service without a wal_dir).
+  bool read_only = false;        ///< degraded after a storage failure
+  size_t wal_appends = 0;        ///< batches appended to the WAL
+  size_t wal_bytes = 0;          ///< bytes appended (frames included)
+  size_t wal_syncs = 0;          ///< fsyncs issued by the writer
+  size_t wal_append_errors = 0;  ///< failed appends (each one degrades)
+  size_t checkpoints = 0;        ///< checkpoints written (baselines too)
+  size_t last_checkpoint_seq = 0;
+  size_t recovery_replayed_batches = 0;  ///< WAL batches replayed at open
   /// Commit latencies of the most recent kLatencyWindow batches (unordered
   /// once the ring wraps).
   std::vector<double> batch_ms;
@@ -199,7 +250,33 @@ class RepairService {
   /// Runs batched delta-detection over everything journaled since the last
   /// commit, then repairs cascades greedily. Equivalent to
   /// RepairEngine::RunDelta over the same slice for any thread count.
-  BatchResult Commit();
+  ///
+  /// Under durability the batch's journal slice (plus any symbols interned
+  /// since the last append) is appended to the WAL and fsynced per policy
+  /// BEFORE detection runs — an acked batch line implies the edits are on
+  /// disk under kEveryCommit. A failed append rejects the batch: the
+  /// staged edits are rolled back, the service degrades to read-only, and
+  /// kIo comes back (protocol code `err io`). Cascade fixes are NOT
+  /// logged; replay recomputes them bit-identically.
+  Result<BatchResult> Commit();
+
+  /// Brings up durability for ServeOptions::wal_dir (no-op without one):
+  /// restores the newest valid checkpoint (falling back one on
+  /// corruption), replays the WAL tail through the normal commit path
+  /// (verifying each replayed batch lands on its logged seq), truncates
+  /// torn tails, opens the writer, and re-anchors with a baseline
+  /// checkpoint. Call once, after construction, before serving traffic.
+  /// kDataLoss = the directory's contents cannot reproduce a committed
+  /// prefix (never silently partial); kIo = plain I/O failure.
+  Result<RecoveryInfo> OpenDurability();
+
+  /// Writes a checkpoint at the current commit seq, swaps the service into
+  /// the compacted id space the checkpoint parses back to (so live state
+  /// and recovered state are identical by construction — DESIGN.md
+  /// "Durability"), rotates the WAL, and trims per retention. `baseline`
+  /// re-anchors history (keeps only this checkpoint; used after recovery
+  /// and restore, whose swap points a replay could not reproduce).
+  Status CheckpointNow(bool baseline);
 
   /// ApplyEdit for each op (stopping at the first invalid one), then
   /// Commit. The error status reports the offending op index; edits before
@@ -207,7 +284,9 @@ class RepairService {
   Result<BatchResult> ApplyBatch(const std::vector<EditEntry>& ops);
 
   /// Persists the service's graph + violation-store backlog to `path`
-  /// (protocol verb `snapshot <file>`). Pending edits are committed first —
+  /// (protocol verb `snapshot <file>`), via temp file + fsync + atomic
+  /// rename — a crash mid-save never leaves a torn file where a previous
+  /// good one stood. Pending edits are committed first —
   /// their delta could not survive a save/load round trip, and quitting
   /// already commits, so a saved state is always a committed state. Stale
   /// backlog alternatives referencing dead elements are dropped (re-verify
@@ -221,7 +300,10 @@ class RepairService {
   /// restore. Refused (kFailedPrecondition, protocol code `staged_edits`)
   /// while edits are staged-but-uncommitted: silently discarding them — or
   /// committing them onto the restored state — would both be surprising,
-  /// so the caller commits first and restores a quiescent service.
+  /// so the caller commits first and restores a quiescent service. Under
+  /// durability a successful restore is sealed with a baseline checkpoint
+  /// (the restore's state swap is a point a WAL replay could not
+  /// reproduce, so history re-anchors here).
   Status RestoreState(const std::string& path);
 
   /// Edit ops journaled since the last commit.
@@ -244,6 +326,11 @@ class RepairService {
   /// Effective storage shards of the cached snapshot (1 = monolithic; also
   /// 1 for a sequential service, which never snapshots).
   size_t num_shards() const { return num_shards_; }
+  /// True after a WAL/checkpoint write failed: every mutation is refused
+  /// with kIo until the process restarts (and recovers). Reads still work.
+  bool read_only() const { return read_only_; }
+  /// True once OpenDurability opened a WAL writer.
+  bool durable() const { return wal_ != nullptr; }
 
  private:
   SymbolId ConfAttr() const;
@@ -268,6 +355,29 @@ class RepairService {
   /// Shard-task runner over the service pool (null runner when there is no
   /// pool to fan out over).
   ParallelRunner ShardRunner() const;
+  /// Filesystem for ALL state files (WAL, checkpoints, SaveState/Restore):
+  /// the injected seam or the real one.
+  storage::Fs* StateFs() const;
+  uint64_t NowMs() const;
+  /// The full serialized service state: vocabulary dump (L/K/W lines, id
+  /// order — what makes raw SymbolIds in WAL records valid against a
+  /// reloaded checkpoint) + graph + violation backlog.
+  std::string SerializeServiceState() const;
+  /// Parses `text` (SerializeServiceState / SaveState format) and swaps it
+  /// in — graph, backlog, vocab tail — after full validation. `origin`
+  /// names the source in error messages.
+  Status LoadServiceState(const std::string& text, const std::string& origin);
+  /// Serialize + load own payload: the deterministic id-compacting state
+  /// swap both a live checkpoint and its recovery perform. Replay calls
+  /// this (no file writes) at the same seqs the original checkpointed at.
+  Status SwapState();
+  /// Flips read-only on (mutations refuse with kIo from here on).
+  void EnterReadOnly(const std::string& why);
+  /// Appends the pending journal slice + newly interned symbols as batch
+  /// `seq`; updates the vocab watermarks on success.
+  Status AppendBatchToWal(uint64_t seq);
+  /// Rolls the writer's cumulative counters into the registry counters.
+  void SyncWalInstruments();
 
   ServeOptions options_;
   Graph graph_;
@@ -292,6 +402,25 @@ class RepairService {
   PlanCache plan_cache_;
   uint64_t plan_generation_ = 0;
 
+  /// Durability state (all inert without a wal_dir).
+  std::unique_ptr<storage::WalWriter> wal_;
+  bool read_only_ = false;
+  /// True while OpenDurability re-commits WAL batches: Commit then skips
+  /// the WAL append (the records are already on disk) but runs everything
+  /// else — including the cadence state swaps — exactly like the original.
+  bool replaying_ = false;
+  /// Vocabulary sizes already covered by the WAL/checkpoint: symbols
+  /// interned past these marks ride the next batch as 'S' frames, so
+  /// replay interns them at identical ids before applying the records.
+  size_t logged_labels_ = 0;
+  size_t logged_attrs_ = 0;
+  size_t logged_values_ = 0;
+  /// Writer counter snapshots, so the registry counters below advance by
+  /// deltas (the writer survives rotations but not reopen).
+  uint64_t seen_wal_appends_ = 0;
+  uint64_t seen_wal_bytes_ = 0;
+  uint64_t seen_wal_syncs_ = 0;
+
   /// The service's metrics: instrument handles into registry_ (resolved
   /// once in the constructor), incremented where the old struct fields
   /// were. The registry is per-service so concurrent/sequential services
@@ -307,6 +436,18 @@ class RepairService {
   obs::Counter* m_snapshot_batches_;
   obs::Counter* m_shard_patches_;
   obs::Counter* m_shard_rebuilds_;
+  obs::Counter* m_wal_appends_;
+  obs::Counter* m_wal_bytes_;
+  obs::Counter* m_wal_syncs_;
+  obs::Counter* m_wal_append_errors_;
+  obs::Counter* m_checkpoints_;
+  obs::Counter* m_checkpoint_errors_;
+  obs::Counter* m_recovery_replayed_;
+  obs::Counter* m_recovery_truncated_bytes_;
+  obs::Counter* m_recovery_dropped_;
+  obs::Counter* m_recovery_corrupt_ckpts_;
+  obs::Gauge* m_read_only_;
+  obs::Gauge* m_last_checkpoint_seq_;
   obs::Gauge* m_backlog_;
   obs::Gauge* m_snapshot_mem_;
   obs::Histogram* m_commit_ms_;

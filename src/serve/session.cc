@@ -53,9 +53,11 @@ std::string ExecErrCode(const Status& st) {
     case StatusCode::kFailedPrecondition:
       return "staged_edits";
     case StatusCode::kNotFound:
-      return "io";
+    case StatusCode::kIo:
+      return "io";  // the file/device failed, not the stored bytes
     case StatusCode::kParseError:
-      return "corrupt";
+    case StatusCode::kDataLoss:
+      return "corrupt";  // the stored bytes failed validation
     case StatusCode::kInternal:
       return "internal";
     default:
@@ -182,7 +184,13 @@ std::string Session::Handle(const Request& req) {
 
 std::string Session::ApplyImmediate(const EditEntry& op) {
   auto r = service_->ApplyEdit(op);
-  if (!r.ok()) return ErrResponse("rejected", r.status().ToString());
+  if (!r.ok()) {
+    // A read-only service (degraded after a storage failure) refuses with
+    // kIo; that is an io condition, not an op rejection.
+    if (r.status().code() == StatusCode::kIo)
+      return ErrResponse("io", r.status().ToString());
+    return ErrResponse("rejected", r.status().ToString());
+  }
   switch (op.kind) {
     case EditKind::kAddNode:
       return StrFormat("node %u", r.value().node);
@@ -210,7 +218,13 @@ std::string Session::HandleLocked(const Request& req) {
       for (const EditEntry& op : staged_)
         if (!service_->ApplyEdit(op).ok()) ++op_errors;
       staged_.clear();
-      std::string line = FormatBatchLine(service_->Commit());
+      auto committed = service_->Commit();
+      // A WAL append failure surfaces here: the batch was rolled back and
+      // the service is read-only — tell the client, not just the log.
+      if (!committed.ok())
+        return ErrResponse(ExecErrCode(committed.status()),
+                           committed.status().ToString());
+      std::string line = FormatBatchLine(committed.value());
       if (op_errors > 0) line += StrFormat(" op_errors=%zu", op_errors);
       return line;
     }
@@ -220,14 +234,17 @@ std::string Session::HandleLocked(const Request& req) {
           "stats batches=%zu edits=%zu op_errors=%zu violations=%zu "
           "fixes=%zu anchors=%zu pending=%zu p50_ms=%.2f p95_ms=%.2f "
           "p99_ms=%.2f snapshot_patches=%zu snapshot_rebuilds=%zu "
-          "snapshot_mem=%zu shards=%zu shard_patches=%zu shard_rebuilds=%zu",
+          "snapshot_mem=%zu shards=%zu shard_patches=%zu shard_rebuilds=%zu "
+          "read_only=%d wal_appends=%zu wal_syncs=%zu checkpoints=%zu "
+          "last_checkpoint=%zu",
           s.batches, s.edits, s.op_errors, s.violations_detected,
           s.violations_repaired, s.anchors_visited,
           service_->PendingEdits() + staged_.size(),
           s.LatencyPercentileMs(50), s.LatencyPercentileMs(95),
           s.LatencyPercentileMs(99), s.snapshot_patches, s.snapshot_rebuilds,
           s.snapshot_memory_bytes, service_->num_shards(), s.shard_patches,
-          s.shard_rebuilds);
+          s.shard_rebuilds, s.read_only ? 1 : 0, s.wal_appends, s.wal_syncs,
+          s.checkpoints, s.last_checkpoint_seq);
     }
     case Verb::kMetrics: {
       // stats() refreshes the lazily-priced snapshot-memory gauge before
@@ -253,7 +270,7 @@ std::string Session::HandleLocked(const Request& req) {
     case Verb::kSave: {
       Status st = SaveGraph(service_->graph(), req.path);
       return st.ok() ? "saved " + req.path
-                     : ErrResponse("io", st.ToString());
+                     : ErrResponse(ExecErrCode(st), st.ToString());
     }
     case Verb::kSnapshot: {
       // SaveState commits pending edits first; surface that in the
@@ -267,7 +284,7 @@ std::string Session::HandleLocked(const Request& req) {
           commits ? StrFormat(" committed_batch=%zu",
                               service_->stats().batches)
                   : std::string();
-      if (!st.ok()) return ErrResponse("io", st.ToString() + suffix);
+      if (!st.ok()) return ErrResponse(ExecErrCode(st), st.ToString() + suffix);
       return "snapshot " + req.path + suffix;
     }
     case Verb::kRestore: {

@@ -28,8 +28,10 @@
 //   rejected      the service refused an edit (dead id, bad endpoint, ...)
 //   staged_edits  restore refused while uncommitted edits are staged
 //   busy          admission control shed the connection or request
-//   io            a file path could not be opened/written (save/trace/...)
-//   corrupt       a state file failed validation on restore
+//   io            a file/device operation failed (save/trace/...), or a
+//                 WAL append failed — the batch was rolled back and the
+//                 service is read-only until restarted
+//   corrupt       stored bytes failed validation (restore, recovery)
 //   internal      invariant failure inside the service (a bug)
 #ifndef GREPAIR_SERVE_SESSION_H_
 #define GREPAIR_SERVE_SESSION_H_

@@ -1,0 +1,122 @@
+#include "storage/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "storage/wal.h"
+#include "util/crc32c.h"
+#include "util/strings.h"
+
+namespace grepair {
+namespace storage {
+
+namespace {
+
+bool ParsePadded20(const std::string& name, size_t at, uint64_t* v) {
+  uint64_t out = 0;
+  for (size_t i = at; i < at + 20; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    out = out * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *v = out;
+  return true;
+}
+
+}  // namespace
+
+std::string CheckpointName(uint64_t seq) {
+  return StrFormat("checkpoint-%020llu.ckpt",
+                   static_cast<unsigned long long>(seq));
+}
+
+bool ParseCheckpointName(const std::string& name, uint64_t* seq) {
+  if (name.size() != 36 || name.rfind("checkpoint-", 0) != 0 ||
+      name.compare(31, 5, ".ckpt") != 0)
+    return false;
+  return ParsePadded20(name, 11, seq);
+}
+
+Status WriteCheckpoint(Fs* fs, const std::string& dir, uint64_t seq,
+                       const std::string& payload) {
+  std::string data = StrFormat(
+      "# grepair checkpoint v1 seq=%llu len=%zu crc=%08x\n",
+      static_cast<unsigned long long>(seq), payload.size(),
+      Crc32cMask(Crc32c(payload.data(), payload.size())));
+  data += payload;
+  return WriteFileAtomic(fs, dir + "/" + CheckpointName(seq), data);
+}
+
+Result<std::string> ReadCheckpoint(Fs* fs, const std::string& path,
+                                   uint64_t expected_seq) {
+  GREPAIR_ASSIGN_OR_RETURN(std::string data, fs->ReadFile(path));
+  size_t nl = data.find('\n');
+  if (nl == std::string::npos)
+    return Status::DataLoss(path + ": missing checkpoint header");
+  unsigned long long seq = 0;
+  size_t len = 0;
+  unsigned crc = 0;
+  // sscanf is safe here: the format pins every field and %x/%llu/%zu stop
+  // at the newline because it is not part of any conversion.
+  if (std::sscanf(data.c_str(), "# grepair checkpoint v1 seq=%llu len=%zu "
+                                "crc=%8x\n",
+                  &seq, &len, &crc) != 3)
+    return Status::DataLoss(path + ": bad checkpoint header");
+  if (seq != expected_seq)
+    return Status::DataLoss(
+        StrFormat("%s: header seq %llu does not match file name", path.c_str(),
+                  seq));
+  std::string payload = data.substr(nl + 1);
+  if (payload.size() != len)
+    return Status::DataLoss(
+        StrFormat("%s: payload is %zu bytes, header says %zu", path.c_str(),
+                  payload.size(), len));
+  if (Crc32cMask(Crc32c(payload.data(), payload.size())) != crc)
+    return Status::DataLoss(path + ": payload crc mismatch");
+  return payload;
+}
+
+Result<std::vector<uint64_t>> ListCheckpoints(Fs* fs, const std::string& dir) {
+  GREPAIR_ASSIGN_OR_RETURN(std::vector<std::string> names, fs->ListDir(dir));
+  std::vector<uint64_t> seqs;
+  for (const std::string& name : names) {
+    uint64_t seq = 0;
+    if (ParseCheckpointName(name, &seq)) seqs.push_back(seq);
+  }
+  std::sort(seqs.rbegin(), seqs.rend());
+  return seqs;
+}
+
+size_t TrimStorageDir(Fs* fs, const std::string& dir, size_t keep) {
+  auto listed = fs->ListDir(dir);
+  if (!listed.ok()) return 0;
+  std::vector<uint64_t> ckpts;
+  std::vector<uint64_t> segments;
+  for (const std::string& name : listed.value()) {
+    uint64_t seq = 0;
+    if (ParseCheckpointName(name, &seq)) ckpts.push_back(seq);
+    else if (ParseWalSegmentName(name, &seq)) segments.push_back(seq);
+  }
+  std::sort(ckpts.rbegin(), ckpts.rend());
+  std::sort(segments.begin(), segments.end());
+
+  size_t removed = 0;
+  for (size_t i = keep; i < ckpts.size(); ++i)
+    if (fs->RemoveFile(dir + "/" + CheckpointName(ckpts[i])).ok()) ++removed;
+
+  if (ckpts.empty()) return removed;
+  // Oldest batch any retained checkpoint needs replayed: one past the
+  // oldest retained checkpoint's seq.
+  const uint64_t need_from = ckpts[std::min(keep, ckpts.size()) - 1] + 1;
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    // Segment i covers [segments[i], segments[i+1]); removable when the
+    // whole range predates need_from. The newest segment always stays.
+    if (segments[i + 1] <= need_from) {
+      if (fs->RemoveFile(dir + "/" + WalSegmentName(segments[i])).ok())
+        ++removed;
+    }
+  }
+  return removed;
+}
+
+}  // namespace storage
+}  // namespace grepair

@@ -1,0 +1,56 @@
+// Crash-safe checkpoints of the serving state. A checkpoint file holds the
+// full serialized service state (vocabulary dump + graph + violation
+// backlog, produced by RepairService) behind a one-line header carrying
+// the batch sequence it covers plus the payload's length and CRC32C, and
+// is written via temp file + fsync + atomic rename (WriteFileAtomic), so
+// a crash mid-checkpoint leaves the previous one intact.
+//
+// Retention keeps the newest TWO checkpoints and every WAL segment needed
+// to replay from the older of them, so recovery can fall back one
+// checkpoint when the newest fails validation. See DESIGN.md "Durability"
+// for why falling back FURTHER is unsound (replay would cross a state
+// swap the log cannot reproduce).
+#ifndef GREPAIR_STORAGE_CHECKPOINT_H_
+#define GREPAIR_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/fs.h"
+
+namespace grepair {
+namespace storage {
+
+/// `checkpoint-<seq>.ckpt` (20-digit zero-padded).
+std::string CheckpointName(uint64_t seq);
+/// Parses a checkpoint name; false when `name` is not one.
+bool ParseCheckpointName(const std::string& name, uint64_t* seq);
+
+/// Atomically writes `checkpoint-<seq>.ckpt` wrapping `payload`.
+Status WriteCheckpoint(Fs* fs, const std::string& dir, uint64_t seq,
+                       const std::string& payload);
+
+/// Reads and validates one checkpoint file: header syntax, exact payload
+/// length, CRC. Validation failures are kDataLoss (the fall-back-or-fail
+/// signal); read failures are kIo/kNotFound.
+Result<std::string> ReadCheckpoint(Fs* fs, const std::string& path,
+                                   uint64_t expected_seq);
+
+/// Checkpoint seqs present in `dir`, sorted descending (newest first).
+/// Files whose name doesn't parse are ignored.
+Result<std::vector<uint64_t>> ListCheckpoints(Fs* fs, const std::string& dir);
+
+/// Retention after a successful checkpoint at `seq`: keeps the newest
+/// `keep` checkpoints (1 = a baseline that re-anchors history, 2 = the
+/// normal fallback pair) and removes WAL segments every retained
+/// checkpoint can do without — a segment is removable when the NEXT
+/// segment starts at or before `oldest retained seq + 1`. Removal errors
+/// are swallowed (a stale file is re-trimmed next time); returns how many
+/// files were removed.
+size_t TrimStorageDir(Fs* fs, const std::string& dir, size_t keep);
+
+}  // namespace storage
+}  // namespace grepair
+
+#endif  // GREPAIR_STORAGE_CHECKPOINT_H_

@@ -1,0 +1,109 @@
+#include "storage/fault_fs.h"
+
+namespace grepair {
+namespace storage {
+
+namespace {
+
+Status Injected(const char* what) {
+  return Status::IoError(std::string("injected fault: ") + what);
+}
+
+}  // namespace
+
+// Wraps the base WritableFile so Append/Sync count as mutating ops and
+// honour the short-write / bit-flip plan entries.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(std::unique_ptr<WritableFile> base, FaultFs* owner)
+      : base_(std::move(base)), owner_(owner) {}
+
+  Status Append(const void* data, size_t n) override {
+    const uint64_t op = owner_->ops_;
+    if (!owner_->NextOpAllowed()) return Injected("append");
+    if (op == owner_->plan_.short_write_op) {
+      // Persist half the payload, then report failure: the caller believes
+      // nothing landed, but a torn prefix is on "disk".
+      Status st = base_->Append(data, n / 2);
+      if (!st.ok()) return st;
+      return Injected("short write");
+    }
+    if (op == owner_->plan_.bit_flip_op && n > 0) {
+      // Flip one bit mid-payload and report success: silent corruption
+      // only the CRC layer can detect.
+      std::string copy(static_cast<const char*>(data), n);
+      copy[copy.size() / 2] ^= 0x10;
+      return base_->Append(copy.data(), copy.size());
+    }
+    return base_->Append(data, n);
+  }
+
+  Status Sync() override {
+    if (!owner_->NextOpAllowed()) return Injected("fsync");
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultFs* owner_;
+};
+
+bool FaultFs::NextOpAllowed() {
+  const uint64_t op = ops_++;
+  return op < plan_.fail_after_op;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultFs::OpenWritable(
+    const std::string& path, bool truncate) {
+  if (!NextOpAllowed()) return Injected("open");
+  GREPAIR_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                           base_->OpenWritable(path, truncate));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(std::move(base), this));
+}
+
+Result<std::string> FaultFs::ReadFile(const std::string& path) {
+  return base_->ReadFile(path);
+}
+
+Result<uint64_t> FaultFs::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+bool FaultFs::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultFs::Rename(const std::string& from, const std::string& to) {
+  if (!NextOpAllowed()) return Injected("rename");
+  return base_->Rename(from, to);
+}
+
+Status FaultFs::RemoveFile(const std::string& path) {
+  if (!NextOpAllowed()) return Injected("unlink");
+  return base_->RemoveFile(path);
+}
+
+Status FaultFs::Truncate(const std::string& path, uint64_t size) {
+  if (!NextOpAllowed()) return Injected("truncate");
+  return base_->Truncate(path, size);
+}
+
+Status FaultFs::CreateDir(const std::string& dir) {
+  if (!NextOpAllowed()) return Injected("mkdir");
+  return base_->CreateDir(dir);
+}
+
+Result<std::vector<std::string>> FaultFs::ListDir(const std::string& dir) {
+  return base_->ListDir(dir);
+}
+
+Status FaultFs::SyncDir(const std::string& dir) {
+  if (!NextOpAllowed()) return Injected("fsync dir");
+  return base_->SyncDir(dir);
+}
+
+}  // namespace storage
+}  // namespace grepair

@@ -1,0 +1,80 @@
+// Deterministic fault injection over any Fs, in the clock-as-argument
+// spirit of serve::TokenBucket: the crash point is data, not chance. Every
+// MUTATING operation (append, sync, rename, remove, truncate, create-dir)
+// increments a global operation counter; the configured FaultPlan decides
+// what happens at each index:
+//
+//   - fail_after_op N: operations with index >= N fail with kIo and have
+//     no effect — the fail-stop crash model. Sweeping N over a workload
+//     visits every crash point between two file operations.
+//   - short_write_op N: the Nth append persists only the first half of its
+//     payload, then fails — the torn-tail model fsck can't see.
+//   - bit_flip_op N: the Nth append succeeds but one bit of its payload is
+//     flipped — silent media corruption the CRC layer must catch.
+//
+// Reads are never failed here: recovery-time read errors are just
+// Status propagation, already exercised by pointing recovery at garbage.
+#ifndef GREPAIR_STORAGE_FAULT_FS_H_
+#define GREPAIR_STORAGE_FAULT_FS_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/fs.h"
+
+namespace grepair {
+namespace storage {
+
+inline constexpr uint64_t kNoFault = std::numeric_limits<uint64_t>::max();
+
+/// Which mutating operation indexes misbehave. Indexes are 0-based over
+/// the lifetime of the FaultFs (not per file).
+struct FaultPlan {
+  /// Every mutating op with index >= this fails with kIo (fail-stop).
+  uint64_t fail_after_op = kNoFault;
+  /// This append persists floor(n/2) bytes, then fails.
+  uint64_t short_write_op = kNoFault;
+  /// This append succeeds with one bit of its payload flipped.
+  uint64_t bit_flip_op = kNoFault;
+};
+
+/// Fs decorator injecting the FaultPlan. Does not own the base Fs.
+class FaultFs : public Fs {
+ public:
+  explicit FaultFs(Fs* base) : base_(base) {}
+
+  void set_plan(const FaultPlan& plan) { plan_ = plan; }
+  /// Mutating operations attempted so far (failed ones included) — run the
+  /// workload once fault-free to learn the op count, then sweep.
+  uint64_t ops() const { return ops_; }
+  void ResetOps() { ops_ = 0; }
+
+  Result<std::unique_ptr<WritableFile>> OpenWritable(const std::string& path,
+                                                     bool truncate) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status CreateDir(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status SyncDir(const std::string& dir) override;
+
+ private:
+  friend class FaultWritableFile;
+  /// Claims the next op index; returns false when the plan fails it.
+  bool NextOpAllowed();
+
+  Fs* base_;
+  FaultPlan plan_;
+  uint64_t ops_ = 0;
+};
+
+}  // namespace storage
+}  // namespace grepair
+
+#endif  // GREPAIR_STORAGE_FAULT_FS_H_

@@ -1,0 +1,287 @@
+#include "storage/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace grepair {
+namespace storage {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+// POSIX fd-backed append file. Retries short writes (EINTR, partial
+// writes) because a torn userspace write is not the torn-tail model we
+// recover from — that model is the DEVICE losing the un-synced suffix.
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const void* data, size_t n) override {
+    const char* p = static_cast<const char*>(data);
+    while (n > 0) {
+      ssize_t w = ::write(fd_, p, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Errno("write", path_);
+      }
+      p += w;
+      n -= static_cast<size_t>(w);
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return Errno("fsync", path_);
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::Ok();
+    int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return Errno("close", path_);
+    return Status::Ok();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace
+
+RealFs* RealFs::Default() {
+  static RealFs fs;
+  return &fs;
+}
+
+Result<std::unique_ptr<WritableFile>> RealFs::OpenWritable(
+    const std::string& path, bool truncate) {
+  int flags = O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return Errno("open", path);
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<PosixWritableFile>(fd, path));
+}
+
+Result<std::string> RealFs::ReadFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Errno("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read", path);
+    }
+    if (r == 0) break;
+    out.append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return out;
+}
+
+Result<uint64_t> RealFs::FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Errno("stat", path);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+bool RealFs::FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status RealFs::Rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) return Errno("rename", from);
+  return Status::Ok();
+}
+
+Status RealFs::RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) return Errno("unlink", path);
+  return Status::Ok();
+}
+
+Status RealFs::Truncate(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0)
+    return Errno("truncate", path);
+  return Status::Ok();
+}
+
+Status RealFs::CreateDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
+    return Errno("mkdir", dir);
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> RealFs::ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Errno("opendir", dir);
+  std::vector<std::string> names;
+  while (struct dirent* ent = ::readdir(d)) {
+    std::string name = ent->d_name;
+    if (name != "." && name != "..") names.push_back(std::move(name));
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status RealFs::SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir", dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync dir", dir);
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------------ MemFs
+
+// Not in the anonymous namespace: MemFs befriends ::grepair::storage::
+// MemWritableFile, and the friend grant only reaches this definition here.
+class MemWritableFile : public WritableFile {
+ public:
+  explicit MemWritableFile(MemFs::FileRec* rec) : rec_(rec) {}
+
+  Status Append(const void* data, size_t n) override {
+    rec_->data.append(static_cast<const char*>(data), n);
+    return Status::Ok();
+  }
+  Status Sync() override {
+    rec_->synced_size = rec_->data.size();
+    return Status::Ok();
+  }
+  Status Close() override { return Status::Ok(); }
+
+ private:
+  MemFs::FileRec* rec_;
+};
+
+Result<std::unique_ptr<WritableFile>> MemFs::OpenWritable(
+    const std::string& path, bool truncate) {
+  FileRec& rec = files_[path];
+  if (truncate) {
+    rec.data.clear();
+    rec.synced_size = 0;
+  }
+  return std::unique_ptr<WritableFile>(std::make_unique<MemWritableFile>(&rec));
+}
+
+Result<std::string> MemFs::ReadFile(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second.data;
+}
+
+Result<uint64_t> MemFs::FileSize(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return static_cast<uint64_t>(it->second.data.size());
+}
+
+bool MemFs::FileExists(const std::string& path) {
+  return files_.count(path) > 0;
+}
+
+Status MemFs::Rename(const std::string& from, const std::string& to) {
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::IoError("rename: no such file " + from);
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::Ok();
+}
+
+Status MemFs::RemoveFile(const std::string& path) {
+  if (files_.erase(path) == 0)
+    return Status::IoError("unlink: no such file " + path);
+  return Status::Ok();
+}
+
+Status MemFs::Truncate(const std::string& path, uint64_t size) {
+  auto it = files_.find(path);
+  if (it == files_.end())
+    return Status::IoError("truncate: no such file " + path);
+  FileRec& rec = it->second;
+  if (size < rec.data.size()) rec.data.resize(size);
+  rec.synced_size = std::min<uint64_t>(rec.synced_size, size);
+  return Status::Ok();
+}
+
+Status MemFs::CreateDir(const std::string& dir) {
+  dirs_[dir] = true;
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> MemFs::ListDir(const std::string& dir) {
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::vector<std::string> names;
+  for (const auto& [path, rec] : files_) {
+    (void)rec;
+    if (path.rfind(prefix, 0) != 0) continue;
+    std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  return names;  // std::map iteration is already sorted
+}
+
+Status MemFs::SyncDir(const std::string&) { return Status::Ok(); }
+
+void MemFs::DropUnsynced() {
+  for (auto& [path, rec] : files_) {
+    (void)path;
+    rec.data.resize(rec.synced_size);
+  }
+}
+
+// ---------------------------------------------------------------- helpers
+
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+Status WriteFileAtomic(Fs* fs, const std::string& path,
+                       const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  GREPAIR_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
+                           fs->OpenWritable(tmp, /*truncate=*/true));
+  Status st = f->Append(data.data(), data.size());
+  if (st.ok()) st = f->Sync();
+  Status closed = f->Close();
+  if (st.ok()) st = closed;
+  if (!st.ok()) {
+    fs->RemoveFile(tmp);  // best effort; the target was never touched
+    return st;
+  }
+  GREPAIR_RETURN_IF_ERROR(fs->Rename(tmp, path));
+  std::string dir = DirName(path);
+  if (!dir.empty()) GREPAIR_RETURN_IF_ERROR(fs->SyncDir(dir));
+  return Status::Ok();
+}
+
+}  // namespace storage
+}  // namespace grepair

@@ -1,0 +1,143 @@
+// The filesystem seam of the durability subsystem. Every file operation the
+// WAL, checkpoint and recovery layers perform goes through an abstract Fs,
+// for the same reason admission control takes its clock as an argument: the
+// failure modes that matter — a torn append, a power cut between write and
+// fsync, a bit flip on disk — are impossible to provoke reliably against a
+// real filesystem, and a crash-safety layer that cannot be crash-tested is
+// decoration. Three implementations:
+//
+//   - RealFs: POSIX fd-backed files (write/fsync/rename/unlink), the one
+//     production uses. Durability choreography (temp file + fsync + atomic
+//     rename + directory fsync) is the caller's job; RealFs only promises
+//     that Sync() reaches the device before returning.
+//   - MemFs: an in-memory tree that models the sync boundary explicitly —
+//     each file tracks how much of it has been fsynced, and
+//     DropUnsynced() simulates the pessimistic crash where everything
+//     past the last fsync is lost. This is what makes fsync-policy
+//     trade-offs assertable in a unit test.
+//   - FaultFs (fault_fs.h): wraps either of the above and injects a fault
+//     at the Nth mutating operation — fail-stop, short write, or bit flip.
+//
+// Thread safety: the durability layer is single-writer (the serve commit
+// path), so Fs implementations only promise const-read concurrency.
+#ifndef GREPAIR_STORAGE_FS_H_
+#define GREPAIR_STORAGE_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace grepair {
+namespace storage {
+
+/// An open append-only file handle. Close() without Sync() models the
+/// crash-unsafe default; callers that need durability call Sync() first.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const void* data, size_t n) = 0;
+  /// Flushes everything appended so far to durable storage.
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// The file operations the durability layer needs — deliberately minimal.
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  /// Opens `path` for appending, creating it when absent. `truncate` drops
+  /// any existing content first (new WAL segments own their name).
+  virtual Result<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path, bool truncate) = 0;
+  /// Reads the whole file.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+  /// File size in bytes, or NotFound.
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  /// Atomic replace (POSIX rename semantics).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  /// Truncates `path` to `size` bytes (torn-tail removal).
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+  /// Creates `dir` (one level); ok if it already exists.
+  virtual Status CreateDir(const std::string& dir) = 0;
+  /// Entry names (not paths) in `dir`, sorted ascending.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+  /// Fsyncs the directory itself so renames/creates within it are durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+};
+
+/// The production POSIX filesystem. Stateless; one shared instance.
+class RealFs : public Fs {
+ public:
+  static RealFs* Default();
+
+  Result<std::unique_ptr<WritableFile>> OpenWritable(const std::string& path,
+                                                     bool truncate) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status CreateDir(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status SyncDir(const std::string& dir) override;
+};
+
+/// In-memory filesystem with an explicit sync boundary per file: Append
+/// grows `data`, Sync advances `synced_size`, and DropUnsynced() rolls
+/// every file back to its last-synced prefix — the pessimistic crash model
+/// the fault-injection suite recovers from.
+class MemFs : public Fs {
+ public:
+  Result<std::unique_ptr<WritableFile>> OpenWritable(const std::string& path,
+                                                     bool truncate) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status CreateDir(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status SyncDir(const std::string& dir) override;
+
+  /// Simulates the crash: every file loses its un-fsynced tail, and files
+  /// created but never synced into their (also unsynced) directory vanish
+  /// entirely is NOT modeled — renames are kept — because the WAL/checkpoint
+  /// writers sync both file and directory on every durability point; the
+  /// un-synced tail is the loss mode that distinguishes fsync policies.
+  void DropUnsynced();
+
+ private:
+  friend class MemWritableFile;
+  struct FileRec {
+    std::string data;
+    uint64_t synced_size = 0;
+  };
+  std::map<std::string, FileRec> files_;
+  std::map<std::string, bool> dirs_;
+};
+
+// ---------------------------------------------------------------- helpers
+
+/// Crash-safe whole-file write: `path.tmp` + Sync + Close + atomic Rename
+/// onto `path` + SyncDir. A crash at any point leaves either the old file
+/// or the new one, never a torn mix — the idiom RepairService::SaveState
+/// and the checkpoint writer share.
+Status WriteFileAtomic(Fs* fs, const std::string& path,
+                       const std::string& data);
+
+/// Directory part of `path` ("" when none) for SyncDir after renames.
+std::string DirName(const std::string& path);
+
+}  // namespace storage
+}  // namespace grepair
+
+#endif  // GREPAIR_STORAGE_FS_H_

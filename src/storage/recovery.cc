@@ -1,0 +1,140 @@
+#include "storage/recovery.h"
+
+#include <algorithm>
+
+#include "storage/checkpoint.h"
+#include "util/strings.h"
+
+namespace grepair {
+namespace storage {
+
+namespace {
+
+/// Segment start seqs in `dir`, ascending.
+Result<std::vector<uint64_t>> ListSegments(Fs* fs, const std::string& dir) {
+  GREPAIR_ASSIGN_OR_RETURN(std::vector<std::string> names, fs->ListDir(dir));
+  std::vector<uint64_t> seqs;
+  for (const std::string& name : names) {
+    uint64_t seq = 0;
+    if (ParseWalSegmentName(name, &seq)) seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+}  // namespace
+
+Result<RecoveryPlan> PlanRecovery(Fs* fs, const std::string& dir) {
+  RecoveryPlan plan;
+  GREPAIR_ASSIGN_OR_RETURN(std::vector<uint64_t> ckpts,
+                           ListCheckpoints(fs, dir));
+
+  // Newest checkpoint that validates; fall back at most once (retention
+  // never keeps WAL history across more than two checkpoints, so a third
+  // attempt could not be replayed forward anyway).
+  const size_t tries = std::min<size_t>(2, ckpts.size());
+  for (size_t i = 0; i < tries && !plan.found_checkpoint; ++i) {
+    const std::string path = dir + "/" + CheckpointName(ckpts[i]);
+    Result<std::string> payload = ReadCheckpoint(fs, path, ckpts[i]);
+    if (payload.ok()) {
+      plan.found_checkpoint = true;
+      plan.checkpoint_seq = ckpts[i];
+      plan.checkpoint_payload = std::move(payload).value();
+      break;
+    }
+    if (payload.status().code() != StatusCode::kDataLoss)
+      return payload.status();
+    // Quarantine rather than delete: the bytes stay inspectable, but the
+    // name no longer parses so no later pass can pick the file up again.
+    ++plan.corrupt_checkpoints;
+    plan.notes.push_back(payload.status().message() + " (quarantined)");
+    Status quarantine = fs->Rename(path, path + ".corrupt");
+    if (!quarantine.ok())
+      plan.notes.push_back("quarantine failed: " + quarantine.message());
+  }
+  if (!plan.found_checkpoint && !ckpts.empty())
+    return Status::DataLoss(
+        "no retained checkpoint validates; refusing to guess a base state");
+  if (!plan.found_checkpoint) plan.checkpoint_seq = 0;
+
+  GREPAIR_ASSIGN_OR_RETURN(std::vector<uint64_t> segments,
+                           ListSegments(fs, dir));
+  uint64_t expected = plan.checkpoint_seq + 1;
+  bool gap = false;
+  for (uint64_t start : segments) {
+    const std::string path = dir + "/" + WalSegmentName(start);
+    GREPAIR_ASSIGN_OR_RETURN(WalSegmentScan scan, ReadWalSegment(fs, path));
+    if (scan.valid_size < scan.file_size) {
+      plan.truncated_bytes += scan.file_size - scan.valid_size;
+      plan.notes.push_back(StrFormat(
+          "%s: truncated %llu tail bytes (%s)", path.c_str(),
+          (unsigned long long)(scan.file_size - scan.valid_size),
+          scan.note.empty() ? "incomplete batch" : scan.note.c_str()));
+      GREPAIR_RETURN_IF_ERROR(fs->Truncate(path, scan.valid_size));
+    }
+    for (WalBatch& b : scan.batches) {
+      if (b.seq < expected) continue;  // already covered by the checkpoint
+      if (gap || b.seq > expected) {
+        if (!gap) {
+          if (plan.batches.empty())
+            return Status::DataLoss(StrFormat(
+                "wal does not reach the checkpoint: first batch is %llu, "
+                "need %llu",
+                (unsigned long long)b.seq, (unsigned long long)expected));
+          gap = true;
+          plan.notes.push_back(StrFormat(
+              "seq gap: batch %llu where %llu expected; dropping everything "
+              "after the gap",
+              (unsigned long long)b.seq, (unsigned long long)expected));
+        }
+        ++plan.dropped_batches;
+        continue;
+      }
+      plan.batches.push_back(std::move(b));
+      ++expected;
+    }
+  }
+  plan.next_seq = plan.checkpoint_seq + 1 + plan.batches.size();
+  return plan;
+}
+
+Result<std::string> DumpStorageDir(Fs* fs, const std::string& dir) {
+  std::string out = "storage dir " + dir + "\n";
+  GREPAIR_ASSIGN_OR_RETURN(std::vector<uint64_t> ckpts,
+                           ListCheckpoints(fs, dir));
+  out += StrFormat("checkpoints: %zu\n", ckpts.size());
+  for (uint64_t seq : ckpts) {
+    const std::string path = dir + "/" + CheckpointName(seq);
+    Result<std::string> payload = ReadCheckpoint(fs, path, seq);
+    if (payload.ok())
+      out += StrFormat("  checkpoint seq=%llu ok payload_bytes=%zu\n",
+                       (unsigned long long)seq, payload.value().size());
+    else
+      out += StrFormat("  checkpoint seq=%llu INVALID: %s\n",
+                       (unsigned long long)seq,
+                       payload.status().message().c_str());
+  }
+  GREPAIR_ASSIGN_OR_RETURN(std::vector<uint64_t> segments,
+                           ListSegments(fs, dir));
+  out += StrFormat("segments: %zu\n", segments.size());
+  for (uint64_t start : segments) {
+    const std::string path = dir + "/" + WalSegmentName(start);
+    GREPAIR_ASSIGN_OR_RETURN(WalSegmentScan scan, ReadWalSegment(fs, path));
+    std::string range = "empty";
+    if (!scan.batches.empty())
+      range = StrFormat("%llu..%llu",
+                        (unsigned long long)scan.batches.front().seq,
+                        (unsigned long long)scan.batches.back().seq);
+    out += StrFormat(
+        "  segment start=%llu batches=%zu (%s) valid_bytes=%llu "
+        "file_bytes=%llu%s%s\n",
+        (unsigned long long)start, scan.batches.size(), range.c_str(),
+        (unsigned long long)scan.valid_size,
+        (unsigned long long)scan.file_size, scan.note.empty() ? "" : " note=",
+        scan.note.c_str());
+  }
+  return out;
+}
+
+}  // namespace storage
+}  // namespace grepair

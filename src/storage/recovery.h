@@ -1,0 +1,55 @@
+// Startup restore: picks the newest checkpoint that validates (falling
+// back ONE checkpoint when the newest is corrupt — never further, see
+// checkpoint.h), collects the contiguous run of complete WAL batches
+// after it, and truncates torn or corrupt segment tails in place so the
+// writer resumes on a clean file. The caller (RepairService) loads the
+// checkpoint payload, replays the batches through the normal commit path,
+// and opens the writer at `next_seq`.
+//
+// Nothing here is silent: every truncated byte, quarantined checkpoint,
+// and dropped batch is counted and described in `notes`.
+#ifndef GREPAIR_STORAGE_RECOVERY_H_
+#define GREPAIR_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/fs.h"
+#include "storage/wal.h"
+
+namespace grepair {
+namespace storage {
+
+/// What PlanRecovery decided. `batches` is a contiguous run starting at
+/// `checkpoint_seq + 1`; replaying them over the checkpoint payload
+/// reproduces the durable commit prefix exactly.
+struct RecoveryPlan {
+  bool found_checkpoint = false;   ///< false => fresh directory
+  uint64_t checkpoint_seq = 0;     ///< batch seq the checkpoint covers
+  std::string checkpoint_payload;  ///< serialized service state
+  std::vector<WalBatch> batches;   ///< seqs checkpoint_seq+1, +2, ...
+  uint64_t next_seq = 1;           ///< first seq the writer should use
+  uint64_t truncated_bytes = 0;    ///< torn/corrupt tail bytes cut off
+  uint64_t corrupt_checkpoints = 0;  ///< quarantined as *.corrupt
+  uint64_t dropped_batches = 0;    ///< complete batches after a seq gap
+  std::vector<std::string> notes;  ///< one line per anomaly
+};
+
+/// Scans `dir` and produces the plan. Validation failures are handled
+/// (quarantine / truncate / drop + note); an error return means the
+/// directory itself could not be recovered from: both retained
+/// checkpoints failed validation (kDataLoss), the WAL does not reach the
+/// chosen checkpoint (kDataLoss), or plain I/O failed (kIo).
+Result<RecoveryPlan> PlanRecovery(Fs* fs, const std::string& dir);
+
+/// Human-readable listing of `dir` for `grepair wal dump`: each
+/// checkpoint's seq and validation state, each segment's batch range,
+/// valid/file sizes, and scan note. Read-only — never truncates or
+/// quarantines anything.
+Result<std::string> DumpStorageDir(Fs* fs, const std::string& dir);
+
+}  // namespace storage
+}  // namespace grepair
+
+#endif  // GREPAIR_STORAGE_RECOVERY_H_

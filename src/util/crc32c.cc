@@ -1,0 +1,48 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace grepair {
+namespace {
+
+// Reflected CRC32C table for the Castagnoli polynomial (reversed form
+// 0x82F63B78), generated once at first use.
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit)
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return kTable;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  const auto& table = Table();
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  return ~crc;
+}
+
+uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+uint32_t Crc32cMask(uint32_t crc) {
+  // Rotate right by 15 bits and add a constant (the LevelDB masking).
+  return ((crc >> 15) | (crc << 17)) + 0xA282EAD8u;
+}
+
+uint32_t Crc32cUnmask(uint32_t masked) {
+  uint32_t rot = masked - 0xA282EAD8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace grepair

@@ -1,0 +1,30 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41): the checksum guarding WAL
+// record frames and checkpoint files (src/storage/). Software table-driven
+// implementation — the WAL's frame sizes are small and the serve commit
+// path is dominated by detection, so a hardware SSE4.2 path would buy
+// nothing measurable here.
+#ifndef GREPAIR_UTIL_CRC32C_H_
+#define GREPAIR_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace grepair {
+
+/// CRC32C of `data[0, n)`. Matches the RFC 3720 reference ("123456789"
+/// hashes to 0xE3069283).
+uint32_t Crc32c(const void* data, size_t n);
+
+/// Extends a running CRC32C with more bytes: Crc32cExtend(Crc32c(a), b)
+/// == Crc32c(a concat b).
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// Masked CRC in the RocksDB/LevelDB style: storing the raw CRC of data
+/// that itself embeds CRCs invites accidental fixed points, so stored
+/// checksums are rotated and offset. Verify with Crc32cUnmask.
+uint32_t Crc32cMask(uint32_t crc);
+uint32_t Crc32cUnmask(uint32_t masked);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_UTIL_CRC32C_H_

@@ -14,6 +14,8 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kInconsistent: return "INCONSISTENT";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kIo: return "IO";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

@@ -23,6 +23,8 @@ enum class StatusCode {
   kInconsistent,      ///< rule set fails consistency analysis
   kResourceExhausted, ///< configured budget (iterations, expansions) exceeded
   kInternal,          ///< invariant broken inside the library (a bug)
+  kIo,                ///< a filesystem/device operation failed
+  kDataLoss,          ///< stored data failed checksum/structure validation
 };
 
 /// Human-readable name of a status code (stable, for logs and tests).
@@ -65,6 +67,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIo, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -275,7 +275,7 @@ ServedOutcome ServeWorkload() {
   sopt.num_threads = 2;
   sopt.num_shards = 2;
   RepairService service(std::move(bundle.graph), bundle.rules, sopt);
-  BatchResult r1 = service.Commit();  // repair the injected errors
+  BatchResult r1 = service.Commit().value();  // repair the injected errors
   std::vector<NodeId> nodes = service.graph().Nodes();
   for (size_t i = 0; i + 1 < std::min<size_t>(nodes.size(), 40); i += 2) {
     EditEntry op;
@@ -285,7 +285,7 @@ ServedOutcome ServeWorkload() {
     op.label = service.graph().EdgeLabel(service.graph().Edges().front());
     service.ApplyEdit(op);
   }
-  BatchResult r2 = service.Commit();  // repair the fresh asymmetries
+  BatchResult r2 = service.Commit().value();  // repair the fresh asymmetries
   const ServiceStats& s = service.stats();
   return {SerializeGraph(service.graph()), s.batches, s.violations_repaired,
           s.violations_detected, r1.expansions + r2.expansions};

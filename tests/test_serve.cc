@@ -302,7 +302,7 @@ TEST(RepairServiceTest, BudgetLeftoversDrainAcrossCommits) {
   // keeps draining the backlog one fix at a time until the graph is clean.
   bool exhausted = first.value().budget_exhausted;
   for (int i = 0; exhausted && i < 100; ++i)
-    exhausted = service.Commit().budget_exhausted;
+    exhausted = service.Commit().value().budget_exhausted;
   EXPECT_FALSE(exhausted);
   EXPECT_EQ(CountViolations(service.graph(), bundle.rules), 0u);
 }
@@ -310,7 +310,7 @@ TEST(RepairServiceTest, BudgetLeftoversDrainAcrossCommits) {
 TEST(RepairServiceTest, CommitWithNoEditsIsCheapNoop) {
   DatasetBundle bundle = CleanBundle("social");
   RepairService service(bundle.graph.Clone(), bundle.rules);
-  BatchResult r = service.Commit();
+  BatchResult r = service.Commit().value();
   EXPECT_EQ(r.edits, 0u);
   EXPECT_EQ(r.violations, 0u);
   EXPECT_EQ(r.fixes, 0u);
@@ -389,7 +389,7 @@ TEST(RepairServiceTest, RestorePreservesViolationBacklog) {
   RepairService restored(bundle.graph.Clone(), bundle.rules);
   ASSERT_TRUE(restored.RestoreState(path).ok());
   EXPECT_EQ(restored.ViolationBacklog(), service.ViolationBacklog());
-  BatchResult drained = restored.Commit();
+  BatchResult drained = restored.Commit().value();
   EXPECT_GE(drained.fixes, 1u);
   EXPECT_EQ(CountViolations(restored.graph(), bundle.rules), 0u);
   EXPECT_EQ(restored.ViolationBacklog(), 0u);
