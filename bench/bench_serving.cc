@@ -22,12 +22,22 @@
 // syncs, bytes) — the price sheet of the durability knob (DESIGN.md
 // "Durability").
 //
+// S4 — Published-read throughput: N reader threads loop full detection
+// against the epoch-published snapshot generation while a writer commits
+// batches, vs the single-mutex baseline where every read serializes behind
+// the same mutex the writer holds. Reports aggregate reads/sec per
+// (readers x writer batch size) cell — the scaling the lock-free read path
+// exists for (DESIGN.md "Read path / epoch publication").
+//
 // GREPAIR_BENCH_SMOKE=1 shrinks all sections to CI-smoke scale; the JSON
 // header records the mode so collected artifacts stay comparable.
 #include "bench_common.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 #include "graph/sharded_snapshot.h"
 #include "graph/snapshot.h"
@@ -298,6 +308,81 @@ void DurabilitySweep(const DatasetBundle& clean, const std::string& policy,
   }
 }
 
+// S4: one (readers, writer batch, locking) cell — reader threads loop
+// DetectPublished while the main thread commits batches for `seconds` of
+// wall clock. With `mutex_baseline` every read AND every commit serializes
+// behind one shared mutex (the pre-publication locking discipline, on
+// identical detection work); without it both run the lock-free published
+// path. The ratio between the two rows is the read-path speedup.
+void ReadPathSweep(const DatasetBundle& clean, size_t readers,
+                   size_t writer_batch, bool mutex_baseline, double seconds,
+                   TableWriter* table) {
+  ServeOptions sopt;
+  sopt.num_threads = 2;
+  sopt.shard_min_anchors = 2;
+  RepairService service(clean.graph.Clone(), clean.rules, sopt);
+  std::mutex service_mu;  // the baseline's serialization point
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> reads{0};
+
+  std::vector<std::thread> pool;
+  for (size_t r = 0; r < readers; ++r) {
+    pool.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        if (mutex_baseline) {
+          std::lock_guard<std::mutex> lock(service_mu);
+          if (!service.DetectPublished("").ok()) std::abort();
+        } else {
+          if (!service.DetectPublished("").ok()) std::abort();
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  Graph scratch = clean.graph.Clone();
+  Rng rng(29);
+  Timer wall;
+  size_t batches = 0;
+  while (wall.ElapsedMs() < seconds * 1000.0) {
+    std::vector<EditEntry> ops = MakeBatch(&scratch, &rng, writer_batch);
+    Result<BatchResult> r = Status::Ok();
+    if (mutex_baseline) {
+      std::lock_guard<std::mutex> lock(service_mu);
+      r = service.ApplyBatch(ops);
+    } else {
+      r = service.ApplyBatch(ops);
+    }
+    if (!r.ok()) {
+      std::fprintf(stderr, "read-path batch failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    scratch = service.graph().Clone();
+    ++batches;
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : pool) t.join();
+  double total_s = wall.ElapsedMs() / 1000.0;
+
+  const char* locking = mutex_baseline ? "mutex" : "published";
+  double rps = static_cast<double>(reads.load()) / std::max(1e-6, total_s);
+  double bps = static_cast<double>(batches) / std::max(1e-6, total_s);
+  const ServiceStats& s = service.stats();
+  std::printf("{\"mode\":\"read_path\",\"readers\":%zu,"
+              "\"writer_batch\":%zu,\"locking\":\"%s\",\"reads\":%zu,"
+              "\"reads_per_s\":%.1f,\"writer_batches\":%zu,"
+              "\"writer_batches_per_s\":%.1f,\"published_generation\":%zu,"
+              "\"publish_ms\":%.3f}\n",
+              readers, writer_batch, locking, reads.load(), rps, batches, bps,
+              s.published_generation, s.publish_ms);
+  table->AddRow({TableWriter::Int(int64_t(readers)),
+                 TableWriter::Int(int64_t(writer_batch)), locking,
+                 TableWriter::Num(rps, 1),
+                 TableWriter::Int(int64_t(batches)),
+                 TableWriter::Num(bps, 1)});
+}
+
 }  // namespace
 
 int main() {
@@ -443,5 +528,23 @@ int main() {
   t4.Print();
   std::puts("\nCSV:");
   std::fputs(t4.ToCsv().c_str(), stdout);
+
+  // --- S4: published-read throughput vs the single-mutex baseline -------
+  TableWriter t5("S4: published-read throughput — lock-free readers vs "
+                 "single-mutex baseline",
+                 {"readers", "writer_batch", "locking", "reads_per_s",
+                  "batches", "batches_per_s"});
+  std::vector<size_t> reader_counts =
+      smoke ? std::vector<size_t>{1, 4} : std::vector<size_t>{1, 2, 4, 8};
+  std::vector<size_t> read_wbatches =
+      smoke ? std::vector<size_t>{8} : std::vector<size_t>{8, 64};
+  const double read_secs = smoke ? 0.4 : 1.5;
+  for (size_t wb : read_wbatches)
+    for (size_t readers : reader_counts)
+      for (bool baseline : {true, false})
+        ReadPathSweep(bundle, readers, wb, baseline, read_secs, &t5);
+  t5.Print();
+  std::puts("\nCSV:");
+  std::fputs(t5.ToCsv().c_str(), stdout);
   return 0;
 }

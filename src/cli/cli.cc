@@ -42,6 +42,7 @@ constexpr char kUsage[] = R"(usage:
           [--trace-out trace.json] [--listen PORT] [--max-connections N]
           [--max-requests-per-sec R] [--wal DIR] [--fsync-policy P]
           [--fsync-interval-ms MS] [--checkpoint-every N]
+          [--publish on|off] [--max-read-threads N]
   grepair wal dump <dir>
 
 --threads N fans detection / mining statistics out over N worker threads
@@ -57,6 +58,12 @@ commit (see DESIGN.md "Serving model"):
   set_node_label <id> <Label>        set_edge_label <id> <label>
   set_node_attr <id> <attr> <value>  set_edge_attr <id> <attr> <value>
   commit | stats | save <path> | quit
+  detect [rule]     count violations on the last published snapshot
+                    generation (optionally one rule by name); runs outside
+                    the commit path, any number concurrently
+  violations [offset [limit]]
+                    page the published violation backlog (default limit
+                    100); same lock-free read path as detect
   snapshot <path>   persist service state (graph + violation backlog;
                     commits pending edits first)
   restore <path>    replace service state from a snapshot file
@@ -78,6 +85,16 @@ token bucket (default 0 = unlimited). A client's `shutdown` verb stops the
 server; `quit` only closes that client's connection. Protocol errors are
 machine-parseable `err <code> <msg>` lines (DESIGN.md "Network serving" has
 the code set); tools/serve_client.py is a minimal scripting client.
+
+--publish on|off (default on) controls epoch-published snapshots: after
+each committed batch the service atomically publishes an immutable snapshot
+generation, and the read verbs (`detect`, `violations`) run against it
+WITHOUT taking the commit mutex — reads scale with cores and a slow
+detection never stalls writers (DESIGN.md "Read path / epoch publication").
+--max-read-threads N (default 0 = unlimited) caps concurrently executing
+read verbs; excess reads are shed with `err busy`. `off` is the ablation
+switch: read verbs answer `err rejected` and serving degrades to the
+single-mutex behavior.
 
 --wal DIR makes serve durable: every committed batch is appended to a
 write-ahead log in DIR (fsynced per --fsync-policy: every = fsync each
@@ -108,7 +125,7 @@ const std::map<std::string, std::set<std::string>>& AllowedFlags() {
       {"serve",
        {"threads", "shards", "trace-out", "listen", "max-connections",
         "max-requests-per-sec", "wal", "fsync-policy", "fsync-interval-ms",
-        "checkpoint-every"}},
+        "checkpoint-every", "publish", "max-read-threads"}},
       {"wal", {}},
   };
   return kAllowed;
@@ -487,6 +504,21 @@ Status CmdServe(const Args& args, std::string* out, std::istream* in,
   if (auto it = args.flags.find("checkpoint-every"); it != args.flags.end()) {
     if (!ParseUint64(it->second, &sopt.checkpoint_every))
       return Status::InvalidArgument("bad --checkpoint-every");
+  }
+  if (auto it = args.flags.find("publish"); it != args.flags.end()) {
+    if (it->second == "on") {
+      sopt.publish_snapshots = true;
+    } else if (it->second == "off") {
+      sopt.publish_snapshots = false;
+    } else {
+      return Status::InvalidArgument("bad --publish (want on or off)");
+    }
+  }
+  if (auto it = args.flags.find("max-read-threads"); it != args.flags.end()) {
+    uint64_t v = 0;
+    if (!ParseUint64(it->second, &v))
+      return Status::InvalidArgument("bad --max-read-threads");
+    sopt.max_read_threads = static_cast<size_t>(v);
   }
   // Validate BEFORE constructing: the service constructor throws on bad
   // options, but flag errors should exit through the status path.

@@ -383,4 +383,32 @@ const MatchPlan* PlanCache::Get(size_t rule_index, const Pattern& pattern,
 
 void PlanCache::Clear() { entries_.clear(); }
 
+std::shared_ptr<const std::vector<MatchPlan>> SharedPlanCache::Get(
+    uint64_t generation, const std::vector<const Pattern*>& patterns,
+    const GraphView& g) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& e : entries_)
+      if (e.generation == generation) return e.plans;
+  }
+  // Compile outside the lock: the view is frozen, so concurrent compiles
+  // for the same generation produce bit-identical plans and any one of
+  // them may be the one cached.
+  auto plans =
+      std::make_shared<const std::vector<MatchPlan>>(CompilePlans(patterns, g));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& e : entries_)
+    if (e.generation == generation) return e.plans;  // lost the race
+  entries_.push_back(Entry{generation, plans});
+  if (entries_.size() > max_generations_)
+    entries_.erase(entries_.begin(),
+                   entries_.begin() + (entries_.size() - max_generations_));
+  return plans;
+}
+
+void SharedPlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
 }  // namespace grepair

@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -296,6 +297,40 @@ class PlanCache {
   // to (Get for rule 0 stays valid while Get(1) grows the table).
   std::vector<std::unique_ptr<Entry>> entries_;
   CacheStats stats_;
+};
+
+/// Thread-safe plan cache for the published read path: one immutable plan
+/// vector (index-aligned with the rule list) per PUBLISHED generation,
+/// shared across concurrent readers. Unlike PlanCache there is no
+/// revalidation — a published generation's view is frozen, so its plans
+/// are compiled exactly once and reused verbatim; old generations age out
+/// (small LRU) as publication advances past them. Compilation runs outside
+/// the lock; when two readers race on a fresh generation the first insert
+/// wins and the loser's compile is discarded (both are bit-identical by
+/// the determinism contract, so either is correct).
+class SharedPlanCache {
+ public:
+  explicit SharedPlanCache(size_t max_generations = 4)
+      : max_generations_(max_generations) {}
+
+  /// Plans for `generation`'s frozen view `g`, compiling on first use.
+  /// The returned vector is immutable and outlives cache eviction for as
+  /// long as the caller holds the shared_ptr.
+  std::shared_ptr<const std::vector<MatchPlan>> Get(
+      uint64_t generation, const std::vector<const Pattern*>& patterns,
+      const GraphView& g);
+
+  /// Drops every entry (restore replaced the store lineage).
+  void Clear();
+
+ private:
+  size_t max_generations_;
+  mutable std::mutex mu_;
+  struct Entry {
+    uint64_t generation = 0;
+    std::shared_ptr<const std::vector<MatchPlan>> plans;
+  };
+  std::vector<Entry> entries_;  ///< insertion order, oldest first
 };
 
 }  // namespace grepair

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <map>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
@@ -55,6 +56,10 @@ Status ServeOptions::Validate() const {
   if (num_threads > kMaxThreads)
     return Status::InvalidArgument(
         StrFormat("num_threads must be at most %zu", kMaxThreads));
+  if (max_read_threads > kMaxThreads)
+    return Status::InvalidArgument(
+        StrFormat("max_read_threads must be at most %zu (0 = unlimited)",
+                  kMaxThreads));
   if (listen_port < -1 || listen_port > 65535)
     return Status::InvalidArgument(
         "listen_port must be in [0, 65535] (-1 = stdio)");
@@ -74,7 +79,8 @@ RepairService::RepairService(Graph graph, RuleSet rules, ServeOptions options)
     : options_(std::move(options)),
       graph_(std::move(graph)),
       rules_(std::move(rules)),
-      clean_mark_(graph_.JournalSize()) {
+      clean_mark_(graph_.JournalSize()),
+      publisher_(options_.publish_snapshots) {
   Status valid = options_.Validate();
   if (!valid.ok()) throw std::invalid_argument(valid.ToString());
 
@@ -149,6 +155,19 @@ RepairService::RepairService(Graph graph, RuleSet rules, ServeOptions options)
   m_snapshot_mem_ = registry_.GetGauge(
       "grepair_snapshot_memory_bytes",
       "Heap footprint of the cached read snapshot (0 when none).");
+  m_published_reads_ = registry_.GetCounter(
+      "grepair_serve_published_reads_total",
+      "detect/violations requests served lock-free from a published "
+      "snapshot generation.");
+  m_stale_reads_ = registry_.GetCounter(
+      "grepair_serve_stale_reads_total",
+      "Read requests refused before pinning a generation (publishing "
+      "disabled, nothing published yet, unknown rule, or shed by the "
+      "max_read_threads gate).");
+  m_published_generation_ = registry_.GetGauge(
+      "grepair_serve_published_generation",
+      "Generation number of the snapshot readers currently pin (0 before "
+      "the first publication).");
   m_commit_ms_ = registry_.GetHistogram(
       "grepair_serve_commit_ms", "Whole-commit latency (detect + cascades).",
       obs::DefaultLatencyBucketsMs());
@@ -166,18 +185,34 @@ RepairService::RepairService(Graph graph, RuleSet rules, ServeOptions options)
       "Snapshot acquisition latency by path; counts are the patch/rebuild "
       "ledger.",
       obs::DefaultLatencyBucketsMs(), {{"path", "rebuild"}});
+  m_publish_ms_ = registry_.GetHistogram(
+      "grepair_serve_publish_ms",
+      "Generation publication latency (slot advance + backlog copy + "
+      "pointer flip); count is the publication ledger.",
+      obs::DefaultLatencyBucketsMs());
+  m_read_ms_ = registry_.GetHistogram(
+      "grepair_serve_read_ms",
+      "Published read latency (detect / violations verbs).",
+      obs::DefaultLatencyBucketsMs());
   if (options_.num_threads != 1)
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
-  // Record physical deltas for incremental snapshot maintenance — only a
-  // service that can fan out ever reads snapshots (a 1-thread service
-  // would pay the record copies for nothing; it also keeps num_shards_ at
-  // 1, since no snapshot ever exists to shard).
+  // Record physical deltas for incremental snapshot maintenance — kept by
+  // any service that reads snapshots: one whose pool can fan out, or one
+  // that publishes generations (even single-threaded). A 1-thread
+  // non-publishing service pays no record copies and keeps num_shards_ at
+  // 1, since no snapshot ever exists to shard.
   if (pool_ != nullptr) {
-    graph_.EnableDeltaLog();
     num_shards_ = options_.num_shards == 0 ? pool_->NumThreads()
                                            : options_.num_shards;
     num_shards_ = std::min(num_shards_, ShardedSnapshot::kMaxShards);
   }
+  if (pool_ != nullptr || publisher_.enabled()) graph_.EnableDeltaLog();
+  // Eager first publication: readers can pin the constructed state before
+  // any batch commits, and the spare slot economics of the seed pass stay
+  // exactly as they were pre-publication (the FIRST seed acquisition still
+  // finds an empty slot and builds it; this construction build counts only
+  // in the publication instruments).
+  if (publisher_.enabled()) PublishGeneration(0);
 }
 
 storage::Fs* RepairService::StateFs() const {
@@ -218,98 +253,166 @@ ParallelRunner RepairService::ShardRunner() const {
   };
 }
 
-bool RepairService::PatchWithinBudget(uint64_t pending) const {
+bool RepairService::PatchWithinBudget(const GraphSnapshot& snap,
+                                      uint64_t pending) const {
   const double budget =
       options_.snapshot_rebuild_fraction *
       static_cast<double>(std::max<size_t>(graph_.NumEdges(), 64));
-  return snapshot_ != nullptr &&
-         static_cast<double>(pending + snapshot_->PatchedEdits()) <= budget;
+  return static_cast<double>(pending + snap.PatchedEdits()) <= budget;
+}
+
+RepairService::SlotAdvance RepairService::AdvanceSlot(
+    serve::Generation* slot) {
+  obs::Stopwatch t;
+  SlotAdvance out;
+  const uint64_t log_end = graph_.DeltaLogEnd();
+  // Already current (typical for the publication advance of a cascade-free
+  // commit right after its own seed advance): nothing to patch, and the
+  // plans compiled against it still hold.
+  if (slot->has_store() && slot->watermark == log_end &&
+      slot->watermark >= graph_.DeltaLogBegin()) {
+    out.patched = true;
+    out.ms = t.ElapsedMs();
+    return out;
+  }
+  // The slot's contents change, so cached match plans must revalidate
+  // their variable orders against the new cardinalities.
+  ++plan_generation_;
+  // A slot whose pending slice was trimmed off the delta log (it forfeited
+  // its claim in TrimConsumedDeltaLog) can no longer be patched.
+  const bool stale =
+      slot->has_store() && slot->watermark < graph_.DeltaLogBegin();
+  if (num_shards_ > 1) {
+    // Sharded store: the patch-or-rebuild decision moves inside
+    // ShardedSnapshot::Advance and becomes PER SHARD — clean shards are
+    // untouched, lightly dirty shards patch, and a shard past its own
+    // fraction rebuilds alone (~1/S of a monolithic rebuild), all fanned
+    // out over the pool. The whole advance counts as a patch only when no
+    // shard had to rebuild.
+    if (!options_.incremental_snapshots || slot->sharded == nullptr ||
+        stale) {
+      slot->mono.reset();
+      slot->sharded = std::make_unique<ShardedSnapshot>(graph_, num_shards_,
+                                                        ShardRunner());
+      out.shards_rebuilt = num_shards_;
+    } else {
+      auto [records, count] = graph_.DeltaLogSince(slot->watermark);
+      ShardedSnapshot::AdvanceStats adv =
+          slot->sharded->Advance(graph_, records, count,
+                                 options_.snapshot_rebuild_fraction,
+                                 ShardRunner());
+      out.shards_patched = adv.shards_patched;
+      out.shards_rebuilt = adv.shards_rebuilt;
+      out.patched = adv.shards_rebuilt == 0;
+    }
+  } else if (options_.incremental_snapshots && !stale &&
+             slot->mono != nullptr &&
+             PatchWithinBudget(*slot->mono, log_end - slot->watermark)) {
+    auto [records, count] = graph_.DeltaLogSince(slot->watermark);
+    slot->mono->Patch(records, count);
+    out.patched = true;
+  } else {
+    slot->sharded.reset();
+    slot->mono = std::make_unique<GraphSnapshot>(graph_);
+  }
+  slot->watermark = log_end;
+  out.ms = t.ElapsedMs();
+  return out;
 }
 
 const GraphView& RepairService::AcquireSnapshot(BatchResult* res) {
   OBS_SPAN("commit.snapshot");
-  obs::Stopwatch t;
-  // Every acquisition advances the view's contents, so cached match plans
-  // must revalidate their variable orders against the new cardinalities.
-  ++plan_generation_;
-  const uint64_t log_end = graph_.DeltaLogEnd();
-  if (num_shards_ > 1) {
-    // Sharded cache: the patch-or-rebuild decision moves inside
-    // ShardedSnapshot::Advance and becomes PER SHARD — clean shards are
-    // untouched, lightly dirty shards patch, and a shard past its own
-    // fraction rebuilds alone (~1/S of a monolithic rebuild), all fanned
-    // out over the pool. The whole acquisition counts as a patch only
-    // when no shard had to rebuild.
-    if (!options_.incremental_snapshots || sharded_ == nullptr) {
-      sharded_ = std::make_unique<ShardedSnapshot>(graph_, num_shards_,
-                                                   ShardRunner());
-      m_shard_rebuilds_->Add(num_shards_);
-      m_acquire_rebuild_ms_->Observe(t.ElapsedMs());
-    } else {
-      auto [records, count] = graph_.DeltaLogSince(snapshot_watermark_);
-      ShardedSnapshot::AdvanceStats adv =
-          sharded_->Advance(graph_, records, count,
-                            options_.snapshot_rebuild_fraction,
-                            ShardRunner());
-      m_shard_patches_->Add(adv.shards_patched);
-      m_shard_rebuilds_->Add(adv.shards_rebuilt);
-      if (adv.shards_rebuilt == 0) {
-        res->snapshot_patched = true;
-        m_acquire_patch_ms_->Observe(t.ElapsedMs());
-      } else {
-        m_acquire_rebuild_ms_->Observe(t.ElapsedMs());
-      }
-    }
-    snapshot_watermark_ = log_end;
-    graph_.TrimDeltaLog(snapshot_watermark_);
-    res->snapshot_ms = t.ElapsedMs();
-    return *sharded_;
-  }
-  const uint64_t pending =
-      snapshot_ != nullptr ? log_end - snapshot_watermark_ : 0;
-  if (options_.incremental_snapshots && PatchWithinBudget(pending)) {
-    auto [records, count] = graph_.DeltaLogSince(snapshot_watermark_);
-    snapshot_->Patch(records, count);
+  serve::Generation* slot = publisher_.Writable();
+  SlotAdvance adv = AdvanceSlot(slot);
+  m_shard_patches_->Add(adv.shards_patched);
+  m_shard_rebuilds_->Add(adv.shards_rebuilt);
+  if (adv.patched) {
     res->snapshot_patched = true;
-    m_acquire_patch_ms_->Observe(t.ElapsedMs());
+    m_acquire_patch_ms_->Observe(adv.ms);
   } else {
-    snapshot_ = std::make_unique<GraphSnapshot>(graph_);
-    m_acquire_rebuild_ms_->Observe(t.ElapsedMs());
+    m_acquire_rebuild_ms_->Observe(adv.ms);
   }
-  snapshot_watermark_ = log_end;
-  graph_.TrimDeltaLog(snapshot_watermark_);
-  res->snapshot_ms = t.ElapsedMs();
-  return *snapshot_;
+  res->snapshot_ms = adv.ms;
+  TrimConsumedDeltaLog();
+  return *slot->view();
 }
 
-void RepairService::CapDeltaLogGrowth() {
-  if (pool_ == nullptr) return;
+void RepairService::PublishGeneration(uint64_t batch) {
+  if (!publisher_.enabled()) return;
+  OBS_SPAN("commit.publish");
+  obs::Stopwatch t;
+  serve::Generation* slot = publisher_.Writable();
+  AdvanceSlot(slot);  // bring it past the cascade fixes (publish-side cost)
+  // Deterministic backlog page source: the SaveState sort order, so two
+  // replicas at the same batch page identically.
+  std::vector<Violation> backlog = store_.Snapshot();
+  std::sort(backlog.begin(), backlog.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.rule != b.rule) return a.rule < b.rule;
+              if (a.alternatives.front().nodes != b.alternatives.front().nodes)
+                return a.alternatives.front().nodes <
+                       b.alternatives.front().nodes;
+              return a.alternatives.front().edges <
+                     b.alternatives.front().edges;
+            });
+  publisher_.Publish(batch, std::move(backlog));
+  m_published_generation_->Set(
+      static_cast<int64_t>(publisher_.CurrentGeneration()));
+  TrimConsumedDeltaLog();
+  m_publish_ms_->Observe(t.ElapsedMs());
+}
+
+void RepairService::TrimConsumedDeltaLog() {
+  const uint64_t log_begin = graph_.DeltaLogBegin();
   const uint64_t log_end = graph_.DeltaLogEnd();
-  if (num_shards_ > 1) {
-    if (sharded_ != nullptr) {
-      // Keep the records while SOME shard could still patch them cheaper
-      // than rebuilding. The per-shard budgets (fraction * max(|E_s|, 64))
-      // sum to roughly fraction * |E| in the aggregate — the same bound as
-      // the monolithic gate — so retain under that; past it the next
-      // fan-out would rebuild every dirty shard anyway.
-      const double budget =
-          options_.snapshot_rebuild_fraction *
-          static_cast<double>(std::max<size_t>(graph_.NumEdges(), 64));
-      if (static_cast<double>(log_end - snapshot_watermark_ +
-                              sharded_->PatchedEdits()) <= budget)
-        return;
-      sharded_.reset();
-    }
-    snapshot_watermark_ = log_end;
-    graph_.TrimDeltaLog(log_end);
+  if (publisher_.enabled()) {
+    // Publishing keeps BOTH slots advancing — every commit moves the
+    // writable slot to log_end at publication, so the laggard (the slot
+    // retired by the previous publish) is at most one batch behind. Keep
+    // records back to the oldest valid watermark and let AdvanceSlot's own
+    // budget checks decide patch vs rebuild when they are consumed; growth
+    // is structurally bounded at ~2 batches of records. A slot from an
+    // older epoch (or already trimmed past) holds no claim.
+    uint64_t keep_from = log_end;
+    publisher_.ForEachSlot([&](const serve::Generation& s) {
+      if (!s.has_store()) return;
+      if (s.epoch != publisher_.current_epoch()) return;
+      if (s.watermark < log_begin || s.watermark > log_end) return;
+      keep_from = std::min(keep_from, s.watermark);
+    });
+    graph_.TrimDeltaLog(keep_from);
     return;
   }
-  if (snapshot_ != nullptr) {
-    if (PatchWithinBudget(log_end - snapshot_watermark_))
-      return;  // still worth patching later; keep the records
-    snapshot_.reset();
+  if (pool_ == nullptr) return;  // no delta log without a snapshot consumer
+  // Non-publishing pool service: ONE private slot, advanced only when a
+  // commit fans out. Between fan-outs records accumulate, so reproduce the
+  // historical CapDeltaLogGrowth economics: keep them only while the store
+  // could still patch them cheaper than the rebuild it would otherwise
+  // get; past the budget drop the store AND the records (nobody reads the
+  // slot — publication is off).
+  serve::Generation* slot = publisher_.Writable();
+  if (slot->has_store() && slot->epoch == publisher_.current_epoch() &&
+      slot->watermark >= log_begin && slot->watermark <= log_end) {
+    const uint64_t pending = log_end - slot->watermark;
+    bool keep = true;
+    if (pending > 0) {
+      const uint64_t patched = slot->sharded != nullptr
+                                   ? slot->sharded->PatchedEdits()
+                                   : slot->mono->PatchedEdits();
+      // Aggregate bound for the sharded store: per-shard budgets sum to
+      // roughly fraction * |E|, the same gate the monolithic path uses.
+      keep = static_cast<double>(pending + patched) <=
+             options_.snapshot_rebuild_fraction *
+                 static_cast<double>(std::max<size_t>(graph_.NumEdges(), 64));
+    }
+    if (keep) {
+      graph_.TrimDeltaLog(slot->watermark);
+      return;
+    }
+    slot->mono.reset();
+    slot->sharded.reset();
+    slot->watermark = log_end;
   }
-  snapshot_watermark_ = log_end;
   graph_.TrimDeltaLog(log_end);
 }
 
@@ -342,14 +445,18 @@ const ServiceStats& RepairService::stats() const {
       static_cast<size_t>(m_last_checkpoint_seq_->Value());
   s.recovery_replayed_batches = m_recovery_replayed_->Value();
   s.batch_ms = latency_ring_;
+  s.published_generation =
+      static_cast<size_t>(publisher_.CurrentGeneration());
+  s.publishes = m_publish_ms_->Count();
+  s.publish_ms = m_publish_ms_->Sum();
+  s.published_reads = m_published_reads_->Value();
+  s.stale_reads = m_stale_reads_->Value();
   // Lazily priced: MemoryBytes walks every attribute map, which must not
   // ride the per-commit hot path AcquireSnapshot just took off it. Rolls
-  // up across shards when the cache is sharded. The gauge keeps the
-  // Prometheus exposition in step with the view.
-  s.snapshot_memory_bytes =
-      sharded_ != nullptr
-          ? sharded_->MemoryBytes()
-          : (snapshot_ != nullptr ? snapshot_->MemoryBytes() : 0);
+  // up across the publisher's slots (and their shards when the store is
+  // sharded). The gauge keeps the Prometheus exposition in step with the
+  // view.
+  s.snapshot_memory_bytes = publisher_.MemoryBytes();
   m_snapshot_mem_->Set(static_cast<int64_t>(s.snapshot_memory_bytes));
   return s;
 }
@@ -508,8 +615,11 @@ Result<BatchResult> RepairService::Commit() {
       for (RuleId r = 0; r < rules_.size(); ++r)
         plans.push_back(
             plan_cache_.Get(r, rules_[r].pattern(), *view, plan_generation_));
-    } else {
-      CapDeltaLogGrowth();
+    } else if (!publisher_.enabled()) {
+      // No publication will advance the slots this commit, so cap the
+      // delta log here: slots whose pending slice already lost to a
+      // rebuild forfeit their claim and the records go.
+      TrimConsumedDeltaLog();
     }
     MatchStats st = detector.Detect(
         *view, rules_, anchors,
@@ -582,6 +692,13 @@ Result<BatchResult> RepairService::Commit() {
   else
     latency_ring_[(batches - 1) % ServiceStats::kLatencyWindow] =
         res.total_ms;
+
+  // Publication point: the batch has fully landed (cascades drained or
+  // budget-cut, counters settled), so expose it to the lock-free readers.
+  // Everything a reader can observe — store, backlog — is frozen before
+  // the atomic flip; concurrent readers keep the previous generation until
+  // it happens and see exactly one committed boundary either way.
+  PublishGeneration(res.batch);
 
   // Cadence checkpoint: absolute seq multiples, so a replay knows to
   // re-execute the id-compacting state swap at exactly these points. The
@@ -829,14 +946,17 @@ Status RepairService::LoadServiceState(const std::string& text,
   }
 
   // Point of no return: every record validated, swap the state in. The
-  // cached snapshot mirrors the OLD graph and the new delta log starts
-  // empty, so the next fanning-out commit rebuilds from scratch.
+  // publisher's slot stores mirror the OLD graph — and their watermarks
+  // the old delta log — so a new epoch invalidates them for WRITER reuse
+  // (the next advance rebuilds from scratch) while the published
+  // generation keeps serving the consistent pre-swap state to any pinned
+  // reader until the republication below atomically replaces it. A reader
+  // therefore never observes a half-restored store.
   graph_ = std::move(restored);
-  if (pool_ != nullptr) graph_.EnableDeltaLog();
-  snapshot_.reset();
-  sharded_.reset();
-  snapshot_watermark_ = 0;
+  if (pool_ != nullptr || publisher_.enabled()) graph_.EnableDeltaLog();
+  publisher_.BeginNewEpoch();
   plan_cache_.Clear();
+  read_plans_.Clear();
   clean_mark_ = 0;
   store_.Clear();
   for (const PendingViolation& pv : backlog)
@@ -848,6 +968,11 @@ Status RepairService::LoadServiceState(const std::string& text,
   logged_labels_ = graph_.vocab()->NumLabels();
   logged_attrs_ = graph_.vocab()->NumAttrs();
   logged_values_ = graph_.vocab()->NumValues();
+  // Atomic republication of the restored state (every LoadServiceState
+  // caller — restore, checkpoint swap, recovery — swaps to a committed
+  // boundary, so publishing here keeps the reader-visible sequence at
+  // committed boundaries only).
+  PublishGeneration(m_batches_->Value());
   return Status::Ok();
 }
 
@@ -1016,6 +1141,135 @@ Result<RecoveryInfo> RepairService::OpenDurability() {
   }
   SyncWalInstruments();
   return info;
+}
+
+// ------------------------------------------------- published read path
+// Everything below runs on READER threads, concurrently with the writer.
+// The rules it lives by: pin first (publisher mutex, pointer work only),
+// then touch ONLY the pinned generation, the immutable rule set / options,
+// and thread-safe instruments — never graph_, store_, the vocabulary, or
+// any writer-side cache.
+
+namespace {
+
+// RAII in-flight ticket against the max_read_threads gate. The counter is
+// advisory (relaxed): an over-admit under a race sheds the next request
+// instead, which is the right failure direction for load shedding.
+class InflightRead {
+ public:
+  InflightRead(std::atomic<int64_t>* counter, size_t cap) : counter_(counter) {
+    const int64_t n = counter_->fetch_add(1, std::memory_order_relaxed) + 1;
+    admitted_ = cap == 0 || n <= static_cast<int64_t>(cap);
+  }
+  ~InflightRead() { counter_->fetch_sub(1, std::memory_order_relaxed); }
+  InflightRead(const InflightRead&) = delete;
+  InflightRead& operator=(const InflightRead&) = delete;
+  bool admitted() const { return admitted_; }
+
+ private:
+  std::atomic<int64_t>* counter_;
+  bool admitted_ = false;
+};
+
+}  // namespace
+
+Result<PublishedDetect> RepairService::DetectPublished(
+    const std::string& rule_filter) const {
+  OBS_SPAN("read.detect");
+  InflightRead ticket(&active_reads_, options_.max_read_threads);
+  if (!ticket.admitted()) {
+    m_stale_reads_->Add(1);
+    return Status::ResourceExhausted("read capacity exhausted");
+  }
+  // Filter resolution by plain string compare — the vocabulary is mutable
+  // under the writer (session parsing interns), so readers never touch it.
+  if (!rule_filter.empty()) {
+    bool known = false;
+    for (RuleId r = 0; r < rules_.size() && !known; ++r)
+      known = rules_[r].name() == rule_filter;
+    if (!known) {
+      m_stale_reads_->Add(1);
+      return Status::NotFound("unknown rule '" + rule_filter + "'");
+    }
+  }
+  serve::ReadLease lease = publisher_.Pin();
+  if (!lease.valid()) {
+    m_stale_reads_->Add(1);
+    return Status::FailedPrecondition(
+        "no published snapshot generation (publishing disabled?)");
+  }
+  obs::Stopwatch t;
+  const GraphView& view = lease.view();
+  std::vector<const Pattern*> patterns;
+  patterns.reserve(rules_.size());
+  for (RuleId r = 0; r < rules_.size(); ++r)
+    patterns.push_back(&rules_[r].pattern());
+  // Plans compiled ONCE per published generation (against its frozen
+  // view), shared by every reader of that generation.
+  std::shared_ptr<const std::vector<MatchPlan>> plans =
+      read_plans_.Get(lease->generation, patterns, view);
+  // Mirror the offline `grepair detect` pass exactly — matches folded into
+  // violations by a local store, default cost model, no confidence
+  // weighting (the DetectAll contract) — so the verb's counts are
+  // bit-identical to the CLI's against the same committed batch.
+  ViolationStore folded;
+  PublishedDetect out;
+  out.generation = lease->generation;
+  out.batch = lease->batch;
+  for (RuleId r = 0; r < rules_.size(); ++r) {
+    if (!rule_filter.empty() && rules_[r].name() != rule_filter) continue;
+    Matcher matcher(view, rules_[r].pattern(), &(*plans)[r]);
+    MatchOptions opts;
+    MatchStats st = matcher.FindAll(opts, [&](const Match& m) {
+      folded.Add(r, m, FixCost(view, rules_[r], m, CostModel{}, 0));
+      return true;
+    });
+    out.expansions += st.expansions;
+  }
+  out.violations = folded.Size();
+  std::map<std::string, size_t> per_rule;
+  for (const Violation& v : folded.Snapshot())
+    per_rule[rules_[v.rule].name()]++;
+  out.per_rule.assign(per_rule.begin(), per_rule.end());
+  m_published_reads_->Add(1);
+  m_read_ms_->Observe(t.ElapsedMs());
+  return out;
+}
+
+Result<PublishedViolations> RepairService::ReadViolations(
+    size_t offset, size_t limit) const {
+  OBS_SPAN("read.violations");
+  InflightRead ticket(&active_reads_, options_.max_read_threads);
+  if (!ticket.admitted()) {
+    m_stale_reads_->Add(1);
+    return Status::ResourceExhausted("read capacity exhausted");
+  }
+  serve::ReadLease lease = publisher_.Pin();
+  if (!lease.valid()) {
+    m_stale_reads_->Add(1);
+    return Status::FailedPrecondition(
+        "no published snapshot generation (publishing disabled?)");
+  }
+  obs::Stopwatch t;
+  PublishedViolations out;
+  out.generation = lease->generation;
+  out.batch = lease->batch;
+  out.total = lease->backlog.size();
+  out.offset = std::min(offset, out.total);
+  const size_t end = std::min(out.total, out.offset + limit);
+  out.rows.reserve(end - out.offset);
+  for (size_t i = out.offset; i < end; ++i) {
+    const Violation& v = lease->backlog[i];
+    PublishedViolations::Row row;
+    row.rule = rules_[v.rule].name();
+    row.cost = v.best_cost;
+    row.nodes = v.alternatives.front().nodes.size();
+    row.edges = v.alternatives.front().edges.size();
+    out.rows.push_back(std::move(row));
+  }
+  m_published_reads_->Add(1);
+  m_read_ms_->Observe(t.ElapsedMs());
+  return out;
 }
 
 Result<BatchResult> RepairService::ApplyBatch(

@@ -19,18 +19,25 @@
 //
 // Threading contract: all mutation happens on the caller's thread; worker
 // threads only read the frozen graph during step 2 (DESIGN.md "Threading
-// model"). The service is single-writer — callers serialize access.
+// model"). The service is single-writer — callers serialize access — with
+// ONE carve-out: the published read path (DetectPublished / ReadViolations
+// / PinPublished) is safe from any thread concurrently with the writer; it
+// runs against immutable epoch-published snapshot generations
+// (serve::SnapshotPublisher) and never touches the mutable service state.
 #ifndef GREPAIR_SERVE_REPAIR_SERVICE_H_
 #define GREPAIR_SERVE_REPAIR_SERVICE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
 #include "graph/sharded_snapshot.h"
 #include "graph/snapshot.h"
+#include "serve/publisher.h"
 #include "grr/rule.h"
 #include "match/plan.h"
 #include "obs/metrics.h"
@@ -81,6 +88,19 @@ struct ServeOptions {
   /// (1-thread) service, which never reads snapshots. Results are
   /// bit-identical across shard counts; only wall-clock changes.
   size_t num_shards = 0;
+  /// Publish an immutable snapshot generation after every committed batch
+  /// (and at construction / restore) through the RCU-style
+  /// serve::SnapshotPublisher, so `detect` / `violations` readers run
+  /// lock-free against the last committed state while the writer commits
+  /// (DESIGN.md "Read path / epoch publication"). Disabling reverts to the
+  /// write-only service: read verbs answer `err rejected` and no
+  /// publication work rides the commit path (the ablation baseline
+  /// bench_serving S4 compares against).
+  bool publish_snapshots = true;
+  /// Cap on concurrently executing published reads across all transports
+  /// (`--max-read-threads`); excess requests are shed with `err busy`
+  /// instead of queueing behind each other. 0 = unlimited.
+  size_t max_read_threads = 0;
   /// TCP listener port for `grepair serve --listen` (serve::Server). -1 =
   /// no listener, stdio transport; 0 = bind an ephemeral port (published
   /// via Server::port()); 1..65535 = that port.
@@ -201,10 +221,16 @@ struct ServiceStats {
   /// rebuild whenever any shard rebuilt).
   size_t shard_patches = 0;
   size_t shard_rebuilds = 0;
-  /// Heap footprint of the currently cached snapshot (0 when none).
+  /// Heap footprint of the publisher's snapshot slots (0 when none).
   /// Computed when stats() is queried — the walk over the snapshot's
   /// attribute maps is O(V+E) and must not ride the per-commit hot path.
   size_t snapshot_memory_bytes = 0;
+  /// Epoch-publication ledger (all zero with publish_snapshots=false).
+  size_t published_generation = 0;  ///< last published generation number
+  size_t publishes = 0;             ///< generations published
+  size_t published_reads = 0;       ///< detect/violations served lock-free
+  size_t stale_reads = 0;  ///< reads rejected (nothing published / disabled)
+  double publish_ms = 0.0; ///< cumulative publication wall-clock
   /// Durability ledger (all zero on a service without a wal_dir).
   bool read_only = false;        ///< degraded after a storage failure
   size_t wal_appends = 0;        ///< batches appended to the WAL
@@ -227,6 +253,35 @@ struct ServiceStats {
 struct EditApplied {
   NodeId node = kInvalidNode;  ///< kAddNode
   EdgeId edge = kInvalidEdge;  ///< kAddEdge
+};
+
+/// One lock-free detection pass over the published generation (`detect`
+/// verb). Counts are bit-identical to offline `grepair detect` against the
+/// same committed batch (the plan determinism contract).
+struct PublishedDetect {
+  uint64_t generation = 0;  ///< publication the pass ran against
+  uint64_t batch = 0;       ///< committed batch that publication mirrors
+  size_t violations = 0;    ///< total matches across the selected rules
+  /// Per-rule match counts, name-sorted (the offline report order).
+  std::vector<std::pair<std::string, size_t>> per_rule;
+  size_t expansions = 0;  ///< matcher expansions spent
+};
+
+/// One page of the published violation backlog (`violations` verb): the
+/// budget-cut leftovers pending repair at the published batch boundary, in
+/// the deterministic SaveState order.
+struct PublishedViolations {
+  uint64_t generation = 0;
+  uint64_t batch = 0;
+  size_t total = 0;   ///< backlog size at the boundary
+  size_t offset = 0;  ///< first row's index into the sorted backlog
+  struct Row {
+    std::string rule;  ///< rule name
+    double cost = 0.0; ///< best-alternative repair cost
+    size_t nodes = 0;  ///< nodes bound by the best alternative
+    size_t edges = 0;  ///< edges bound by the best alternative
+  };
+  std::vector<Row> rows;
 };
 
 /// A long-lived repair service over one graph + rule set.
@@ -306,6 +361,33 @@ class RepairService {
   /// reproduce, so history re-anchors here).
   Status RestoreState(const std::string& path);
 
+  /// ---- Published read path (thread-safe, never takes the commit lock) --
+  ///
+  /// The three calls below are safe from ANY thread while the writer
+  /// commits: they pin the last published generation (publisher mutex —
+  /// pointer work only), then run entirely against that frozen state.
+  /// kFailedPrecondition = nothing published (publishing disabled or the
+  /// service was constructed with it off); kResourceExhausted = the
+  /// max_read_threads gate shed the request; kNotFound = unknown rule
+  /// filter.
+
+  /// Full (or rule-filtered, `rule_filter` non-empty) detection over the
+  /// published generation with generation-cached compiled plans.
+  Result<PublishedDetect> DetectPublished(const std::string& rule_filter) const;
+
+  /// One page of the published violation backlog.
+  Result<PublishedViolations> ReadViolations(size_t offset,
+                                             size_t limit) const;
+
+  /// Pins the published generation directly (tests and embedders; the
+  /// lease keeps that generation alive across any number of commits).
+  serve::ReadLease PinPublished() const { return publisher_.Pin(); }
+
+  /// Last published generation number (0 before the first publication).
+  uint64_t PublishedGeneration() const {
+    return publisher_.CurrentGeneration();
+  }
+
   /// Edit ops journaled since the last commit.
   size_t PendingEdits() const { return graph_.JournalSize() - clean_mark_; }
   /// Violations waiting in the persistent store (a budget-cut backlog).
@@ -334,24 +416,45 @@ class RepairService {
 
  private:
   SymbolId ConfAttr() const;
-  /// The one rebuild-threshold policy of the MONOLITHIC cache: true when
-  /// advancing it by `pending` more records stays within
+  /// The one rebuild-threshold policy for a MONOLITHIC slot store: true
+  /// when advancing `snap` by `pending` more records stays within
   /// `snapshot_rebuild_fraction` of |E| (accumulated patches included).
-  /// The sharded cache applies the same fraction per shard inside
+  /// Sharded slots apply the same fraction per shard inside
   /// ShardedSnapshot::Advance.
-  bool PatchWithinBudget(uint64_t pending) const;
-  /// Hands out the read snapshot view for a fanning-out seed pass: patches
-  /// the cached one forward by the delta-log slice since it was last
-  /// current, or (re)builds when there is none / the patch fraction
+  bool PatchWithinBudget(const GraphSnapshot& snap, uint64_t pending) const;
+  /// How one publisher-slot advancement went (AdvanceSlot): the caller
+  /// attributes the numbers to the seed-pass instruments or the
+  /// publication instruments depending on which path asked.
+  struct SlotAdvance {
+    bool patched = false;      ///< O(delta) patch (vs (re)build)
+    size_t shards_patched = 0; ///< per-shard ledger (sharded slots only)
+    size_t shards_rebuilt = 0;
+    double ms = 0.0;
+  };
+  /// Brings a publisher slot to the CURRENT graph state: patches its store
+  /// forward by the delta-log slice since its watermark, or (re)builds
+  /// when it has none / the slice was trimmed away / the patch fraction
   /// crosses `snapshot_rebuild_fraction` / incremental maintenance is
   /// disabled. Under sharding the patch-or-rebuild decision is PER SHARD
-  /// (dirty shards rebuild alone, in parallel over the pool). Updates the
-  /// patch/rebuild counters and trims the consumed delta log.
+  /// (dirty shards rebuild alone, in parallel over the pool). Bumps
+  /// plan_generation_ so the seed-pass PlanCache revalidates.
+  SlotAdvance AdvanceSlot(serve::Generation* slot);
+  /// Hands out the read snapshot view for a fanning-out seed pass: the
+  /// publisher's writable slot advanced to the current graph (the SAME
+  /// slot Commit later advances past the cascades and publishes — the seed
+  /// pass is the expensive half of preparing the next generation). Updates
+  /// the patch/rebuild counters and trims the consumed delta log.
   const GraphView& AcquireSnapshot(BatchResult* res);
-  /// Caps delta-log growth on commits that do NOT read a snapshot: drops
-  /// the cache (and the log) once patching it would lose to a rebuild
-  /// anyway, so a fan-out drought never accumulates an unbounded log.
-  void CapDeltaLogGrowth();
+  /// Publishes the writable slot as the next generation at committed batch
+  /// `batch`: advances it past any remaining delta (cascade fixes), copies
+  /// the backlog in SaveState order, flips the published pointer, trims
+  /// the consumed delta log. No-op with publishing disabled.
+  void PublishGeneration(uint64_t batch);
+  /// Trims the delta log to the oldest position any slot still needs for
+  /// an in-budget patch; a slot whose pending records already exceed the
+  /// rebuild threshold forfeits its claim (it will rebuild anyway), so a
+  /// fan-out drought never accumulates an unbounded log.
+  void TrimConsumedDeltaLog();
   /// Shard-task runner over the service pool (null runner when there is no
   /// pool to fan out over).
   ParallelRunner ShardRunner() const;
@@ -386,21 +489,27 @@ class RepairService {
   std::unique_ptr<ThreadPool> pool_;  ///< null when num_threads == 1
   size_t num_shards_ = 1;  ///< resolved ServeOptions::num_shards
   size_t clean_mark_ = 0;  ///< journal position of the last commit
-  /// The cached cross-commit snapshot — monolithic (snapshot_) when
-  /// num_shards_ == 1, sharded (sharded_) otherwise — and the delta-log
-  /// sequence up to which it mirrors the graph. Only maintained when the
-  /// pool can fan out (a sequential service never reads snapshots).
-  std::unique_ptr<GraphSnapshot> snapshot_;
-  std::unique_ptr<ShardedSnapshot> sharded_;
-  uint64_t snapshot_watermark_ = 0;
+  /// The double-buffered snapshot slots (monolithic store when num_shards_
+  /// == 1, sharded otherwise) and the atomic publication point readers pin
+  /// generations from. The writable slot doubles as the seed-pass read
+  /// cache: AcquireSnapshot advances it, Commit publishes it. Maintained
+  /// whenever the pool can fan out OR publishing is on (a sequential
+  /// non-publishing service never snapshots).
+  serve::SnapshotPublisher publisher_;
   /// Compiled match plans for the fanning-out seed pass, keyed by rule
-  /// index and revalidated against the cached snapshot's generation: each
-  /// AcquireSnapshot bumps plan_generation_, and PlanCache::Get then keeps
+  /// index and revalidated against the acquired slot's generation: each
+  /// AdvanceSlot bumps plan_generation_, and PlanCache::Get then keeps
   /// a plan whose variable orders still hold under the new label
   /// cardinalities, recompiling only past the drift threshold. The cascade
   /// loop matches the LIVE mutating graph and stays on the interpreter.
   PlanCache plan_cache_;
   uint64_t plan_generation_ = 0;
+  /// Thread-safe plan cache of the published read path, keyed by PUBLISHED
+  /// generation (frozen views — no revalidation); mutable because reads
+  /// are const and concurrent.
+  mutable SharedPlanCache read_plans_;
+  /// In-flight published reads, against options_.max_read_threads.
+  mutable std::atomic<int64_t> active_reads_{0};
 
   /// Durability state (all inert without a wal_dir).
   std::unique_ptr<storage::WalWriter> wal_;
@@ -446,14 +555,19 @@ class RepairService {
   obs::Counter* m_recovery_truncated_bytes_;
   obs::Counter* m_recovery_dropped_;
   obs::Counter* m_recovery_corrupt_ckpts_;
+  obs::Counter* m_published_reads_;  ///< detect/violations served
+  obs::Counter* m_stale_reads_;      ///< reads shed/refused pre-pin
   obs::Gauge* m_read_only_;
   obs::Gauge* m_last_checkpoint_seq_;
   obs::Gauge* m_backlog_;
   obs::Gauge* m_snapshot_mem_;
+  obs::Gauge* m_published_generation_;
   obs::Histogram* m_commit_ms_;
   obs::Histogram* m_detect_ms_;
   obs::Histogram* m_acquire_patch_ms_;    ///< count == snapshot_patches
   obs::Histogram* m_acquire_rebuild_ms_;  ///< count == snapshot_rebuilds
+  obs::Histogram* m_publish_ms_;  ///< count == publishes
+  obs::Histogram* m_read_ms_;     ///< per published read
   /// Raw commit-latency samples of the most recent kLatencyWindow batches
   /// (histograms cannot answer nearest-rank percentiles exactly).
   std::vector<double> latency_ring_;

@@ -7,6 +7,11 @@
 // service mutex, so clients interleave at commit granularity and the final
 // state is bit-identical to replaying the same per-client op blocks through
 // a single stdio session in commit order (tests/test_server.cc pins this).
+// Published read verbs (`detect` / `violations`) are routed around that
+// mutex inside the Session: they pin the last epoch-published snapshot
+// generation and run lock-free against its frozen store, so read throughput
+// scales with connection threads instead of serializing behind commits
+// (DESIGN.md "Read path / epoch publication").
 //
 // Admission control front-runs the service: connections beyond
 // ServeOptions::max_connections are answered `err busy max connections` and
@@ -81,7 +86,10 @@ class Server {
   RepairService* service_;
   AdmissionOptions admission_options_;
   AdmissionController admission_;
-  std::mutex service_mu_;  ///< serializes all sessions' service access
+  /// Serializes sessions' service access — edits, commits, file verbs.
+  /// Published read verbs never take it (Session routes them to the
+  /// publisher's pinned generation before locking).
+  std::mutex service_mu_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

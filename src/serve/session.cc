@@ -1,5 +1,6 @@
 #include "serve/session.h"
 
+#include <algorithm>
 #include <map>
 
 #include "graph/graph_io.h"
@@ -13,30 +14,57 @@ namespace {
 
 struct VerbSpec {
   Verb verb;
-  size_t tokens;  ///< verb included, so arity errors beat unknown-verb ones
+  /// Token bounds, verb included (so arity errors beat unknown-verb ones).
+  /// Most verbs are fixed-arity (min == max); the read verbs take optional
+  /// trailing arguments.
+  size_t min_tokens;
+  size_t max_tokens;
 };
 
 const std::map<std::string, VerbSpec, std::less<>>& VerbTable() {
   static const std::map<std::string, VerbSpec, std::less<>> kVerbs = {
-      {"add_node", {Verb::kAddNode, 2}},
-      {"add_edge", {Verb::kAddEdge, 4}},
-      {"remove_node", {Verb::kRemoveNode, 2}},
-      {"remove_edge", {Verb::kRemoveEdge, 2}},
-      {"set_node_label", {Verb::kSetNodeLabel, 3}},
-      {"set_edge_label", {Verb::kSetEdgeLabel, 3}},
-      {"set_node_attr", {Verb::kSetNodeAttr, 4}},
-      {"set_edge_attr", {Verb::kSetEdgeAttr, 4}},
-      {"commit", {Verb::kCommit, 1}},
-      {"stats", {Verb::kStats, 1}},
-      {"metrics", {Verb::kMetrics, 1}},
-      {"trace", {Verb::kTrace, 2}},
-      {"save", {Verb::kSave, 2}},
-      {"snapshot", {Verb::kSnapshot, 2}},
-      {"restore", {Verb::kRestore, 2}},
-      {"quit", {Verb::kQuit, 1}},
-      {"shutdown", {Verb::kShutdown, 1}},
+      {"add_node", {Verb::kAddNode, 2, 2}},
+      {"add_edge", {Verb::kAddEdge, 4, 4}},
+      {"remove_node", {Verb::kRemoveNode, 2, 2}},
+      {"remove_edge", {Verb::kRemoveEdge, 2, 2}},
+      {"set_node_label", {Verb::kSetNodeLabel, 3, 3}},
+      {"set_edge_label", {Verb::kSetEdgeLabel, 3, 3}},
+      {"set_node_attr", {Verb::kSetNodeAttr, 4, 4}},
+      {"set_edge_attr", {Verb::kSetEdgeAttr, 4, 4}},
+      {"commit", {Verb::kCommit, 1, 1}},
+      {"detect", {Verb::kDetect, 1, 2}},
+      {"violations", {Verb::kViolations, 1, 3}},
+      {"stats", {Verb::kStats, 1, 1}},
+      {"metrics", {Verb::kMetrics, 1, 1}},
+      {"trace", {Verb::kTrace, 2, 2}},
+      {"save", {Verb::kSave, 2, 2}},
+      {"snapshot", {Verb::kSnapshot, 2, 2}},
+      {"restore", {Verb::kRestore, 2, 2}},
+      {"quit", {Verb::kQuit, 1, 1}},
+      {"shutdown", {Verb::kShutdown, 1, 1}},
   };
   return kVerbs;
+}
+
+/// First whitespace-delimited token of a trimmed line (read-verb probe —
+/// cheaper than a full tokenize, allocation-free).
+std::string_view FirstToken(std::string_view trimmed) {
+  const size_t end = trimmed.find_first_of(" \t");
+  return end == std::string_view::npos ? trimmed : trimmed.substr(0, end);
+}
+
+/// Protocol code for a published-read failure (the read path's closed
+/// status set; see RepairService::DetectPublished).
+std::string ReadErrResponse(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kResourceExhausted:
+      return ErrResponse("busy", st.ToString());
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kNotFound:
+      return ErrResponse("rejected", st.ToString());
+    default:
+      return ErrResponse("internal", st.ToString());
+  }
 }
 
 bool ParseId(const std::string& s, uint32_t* id) {
@@ -100,10 +128,16 @@ Result<Request> ParseRequest(const std::string& line,
   auto spec = VerbTable().find(tok[0]);
   if (spec == VerbTable().end())
     return Status::NotFound(tok[0]);
-  if (tok.size() != spec->second.tokens)
+  if (tok.size() < spec->second.min_tokens ||
+      tok.size() > spec->second.max_tokens) {
+    if (spec->second.min_tokens == spec->second.max_tokens)
+      return Status::InvalidArgument(StrFormat(
+          "%s expects %zu argument(s)", tok[0].c_str(),
+          spec->second.min_tokens - 1));
     return Status::InvalidArgument(StrFormat(
-        "%s expects %zu argument(s)", tok[0].c_str(),
-        spec->second.tokens - 1));
+        "%s expects %zu to %zu argument(s)", tok[0].c_str(),
+        spec->second.min_tokens - 1, spec->second.max_tokens - 1));
+  }
 
   Request req;
   req.verb = spec->second.verb;
@@ -152,6 +186,28 @@ Result<Request> ParseRequest(const std::string& line,
     case Verb::kRestore:
       req.path = tok[1];
       break;
+    case Verb::kDetect:
+      // The optional rule filter stays a raw string: read verbs intern
+      // nothing (they run outside the vocabulary writer's lock) and the
+      // service resolves it by name compare.
+      if (tok.size() > 1) req.rule = tok[1];
+      break;
+    case Verb::kViolations: {
+      uint64_t v = 0;
+      if (tok.size() > 1) {
+        if (!ParseUint64(tok[1], &v)) return Status::ParseError("bad offset");
+        req.offset = static_cast<size_t>(v);
+      }
+      if (tok.size() > 2) {
+        if (!ParseUint64(tok[2], &v) || v == 0)
+          return Status::ParseError("bad limit");
+        // Page-size ceiling: one response line per row, so an absurd limit
+        // would turn a paged read into a full dump.
+        constexpr uint64_t kMaxLimit = 10000;
+        req.limit = static_cast<size_t>(std::min(v, kMaxLimit));
+      }
+      break;
+    }
     default:
       break;  // bare verbs carry nothing
   }
@@ -169,8 +225,22 @@ std::unique_lock<std::mutex> Session::LockService() {
 std::string Session::HandleLine(const std::string& line) {
   std::string_view trimmed = Trim(line);
   if (trimmed.empty() || trimmed[0] == '#') return "";
-  // One lock spans parse + dispatch: ParseRequest interns symbols into the
-  // shared vocabulary, which concurrent sessions must serialize too.
+  // Read verbs route AROUND the service mutex: their parse interns nothing
+  // (the vocabulary is never consulted — see the static below) and their
+  // execution pins an immutable published generation, so N readers run in
+  // parallel with each other and with a writer mid-commit. Everything else
+  // keeps the historical contract: one lock spans parse + dispatch,
+  // because ParseRequest interns symbols into the shared vocabulary.
+  const std::string_view head = FirstToken(trimmed);
+  if (head == "detect" || head == "violations") {
+    // Null vocabulary: proves by construction the read parse can't intern
+    // (and avoids even touching service_->graph(), which a concurrent
+    // restore may be swapping).
+    static const VocabularyPtr kNoVocab;
+    auto parsed = ParseRequest(line, kNoVocab);
+    if (!parsed.ok()) return ParseErrResponse(parsed.status());
+    return HandleRead(parsed.value());
+  }
   auto lock = LockService();
   auto parsed = ParseRequest(line, service_->graph().vocab());
   if (!parsed.ok()) return ParseErrResponse(parsed.status());
@@ -178,8 +248,35 @@ std::string Session::HandleLine(const std::string& line) {
 }
 
 std::string Session::Handle(const Request& req) {
+  if (req.IsPublishedRead()) return HandleRead(req);
   auto lock = LockService();
   return HandleLocked(req);
+}
+
+std::string Session::HandleRead(const Request& req) {
+  if (req.verb == Verb::kDetect) {
+    auto r = service_->DetectPublished(req.rule);
+    if (!r.ok()) return ReadErrResponse(r.status());
+    const PublishedDetect& d = r.value();
+    // EXACTLY the offline `grepair detect` report (minus the trailing
+    // newline the transport appends) — the bit-identity the read path
+    // promises (tests/test_publish.cc).
+    std::string out = StrFormat("%zu violations", d.violations);
+    for (const auto& [name, count] : d.per_rule)
+      out += StrFormat("\n  %-32s %zu", name.c_str(), count);
+    return out;
+  }
+  auto r = service_->ReadViolations(req.offset, req.limit);
+  if (!r.ok()) return ReadErrResponse(r.status());
+  const PublishedViolations& v = r.value();
+  std::string out = StrFormat(
+      "violations total=%zu generation=%zu batch=%zu offset=%zu returned=%zu",
+      v.total, static_cast<size_t>(v.generation),
+      static_cast<size_t>(v.batch), v.offset, v.rows.size());
+  for (const PublishedViolations::Row& row : v.rows)
+    out += StrFormat("\n  %-32s cost=%.6g nodes=%zu edges=%zu",
+                     row.rule.c_str(), row.cost, row.nodes, row.edges);
+  return out;
 }
 
 std::string Session::ApplyImmediate(const EditEntry& op) {
@@ -236,7 +333,8 @@ std::string Session::HandleLocked(const Request& req) {
           "p99_ms=%.2f snapshot_patches=%zu snapshot_rebuilds=%zu "
           "snapshot_mem=%zu shards=%zu shard_patches=%zu shard_rebuilds=%zu "
           "read_only=%d wal_appends=%zu wal_syncs=%zu checkpoints=%zu "
-          "last_checkpoint=%zu",
+          "last_checkpoint=%zu published_generation=%zu published_reads=%zu "
+          "stale_reads=%zu publishes=%zu publish_ms=%.2f",
           s.batches, s.edits, s.op_errors, s.violations_detected,
           s.violations_repaired, s.anchors_visited,
           service_->PendingEdits() + staged_.size(),
@@ -244,7 +342,8 @@ std::string Session::HandleLocked(const Request& req) {
           s.LatencyPercentileMs(99), s.snapshot_patches, s.snapshot_rebuilds,
           s.snapshot_memory_bytes, service_->num_shards(), s.shard_patches,
           s.shard_rebuilds, s.read_only ? 1 : 0, s.wal_appends, s.wal_syncs,
-          s.checkpoints, s.last_checkpoint_seq);
+          s.checkpoints, s.last_checkpoint_seq, s.published_generation,
+          s.published_reads, s.stale_reads, s.publishes, s.publish_ms);
     }
     case Verb::kMetrics: {
       // stats() refreshes the lazily-priced snapshot-memory gauge before

@@ -25,7 +25,9 @@
 //   arity         known verb, wrong argument count
 //   bad_id        an element id failed to parse or overflows the id space
 //   bad_request   the line is malformed in some other way
-//   rejected      the service refused an edit (dead id, bad endpoint, ...)
+//   rejected      the service refused an edit (dead id, bad endpoint, ...),
+//                 or a read verb could not be served (publishing disabled,
+//                 nothing published yet, unknown rule filter)
 //   staged_edits  restore refused while uncommitted edits are staged
 //   busy          admission control shed the connection or request
 //   io            a file/device operation failed (save/trace/...), or a
@@ -61,6 +63,8 @@ enum class Verb {
   kSetNodeAttr,
   kSetEdgeAttr,
   kCommit,
+  kDetect,
+  kViolations,
   kStats,
   kMetrics,
   kTrace,
@@ -79,8 +83,21 @@ struct Request {
   EditEntry edit;
   /// kTrace/kSave/kSnapshot/kRestore only: the target file path.
   std::string path;
+  /// kDetect only: optional rule-name filter ("" = all rules). Kept as a
+  /// raw string — read verbs must never intern (see IsPublishedRead).
+  std::string rule;
+  /// kViolations only: backlog page window.
+  size_t offset = 0;
+  size_t limit = 100;
 
   bool IsEdit() const { return verb <= Verb::kSetEdgeAttr; }
+  /// Read verbs execute against the published snapshot generation, OUTSIDE
+  /// the service mutex: their parse touches no shared state (no interning)
+  /// and their execution pins an immutable generation, so any number of
+  /// them run concurrently with each other and with the writer.
+  bool IsPublishedRead() const {
+    return verb == Verb::kDetect || verb == Verb::kViolations;
+  }
 };
 
 /// Parses one protocol line into a Request. Interns labels/attrs/values into
@@ -145,6 +162,8 @@ class Session {
  private:
   std::unique_lock<std::mutex> LockService();
   std::string HandleLocked(const Request& req);
+  /// Read verbs (detect / violations): never takes the service mutex.
+  std::string HandleRead(const Request& req);
   std::string ApplyImmediate(const EditEntry& op);
 
   RepairService* service_;

@@ -10,17 +10,55 @@ Usage:
   grepair serve g.tsv r.grr --listen 7471 &
   printf 'add_node Org\ncommit\nquit\n' | tools/serve_client.py --port 7471
 
-The client sends everything as fast as the socket accepts it, then closes
-the write side and drains responses to EOF — so over-rate bursts genuinely
-race the server's token bucket, which is exactly what the admission tests
-want. Responses may include multi-line payloads (`metrics`); they are
-printed verbatim.
+With --readers N the client additionally opens N concurrent connections
+that each loop `detect` / `violations` (the lock-free published-read verbs)
+for --read-seconds while the main connection runs the scripted lines — a
+mixed read/write load generator for the epoch-publication path. Each reader
+prints a summary line `reader <i> reads=<n> errors=<m>` on exit; reads that
+answer `err` (e.g. `busy` from --max-read-threads shedding) count as
+errors, not crashes.
+
+The main connection sends everything as fast as the socket accepts it, then
+closes the write side and drains responses to EOF — so over-rate bursts
+genuinely race the server's token bucket, which is exactly what the
+admission tests want. Responses may include multi-line payloads
+(`metrics`); they are printed verbatim.
 """
 
 import argparse
 import socket
 import sys
+import threading
 import time
+
+
+def read_loop(host: str, port: int, timeout: float, seconds: float,
+              index: int, results: list) -> None:
+    """One reader connection: alternate detect / violations until the
+    deadline, counting completed reads and protocol errors."""
+    reads = 0
+    errors = 0
+    try:
+        with socket.create_connection((host, port), timeout) as s:
+            s.settimeout(timeout)
+            f = s.makefile("rb")
+            f.readline()  # build-info greeting
+            f.readline()  # serving banner
+            deadline = time.monotonic() + seconds
+            verbs = [b"detect\n", b"violations 0 5\n"]
+            while time.monotonic() < deadline:
+                s.sendall(verbs[reads % 2])
+                resp = f.readline()
+                if not resp:
+                    break
+                if resp.startswith(b"err"):
+                    errors += 1
+                else:
+                    reads += 1
+            s.sendall(b"quit\n")
+    except OSError:
+        pass
+    results[index] = (reads, errors)
 
 
 def main() -> int:
@@ -39,9 +77,34 @@ def main() -> int:
         default=30.0,
         help="socket timeout in seconds",
     )
+    ap.add_argument(
+        "--readers",
+        type=int,
+        default=0,
+        help="concurrent connections looping detect/violations while the "
+        "scripted lines run",
+    )
+    ap.add_argument(
+        "--read-seconds",
+        type=float,
+        default=2.0,
+        help="how long each --readers connection keeps reading",
+    )
     args = ap.parse_args()
 
     lines = args.cmd if args.cmd else [l.rstrip("\n") for l in sys.stdin]
+
+    results = [(0, 0)] * args.readers
+    threads = [
+        threading.Thread(
+            target=read_loop,
+            args=(args.host, args.port, args.timeout, args.read_seconds, i,
+                  results),
+        )
+        for i in range(args.readers)
+    ]
+    for t in threads:
+        t.start()
 
     with socket.create_connection((args.host, args.port), args.timeout) as s:
         s.settimeout(args.timeout)
@@ -61,6 +124,11 @@ def main() -> int:
                 break
             buf += chunk
         sys.stdout.write(buf.decode(errors="replace"))
+
+    for t in threads:
+        t.join()
+    for i, (reads, errors) in enumerate(results):
+        sys.stdout.write(f"reader {i} reads={reads} errors={errors}\n")
     return 0
 
 
